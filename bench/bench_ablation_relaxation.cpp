@@ -1,0 +1,43 @@
+// Ablation: ADMM over-relaxation (Boyd et al. §3.4.3). The paper's
+// Algorithm 1 is plain ADMM; this harness measures how much the standard
+// α-relaxation extension buys on the full constrained CPD.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace aoadmm;
+using namespace aoadmm::bench;
+
+int main() {
+  print_banner("Ablation — ADMM over-relaxation",
+               "rank-scaled non-negative CPD under alpha in {1.0, 1.5, "
+               "1.8}; fixed outer iterations");
+
+  const real_t alphas[] = {1.0, 1.5, 1.8};
+  const ConstraintSpec nonneg{ConstraintKind::kNonNegative};
+
+  TablePrinter table({"Dataset", "alpha", "time(s)", "final err",
+                      "inner iters"},
+                     {12, 8, 10, 12, 13});
+  table.print_header();
+
+  for (const std::string name : {"reddit-s", "nell-s"}) {
+    const CsfSet& csf = DatasetCache::instance().csf(name);
+    for (const real_t alpha : alphas) {
+      CpdOptions opts = default_cpd_options();
+      opts.max_outer_iterations = bench_max_outer(10);
+      opts.tolerance = 0;
+      opts.admm.max_iterations = 25;
+      opts.admm.relaxation = alpha;
+      const CpdResult r = cpd_aoadmm(csf, opts, {&nonneg, 1});
+      table.print_row({name, TablePrinter::fmt(alpha, 1),
+                       TablePrinter::fmt(r.times.total_seconds, 3),
+                       TablePrinter::fmt(r.relative_error, 6),
+                       std::to_string(r.total_inner_iterations)});
+    }
+  }
+
+  std::printf("\nexpectation: alpha ~1.5-1.8 reduces inner iterations (and "
+              "often total time) at matched quality.\n");
+  return 0;
+}

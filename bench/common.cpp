@@ -1,0 +1,157 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "parallel/runtime.hpp"
+
+namespace aoadmm::bench {
+namespace {
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double out = std::strtod(v, &end);
+  return end != v ? out : fallback;
+}
+
+long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long out = std::strtol(v, &end, 10);
+  return end != v ? out : fallback;
+}
+
+}  // namespace
+
+real_t bench_scale() {
+  return static_cast<real_t>(env_double("AOADMM_BENCH_SCALE", 0.25));
+}
+
+rank_t bench_rank() {
+  return static_cast<rank_t>(env_long("AOADMM_BENCH_RANK", 16));
+}
+
+unsigned bench_max_outer(unsigned fallback) {
+  return static_cast<unsigned>(
+      env_long("AOADMM_BENCH_MAX_OUTER", static_cast<long>(fallback)));
+}
+
+std::vector<int> bench_thread_sweep() {
+  const long max_env = env_long("AOADMM_BENCH_MAX_THREADS", 0);
+  int max_t = max_env > 0 ? static_cast<int>(max_env)
+                          : static_cast<int>(std::thread::hardware_concurrency());
+  if (max_t < 1) {
+    max_t = 1;
+  }
+  std::vector<int> sweep;
+  for (int t = 1; t <= max_t; t *= 2) {
+    sweep.push_back(t);
+  }
+  if (sweep.back() != max_t) {
+    sweep.push_back(max_t);
+  }
+  return sweep;
+}
+
+DatasetCache& DatasetCache::instance() {
+  static DatasetCache cache;
+  return cache;
+}
+
+const CooTensor& DatasetCache::coo(const std::string& name) {
+  auto it = coo_.find(name);
+  if (it == coo_.end()) {
+    const NamedDataset d = frostt_standin(name, bench_scale());
+    std::fprintf(stderr, "[bench] generating %s (nnz=%llu)...\n", name.c_str(),
+                 static_cast<unsigned long long>(d.spec.nnz));
+    it = coo_.emplace(name, make_synthetic(d.spec)).first;
+  }
+  return it->second;
+}
+
+const CsfSet& DatasetCache::csf(const std::string& name) {
+  auto it = csf_.find(name);
+  if (it == csf_.end()) {
+    it = csf_.emplace(name, CsfSet(coo(name))).first;
+  }
+  return it->second;
+}
+
+std::vector<NamedDataset> DatasetCache::descriptors() const {
+  return frostt_standins(bench_scale());
+}
+
+CpdOptions default_cpd_options() {
+  CpdOptions opts;
+  opts.rank = bench_rank();
+  opts.tolerance = 1e-6;  // paper §V.A
+  opts.max_outer_iterations = bench_max_outer(200);
+  opts.admm.tolerance = 1e-2;
+  // AO-ADMM runs few inner iterations per update (warm starts make the
+  // subproblems easy; cf. Huang et al. and bench_ablation_inner_iters).
+  opts.admm.max_iterations = 5;
+  opts.admm.block_size = 50;  // paper §IV.B
+  opts.seed = 4242;
+  return opts;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers,
+                           std::vector<int> widths)
+    : headers_(std::move(headers)), widths_(std::move(widths)) {}
+
+void TablePrinter::print_header() const {
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    std::printf("%-*s", widths_[i], headers_[i].c_str());
+  }
+  std::printf("\n");
+  int total = 0;
+  for (const int w : widths_) {
+    total += w;
+  }
+  for (int i = 0; i < total; ++i) {
+    std::printf("-");
+  }
+  std::printf("\n");
+}
+
+void TablePrinter::print_row(const std::vector<std::string>& cells) const {
+  for (std::size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+    std::printf("%-*s", widths_[i], cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+std::string TablePrinter::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::pct(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v * 100.0);
+  return buf;
+}
+
+void print_banner(const std::string& experiment, const std::string& summary) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("%s\n", summary.c_str());
+  std::printf("workloads: synthetic FROSTT stand-ins (scale=%.3g, rank=%u, "
+              "threads<=%d)\n",
+              static_cast<double>(bench_scale()),
+              static_cast<unsigned>(bench_rank()), max_threads());
+  std::printf("shape (who wins / crossovers) is the reproduction target, not "
+              "absolute seconds.\n");
+  std::printf("================================================================\n");
+}
+
+}  // namespace aoadmm::bench

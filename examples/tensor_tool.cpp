@@ -1,0 +1,271 @@
+// tensor_tool — a SPLATT-style command-line interface to the library.
+//
+// Subcommands:
+//   generate  --out t.tns [--dims 100x80x60] [--nnz 5000] [--alpha 1.0]
+//             [--rank 4] [--noise 0.1] [--seed 42] [--binary]
+//   stats     t.tns                     print dims/nnz/density/slice skew
+//   convert   in.tns out.bin            text <-> binary (by extension)
+//   cpd       t.tns [--rank 16] [--constraint nonneg] [--lambda 0.1]
+//             [--variant blocked|base] [--format dense|csr|csr-h]
+//             [--max-outer 50] [--tol 1e-5] [--block 50] [--trace out.csv]
+//             [--threads N] [--save-factors prefix]
+//             [--objective ls|observed] [--ridge 1e-6]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/cpd.hpp"
+#include "core/wcpd.hpp"
+#include "la/matrix_io.hpp"
+#include "parallel/runtime.hpp"
+#include "tensor/io.hpp"
+#include "tensor/synthetic.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/options.hpp"
+
+using namespace aoadmm;
+
+namespace {
+
+bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+CooTensor load_any(const std::string& path) {
+  return has_suffix(path, ".bin") ? read_binary_file(path)
+                                  : read_tns_file(path);
+}
+
+void save_any(const CooTensor& x, const std::string& path) {
+  if (has_suffix(path, ".bin")) {
+    write_binary_file(x, path);
+  } else {
+    write_tns_file(x, path);
+  }
+}
+
+std::vector<index_t> parse_dims(const std::string& s) {
+  std::vector<index_t> dims;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t x = s.find('x', pos);
+    const std::string tok = s.substr(pos, x - pos);
+    AOADMM_CHECK_MSG(!tok.empty(), "bad --dims: " + s);
+    dims.push_back(static_cast<index_t>(std::stoul(tok)));
+    if (x == std::string::npos) {
+      break;
+    }
+    pos = x + 1;
+  }
+  AOADMM_CHECK_MSG(dims.size() >= 2, "--dims needs at least 2 modes");
+  return dims;
+}
+
+int cmd_generate(const Options& opts) {
+  SyntheticSpec spec;
+  spec.dims = parse_dims(opts.get_string("dims", "100x80x60"));
+  spec.nnz = static_cast<offset_t>(opts.get_int("nnz", 5000));
+  spec.zipf_alpha = {static_cast<real_t>(opts.get_double("alpha", 1.0))};
+  spec.true_rank = static_cast<rank_t>(opts.get_int("rank", 4));
+  spec.noise = static_cast<real_t>(opts.get_double("noise", 0.1));
+  spec.seed = static_cast<std::uint64_t>(opts.get_int("seed", 42));
+  const std::string out = opts.get_string("out", "generated.tns");
+  const CooTensor x = make_synthetic(spec);
+  save_any(x, out);
+  std::printf("wrote %llu non-zeros to %s\n",
+              static_cast<unsigned long long>(x.nnz()), out.c_str());
+  return 0;
+}
+
+int cmd_stats(const Options& opts) {
+  AOADMM_CHECK_MSG(opts.positional().size() >= 2,
+                   "usage: tensor_tool stats <file>");
+  const CooTensor x = load_any(opts.positional()[1]);
+  std::printf("order : %zu\n", x.order());
+  std::printf("dims  : ");
+  double capacity = 1;
+  for (std::size_t m = 0; m < x.order(); ++m) {
+    std::printf("%u%s", x.dim(m), m + 1 < x.order() ? " x " : "\n");
+    capacity *= x.dim(m);
+  }
+  std::printf("nnz   : %llu\n", static_cast<unsigned long long>(x.nnz()));
+  std::printf("density: %.3e\n", static_cast<double>(x.nnz()) / capacity);
+  std::printf("norm  : %.6e\n", std::sqrt(x.norm_sq()));
+  for (std::size_t m = 0; m < x.order(); ++m) {
+    auto counts = x.slice_nnz(m);
+    std::sort(counts.begin(), counts.end());
+    offset_t nonempty = 0;
+    for (const auto c : counts) {
+      nonempty += c > 0 ? 1 : 0;
+    }
+    std::printf("mode %zu: %llu/%u slices non-empty, max slice %llu, median "
+                "%llu\n",
+                m, static_cast<unsigned long long>(nonempty), x.dim(m),
+                static_cast<unsigned long long>(counts.back()),
+                static_cast<unsigned long long>(counts[counts.size() / 2]));
+  }
+  return 0;
+}
+
+int cmd_convert(const Options& opts) {
+  AOADMM_CHECK_MSG(opts.positional().size() >= 3,
+                   "usage: tensor_tool convert <in> <out>");
+  const CooTensor x = load_any(opts.positional()[1]);
+  save_any(x, opts.positional()[2]);
+  std::printf("converted %s -> %s (%llu non-zeros)\n",
+              opts.positional()[1].c_str(), opts.positional()[2].c_str(),
+              static_cast<unsigned long long>(x.nnz()));
+  return 0;
+}
+
+int cmd_cpd(const Options& opts) {
+  AOADMM_CHECK_MSG(opts.positional().size() >= 2,
+                   "usage: tensor_tool cpd <file> [options]");
+  const int threads = static_cast<int>(opts.get_int("threads", 0));
+  if (threads > 0) {
+    set_num_threads(threads);
+  }
+  const CooTensor x = load_any(opts.positional()[1]);
+  std::printf("loaded %llu non-zeros; compiling CSF...\n",
+              static_cast<unsigned long long>(x.nnz()));
+  const CsfSet csf(x);
+
+  CpdOptions cpd_opts;
+  cpd_opts.rank = static_cast<rank_t>(opts.get_int("rank", 16));
+  cpd_opts.max_outer_iterations =
+      static_cast<unsigned>(opts.get_int("max-outer", 50));
+  cpd_opts.tolerance = static_cast<real_t>(opts.get_double("tol", 1e-5));
+  cpd_opts.admm.block_size =
+      static_cast<std::size_t>(opts.get_int("block", 50));
+  cpd_opts.seed = static_cast<std::uint64_t>(opts.get_int("seed", 123));
+
+  const std::string variant = opts.get_string("variant", "blocked");
+  AOADMM_CHECK_MSG(variant == "blocked" || variant == "base",
+                   "--variant must be blocked|base");
+  cpd_opts.variant =
+      variant == "blocked" ? AdmmVariant::kBlocked : AdmmVariant::kBaseline;
+
+  const std::string fmt = opts.get_string("format", "dense");
+  if (fmt == "csr") {
+    cpd_opts.leaf_format = LeafFormat::kCsr;
+  } else if (fmt == "csr-h") {
+    cpd_opts.leaf_format = LeafFormat::kHybrid;
+  } else if (fmt == "auto") {
+    cpd_opts.leaf_format = LeafFormat::kAuto;
+  } else {
+    AOADMM_CHECK_MSG(fmt == "dense",
+                     "--format must be dense|csr|csr-h|auto");
+  }
+
+  ConstraintSpec constraint;
+  constraint.kind =
+      parse_constraint_kind(opts.get_string("constraint", "nonneg"));
+  constraint.lambda = static_cast<real_t>(opts.get_double("lambda", 0.1));
+
+  // --objective ls (default) minimizes over ALL cells (missing = zero);
+  // --objective observed minimizes over the stored non-zeros only
+  // (missing = unknown) via cpd_wopt.
+  const std::string objective = opts.get_string("objective", "ls");
+  if (objective == "observed") {
+    WcpdOptions wopts;
+    wopts.rank = cpd_opts.rank;
+    wopts.max_outer_iterations = cpd_opts.max_outer_iterations;
+    wopts.tolerance = cpd_opts.tolerance;
+    wopts.seed = cpd_opts.seed;
+    wopts.ridge = static_cast<real_t>(opts.get_double("ridge", 1e-6));
+    const WcpdResult r = cpd_wopt(csf, wopts, {&constraint, 1});
+    std::printf("\nobjective       : observed-only\n");
+    std::printf("outer iterations: %u (%s)\n", r.outer_iterations,
+                r.converged ? "converged" : "iteration cap");
+    std::printf("observed error  : %.6f\n",
+                static_cast<double>(r.observed_relative_error));
+    std::printf("time            : %.3f s\n", r.total_seconds);
+    if (const auto prefix = opts.get("save-factors")) {
+      write_factors(r.factors, *prefix);
+      std::printf("factors written to %s.mode*.mat\n", prefix->c_str());
+    }
+    if (const auto trace_path = opts.get("trace")) {
+      std::ofstream out(*trace_path);
+      AOADMM_CHECK_MSG(static_cast<bool>(out),
+                       "cannot write trace to " + *trace_path);
+      r.trace.write_csv(out);
+      std::printf("trace written to %s\n", trace_path->c_str());
+    }
+    return 0;
+  }
+  AOADMM_CHECK_MSG(objective == "ls", "--objective must be ls|observed");
+
+  const CpdResult r = cpd_aoadmm(csf, cpd_opts, {&constraint, 1});
+
+  std::printf("\nvariant         : %s / %s leaf\n", to_string(cpd_opts.variant),
+              to_string(cpd_opts.leaf_format));
+  std::printf("outer iterations: %u (%s)\n", r.outer_iterations,
+              r.converged ? "converged" : "iteration cap");
+  std::printf("relative error  : %.6f\n",
+              static_cast<double>(r.relative_error));
+  std::printf("time            : %.3f s  (MTTKRP %.0f%% / ADMM %.0f%% / "
+              "other %.0f%%)\n",
+              r.times.total_seconds, 100.0 * r.times.mttkrp_fraction(),
+              100.0 * r.times.admm_fraction(),
+              100.0 * r.times.other_fraction());
+  for (std::size_t m = 0; m < r.factor_density.size(); ++m) {
+    std::printf("factor %zu density: %.1f%%\n", m,
+                100.0 * static_cast<double>(r.factor_density[m]));
+  }
+
+  if (const auto prefix = opts.get("save-factors")) {
+    write_factors(r.factors, *prefix);
+    std::printf("factors written to %s.mode*.mat\n", prefix->c_str());
+  }
+
+  if (const auto trace_path = opts.get("trace")) {
+    std::ofstream out(*trace_path);
+    AOADMM_CHECK_MSG(static_cast<bool>(out),
+                     "cannot write trace to " + *trace_path);
+    r.trace.write_csv(out);
+    std::printf("trace written to %s\n", trace_path->c_str());
+  }
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: tensor_tool <generate|stats|convert|cpd> [args]\n"
+               "see the header comment of examples/tensor_tool.cpp\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kInfo);
+  try {
+    const Options opts(argc, argv);
+    if (opts.positional().empty()) {
+      usage();
+      return 2;
+    }
+    const std::string& cmd = opts.positional()[0];
+    if (cmd == "generate") {
+      return cmd_generate(opts);
+    }
+    if (cmd == "stats") {
+      return cmd_stats(opts);
+    }
+    if (cmd == "convert") {
+      return cmd_convert(opts);
+    }
+    if (cmd == "cpd") {
+      return cmd_cpd(opts);
+    }
+    usage();
+    return 2;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

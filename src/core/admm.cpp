@@ -1,0 +1,81 @@
+#include "core/admm.hpp"
+
+#include "core/admm_impl.hpp"
+#include "la/cholesky.hpp"
+#include "util/error.hpp"
+
+namespace aoadmm {
+
+AdmmResult admm_update(Matrix& h, Matrix& u, const Matrix& k, const Matrix& g,
+                       const ProxOperator& prox, const AdmmOptions& opts,
+                       AdmmScratch& scratch) {
+  const std::size_t rows = h.rows();
+  const std::size_t f = h.cols();
+  AOADMM_CHECK(u.rows() == rows && u.cols() == f);
+  AOADMM_CHECK(k.rows() == rows && k.cols() == f);
+  AOADMM_CHECK(g.rows() == f && g.cols() == f);
+  AOADMM_CHECK_MSG(opts.relaxation > 0 && opts.relaxation < 2,
+                   "relaxation must lie in (0, 2)");
+  scratch.ensure(rows, f);
+  Matrix& aux = scratch.aux;
+  Matrix& h_old = scratch.h_old;
+
+  const real_t rho = detail::admm_penalty(g);
+  const Cholesky chol(detail::regularized_gram(g, rho));
+
+  AdmmResult result;
+  detail::ResidualAccum acc;
+
+  for (unsigned iter = 0; iter < opts.max_iterations; ++iter) {
+    acc = detail::ResidualAccum{};
+
+    // Each kernel is parallelized over rows with an implicit barrier after
+    // it — the §IV.A baseline decomposition.
+#if defined(AOADMM_HAVE_OPENMP)
+#pragma omp parallel
+    {
+      detail::ResidualAccum local;
+#pragma omp for schedule(static)
+      for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(rows); ++i) {
+        const auto ii = static_cast<std::size_t>(i);
+        detail::admm_solve_rows(h, u, k, rho, chol, aux, ii, ii + 1);
+      }
+#pragma omp for schedule(static)
+      for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(rows); ++i) {
+        const auto ii = static_cast<std::size_t>(i);
+        detail::admm_primal_prep_rows(h, u, aux, h_old, opts.relaxation, ii,
+                                      ii + 1);
+      }
+#pragma omp for schedule(static)
+      for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(rows); ++i) {
+        const auto ii = static_cast<std::size_t>(i);
+        prox.apply(h, ii, ii + 1, rho);
+      }
+#pragma omp for schedule(static)
+      for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(rows); ++i) {
+        const auto ii = static_cast<std::size_t>(i);
+        local.merge(detail::admm_dual_rows(h, u, aux, h_old, ii, ii + 1));
+      }
+#pragma omp critical(aoadmm_admm_residuals)
+      acc.merge(local);
+    }
+#else
+    detail::admm_solve_rows(h, u, k, rho, chol, aux, 0, rows);
+    detail::admm_primal_prep_rows(h, u, aux, h_old, opts.relaxation, 0, rows);
+    prox.apply(h, 0, rows, rho);
+    acc = detail::admm_dual_rows(h, u, aux, h_old, 0, rows);
+#endif
+
+    ++result.iterations;
+    result.row_iterations += rows;
+    if (acc.converged(opts.tolerance)) {
+      break;
+    }
+  }
+
+  result.primal_residual = acc.primal();
+  result.dual_residual = acc.dual();
+  return result;
+}
+
+}  // namespace aoadmm

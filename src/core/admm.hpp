@@ -1,0 +1,92 @@
+// The ADMM inner solver of AO-ADMM (Algorithm 1) in two parallel flavors:
+//
+//  * admm_update          — the §IV.A baseline: each dense kernel (solve,
+//    prox, dual update, residuals) is parallelized over rows with implicit
+//    barriers in between, and convergence is a single global test over
+//    aggregated residuals.
+//  * admm_update_blocked  — the §IV.B reformulation: rows are split into
+//    fixed-size blocks, each block runs the *whole* inner loop to its own
+//    convergence, and blocks are dynamically scheduled across threads. This
+//    removes every inter-kernel synchronization, keeps a block's primal/dual
+//    state cache-resident across iterations, and lets "high-signal" rows
+//    iterate more than already-converged ones.
+//
+// Both minimize  ½‖X(m) − H(⊙ₙAₙ)ᵀ‖² + r(H)  for one factor given the
+// MTTKRP result K and Gram matrix G, updating the primal H and scaled dual
+// U in place.
+#pragma once
+
+#include "core/prox.hpp"
+#include "la/matrix.hpp"
+#include "util/types.hpp"
+
+namespace aoadmm {
+
+struct AdmmOptions {
+  /// Inner tolerance ε: stop when the relative primal AND dual residuals
+  /// fall below it (Algorithm 1 line 12).
+  real_t tolerance = 1e-2;
+  /// Hard cap on inner iterations (per block for the blocked variant).
+  unsigned max_iterations = 50;
+  /// Rows per block for admm_update_blocked. The paper found 50 to balance
+  /// convergence benefit against per-block overheads (§IV.B). 0 selects
+  /// the analytical model (auto_block_size — the paper's §VI future work).
+  std::size_t block_size = 50;
+  /// Over-relaxation α ∈ (0, 2): the classical ADMM acceleration (Boyd et
+  /// al. §3.4.3) — the least-squares iterate is mixed with the previous
+  /// primal, Ĥ = α·H̃ + (1−α)·H₀, before the prox and dual steps. 1.0
+  /// disables it; 1.5–1.8 typically speeds convergence.
+  real_t relaxation = 1.0;
+};
+
+/// Analytical block-size model (implements the paper's future-work item:
+/// "an analytical model of the ADMM algorithm could provide a method of
+/// choosing block sizes"). One blocked-ADMM iteration touches five row
+/// panels of F doubles per row (primal, dual, aux, previous primal, and
+/// the MTTKRP rhs); the model picks the largest block whose working set
+/// fits the per-thread cache budget, clamped to [8, 512] so per-block
+/// overheads (small blocks) and convergence loss (huge blocks) stay
+/// bounded.
+std::size_t auto_block_size(std::size_t rank,
+                            std::size_t cache_bytes = 256 * 1024) noexcept;
+
+struct AdmmResult {
+  /// Inner iterations executed: for the baseline, the global count; for the
+  /// blocked variant, the maximum over blocks.
+  unsigned iterations = 0;
+  /// Σ over rows of the number of iterations that touched them — the true
+  /// work measure that the blocked variant reduces.
+  std::uint64_t row_iterations = 0;
+  /// Final relative residuals (worst block for the blocked variant).
+  real_t primal_residual = 0;
+  real_t dual_residual = 0;
+};
+
+/// Scratch matrices reused across ADMM calls (aux = H̃, h_old = H₀). Sized
+/// lazily to the largest factor they have seen.
+struct AdmmScratch {
+  Matrix aux;
+  Matrix h_old;
+
+  void ensure(std::size_t rows, std::size_t cols) {
+    if (aux.rows() < rows || aux.cols() != cols) {
+      aux.resize(rows, cols);
+      h_old.resize(rows, cols);
+    }
+  }
+};
+
+/// Baseline kernel-parallel ADMM (Algorithm 1). `h` (primal) and `u` (dual)
+/// are I x F and updated in place; `k` is the MTTKRP result; `g` the F x F
+/// Gram matrix Σ-free of the mode being solved.
+AdmmResult admm_update(Matrix& h, Matrix& u, const Matrix& k, const Matrix& g,
+                       const ProxOperator& prox, const AdmmOptions& opts,
+                       AdmmScratch& scratch);
+
+/// Blockwise ADMM (§IV.B). Requires a row-separable prox (all operators in
+/// this library are).
+AdmmResult admm_update_blocked(Matrix& h, Matrix& u, const Matrix& k,
+                               const Matrix& g, const ProxOperator& prox,
+                               const AdmmOptions& opts, AdmmScratch& scratch);
+
+}  // namespace aoadmm

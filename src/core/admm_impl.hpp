@@ -1,0 +1,137 @@
+// Internal helpers shared by the baseline and blocked ADMM variants.
+#pragma once
+
+#include "core/admm.hpp"
+#include "la/blas.hpp"
+#include "la/cholesky.hpp"
+#include "util/error.hpp"
+
+namespace aoadmm::detail {
+
+/// ρ = trace(G)/F (Algorithm 1, line 3), floored away from zero so the
+/// normal equations stay positive definite even for degenerate factors.
+inline real_t admm_penalty(const Matrix& g) {
+  const std::size_t f = g.rows();
+  real_t trace = 0;
+  for (std::size_t i = 0; i < f; ++i) {
+    trace += g(i, i);
+  }
+  real_t rho = trace / static_cast<real_t>(f);
+  if (!(rho > real_t{1e-12})) {
+    rho = real_t{1e-12};
+  }
+  return rho;
+}
+
+/// G + ρI, the system matrix factored once per ADMM call (line 4).
+inline Matrix regularized_gram(const Matrix& g, real_t rho) {
+  Matrix out = g;
+  for (std::size_t i = 0; i < g.rows(); ++i) {
+    out(i, i) += rho;
+  }
+  return out;
+}
+
+struct ResidualAccum {
+  real_t primal_num = 0;
+  real_t primal_den = 0;
+  real_t dual_num = 0;
+  real_t dual_den = 0;
+
+  void merge(const ResidualAccum& o) noexcept {
+    primal_num += o.primal_num;
+    primal_den += o.primal_den;
+    dual_num += o.dual_num;
+    dual_den += o.dual_den;
+  }
+
+  real_t primal() const noexcept {
+    return primal_num / (primal_den > 0 ? primal_den : real_t{1});
+  }
+  real_t dual() const noexcept {
+    // Algorithm 1 normalizes by ‖U‖², which vanishes when the constraints
+    // are inactive (the dual settles at zero) and would stall convergence
+    // detection on an already-exact iterate. Floor the denominator at a
+    // tiny fraction of ‖H‖² so "both numerator and dual are negligible"
+    // counts as converged.
+    const real_t floor_den = real_t{1e-12} * primal_den + real_t{1e-300};
+    return dual_num / (dual_den > floor_den ? dual_den : floor_den);
+  }
+  bool converged(real_t eps) const noexcept {
+    return primal() < eps && dual() < eps;
+  }
+};
+
+/// Least-squares step for rows [lo, hi): aux ← (G+ρI)⁻¹(K + ρ(H + U))
+/// (Algorithm 1, line 6). Serial over the range; callers parallelize.
+inline void admm_solve_rows(const Matrix& h, const Matrix& u, const Matrix& k,
+                            real_t rho, const Cholesky& chol, Matrix& aux,
+                            std::size_t lo, std::size_t hi) noexcept {
+  const std::size_t f = h.cols();
+  for (std::size_t i = lo; i < hi; ++i) {
+    const real_t* __restrict hr = h.data() + i * f;
+    const real_t* __restrict ur = u.data() + i * f;
+    const real_t* __restrict kr = k.data() + i * f;
+    real_t* __restrict ar = aux.data() + i * f;
+    for (std::size_t c = 0; c < f; ++c) {
+      ar[c] = kr[c] + rho * (hr[c] + ur[c]);
+    }
+    chol.solve_inplace({ar, f});
+  }
+}
+
+/// Primal candidate for rows [lo, hi): h_old ← H; H ← Ĥ − U where
+/// Ĥ = α·H̃ + (1−α)·H₀ is the (optionally over-relaxed) least-squares
+/// iterate, written back into `aux` so the dual step sees it (lines 7–8
+/// before the prox). The prox itself is applied by the caller so operators
+/// that need whole rows see them contiguously.
+inline void admm_primal_prep_rows(Matrix& h, const Matrix& u, Matrix& aux,
+                                  Matrix& h_old, real_t alpha,
+                                  std::size_t lo, std::size_t hi) noexcept {
+  const std::size_t f = h.cols();
+  for (std::size_t i = lo; i < hi; ++i) {
+    real_t* __restrict hr = h.data() + i * f;
+    real_t* __restrict ho = h_old.data() + i * f;
+    const real_t* __restrict ur = u.data() + i * f;
+    real_t* __restrict ar = aux.data() + i * f;
+    if (alpha != real_t{1}) {
+      for (std::size_t c = 0; c < f; ++c) {
+        ho[c] = hr[c];
+        ar[c] = alpha * ar[c] + (real_t{1} - alpha) * ho[c];
+        hr[c] = ar[c] - ur[c];
+      }
+    } else {
+      for (std::size_t c = 0; c < f; ++c) {
+        ho[c] = hr[c];
+        hr[c] = ar[c] - ur[c];
+      }
+    }
+  }
+}
+
+/// Dual update + residual accumulation for rows [lo, hi): U ← U + H − H̃
+/// (line 9) and the four norms of lines 10–11.
+inline ResidualAccum admm_dual_rows(const Matrix& h, Matrix& u,
+                                    const Matrix& aux, const Matrix& h_old,
+                                    std::size_t lo, std::size_t hi) noexcept {
+  const std::size_t f = h.cols();
+  ResidualAccum acc;
+  for (std::size_t i = lo; i < hi; ++i) {
+    const real_t* __restrict hr = h.data() + i * f;
+    real_t* __restrict ur = u.data() + i * f;
+    const real_t* __restrict ar = aux.data() + i * f;
+    const real_t* __restrict ho = h_old.data() + i * f;
+    for (std::size_t c = 0; c < f; ++c) {
+      const real_t diff = hr[c] - ar[c];
+      ur[c] += diff;
+      acc.primal_num += diff * diff;
+      acc.primal_den += hr[c] * hr[c];
+      const real_t step = hr[c] - ho[c];
+      acc.dual_num += step * step;
+      acc.dual_den += ur[c] * ur[c];
+    }
+  }
+  return acc;
+}
+
+}  // namespace aoadmm::detail

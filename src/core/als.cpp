@@ -1,0 +1,103 @@
+#include <limits>
+
+#include "core/cpd.hpp"
+#include "core/cpd_impl.hpp"
+#include "core/workspace.hpp"
+#include "la/cholesky.hpp"
+#include "sparse/density.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace aoadmm {
+
+CpdResult cpd_als(const CsfSet& csf, const CpdOptions& opts, real_t ridge) {
+  const std::size_t order = csf.order();
+  AOADMM_CHECK(order >= 2);
+  AOADMM_CHECK(ridge >= 0);
+
+  Timer wall;
+  wall.start();
+  TimerSet timers;
+
+  CpdResult result;
+  const real_t x_norm_sq = detail::tensor_norm_sq(csf.for_mode(0));
+  result.factors = detail::init_factors(csf, opts.rank, opts.seed, x_norm_sq);
+  CpdWorkspace ws(order);
+  {
+    const ScopedTimer t(timers["other"]);
+    for (std::size_t m = 0; m < order; ++m) {
+      gram(result.factors[m], ws.grams[m]);
+    }
+  }
+
+  real_t prev_error = std::numeric_limits<real_t>::infinity();
+
+  for (unsigned outer = 1; outer <= opts.max_outer_iterations; ++outer) {
+    for (std::size_t m = 0; m < order; ++m) {
+      {
+        const ScopedTimer t(timers["other"]);
+        detail::gram_product_excluding(ws.grams, m, ws.gram_prod);
+        // A touch of ridge keeps the normal equations positive definite
+        // even when a factor momentarily loses rank.
+        const real_t eps = ridge + real_t{1e-12};
+        for (std::size_t i = 0; i < ws.gram_prod.rows(); ++i) {
+          ws.gram_prod(i, i) += eps;
+        }
+      }
+      {
+        const ScopedTimer t(timers["mttkrp"]);
+        ++result.mttkrp_count;
+        mttkrp_dispatch(csf.for_mode(m), result.factors, m, ws.mttkrp_out);
+      }
+      {
+        // The least-squares solve plays the role ADMM does in AO-ADMM.
+        const ScopedTimer t(timers["admm"]);
+        solve_normal_equations(ws.gram_prod, ws.mttkrp_out);
+        result.factors[m] = ws.mttkrp_out;
+      }
+      {
+        const ScopedTimer t(timers["other"]);
+        gram(result.factors[m], ws.grams[m]);
+      }
+    }
+
+    real_t err;
+    {
+      const ScopedTimer t(timers["other"]);
+      // mttkrp_out was overwritten by the solve; recompute the final-mode
+      // MTTKRP for an exact fit. (ALS is a baseline; simplicity wins.)
+      mttkrp_dispatch(csf.for_mode(order - 1), result.factors, order - 1,
+                      ws.mttkrp_out);
+      err = detail::fit_relative_error(x_norm_sq, ws.mttkrp_out,
+                                       result.factors[order - 1], ws.grams);
+    }
+    result.relative_error = err;
+    result.outer_iterations = outer;
+    if (opts.record_trace) {
+      result.trace.add(outer, wall.seconds(), err);
+    }
+
+    if (prev_error - err < opts.tolerance && outer > 1) {
+      result.converged = true;
+      break;
+    }
+    prev_error = err;
+  }
+
+  wall.stop();
+  result.times.total_seconds = wall.seconds();
+  result.times.mttkrp_seconds = timers.seconds("mttkrp");
+  result.times.admm_seconds = timers.seconds("admm");
+  result.times.other_seconds = result.times.total_seconds -
+                               result.times.mttkrp_seconds -
+                               result.times.admm_seconds;
+
+  result.factor_density.reserve(order);
+  for (std::size_t m = 0; m < order; ++m) {
+    result.factor_density.push_back(
+        measure_density(result.factors[m]).density);
+  }
+  return result;
+}
+
+}  // namespace aoadmm

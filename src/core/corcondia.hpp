@@ -1,0 +1,33 @@
+// CORCONDIA — the core consistency diagnostic of Bro & Kiers (2003), the
+// standard tool for judging whether a CPD's rank is appropriate. The CPD
+// implicitly assumes a superdiagonal core tensor; CORCONDIA fits the
+// unconstrained least-squares core G given the factors,
+//     G = X ×₁ A⁺ ×₂ B⁺ ×₃ C⁺,
+// and measures how close G is to the F x F x F identity:
+//     corcondia = 100 · (1 − ‖G − I‖² / F).
+// Near 100 ⇒ the trilinear model is appropriate; near/below 0 ⇒ the rank
+// is too high or the data is not trilinear.
+//
+// The core is computed without materializing any dense intermediate by
+// streaming over the non-zeros: G(p,q,r) = Σ_nnz x(i,j,k) · P₀(i,p) ·
+// P₁(j,q) · P₂(k,r) with P_m = A_m (A_mᵀ A_m)⁻¹, at O(nnz · F³) cost —
+// practical for the low ranks where the diagnostic is meaningful.
+#pragma once
+
+#include "la/matrix.hpp"
+#include "tensor/coo.hpp"
+
+namespace aoadmm {
+
+/// Compute the diagnostic for a three-mode tensor and its CPD factors.
+/// Requires order == 3, matching dims, a common rank F, and full
+/// column-rank factors (A_mᵀA_m must be invertible). Throws
+/// InvalidArgument / NumericalError otherwise.
+real_t corcondia(const CooTensor& x, cspan<const Matrix> factors);
+
+/// The raw least-squares core tensor (F x F x F), returned as an F x F²
+/// matricization G(1) with columns ordered (q fastest). Exposed for tests
+/// and for users who want to inspect off-superdiagonal structure.
+Matrix corcondia_core(const CooTensor& x, cspan<const Matrix> factors);
+
+}  // namespace aoadmm

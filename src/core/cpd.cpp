@@ -1,0 +1,164 @@
+#include "core/cpd.hpp"
+
+#include <limits>
+#include <memory>
+
+#include "core/cpd_impl.hpp"
+#include "core/workspace.hpp"
+#include "sparse/density.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace aoadmm {
+
+const char* to_string(AdmmVariant v) noexcept {
+  switch (v) {
+    case AdmmVariant::kBaseline:
+      return "base";
+    case AdmmVariant::kBlocked:
+      return "blocked";
+  }
+  return "?";
+}
+
+CpdResult cpd_aoadmm(const CsfSet& csf, const CpdOptions& opts,
+                     cspan<const ConstraintSpec> constraints) {
+  const std::size_t order = csf.order();
+  AOADMM_CHECK(order >= 2);
+  AOADMM_CHECK(opts.rank > 0);
+  AOADMM_CHECK_MSG(constraints.size() == 1 || constraints.size() == order,
+                   "constraints: give 1 (broadcast) or one per mode");
+
+  std::vector<std::unique_ptr<ProxOperator>> prox(order);
+  for (std::size_t m = 0; m < order; ++m) {
+    prox[m] = make_prox(constraints.size() == 1 ? constraints[0]
+                                                : constraints[m]);
+  }
+
+  Timer wall;
+  wall.start();
+  TimerSet timers;
+
+  CpdResult result;
+  const real_t x_norm_sq = detail::tensor_norm_sq(csf.for_mode(0));
+  result.factors = detail::init_factors(csf, opts.rank, opts.seed, x_norm_sq);
+  std::vector<Matrix> duals;
+  duals.reserve(order);
+  for (std::size_t m = 0; m < order; ++m) {
+    duals.emplace_back(result.factors[m].rows(), opts.rank);
+  }
+
+  CpdWorkspace ws(order);
+  SparseFactorCache sparse_cache(order);
+  {
+    const ScopedTimer t(timers["other"]);
+    for (std::size_t m = 0; m < order; ++m) {
+      gram(result.factors[m], ws.grams[m]);
+    }
+  }
+
+  real_t prev_error = std::numeric_limits<real_t>::infinity();
+
+  for (unsigned outer = 1; outer <= opts.max_outer_iterations; ++outer) {
+    for (std::size_t m = 0; m < order; ++m) {
+      const CsfTensor& tree = csf.for_mode(m);
+
+      {
+        const ScopedTimer t(timers["other"]);
+        detail::gram_product_excluding(ws.grams, m, ws.gram_prod);
+      }
+
+      // MTTKRP, optionally with a compressed leaf factor. The leaf mode of
+      // this tree is the factor read once per non-zero — the only one worth
+      // compressing (paper §IV.C).
+      ++result.mttkrp_count;
+      bool used_sparse = false;
+      // Sparse-leaf kernels exist for root-mode trees only (ALLMODE); a
+      // one-tree set serves non-root modes through the atomic dispatcher.
+      if (opts.leaf_format != LeafFormat::kDense &&
+          tree.level_mode(0) == m) {
+        const std::size_t leaf_mode = tree.level_mode(order - 1);
+        SparseFactorCache::Mirror mirror;
+        {
+          const ScopedTimer t(timers["other"]);
+          mirror = sparse_cache.refresh(leaf_mode, result.factors[leaf_mode],
+                                        opts.leaf_format,
+                                        opts.sparsity_threshold);
+        }
+        if (mirror.csr != nullptr) {
+          const ScopedTimer t(timers["mttkrp"]);
+          mttkrp_csf_csr(tree, result.factors, *mirror.csr, ws.mttkrp_out);
+          used_sparse = true;
+        } else if (mirror.hybrid != nullptr) {
+          const ScopedTimer t(timers["mttkrp"]);
+          mttkrp_csf_hybrid(tree, result.factors, *mirror.hybrid,
+                            ws.mttkrp_out);
+          used_sparse = true;
+        }
+      }
+      if (!used_sparse) {
+        const ScopedTimer t(timers["mttkrp"]);
+        mttkrp_dispatch(tree, result.factors, m, ws.mttkrp_out);
+      } else {
+        ++result.sparse_mttkrp_count;
+      }
+
+      {
+        const ScopedTimer t(timers["admm"]);
+        const AdmmResult ar =
+            opts.variant == AdmmVariant::kBlocked
+                ? admm_update_blocked(result.factors[m], duals[m],
+                                      ws.mttkrp_out, ws.gram_prod, *prox[m],
+                                      opts.admm, ws.admm)
+                : admm_update(result.factors[m], duals[m], ws.mttkrp_out,
+                              ws.gram_prod, *prox[m], opts.admm, ws.admm);
+        result.total_inner_iterations += ar.iterations;
+        result.total_row_iterations += ar.row_iterations;
+      }
+
+      {
+        const ScopedTimer t(timers["other"]);
+        gram(result.factors[m], ws.grams[m]);
+        sparse_cache.invalidate(m);
+      }
+    }
+
+    // Fit: exact, reusing the final mode's MTTKRP output (see cpd_impl.hpp).
+    real_t err;
+    {
+      const ScopedTimer t(timers["other"]);
+      err = detail::fit_relative_error(x_norm_sq, ws.mttkrp_out,
+                                       result.factors[order - 1], ws.grams);
+    }
+    result.relative_error = err;
+    result.outer_iterations = outer;
+    if (opts.record_trace) {
+      result.trace.add(outer, wall.seconds(), err);
+    }
+    AOADMM_LOG_DEBUG << "outer " << outer << " relative_error " << err;
+
+    if (prev_error - err < opts.tolerance && outer > 1) {
+      result.converged = true;
+      break;
+    }
+    prev_error = err;
+  }
+
+  wall.stop();
+  result.times.total_seconds = wall.seconds();
+  result.times.mttkrp_seconds = timers.seconds("mttkrp");
+  result.times.admm_seconds = timers.seconds("admm");
+  result.times.other_seconds = result.times.total_seconds -
+                               result.times.mttkrp_seconds -
+                               result.times.admm_seconds;
+
+  result.factor_density.reserve(order);
+  for (std::size_t m = 0; m < order; ++m) {
+    result.factor_density.push_back(
+        measure_density(result.factors[m]).density);
+  }
+  return result;
+}
+
+}  // namespace aoadmm

@@ -1,0 +1,102 @@
+// The AO-ADMM outer driver (Algorithm 2) and the unconstrained ALS
+// baseline. This is the library's primary public entry point:
+//
+//   CooTensor x = read_tns_file("data.tns");
+//   CsfSet csf(x);
+//   CpdOptions opts;
+//   opts.rank = 50;
+//   ConstraintSpec nonneg{ConstraintKind::kNonNegative};
+//   CpdResult r = cpd_aoadmm(csf, opts, {&nonneg, 1});
+//
+// Convergence follows the paper (§V.A): factorization quality is the
+// relative error ‖X − M‖_F/‖X‖_F, and the loop stops when it improves by
+// less than `tolerance` or after `max_outer_iterations`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/admm.hpp"
+#include "core/prox.hpp"
+#include "core/trace.hpp"
+#include "la/matrix.hpp"
+#include "mttkrp/mttkrp.hpp"
+#include "tensor/csf.hpp"
+
+namespace aoadmm {
+
+/// Which ADMM inner solver the driver uses.
+enum class AdmmVariant {
+  kBaseline,  // §IV.A kernel-parallel
+  kBlocked,   // §IV.B blockwise reformulation
+};
+
+const char* to_string(AdmmVariant v) noexcept;
+
+struct CpdOptions {
+  rank_t rank = 16;
+  unsigned max_outer_iterations = 200;
+  /// Stop when the relative error improves by less than this (paper: 1e-6).
+  real_t tolerance = 1e-6;
+  AdmmOptions admm;
+  AdmmVariant variant = AdmmVariant::kBlocked;
+  /// Leaf-factor storage during MTTKRP (Table II: DENSE / CSR / CSR-H).
+  LeafFormat leaf_format = LeafFormat::kDense;
+  /// Exploit factor sparsity only below this density (paper: 20%).
+  real_t sparsity_threshold = 0.20;
+  std::uint64_t seed = 123;
+  bool record_trace = true;
+};
+
+/// Wall-clock decomposition of a factorization (paper Fig. 3).
+struct KernelBreakdown {
+  double mttkrp_seconds = 0;
+  double admm_seconds = 0;
+  /// Gram products, fit evaluation, sparse-mirror construction, misc.
+  double other_seconds = 0;
+  double total_seconds = 0;
+
+  double mttkrp_fraction() const noexcept {
+    return total_seconds > 0 ? mttkrp_seconds / total_seconds : 0;
+  }
+  double admm_fraction() const noexcept {
+    return total_seconds > 0 ? admm_seconds / total_seconds : 0;
+  }
+  double other_fraction() const noexcept {
+    return total_seconds > 0
+               ? 1.0 - mttkrp_fraction() - admm_fraction()
+               : 0;
+  }
+};
+
+struct CpdResult {
+  std::vector<Matrix> factors;
+  real_t relative_error = 1;
+  unsigned outer_iterations = 0;
+  bool converged = false;
+  ConvergenceTrace trace;
+  KernelBreakdown times;
+  /// Sum over all factor updates of the ADMM iterations they ran.
+  std::uint64_t total_inner_iterations = 0;
+  /// Sum over all updates of per-row inner iterations (work measure).
+  std::uint64_t total_row_iterations = 0;
+  /// How many MTTKRP calls used a compressed leaf factor.
+  std::uint64_t sparse_mttkrp_count = 0;
+  std::uint64_t mttkrp_count = 0;
+  /// Density of each factor at termination (nnz / (I·F)).
+  std::vector<real_t> factor_density;
+};
+
+/// Constrained CPD via AO-ADMM. `constraints` has either one entry
+/// (broadcast to all modes) or one per mode.
+CpdResult cpd_aoadmm(const CsfSet& csf, const CpdOptions& opts,
+                     cspan<const ConstraintSpec> constraints);
+
+/// Unconstrained (or ridge-regularized) CPD via ALS — the classical
+/// baseline AO-ADMM generalizes (§II.C: "when no constraints are enforced,
+/// AO becomes ALS"). Uses rank/seed/tolerance/max_outer_iterations from
+/// `opts`; admm/variant/leaf options are ignored.
+CpdResult cpd_als(const CsfSet& csf, const CpdOptions& opts,
+                  real_t ridge = 0);
+
+}  // namespace aoadmm

@@ -1,0 +1,26 @@
+// Held-out evaluation of a factorization: error metrics of the model's
+// predictions at a set of observed coordinates (typically the test half of
+// split_train_test). All metrics stream over the non-zeros in parallel.
+#pragma once
+
+#include "la/matrix.hpp"
+#include "tensor/coo.hpp"
+
+namespace aoadmm {
+
+struct PredictionMetrics {
+  /// Root-mean-square error of model vs stored values.
+  real_t rmse = 0;
+  /// Mean absolute error.
+  real_t mae = 0;
+  /// Mean of the stored values (baseline for comparison).
+  real_t mean_value = 0;
+  offset_t count = 0;
+};
+
+/// Evaluate the rank-F model given by `factors` at every non-zero of
+/// `observed`. Factors must match the tensor's dims and share one rank.
+PredictionMetrics evaluate_predictions(const CooTensor& observed,
+                                       cspan<const Matrix> factors);
+
+}  // namespace aoadmm

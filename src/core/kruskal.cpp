@@ -1,0 +1,207 @@
+#include "core/kruskal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "la/blas.hpp"
+#include "util/error.hpp"
+
+namespace aoadmm {
+
+KruskalTensor::KruskalTensor(std::vector<Matrix> factors)
+    : factors_(std::move(factors)) {
+  AOADMM_CHECK_MSG(!factors_.empty(), "KruskalTensor needs >= 1 factor");
+  rank_ = static_cast<rank_t>(factors_[0].cols());
+  AOADMM_CHECK_MSG(rank_ > 0, "KruskalTensor rank must be positive");
+  for (const Matrix& a : factors_) {
+    AOADMM_CHECK_MSG(a.cols() == rank_, "factor rank mismatch");
+  }
+  lambda_.assign(rank_, real_t{1});
+}
+
+void KruskalTensor::normalize_columns() {
+  for (Matrix& a : factors_) {
+    for (rank_t f = 0; f < rank_; ++f) {
+      real_t norm_sq = 0;
+      for (std::size_t i = 0; i < a.rows(); ++i) {
+        norm_sq += a(i, f) * a(i, f);
+      }
+      const real_t norm = std::sqrt(norm_sq);
+      if (norm > 0) {
+        const real_t inv = real_t{1} / norm;
+        for (std::size_t i = 0; i < a.rows(); ++i) {
+          a(i, f) *= inv;
+        }
+        lambda_[f] *= norm;
+      } else {
+        lambda_[f] = 0;
+      }
+    }
+  }
+}
+
+void KruskalTensor::sort_components() {
+  std::vector<rank_t> order(rank_);
+  std::iota(order.begin(), order.end(), rank_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](rank_t x, rank_t y) {
+    return lambda_[x] > lambda_[y];
+  });
+
+  std::vector<real_t> new_lambda(rank_);
+  for (rank_t f = 0; f < rank_; ++f) {
+    new_lambda[f] = lambda_[order[f]];
+  }
+  lambda_ = std::move(new_lambda);
+
+  for (Matrix& a : factors_) {
+    Matrix reordered(a.rows(), rank_);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      for (rank_t f = 0; f < rank_; ++f) {
+        reordered(i, f) = a(i, order[f]);
+      }
+    }
+    a = std::move(reordered);
+  }
+}
+
+real_t KruskalTensor::value_at(cspan<index_t> coord) const {
+  AOADMM_CHECK_MSG(coord.size() == order(), "coordinate arity mismatch");
+  real_t value = 0;
+  for (rank_t f = 0; f < rank_; ++f) {
+    real_t prod = lambda_[f];
+    for (std::size_t m = 0; m < order(); ++m) {
+      prod *= factors_[m](coord[m], f);
+    }
+    value += prod;
+  }
+  return value;
+}
+
+real_t KruskalTensor::norm_sq() const {
+  Matrix acc(rank_, rank_);
+  acc.fill(real_t{1});
+  Matrix g(rank_, rank_);
+  for (const Matrix& a : factors_) {
+    gram(a, g);
+    hadamard_inplace(acc, g);
+  }
+  real_t out = 0;
+  for (rank_t p = 0; p < rank_; ++p) {
+    for (rank_t q = 0; q < rank_; ++q) {
+      out += lambda_[p] * lambda_[q] * acc(p, q);
+    }
+  }
+  return out;
+}
+
+rank_t KruskalTensor::prune(real_t tol) {
+  std::vector<rank_t> keep;
+  for (rank_t f = 0; f < rank_; ++f) {
+    if (lambda_[f] > tol) {
+      keep.push_back(f);
+    }
+  }
+  const auto removed = static_cast<rank_t>(rank_ - keep.size());
+  if (removed == 0) {
+    return 0;
+  }
+  AOADMM_CHECK_MSG(!keep.empty(), "prune would remove every component");
+
+  std::vector<real_t> new_lambda;
+  new_lambda.reserve(keep.size());
+  for (const rank_t f : keep) {
+    new_lambda.push_back(lambda_[f]);
+  }
+  for (Matrix& a : factors_) {
+    Matrix kept(a.rows(), keep.size());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      for (std::size_t f = 0; f < keep.size(); ++f) {
+        kept(i, f) = a(i, keep[f]);
+      }
+    }
+    a = std::move(kept);
+  }
+  lambda_ = std::move(new_lambda);
+  rank_ = static_cast<rank_t>(keep.size());
+  return removed;
+}
+
+real_t factor_match_score(const KruskalTensor& a, const KruskalTensor& b) {
+  AOADMM_CHECK_MSG(a.order() == b.order(), "FMS: order mismatch");
+  for (std::size_t m = 0; m < a.order(); ++m) {
+    AOADMM_CHECK_MSG(a.factors()[m].rows() == b.factors()[m].rows(),
+                     "FMS: mode length mismatch");
+  }
+
+  // Work on normalized copies so column scaling lives entirely in λ.
+  KruskalTensor an = a;
+  KruskalTensor bn = b;
+  an.normalize_columns();
+  bn.normalize_columns();
+
+  const rank_t ra = an.rank();
+  const rank_t rb = bn.rank();
+  const rank_t matched = std::min(ra, rb);
+
+  // Pairwise congruence: product over modes of |cosine| between columns.
+  Matrix sim(ra, rb);
+  sim.fill(real_t{1});
+  for (std::size_t m = 0; m < a.order(); ++m) {
+    const Matrix& fa = an.factors()[m];
+    const Matrix& fb = bn.factors()[m];
+    for (rank_t r = 0; r < ra; ++r) {
+      for (rank_t s = 0; s < rb; ++s) {
+        real_t inner = 0;
+        for (std::size_t i = 0; i < fa.rows(); ++i) {
+          inner += fa(i, r) * fb(i, s);
+        }
+        sim(r, s) *= std::abs(inner);
+      }
+    }
+  }
+
+  // Weight-agreement discount.
+  for (rank_t r = 0; r < ra; ++r) {
+    for (rank_t s = 0; s < rb; ++s) {
+      const real_t la = an.lambda()[r];
+      const real_t lb = bn.lambda()[s];
+      const real_t mx = std::max(la, lb);
+      const real_t penalty =
+          mx > 0 ? real_t{1} - std::abs(la - lb) / mx : real_t{1};
+      sim(r, s) *= penalty;
+    }
+  }
+
+  // Greedy maximum matching (FMS convention; optimal assignment differs
+  // negligibly for well-separated components).
+  std::vector<bool> used_a(ra, false);
+  std::vector<bool> used_b(rb, false);
+  real_t total = 0;
+  for (rank_t k = 0; k < matched; ++k) {
+    real_t best = -1;
+    rank_t best_r = 0;
+    rank_t best_s = 0;
+    for (rank_t r = 0; r < ra; ++r) {
+      if (used_a[r]) {
+        continue;
+      }
+      for (rank_t s = 0; s < rb; ++s) {
+        if (used_b[s]) {
+          continue;
+        }
+        if (sim(r, s) > best) {
+          best = sim(r, s);
+          best_r = r;
+          best_s = s;
+        }
+      }
+    }
+    used_a[best_r] = true;
+    used_b[best_s] = true;
+    total += best;
+  }
+  return matched > 0 ? total / static_cast<real_t>(matched) : real_t{0};
+}
+
+}  // namespace aoadmm

@@ -1,0 +1,65 @@
+// Kruskal-form model: the output object of a CPD. Holds one factor matrix
+// per mode plus per-component weights λ (the column norms absorbed during
+// normalization, as in Kolda & Bader's survey and SPLATT's output format).
+// Also provides the factor match score (FMS), the standard metric for "did
+// the factorization recover the planted components?" used by the recovery
+// tests.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "util/types.hpp"
+
+namespace aoadmm {
+
+class KruskalTensor {
+ public:
+  KruskalTensor() = default;
+
+  /// Adopt factors; weights initialized to 1. All factors must share one
+  /// rank and have non-zero rank.
+  explicit KruskalTensor(std::vector<Matrix> factors);
+
+  std::size_t order() const noexcept { return factors_.size(); }
+  rank_t rank() const noexcept { return rank_; }
+  const std::vector<Matrix>& factors() const noexcept { return factors_; }
+  std::vector<Matrix>& factors() noexcept { return factors_; }
+  const std::vector<real_t>& lambda() const noexcept { return lambda_; }
+
+  /// Normalize every factor column to unit 2-norm, absorbing the norms into
+  /// λ (λ_f ← λ_f · ∏_m ‖A_m(:,f)‖). Zero columns get λ_f = 0 and are left
+  /// as-is.
+  void normalize_columns();
+
+  /// Sort components by λ descending (stable; reorders every factor's
+  /// columns consistently).
+  void sort_components();
+
+  /// Model value at a coordinate: Σ_f λ_f ∏_m A_m(i_m, f).
+  real_t value_at(cspan<index_t> coord) const;
+
+  /// ‖M‖² via the Gram trick: λᵀ(⊛_m A_mᵀA_m)λ.
+  real_t norm_sq() const;
+
+  /// Drop components with λ <= tol (e.g. components an l1 penalty killed).
+  /// Returns the number of components removed.
+  rank_t prune(real_t tol = 0);
+
+ private:
+  std::vector<Matrix> factors_;
+  std::vector<real_t> lambda_;
+  rank_t rank_ = 0;
+};
+
+/// Factor match score in [0, 1]: greedily matches components of `a` to
+/// components of `b` by the product over modes of normalized column
+/// cosines, discounted by weight disagreement:
+///   score(r,s) = (1 − |λa_r − λb_s| / max(λa_r, λb_s)) ·
+///                ∏_m |⟨A_m(:,r), B_m(:,s)⟩| / (‖A_m(:,r)‖‖B_m(:,s)‖).
+/// FMS = mean matched score. 1.0 ⇔ identical up to permutation/scaling.
+/// Requires equal order and mode lengths; ranks may differ (extra
+/// components of the larger model are ignored).
+real_t factor_match_score(const KruskalTensor& a, const KruskalTensor& b);
+
+}  // namespace aoadmm

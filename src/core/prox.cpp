@@ -1,0 +1,293 @@
+#include "core/prox.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace aoadmm {
+
+real_t ProxOperator::penalty(const Matrix&) const { return 0; }
+
+namespace {
+
+class NoConstraint final : public ProxOperator {
+ public:
+  void apply(Matrix&, std::size_t, std::size_t, real_t) const override {}
+  std::string name() const override { return "none"; }
+};
+
+class NonNegative final : public ProxOperator {
+ public:
+  void apply(Matrix& h, std::size_t row_begin, std::size_t row_end,
+             real_t) const override {
+    const std::size_t f = h.cols();
+    real_t* __restrict p = h.data() + row_begin * f;
+    const std::size_t n = (row_end - row_begin) * f;
+    for (std::size_t k = 0; k < n; ++k) {
+      p[k] = p[k] > 0 ? p[k] : 0;
+    }
+  }
+  std::string name() const override { return "nonneg"; }
+  bool induces_sparsity() const override { return true; }
+};
+
+/// prox of λ‖·‖₁ at penalty ρ: soft threshold by λ/ρ.
+class L1 final : public ProxOperator {
+ public:
+  explicit L1(real_t lambda) : lambda_(lambda) {}
+
+  void apply(Matrix& h, std::size_t row_begin, std::size_t row_end,
+             real_t rho) const override {
+    const real_t t = lambda_ / rho;
+    const std::size_t f = h.cols();
+    real_t* __restrict p = h.data() + row_begin * f;
+    const std::size_t n = (row_end - row_begin) * f;
+    for (std::size_t k = 0; k < n; ++k) {
+      const real_t v = p[k];
+      p[k] = v > t ? v - t : (v < -t ? v + t : 0);
+    }
+  }
+
+  real_t penalty(const Matrix& h) const override {
+    real_t s = 0;
+    for (const real_t v : h.flat()) {
+      s += std::abs(v);
+    }
+    return lambda_ * s;
+  }
+
+  std::string name() const override {
+    return "l1(" + std::to_string(lambda_) + ")";
+  }
+  bool induces_sparsity() const override { return true; }
+
+ private:
+  real_t lambda_;
+};
+
+/// Non-negative soft threshold: max(v - λ/ρ, 0).
+class NonNegativeL1 final : public ProxOperator {
+ public:
+  explicit NonNegativeL1(real_t lambda) : lambda_(lambda) {}
+
+  void apply(Matrix& h, std::size_t row_begin, std::size_t row_end,
+             real_t rho) const override {
+    const real_t t = lambda_ / rho;
+    const std::size_t f = h.cols();
+    real_t* __restrict p = h.data() + row_begin * f;
+    const std::size_t n = (row_end - row_begin) * f;
+    for (std::size_t k = 0; k < n; ++k) {
+      const real_t v = p[k] - t;
+      p[k] = v > 0 ? v : 0;
+    }
+  }
+
+  real_t penalty(const Matrix& h) const override {
+    real_t s = 0;
+    for (const real_t v : h.flat()) {
+      s += std::abs(v);
+    }
+    return lambda_ * s;
+  }
+
+  std::string name() const override {
+    return "nnl1(" + std::to_string(lambda_) + ")";
+  }
+  bool induces_sparsity() const override { return true; }
+
+ private:
+  real_t lambda_;
+};
+
+/// prox of (λ/2)‖·‖²: shrink by 1/(1 + λ/ρ).
+class Ridge final : public ProxOperator {
+ public:
+  explicit Ridge(real_t lambda) : lambda_(lambda) {}
+
+  void apply(Matrix& h, std::size_t row_begin, std::size_t row_end,
+             real_t rho) const override {
+    const real_t scale = real_t{1} / (real_t{1} + lambda_ / rho);
+    const std::size_t f = h.cols();
+    real_t* __restrict p = h.data() + row_begin * f;
+    const std::size_t n = (row_end - row_begin) * f;
+    for (std::size_t k = 0; k < n; ++k) {
+      p[k] *= scale;
+    }
+  }
+
+  real_t penalty(const Matrix& h) const override {
+    real_t s = 0;
+    for (const real_t v : h.flat()) {
+      s += v * v;
+    }
+    return real_t{0.5} * lambda_ * s;
+  }
+
+  std::string name() const override {
+    return "ridge(" + std::to_string(lambda_) + ")";
+  }
+
+ private:
+  real_t lambda_;
+};
+
+/// Euclidean projection of each row onto the probability simplex
+/// {x : x ≥ 0, Σx = 1} — the sort-based algorithm of Duchi et al. (2008).
+class Simplex final : public ProxOperator {
+ public:
+  void apply(Matrix& h, std::size_t row_begin, std::size_t row_end,
+             real_t) const override {
+    const std::size_t f = h.cols();
+    std::vector<real_t> sorted(f);
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      real_t* __restrict row = h.data() + i * f;
+      for (std::size_t k = 0; k < f; ++k) {
+        sorted[k] = row[k];
+      }
+      std::sort(sorted.begin(), sorted.end(), std::greater<real_t>());
+      real_t cumsum = 0;
+      real_t theta = 0;
+      std::size_t support = 0;
+      for (std::size_t k = 0; k < f; ++k) {
+        cumsum += sorted[k];
+        const real_t candidate =
+            (cumsum - real_t{1}) / static_cast<real_t>(k + 1);
+        if (sorted[k] - candidate > 0) {
+          theta = candidate;
+          support = k + 1;
+        }
+      }
+      (void)support;
+      for (std::size_t k = 0; k < f; ++k) {
+        const real_t v = row[k] - theta;
+        row[k] = v > 0 ? v : 0;
+      }
+    }
+  }
+
+  std::string name() const override { return "simplex"; }
+  bool induces_sparsity() const override { return true; }
+};
+
+/// Euclidean projection of each row onto the l2 ball of radius r: scale
+/// rows whose norm exceeds r back to the sphere.
+class L2Ball final : public ProxOperator {
+ public:
+  explicit L2Ball(real_t radius) : radius_(radius) {}
+
+  void apply(Matrix& h, std::size_t row_begin, std::size_t row_end,
+             real_t) const override {
+    const std::size_t f = h.cols();
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      real_t* __restrict row = h.data() + i * f;
+      real_t norm_sq = 0;
+      for (std::size_t k = 0; k < f; ++k) {
+        norm_sq += row[k] * row[k];
+      }
+      if (norm_sq > radius_ * radius_) {
+        const real_t scale = radius_ / std::sqrt(norm_sq);
+        for (std::size_t k = 0; k < f; ++k) {
+          row[k] *= scale;
+        }
+      }
+    }
+  }
+
+  std::string name() const override {
+    return "l2ball(" + std::to_string(radius_) + ")";
+  }
+
+ private:
+  real_t radius_;
+};
+
+class Box final : public ProxOperator {
+ public:
+  Box(real_t lo, real_t hi) : lo_(lo), hi_(hi) {}
+
+  void apply(Matrix& h, std::size_t row_begin, std::size_t row_end,
+             real_t) const override {
+    const std::size_t f = h.cols();
+    real_t* __restrict p = h.data() + row_begin * f;
+    const std::size_t n = (row_end - row_begin) * f;
+    for (std::size_t k = 0; k < n; ++k) {
+      p[k] = std::clamp(p[k], lo_, hi_);
+    }
+  }
+
+  std::string name() const override {
+    return "box[" + std::to_string(lo_) + "," + std::to_string(hi_) + "]";
+  }
+  bool induces_sparsity() const override { return lo_ <= 0 && 0 <= hi_; }
+
+ private:
+  real_t lo_;
+  real_t hi_;
+};
+
+}  // namespace
+
+ConstraintKind parse_constraint_kind(const std::string& s) {
+  if (s == "none") return ConstraintKind::kNone;
+  if (s == "nonneg") return ConstraintKind::kNonNegative;
+  if (s == "l1") return ConstraintKind::kL1;
+  if (s == "nnl1") return ConstraintKind::kNonNegativeL1;
+  if (s == "ridge") return ConstraintKind::kRidge;
+  if (s == "simplex") return ConstraintKind::kSimplex;
+  if (s == "box") return ConstraintKind::kBox;
+  if (s == "l2ball") return ConstraintKind::kL2Ball;
+  throw InvalidArgument("unknown constraint kind: " + s);
+}
+
+const char* to_string(ConstraintKind k) noexcept {
+  switch (k) {
+    case ConstraintKind::kNone:
+      return "none";
+    case ConstraintKind::kNonNegative:
+      return "nonneg";
+    case ConstraintKind::kL1:
+      return "l1";
+    case ConstraintKind::kNonNegativeL1:
+      return "nnl1";
+    case ConstraintKind::kRidge:
+      return "ridge";
+    case ConstraintKind::kSimplex:
+      return "simplex";
+    case ConstraintKind::kBox:
+      return "box";
+    case ConstraintKind::kL2Ball:
+      return "l2ball";
+  }
+  return "?";
+}
+
+std::unique_ptr<ProxOperator> make_prox(const ConstraintSpec& spec) {
+  switch (spec.kind) {
+    case ConstraintKind::kNone:
+      return std::make_unique<NoConstraint>();
+    case ConstraintKind::kNonNegative:
+      return std::make_unique<NonNegative>();
+    case ConstraintKind::kL1:
+      AOADMM_CHECK_MSG(spec.lambda >= 0, "l1 lambda must be >= 0");
+      return std::make_unique<L1>(spec.lambda);
+    case ConstraintKind::kNonNegativeL1:
+      AOADMM_CHECK_MSG(spec.lambda >= 0, "nnl1 lambda must be >= 0");
+      return std::make_unique<NonNegativeL1>(spec.lambda);
+    case ConstraintKind::kRidge:
+      AOADMM_CHECK_MSG(spec.lambda >= 0, "ridge lambda must be >= 0");
+      return std::make_unique<Ridge>(spec.lambda);
+    case ConstraintKind::kSimplex:
+      return std::make_unique<Simplex>();
+    case ConstraintKind::kBox:
+      AOADMM_CHECK_MSG(spec.lo <= spec.hi, "box bounds inverted");
+      return std::make_unique<Box>(spec.lo, spec.hi);
+    case ConstraintKind::kL2Ball:
+      AOADMM_CHECK_MSG(spec.hi > 0, "l2ball radius must be positive");
+      return std::make_unique<L2Ball>(spec.hi);
+  }
+  throw InvalidArgument("unhandled constraint kind");
+}
+
+}  // namespace aoadmm

@@ -1,0 +1,76 @@
+// Proximity operators for the constraints/regularizations r(·) of
+// Equation (1). AO-ADMM's flexibility comes from this being the ONLY piece
+// that changes per constraint (Algorithm 1, line 8). All operators shipped
+// here are row separable, the property both the kernel-parallel baseline
+// and the blocked reformulation rely on (paper §IV.A–B).
+//
+// Convention: apply() receives the matrix holding  (H̃ − U)  and overwrites
+// the selected rows with  prox_{r/ρ}(H̃ − U) = argmin_H r(H) + ρ/2‖H−(H̃−U)‖².
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "la/matrix.hpp"
+#include "util/types.hpp"
+
+namespace aoadmm {
+
+class ProxOperator {
+ public:
+  virtual ~ProxOperator() = default;
+
+  /// Apply the operator in place to rows [row_begin, row_end) of `h`, with
+  /// ADMM penalty `rho`. Must be safe to call concurrently on disjoint row
+  /// ranges (row separability).
+  virtual void apply(Matrix& h, std::size_t row_begin, std::size_t row_end,
+                     real_t rho) const = 0;
+
+  /// r(H) evaluated at the given matrix (∞-valued indicator constraints
+  /// return 0 when satisfied; callers use this for objective reporting).
+  virtual real_t penalty(const Matrix& h) const;
+
+  /// Human-readable description, e.g. "nonneg" or "l1(0.1)".
+  virtual std::string name() const = 0;
+
+  /// True when prox output can contain exact zeros, i.e. the constraint can
+  /// produce factor sparsity worth exploiting in MTTKRP (paper §IV.C).
+  virtual bool induces_sparsity() const { return false; }
+};
+
+/// The constraint menu. Mirrors the paper's examples: unconstrained,
+/// non-negativity, ℓ1 (sparsity), non-negative ℓ1, ℓ2 ridge, row simplex,
+/// and box constraints.
+enum class ConstraintKind {
+  kNone,
+  kNonNegative,
+  kL1,
+  kNonNegativeL1,
+  kRidge,
+  kSimplex,
+  kBox,
+  /// Each row projected onto the Euclidean ball of radius `hi` — bounds
+  /// factor-row energy without forcing signs (useful against the scale
+  /// ambiguity of the CPD).
+  kL2Ball,
+};
+
+struct ConstraintSpec {
+  ConstraintKind kind = ConstraintKind::kNonNegative;
+  /// Regularization strength for kL1 / kNonNegativeL1 / kRidge.
+  real_t lambda = 0;
+  /// Bounds for kBox; kL2Ball uses `hi` as the ball radius.
+  real_t lo = 0;
+  real_t hi = 1;
+};
+
+/// Parse "none" | "nonneg" | "l1" | "nnl1" | "ridge" | "simplex" | "box" |
+/// "l2ball" (throws InvalidArgument otherwise).
+ConstraintKind parse_constraint_kind(const std::string& s);
+const char* to_string(ConstraintKind k) noexcept;
+
+/// Factory. Throws InvalidArgument for invalid parameters (e.g. negative
+/// lambda, inverted box bounds).
+std::unique_ptr<ProxOperator> make_prox(const ConstraintSpec& spec);
+
+}  // namespace aoadmm

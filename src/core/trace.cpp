@@ -1,0 +1,44 @@
+#include "core/trace.hpp"
+
+#include <limits>
+#include <ostream>
+
+namespace aoadmm {
+
+real_t ConvergenceTrace::best_error() const {
+  real_t best = std::numeric_limits<real_t>::infinity();
+  for (const auto& p : points_) {
+    if (p.relative_error < best) {
+      best = p.relative_error;
+    }
+  }
+  return best;
+}
+
+double ConvergenceTrace::time_to_error(real_t target) const {
+  for (const auto& p : points_) {
+    if (p.relative_error <= target) {
+      return p.seconds;
+    }
+  }
+  return -1.0;
+}
+
+long ConvergenceTrace::iterations_to_error(real_t target) const {
+  for (const auto& p : points_) {
+    if (p.relative_error <= target) {
+      return static_cast<long>(p.outer_iteration);
+    }
+  }
+  return -1;
+}
+
+void ConvergenceTrace::write_csv(std::ostream& out) const {
+  out << "iter,seconds,relative_error\n";
+  for (const auto& p : points_) {
+    out << p.outer_iteration << ',' << p.seconds << ',' << p.relative_error
+        << '\n';
+  }
+}
+
+}  // namespace aoadmm

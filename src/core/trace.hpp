@@ -1,0 +1,47 @@
+// Convergence trace: (outer iteration, wall-clock seconds, relative error)
+// triples recorded by the CPD driver. The Fig. 6 benchmark prints these as
+// both error-vs-time and error-vs-iteration series.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace aoadmm {
+
+struct TracePoint {
+  unsigned outer_iteration = 0;
+  double seconds = 0;
+  real_t relative_error = 0;
+};
+
+class ConvergenceTrace {
+ public:
+  void add(unsigned outer_iteration, double seconds, real_t relative_error) {
+    points_.push_back({outer_iteration, seconds, relative_error});
+  }
+
+  const std::vector<TracePoint>& points() const noexcept { return points_; }
+  bool empty() const noexcept { return points_.empty(); }
+  std::size_t size() const noexcept { return points_.size(); }
+
+  /// Best (lowest) error seen.
+  real_t best_error() const;
+
+  /// First wall-clock time at which the error dropped to <= target, or a
+  /// negative value if it never did. Used to compare time-to-solution of
+  /// base vs blocked runs (Fig. 6 analysis).
+  double time_to_error(real_t target) const;
+
+  /// First outer iteration at which the error dropped to <= target, or -1.
+  long iterations_to_error(real_t target) const;
+
+  /// CSV with header: iter,seconds,relative_error.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::vector<TracePoint> points_;
+};
+
+}  // namespace aoadmm

@@ -1,0 +1,58 @@
+// Observed-only constrained CPD ("weighted CPD"): minimize the squared
+// error over the OBSERVED entries only,
+//
+//     min  ½ Σ_{(i,j,k) ∈ Ω} (X(i,j,k) − M(i,j,k))² + Σ_m r_m(A_m),
+//
+// instead of the full-tensor least squares of cpd_aoadmm (which treats
+// every unobserved cell as a zero — fine for count-like data where absence
+// means zero, wrong for ratings/measurements where absence means unknown).
+//
+// The AO structure survives: fixing all factors but A_m, each ROW of A_m
+// has an independent quadratic subproblem with its own normal equations
+//     G_i = Σ_{nnz in slice i} w wᵀ,   k_i = Σ x·w,   w = ⊛_{n≠m} A_n(idx)
+// assembled in one pass over the mode-m CSF tree, then solved by a small
+// per-row ADMM (any row-separable prox from core/prox.hpp). Rows are the
+// natural blocks, so the paper's blocked execution model — dynamic
+// scheduling, zero synchronization, per-row convergence — applies verbatim.
+//
+// Cost per mode: O(nnz·F²) assembly + O(I·F³) factorizations, vs the
+// unweighted path's O(nnz·F) MTTKRP + one F×F factorization. Use it when
+// missing ≠ zero and the rank is modest.
+#pragma once
+
+#include "core/cpd.hpp"
+
+namespace aoadmm {
+
+struct WcpdOptions {
+  rank_t rank = 16;
+  unsigned max_outer_iterations = 50;
+  /// Stop when the observed-entry relative error improves by less than
+  /// this.
+  real_t tolerance = 1e-5;
+  /// Inner ADMM controls (block_size is ignored: rows are the blocks).
+  AdmmOptions admm;
+  /// Ridge added to every per-row system; rows with fewer observations
+  /// than the rank are underdetermined, and λI makes them well-posed
+  /// (their solution shrinks toward zero).
+  real_t ridge = 1e-6;
+  std::uint64_t seed = 123;
+  bool record_trace = true;
+};
+
+struct WcpdResult {
+  std::vector<Matrix> factors;
+  /// √(Σ_Ω (x − m)²) / √(Σ_Ω x²) — over observed entries only.
+  real_t observed_relative_error = 1;
+  unsigned outer_iterations = 0;
+  bool converged = false;
+  ConvergenceTrace trace;
+  double total_seconds = 0;
+};
+
+/// Observed-only CPD. `constraints` has one entry (broadcast) or one per
+/// mode; every shipped constraint kind is supported.
+WcpdResult cpd_wopt(const CsfSet& csf, const WcpdOptions& opts,
+                    cspan<const ConstraintSpec> constraints);
+
+}  // namespace aoadmm

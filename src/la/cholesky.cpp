@@ -1,0 +1,81 @@
+#include "la/cholesky.hpp"
+
+#include <cmath>
+
+#include "parallel/runtime.hpp"
+#include "util/error.hpp"
+
+namespace aoadmm {
+
+Cholesky::Cholesky(const Matrix& spd) : l_(spd.rows(), spd.cols()) {
+  AOADMM_CHECK_MSG(spd.rows() == spd.cols(), "Cholesky requires square input");
+  const std::size_t n = spd.rows();
+
+  // Left-looking scalar Cholesky: fine for the small F x F systems AO-ADMM
+  // produces (F is the CPD rank, 10..200).
+  for (std::size_t j = 0; j < n; ++j) {
+    real_t diag = spd(j, j);
+    for (std::size_t k = 0; k < j; ++k) {
+      diag -= l_(j, k) * l_(j, k);
+    }
+    if (!(diag > real_t{0})) {
+      throw NumericalError("Cholesky: matrix is not positive definite at pivot " +
+                           std::to_string(j));
+    }
+    const real_t ljj = std::sqrt(diag);
+    l_(j, j) = ljj;
+    const real_t inv = real_t{1} / ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      real_t v = spd(i, j);
+      const real_t* __restrict li = l_.data() + i * n;
+      const real_t* __restrict lj = l_.data() + j * n;
+      for (std::size_t k = 0; k < j; ++k) {
+        v -= li[k] * lj[k];
+      }
+      l_(i, j) = v * inv;
+    }
+  }
+}
+
+void Cholesky::solve_inplace(span<real_t> b) const noexcept {
+  const std::size_t n = dim();
+  const real_t* __restrict l = l_.data();
+  // Forward substitution: L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    real_t v = b[i];
+    const real_t* __restrict li = l + i * n;
+    for (std::size_t k = 0; k < i; ++k) {
+      v -= li[k] * b[k];
+    }
+    b[i] = v / li[i];
+  }
+  // Backward substitution: Lᵀ x = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    real_t v = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) {
+      v -= l[k * n + ii] * b[k];
+    }
+    b[ii] = v / l[ii * n + ii];
+  }
+}
+
+void Cholesky::solve_rows_inplace(Matrix& b) const noexcept {
+  solve_rows_inplace(b, 0, b.rows());
+}
+
+void Cholesky::solve_rows_inplace(Matrix& b, std::size_t row_begin,
+                                  std::size_t row_end) const noexcept {
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    solve_inplace(b.row(i));
+  }
+}
+
+void solve_normal_equations(const Matrix& gram_matrix, Matrix& rhs_inout) {
+  AOADMM_CHECK(gram_matrix.rows() == rhs_inout.cols());
+  const Cholesky chol(gram_matrix);
+  parallel_for(0, rhs_inout.rows(), [&](std::size_t i) {
+    chol.solve_inplace(rhs_inout.row(i));
+  });
+}
+
+}  // namespace aoadmm

@@ -1,0 +1,44 @@
+// Cholesky factorization of the F x F normal-equations matrix (G + rho*I)
+// and the forward/backward substitutions that dominate each ADMM iteration
+// (Algorithm 1, lines 4 and 6). This replaces the paper's use of Intel MKL.
+#pragma once
+
+#include "la/matrix.hpp"
+#include "util/types.hpp"
+
+namespace aoadmm {
+
+/// Lower-triangular Cholesky factor L of a symmetric positive-definite
+/// matrix A = L Lᵀ. One factorization is shared by every row update in an
+/// ADMM sweep, so this object is immutable and safe to use concurrently
+/// from many threads.
+class Cholesky {
+ public:
+  /// Factor `spd` (must be square, symmetric, positive definite).
+  /// Throws NumericalError if a non-positive pivot is encountered.
+  explicit Cholesky(const Matrix& spd);
+
+  std::size_t dim() const noexcept { return l_.rows(); }
+  const Matrix& lower() const noexcept { return l_; }
+
+  /// Solve A x = b in place (b becomes x). Thread-safe (const).
+  void solve_inplace(span<real_t> b) const noexcept;
+
+  /// Solve A Xᵀ = Bᵀ row-by-row in place: each row of `b` is treated as an
+  /// independent right-hand side. Serial; callers parallelize over rows or
+  /// blocks of rows themselves.
+  void solve_rows_inplace(Matrix& b) const noexcept;
+
+  /// Solve for the subset of rows [row_begin, row_end).
+  void solve_rows_inplace(Matrix& b, std::size_t row_begin,
+                          std::size_t row_end) const noexcept;
+
+ private:
+  Matrix l_;  // lower triangle holds L; strict upper triangle is zero
+};
+
+/// Symmetric rank-F linear solve helper for the *unconstrained* ALS update:
+/// solves X * G = K for X (i.e. Gᵀ xᵀ = kᵀ per row) reusing one Cholesky.
+void solve_normal_equations(const Matrix& gram_matrix, Matrix& rhs_inout);
+
+}  // namespace aoadmm

@@ -1,0 +1,46 @@
+#include "la/khatri_rao.hpp"
+
+#include "util/error.hpp"
+
+namespace aoadmm {
+
+Matrix khatri_rao(const Matrix& p, const Matrix& q) {
+  AOADMM_CHECK_MSG(p.cols() == q.cols(), "khatri_rao: rank mismatch");
+  const std::size_t f = p.cols();
+  Matrix out(p.rows() * q.rows(), f);
+  for (std::size_t i = 0; i < p.rows(); ++i) {
+    for (std::size_t j = 0; j < q.rows(); ++j) {
+      real_t* __restrict o = out.data() + (i * q.rows() + j) * f;
+      const real_t* __restrict pi = p.data() + i * f;
+      const real_t* __restrict qj = q.data() + j * f;
+      for (std::size_t c = 0; c < f; ++c) {
+        o[c] = pi[c] * qj[c];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix khatri_rao_excluding(cspan<const Matrix> factors,
+                            std::size_t skip_mode) {
+  AOADMM_CHECK(skip_mode < factors.size());
+  AOADMM_CHECK(factors.size() >= 2);
+  // Compose from the highest mode down so the lowest mode varies fastest:
+  // result = A_{N-1} ⊙ ... ⊙ A_{skip+1} ⊙ A_{skip-1} ⊙ ... ⊙ A_0.
+  Matrix acc;
+  bool first = true;
+  for (std::size_t m = factors.size(); m-- > 0;) {
+    if (m == skip_mode) {
+      continue;
+    }
+    if (first) {
+      acc = factors[m];
+      first = false;
+    } else {
+      acc = khatri_rao(acc, factors[m]);
+    }
+  }
+  return acc;
+}
+
+}  // namespace aoadmm

@@ -1,0 +1,24 @@
+// Explicit Khatri–Rao products. These materialize the (∏ dims) x F matrix
+// and exist as the *reference* path: unit tests validate the CSF MTTKRP
+// kernels against  K = X(m) · KRP  computed explicitly.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace aoadmm {
+
+/// Columnwise Kronecker product: rows(result) = rows(P)·rows(Q), and
+/// result(p·rows(Q) + q, f) = P(p,f) · Q(q,f). The *first* argument's row
+/// index varies slowest, matching the Kolda matricization convention used by
+/// matricize().
+Matrix khatri_rao(const Matrix& p, const Matrix& q);
+
+/// Khatri–Rao product of all factors except `skip_mode`, composed so that
+/// lower mode indices vary fastest — exactly the operand of the mode-m
+/// MTTKRP: K = X(m) · khatri_rao_excluding(factors, m).
+Matrix khatri_rao_excluding(cspan<const Matrix> factors,
+                            std::size_t skip_mode);
+
+}  // namespace aoadmm

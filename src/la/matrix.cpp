@@ -1,0 +1,30 @@
+#include "la/matrix.hpp"
+
+namespace aoadmm {
+
+Matrix Matrix::random_uniform(std::size_t rows, std::size_t cols, Rng& rng,
+                              real_t lo, real_t hi) {
+  Matrix m(rows, cols);
+  for (auto& x : m.data_) {
+    x = rng.uniform(lo, hi);
+  }
+  return m;
+}
+
+Matrix Matrix::random_normal(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (auto& x : m.data_) {
+    x = rng.normal();
+  }
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m(i, i) = real_t{1};
+  }
+  return m;
+}
+
+}  // namespace aoadmm

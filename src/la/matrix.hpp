@@ -1,0 +1,90 @@
+// Row-major dense matrix with cache-line aligned storage. This is the
+// workhorse container for factor matrices (tall-and-skinny, I x F) and for
+// the small F x F Gram/Cholesky matrices.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/aligned.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace aoadmm {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, real_t{0}) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return rows_ * cols_; }
+  bool empty() const noexcept { return size() == 0; }
+
+  real_t* data() noexcept { return data_.data(); }
+  const real_t* data() const noexcept { return data_.data(); }
+
+  real_t& operator()(std::size_t i, std::size_t j) noexcept {
+    return data_[i * cols_ + j];
+  }
+  real_t operator()(std::size_t i, std::size_t j) const noexcept {
+    return data_[i * cols_ + j];
+  }
+
+  span<real_t> row(std::size_t i) noexcept {
+    return {data_.data() + i * cols_, cols_};
+  }
+  cspan<real_t> row(std::size_t i) const noexcept {
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  span<real_t> flat() noexcept { return {data_.data(), size()}; }
+  cspan<real_t> flat() const noexcept { return {data_.data(), size()}; }
+
+  void fill(real_t v) noexcept {
+    for (auto& x : data_) {
+      x = v;
+    }
+  }
+  void zero() noexcept { fill(real_t{0}); }
+
+  /// Reshape in place; total size must be preserved.
+  void reshape(std::size_t rows, std::size_t cols) {
+    AOADMM_CHECK(rows * cols == size());
+    rows_ = rows;
+    cols_ = cols;
+  }
+
+  /// Resize, discarding contents (new entries zero-initialized).
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, real_t{0});
+  }
+
+  bool same_shape(const Matrix& other) const noexcept {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// Entries drawn i.i.d. uniform from [lo, hi).
+  static Matrix random_uniform(std::size_t rows, std::size_t cols, Rng& rng,
+                               real_t lo = 0.0, real_t hi = 1.0);
+
+  /// Entries drawn i.i.d. standard normal.
+  static Matrix random_normal(std::size_t rows, std::size_t cols, Rng& rng);
+
+  /// F x F identity.
+  static Matrix identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<real_t, AlignedAllocator<real_t>> data_;
+};
+
+}  // namespace aoadmm

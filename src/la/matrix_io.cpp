@@ -1,0 +1,102 @@
+#include "la/matrix_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace aoadmm {
+
+void write_matrix(const Matrix& a, std::ostream& out) {
+  out.precision(17);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if (j > 0) {
+        out << ' ';
+      }
+      out << a(i, j);
+    }
+    out << '\n';
+  }
+}
+
+void write_matrix_file(const Matrix& a, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw InvalidArgument("cannot create matrix file: " + path);
+  }
+  write_matrix(a, out);
+  if (!out) {
+    throw InvalidArgument("short write to matrix file: " + path);
+  }
+}
+
+Matrix read_matrix(std::istream& in) {
+  std::vector<std::vector<real_t>> rows;
+  std::string line;
+  std::size_t cols = 0;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::vector<real_t> row;
+    real_t v;
+    while (ls >> v) {
+      row.push_back(v);
+    }
+    if (!ls.eof()) {
+      throw ParseError("matrix line " + std::to_string(lineno) +
+                       ": non-numeric field");
+    }
+    if (row.empty()) {
+      continue;  // blank line
+    }
+    if (cols == 0) {
+      cols = row.size();
+    } else if (row.size() != cols) {
+      throw ParseError("matrix line " + std::to_string(lineno) +
+                       ": ragged row (expected " + std::to_string(cols) +
+                       " fields)");
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) {
+    throw ParseError("matrix input contains no rows");
+  }
+  Matrix out(rows.size(), cols);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      out(i, j) = rows[i][j];
+    }
+  }
+  return out;
+}
+
+Matrix read_matrix_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw InvalidArgument("cannot open matrix file: " + path);
+  }
+  return read_matrix(in);
+}
+
+void write_factors(cspan<const Matrix> factors, const std::string& prefix) {
+  for (std::size_t m = 0; m < factors.size(); ++m) {
+    write_matrix_file(factors[m],
+                      prefix + ".mode" + std::to_string(m) + ".mat");
+  }
+}
+
+std::vector<Matrix> read_factors(const std::string& prefix,
+                                 std::size_t order) {
+  std::vector<Matrix> out;
+  out.reserve(order);
+  for (std::size_t m = 0; m < order; ++m) {
+    out.push_back(
+        read_matrix_file(prefix + ".mode" + std::to_string(m) + ".mat"));
+  }
+  return out;
+}
+
+}  // namespace aoadmm

@@ -1,0 +1,28 @@
+// Factor-matrix serialization: plain text (one row per line, space
+// separated — easy to load into numpy/MATLAB for downstream analysis, the
+// format SPLATT emits) and a binary container for exact round-trips.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace aoadmm {
+
+/// Write a matrix as text: one row per line, full precision.
+void write_matrix(const Matrix& a, std::ostream& out);
+void write_matrix_file(const Matrix& a, const std::string& path);
+
+/// Parse a text matrix (column count inferred from the first line). Throws
+/// ParseError on ragged rows or non-numeric fields.
+Matrix read_matrix(std::istream& in);
+Matrix read_matrix_file(const std::string& path);
+
+/// Write/read all factors of a model as "<prefix>.mode<N>.mat".
+void write_factors(cspan<const Matrix> factors, const std::string& prefix);
+std::vector<Matrix> read_factors(const std::string& prefix,
+                                 std::size_t order);
+
+}  // namespace aoadmm

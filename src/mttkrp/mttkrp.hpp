@@ -1,0 +1,109 @@
+// MTTKRP — matricized tensor times Khatri-Rao product: K = X(m)·(⊙_{n≠m} Aₙ),
+// the dominant kernel of AO-ADMM (Algorithm 2, paper Fig. 3).
+//
+// Kernels:
+//  * mttkrp_csf        — CSF tensor, dense factors (Algorithm 3, any order).
+//  * mttkrp_csf_csr    — leaf-level factor compressed to CSR (paper §IV.C).
+//  * mttkrp_csf_hybrid — leaf factor in hybrid dense+CSR with prefetch.
+//  * mttkrp_coo        — serial COO reference used as the test oracle.
+//
+// All CSF kernels compute the MTTKRP for the CSF's ROOT mode and parallelize
+// over root slices (race-free). `factors` is indexed by ORIGINAL mode id and
+// all matrices must share the same rank F.
+#pragma once
+
+#include "la/matrix.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/hybrid.hpp"
+#include "tensor/coo.hpp"
+#include "tensor/csf.hpp"
+
+namespace aoadmm {
+
+/// Storage format used for the leaf-level factor during MTTKRP; the
+/// coarse-grained knob the Table II experiment sweeps. kAuto implements the
+/// paper's future-work item (§VI): pick per factor, per iteration, from the
+/// measured sparsity pattern (see auto_select_leaf_format).
+enum class LeafFormat {
+  kDense,
+  kCsr,
+  kHybrid,
+  kAuto,
+};
+
+const char* to_string(LeafFormat f) noexcept;
+
+/// Heuristic structure selection from a factor's measured pattern
+/// (paper §VI, "automatically select the best data structure"):
+///  * density >= threshold            → kDense (compression can't pay)
+///  * few dense columns concentrating
+///    most non-zeros                  → kHybrid (panel computes the bulk,
+///                                      prefetch hides the CSR tail)
+///  * otherwise                       → kCsr
+/// `rows`/`cols` and the per-column counts come from DensityStats.
+LeafFormat auto_select_leaf_format(offset_t nnz, std::size_t rows,
+                                   std::size_t cols,
+                                   cspan<offset_t> column_nnz,
+                                   real_t threshold);
+
+/// K = X(m)·KRP with all-dense factors, m = csf.level_mode(0). `out` is
+/// resized to (I_m, F) and overwritten (or accumulated into when
+/// `accumulate` is set — used by the tiled driver below).
+void mttkrp_csf(const CsfTensor& csf, cspan<const Matrix> factors,
+                Matrix& out, bool accumulate = false);
+
+/// Leaf-mode cache tiling for the root-mode kernel (the blocking SPLATT
+/// applies when the per-non-zero factor exceeds cache): non-zeros are
+/// bucketed by leaf index range so each pass touches only `tile_rows` rows
+/// of the leaf factor, which then stay cache resident for the whole pass.
+class TiledCsf {
+ public:
+  /// Compile `coo` for root-mode MTTKRP of `root`, tiling the leaf mode in
+  /// chunks of `tile_rows` (0 = one tile, i.e. no tiling). Empty tiles are
+  /// dropped.
+  TiledCsf(const CooTensor& coo, std::size_t root, index_t tile_rows);
+
+  std::size_t num_tiles() const noexcept { return tiles_.size(); }
+  const CsfTensor& tile(std::size_t t) const { return tiles_.at(t); }
+  std::size_t root_mode() const noexcept { return root_; }
+  index_t tile_rows() const noexcept { return tile_rows_; }
+  offset_t nnz() const noexcept;
+  std::size_t storage_bytes() const noexcept;
+
+ private:
+  std::size_t root_ = 0;
+  index_t tile_rows_ = 0;
+  std::vector<CsfTensor> tiles_;
+};
+
+/// Root-mode MTTKRP over a tiled compilation: tiles are processed in
+/// sequence (each root-parallel internally), accumulating into `out`.
+void mttkrp_tiled(const TiledCsf& tiled, cspan<const Matrix> factors,
+                  Matrix& out);
+
+/// Leaf factor (original mode csf.level_mode(order-1)) read from `leaf`
+/// instead of `factors`; the other factors stay dense (paper: only C — the
+/// per-non-zero factor — is worth compressing).
+void mttkrp_csf_csr(const CsfTensor& csf, cspan<const Matrix> factors,
+                    const CsrMatrix& leaf, Matrix& out);
+
+void mttkrp_csf_hybrid(const CsfTensor& csf, cspan<const Matrix> factors,
+                       const HybridMatrix& leaf, Matrix& out);
+
+/// MTTKRP for a mode that is NOT the CSF root — the memory-efficient
+/// one-tree strategy (SPLATT keeps a single CSF instead of one per mode and
+/// pays atomic scatter into the output rows). Works for any order and any
+/// internal/leaf target level.
+void mttkrp_csf_nonroot(const CsfTensor& csf, cspan<const Matrix> factors,
+                        std::size_t target_mode, Matrix& out);
+
+/// Dispatch on the tree: root-mode targets take the race-free root kernel,
+/// anything else the atomic non-root kernel.
+void mttkrp_dispatch(const CsfTensor& csf, cspan<const Matrix> factors,
+                     std::size_t target_mode, Matrix& out);
+
+/// Serial reference implementation straight from the definition.
+void mttkrp_coo(const CooTensor& coo, cspan<const Matrix> factors,
+                std::size_t mode, Matrix& out);
+
+}  // namespace aoadmm

@@ -1,0 +1,49 @@
+#include "mttkrp/mttkrp.hpp"
+#include "util/error.hpp"
+
+namespace aoadmm {
+
+void mttkrp_coo(const CooTensor& coo, cspan<const Matrix> factors,
+                std::size_t mode, Matrix& out) {
+  AOADMM_CHECK(mode < coo.order());
+  AOADMM_CHECK(factors.size() == coo.order());
+  const std::size_t f = factors[mode].cols();
+  for (std::size_t m = 0; m < coo.order(); ++m) {
+    AOADMM_CHECK(factors[m].rows() == coo.dim(m));
+    AOADMM_CHECK(factors[m].cols() == f);
+  }
+
+  if (out.rows() != coo.dim(mode) || out.cols() != f) {
+    out.resize(coo.dim(mode), f);
+  } else {
+    out.zero();
+  }
+
+  // Straight from the definition: every non-zero scatters the elementwise
+  // product of the other modes' factor rows into its output row. Serial —
+  // this is the oracle, not a performance kernel.
+  std::vector<real_t> prod(f);
+  for (offset_t n = 0; n < coo.nnz(); ++n) {
+    const real_t v = coo.value(n);
+    for (std::size_t k = 0; k < f; ++k) {
+      prod[k] = v;
+    }
+    for (std::size_t m = 0; m < coo.order(); ++m) {
+      if (m == mode) {
+        continue;
+      }
+      const real_t* __restrict row =
+          factors[m].data() + static_cast<std::size_t>(coo.index(m, n)) * f;
+      for (std::size_t k = 0; k < f; ++k) {
+        prod[k] *= row[k];
+      }
+    }
+    real_t* __restrict out_row =
+        out.data() + static_cast<std::size_t>(coo.index(mode, n)) * f;
+    for (std::size_t k = 0; k < f; ++k) {
+      out_row[k] += prod[k];
+    }
+  }
+}
+
+}  // namespace aoadmm

@@ -1,0 +1,162 @@
+// Shared CSF-MTTKRP skeleton, templated on the leaf accumulation so the
+// dense / CSR / hybrid variants reuse one traversal. Internal header.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "tensor/csf.hpp"
+#include "util/aligned.hpp"
+#include "util/error.hpp"
+
+namespace aoadmm::detail {
+
+/// LeafOp contract: void op(index_t leaf_index, real_t value,
+///                          real_t* __restrict z, std::size_t f)
+/// accumulating  z += value * LeafFactorRow(leaf_index)  (length f).
+template <typename LeafOp>
+void mttkrp_csf_skeleton(const CsfTensor& csf, cspan<const Matrix> factors,
+                         std::size_t rank, const LeafOp& leaf_op,
+                         Matrix& out, bool accumulate = false) {
+  const std::size_t order = csf.order();
+  AOADMM_CHECK(order >= 2);
+  AOADMM_CHECK(factors.size() == order);
+  const std::size_t f = rank;
+
+  const index_t out_rows = csf.level_dim(0);
+  if (out.rows() != out_rows || out.cols() != f) {
+    out.resize(out_rows, f);  // resize zero-initializes
+  } else if (!accumulate) {
+    out.zero();
+  }
+
+  const auto root_fids = csf.fids(0);
+  const auto nroots = static_cast<std::ptrdiff_t>(root_fids.size());
+
+  // Dense factor rows for the internal levels 1..order-2, by CSF level.
+  std::vector<const Matrix*> level_factor(order, nullptr);
+  for (std::size_t l = 1; l + 1 < order; ++l) {
+    level_factor[l] = &factors[csf.level_mode(l)];
+    AOADMM_CHECK(level_factor[l]->cols() == f);
+  }
+
+  if (order == 3) {
+    // Flat three-mode fast path (Algorithm 3) — the common case. Written
+    // without recursion so the templated leaf_op inlines into tight loops,
+    // keeping the CSR/hybrid kernels on equal footing with the dense one.
+    const Matrix& b_mid = *&factors[csf.level_mode(1)];
+    const auto mid_fids = csf.fids(1);
+    const auto leaf_fids = csf.fids(2);
+    const auto fptr0 = csf.fptr(0);
+    const auto fptr1 = csf.fptr(1);
+    const auto vals = csf.vals();
+#if defined(AOADMM_HAVE_OPENMP)
+#pragma omp parallel
+#endif
+    {
+      std::vector<real_t, AlignedAllocator<real_t>> zbuf(f);
+      real_t* __restrict z = zbuf.data();
+#if defined(AOADMM_HAVE_OPENMP)
+#pragma omp for schedule(dynamic, 16)
+#endif
+      for (std::ptrdiff_t r = 0; r < nroots; ++r) {
+        const auto rr = static_cast<std::size_t>(r);
+        real_t* __restrict krow =
+            out.data() + static_cast<std::size_t>(root_fids[rr]) * f;
+        for (offset_t jn = fptr0[rr]; jn < fptr0[rr + 1]; ++jn) {
+          for (std::size_t k = 0; k < f; ++k) {
+            z[k] = 0;
+          }
+          for (offset_t c = fptr1[jn]; c < fptr1[jn + 1]; ++c) {
+            leaf_op(leaf_fids[c], vals[c], z, f);
+          }
+          const real_t* __restrict brow =
+              b_mid.data() + static_cast<std::size_t>(mid_fids[jn]) * f;
+          for (std::size_t k = 0; k < f; ++k) {
+            krow[k] += z[k] * brow[k];
+          }
+        }
+      }
+    }
+    return;
+  }
+
+#if defined(AOADMM_HAVE_OPENMP)
+#pragma omp parallel
+#endif
+  {
+    // One accumulation buffer per internal level (order-2 of them; none for
+    // matrices). Thread-private, allocated once per thread.
+    std::vector<real_t, AlignedAllocator<real_t>> scratch(
+        order >= 2 ? (order - 1) * f : f);
+
+#if defined(AOADMM_HAVE_OPENMP)
+#pragma omp for schedule(dynamic, 16)
+#endif
+    for (std::ptrdiff_t r = 0; r < nroots; ++r) {
+      const auto rr = static_cast<std::size_t>(r);
+      real_t* __restrict out_row = out.data() +
+          static_cast<std::size_t>(root_fids[rr]) * f;
+
+      if (order == 2) {
+        // Children of the root are leaves: accumulate directly.
+        const auto leaf_fids = csf.fids(1);
+        const auto vals = csf.vals();
+        const auto fptr0 = csf.fptr(0);
+        for (offset_t c = fptr0[rr]; c < fptr0[rr + 1]; ++c) {
+          leaf_op(leaf_fids[c], vals[c], out_row, f);
+        }
+        continue;
+      }
+
+      // General case: depth-first over the subtree; contributions bubble
+      // upward through the per-level scratch buffers, each scaled by its
+      // node's factor row on the way up.
+      const auto fptr0 = csf.fptr(0);
+      const auto leaf_fids = csf.fids(order - 1);
+      const auto vals = csf.vals();
+
+      // Iterate children of the root (level-1 nodes).
+      for (offset_t n1 = fptr0[rr]; n1 < fptr0[rr + 1]; ++n1) {
+        // Recursive contribution of the level-1 subtree into scratch[0..f).
+        // Implemented with explicit recursion over levels via lambda.
+        const auto subtree = [&](auto&& self, std::size_t level,
+                                 offset_t node) -> void {
+          real_t* __restrict z = scratch.data() + (level - 1) * f;
+          for (std::size_t k = 0; k < f; ++k) {
+            z[k] = 0;
+          }
+          if (level == order - 2) {
+            const auto fptr = csf.fptr(level);
+            for (offset_t c = fptr[node]; c < fptr[node + 1]; ++c) {
+              leaf_op(leaf_fids[c], vals[c], z, f);
+            }
+          } else {
+            const auto fptr = csf.fptr(level);
+            real_t* __restrict zc = scratch.data() + level * f;
+            for (offset_t c = fptr[node]; c < fptr[node + 1]; ++c) {
+              self(self, level + 1, c);
+              for (std::size_t k = 0; k < f; ++k) {
+                z[k] += zc[k];
+              }
+            }
+          }
+          // Scale by this node's own factor row.
+          const Matrix& a = *level_factor[level];
+          const real_t* __restrict row =
+              a.data() + static_cast<std::size_t>(csf.fids(level)[node]) * f;
+          for (std::size_t k = 0; k < f; ++k) {
+            z[k] *= row[k];
+          }
+        };
+        subtree(subtree, 1, n1);
+        const real_t* __restrict z1 = scratch.data();
+        for (std::size_t k = 0; k < f; ++k) {
+          out_row[k] += z1[k];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace aoadmm::detail

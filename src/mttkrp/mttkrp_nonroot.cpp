@@ -1,0 +1,180 @@
+// Non-root-mode MTTKRP over a single CSF tree (the one-tree / memory-
+// efficient strategy). For a target at CSF level t:
+//
+//   K(i_t, :) += down(path above t) ∘ up(subtree below t)
+//
+// where `down` is the elementwise product of the factor rows along the
+// root→node path (excluding level t itself) and `up` is the usual upward
+// accumulation of value-scaled factor rows (excluding level t's row).
+// Distinct root subtrees can touch the same target-mode row, so the scatter
+// into K uses atomic adds — exactly the trade-off that makes SPLATT's
+// one-tree mode cheaper in memory but slower than ALLMODE.
+#include <vector>
+
+#include "mttkrp/mttkrp.hpp"
+#include "util/aligned.hpp"
+#include "util/error.hpp"
+
+namespace aoadmm {
+namespace {
+
+inline void atomic_add_row(real_t* __restrict dst,
+                           const real_t* __restrict src, std::size_t f) {
+  for (std::size_t k = 0; k < f; ++k) {
+#if defined(AOADMM_HAVE_OPENMP)
+#pragma omp atomic
+#endif
+    dst[k] += src[k];
+  }
+}
+
+}  // namespace
+
+void mttkrp_csf_nonroot(const CsfTensor& csf, cspan<const Matrix> factors,
+                        std::size_t target_mode, Matrix& out) {
+  const std::size_t order = csf.order();
+  AOADMM_CHECK(order >= 2);
+  AOADMM_CHECK(factors.size() == order);
+  AOADMM_CHECK(target_mode < order);
+
+  // Locate the CSF level holding the target mode.
+  std::size_t t = order;
+  for (std::size_t l = 0; l < order; ++l) {
+    if (csf.level_mode(l) == target_mode) {
+      t = l;
+      break;
+    }
+  }
+  AOADMM_CHECK_MSG(t < order, "target mode not present in CSF");
+  AOADMM_CHECK_MSG(t > 0, "use mttkrp_csf for root-mode targets");
+
+  const std::size_t f = factors[target_mode].cols();
+  for (std::size_t m = 0; m < order; ++m) {
+    AOADMM_CHECK(factors[m].cols() == f);
+    AOADMM_CHECK(factors[m].rows() == csf.dims()[m]);
+  }
+
+  const index_t out_rows = csf.dims()[target_mode];
+  if (out.rows() != out_rows || out.cols() != f) {
+    out.resize(out_rows, f);
+  } else {
+    out.zero();
+  }
+
+  const auto root_fids = csf.fids(0);
+  const auto nroots = static_cast<std::ptrdiff_t>(root_fids.size());
+  const auto vals = csf.vals();
+  const auto leaf_fids = csf.fids(order - 1);
+
+#if defined(AOADMM_HAVE_OPENMP)
+#pragma omp parallel
+#endif
+  {
+    // down[l]: product of factor rows along the current path, for levels
+    // 0..t-1. up buffers for levels t..order-2. One row each.
+    std::vector<real_t, AlignedAllocator<real_t>> down_buf(
+        (t > 0 ? t : 1) * f);
+    std::vector<real_t, AlignedAllocator<real_t>> up_buf(
+        (order - t) * f);
+    std::vector<real_t, AlignedAllocator<real_t>> contrib(f);
+
+    // Upward accumulation below the target level: identical to the root
+    // kernel's subtree(), scaling by each node's own row EXCEPT at level t.
+    const auto up_subtree = [&](auto&& self, std::size_t level,
+                                offset_t node) -> real_t* {
+      real_t* __restrict z = up_buf.data() + (level - t) * f;
+      for (std::size_t k = 0; k < f; ++k) {
+        z[k] = 0;
+      }
+      if (level == order - 1) {
+        // Should not happen: leaves are handled by the caller.
+        return z;
+      }
+      const auto fptr = csf.fptr(level);
+      if (level + 1 == order - 1) {
+        const Matrix& leaf_factor = factors[csf.level_mode(order - 1)];
+        for (offset_t c = fptr[node]; c < fptr[node + 1]; ++c) {
+          const real_t v = vals[c];
+          const real_t* __restrict row =
+              leaf_factor.data() + static_cast<std::size_t>(leaf_fids[c]) * f;
+          for (std::size_t k = 0; k < f; ++k) {
+            z[k] += v * row[k];
+          }
+        }
+      } else {
+        for (offset_t c = fptr[node]; c < fptr[node + 1]; ++c) {
+          const real_t* __restrict zc = self(self, level + 1, c);
+          const Matrix& child_factor = factors[csf.level_mode(level + 1)];
+          const real_t* __restrict row =
+              child_factor.data() +
+              static_cast<std::size_t>(csf.fids(level + 1)[c]) * f;
+          for (std::size_t k = 0; k < f; ++k) {
+            z[k] += zc[k] * row[k];
+          }
+        }
+      }
+      return z;
+    };
+
+    // Downward walk: carries the `down` product; at level t, combines with
+    // the upward accumulation and scatters into the output.
+    const auto walk = [&](auto&& self, std::size_t level, offset_t node,
+                          const real_t* __restrict down) -> void {
+      if (level == t) {
+        const index_t row_id = csf.fids(level)[node];
+        real_t* __restrict krow =
+            out.data() + static_cast<std::size_t>(row_id) * f;
+        if (level == order - 1) {
+          // Leaf target: contribution = val * down.
+          const real_t v = vals[node];
+          for (std::size_t k = 0; k < f; ++k) {
+            contrib[k] = v * down[k];
+          }
+        } else {
+          const real_t* __restrict up = up_subtree(up_subtree, level, node);
+          for (std::size_t k = 0; k < f; ++k) {
+            contrib[k] = up[k] * down[k];
+          }
+        }
+        atomic_add_row(krow, contrib.data(), f);
+        return;
+      }
+      // Extend the down product with this level's own factor row.
+      const Matrix& a = factors[csf.level_mode(level)];
+      const real_t* __restrict own =
+          a.data() + static_cast<std::size_t>(csf.fids(level)[node]) * f;
+      real_t* __restrict next_down = down_buf.data() + level * f;
+      if (level == 0) {
+        for (std::size_t k = 0; k < f; ++k) {
+          next_down[k] = own[k];
+        }
+      } else {
+        for (std::size_t k = 0; k < f; ++k) {
+          next_down[k] = down[k] * own[k];
+        }
+      }
+      const auto fptr = csf.fptr(level);
+      for (offset_t c = fptr[node]; c < fptr[node + 1]; ++c) {
+        self(self, level + 1, c, next_down);
+      }
+    };
+
+#if defined(AOADMM_HAVE_OPENMP)
+#pragma omp for schedule(dynamic, 16)
+#endif
+    for (std::ptrdiff_t r = 0; r < nroots; ++r) {
+      walk(walk, 0, static_cast<offset_t>(r), nullptr);
+    }
+  }
+}
+
+void mttkrp_dispatch(const CsfTensor& csf, cspan<const Matrix> factors,
+                     std::size_t target_mode, Matrix& out) {
+  if (csf.level_mode(0) == target_mode) {
+    mttkrp_csf(csf, factors, out);
+  } else {
+    mttkrp_csf_nonroot(csf, factors, target_mode, out);
+  }
+}
+
+}  // namespace aoadmm

@@ -1,0 +1,90 @@
+// Leaf-mode cache tiling (SPLATT-style cache blocking). The root kernel's
+// leaf accesses are random across the whole leaf factor; when that factor
+// exceeds the cache, every non-zero pays a memory round-trip. Bucketing
+// the non-zeros by leaf index range turns one pass over an out-of-cache
+// factor into num_tiles passes over cache-resident slabs.
+#include <vector>
+
+#include "mttkrp/mttkrp.hpp"
+#include "tensor/transform.hpp"
+#include "util/error.hpp"
+
+namespace aoadmm {
+
+TiledCsf::TiledCsf(const CooTensor& coo, std::size_t root,
+                   index_t tile_rows)
+    : root_(root), tile_rows_(tile_rows) {
+  AOADMM_CHECK(root < coo.order());
+  AOADMM_CHECK_MSG(coo.order() >= 2, "tiling requires order >= 2");
+
+  // Identify the leaf mode exactly as build_for_mode will place it (root
+  // first, remaining modes by increasing length): the leaf is the longest
+  // non-root mode.
+  std::size_t leaf = root == 0 ? 1 : 0;
+  for (std::size_t m = 0; m < coo.order(); ++m) {
+    if (m != root && coo.dim(m) >= coo.dim(leaf)) {
+      leaf = m;
+    }
+  }
+
+  if (tile_rows_ == 0 || tile_rows_ >= coo.dim(leaf)) {
+    tile_rows_ = coo.dim(leaf);  // degenerate: a single tile
+    tiles_.push_back(CsfTensor::build_for_mode(coo, root));
+    return;
+  }
+
+  const std::size_t ntiles =
+      (static_cast<std::size_t>(coo.dim(leaf)) + tile_rows_ - 1) /
+      tile_rows_;
+  for (std::size_t t = 0; t < ntiles; ++t) {
+    const index_t lo = static_cast<index_t>(t) * tile_rows_;
+    const index_t hi =
+        static_cast<index_t>(std::min<std::size_t>(
+            static_cast<std::size_t>(lo) + tile_rows_, coo.dim(leaf)));
+    const CooTensor bucket = filter(
+        coo, [leaf, lo, hi](cspan<index_t> c, real_t) {
+          return c[leaf] >= lo && c[leaf] < hi;
+        });
+    if (bucket.nnz() > 0) {
+      tiles_.push_back(CsfTensor::build_for_mode(bucket, root));
+    }
+  }
+  AOADMM_CHECK_MSG(!tiles_.empty(), "tensor has no non-zeros");
+}
+
+offset_t TiledCsf::nnz() const noexcept {
+  offset_t total = 0;
+  for (const CsfTensor& t : tiles_) {
+    total += t.nnz();
+  }
+  return total;
+}
+
+std::size_t TiledCsf::storage_bytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const CsfTensor& t : tiles_) {
+    bytes += t.storage_bytes();
+  }
+  return bytes;
+}
+
+void mttkrp_tiled(const TiledCsf& tiled, cspan<const Matrix> factors,
+                  Matrix& out) {
+  AOADMM_CHECK(tiled.num_tiles() > 0);
+  const CsfTensor& first = tiled.tile(0);
+  AOADMM_CHECK(factors.size() == first.order());
+  const std::size_t f = factors[0].cols();
+  const index_t out_rows = first.level_dim(0);
+  if (out.rows() != out_rows || out.cols() != f) {
+    out.resize(out_rows, f);
+  } else {
+    out.zero();
+  }
+  // Tiles run in sequence (each internally root-parallel); within a tile
+  // the leaf accesses are confined to one slab of the leaf factor.
+  for (std::size_t t = 0; t < tiled.num_tiles(); ++t) {
+    mttkrp_csf(tiled.tile(t), factors, out, /*accumulate=*/true);
+  }
+}
+
+}  // namespace aoadmm

@@ -1,0 +1,67 @@
+#include "parallel/partition.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace aoadmm {
+
+std::vector<std::size_t> even_partition(std::size_t n, std::size_t parts) {
+  AOADMM_CHECK(parts > 0);
+  std::vector<std::size_t> bounds(parts + 1);
+  const std::size_t base = n / parts;
+  const std::size_t extra = n % parts;
+  std::size_t pos = 0;
+  for (std::size_t p = 0; p <= parts; ++p) {
+    bounds[p] = pos;
+    if (p < parts) {
+      pos += base + (p < extra ? 1 : 0);
+    }
+  }
+  bounds[parts] = n;
+  return bounds;
+}
+
+std::vector<std::size_t> weighted_partition(cspan<const offset_t> weights,
+                                            std::size_t parts) {
+  AOADMM_CHECK(parts > 0);
+  const std::size_t n = weights.size();
+  std::vector<offset_t> prefix(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    prefix[i + 1] = prefix[i] + weights[i];
+  }
+  const offset_t total = prefix[n];
+  std::vector<std::size_t> bounds(parts + 1, 0);
+  bounds[parts] = n;
+  for (std::size_t p = 1; p < parts; ++p) {
+    // Ideal cumulative weight at the p-th boundary, rounded up so empty-weight
+    // prefixes do not collapse every boundary to zero.
+    const offset_t target =
+        (total * static_cast<offset_t>(p) + parts - 1) /
+        static_cast<offset_t>(parts);
+    const auto it = std::lower_bound(prefix.begin(), prefix.end(), target);
+    std::size_t b = static_cast<std::size_t>(it - prefix.begin());
+    b = std::min(b, n);
+    bounds[p] = std::max(bounds[p - 1], b);
+  }
+  return bounds;
+}
+
+std::size_t num_blocks(std::size_t n, std::size_t block) noexcept {
+  if (block == 0 || n == 0) {
+    return n == 0 ? 0 : 1;
+  }
+  return (n + block - 1) / block;
+}
+
+BlockRange block_range(std::size_t n, std::size_t block,
+                       std::size_t b) noexcept {
+  if (block == 0) {
+    return {0, n};
+  }
+  const std::size_t lo = b * block;
+  const std::size_t hi = std::min(lo + block, n);
+  return {lo, hi};
+}
+
+}  // namespace aoadmm

@@ -1,0 +1,38 @@
+// 1-D partitioning utilities: even chunking for uniform work and weighted
+// (prefix-sum) partitioning for irregular work such as distributing tensor
+// slices with power-law non-zero counts across threads.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace aoadmm {
+
+/// Boundaries of `parts` contiguous chunks covering [0, n): result has
+/// parts+1 entries with result.front()==0 and result.back()==n. Chunk sizes
+/// differ by at most one.
+std::vector<std::size_t> even_partition(std::size_t n, std::size_t parts);
+
+/// Partition [0, n) into `parts` contiguous chunks balancing the total
+/// weight per chunk, where weights[i] >= 0 is the cost of item i. Uses the
+/// prefix-sum + binary-search heuristic (each boundary placed at the ideal
+/// cumulative weight). Result format matches even_partition.
+std::vector<std::size_t> weighted_partition(cspan<const offset_t> weights,
+                                            std::size_t parts);
+
+/// Split [0, n) into fixed-size blocks of `block` items (last may be short).
+/// Returns the number of blocks; block b covers
+/// [b*block, min((b+1)*block, n)). Helper for blocked ADMM.
+std::size_t num_blocks(std::size_t n, std::size_t block) noexcept;
+
+/// The half-open row range of block `b`.
+struct BlockRange {
+  std::size_t begin;
+  std::size_t end;
+};
+BlockRange block_range(std::size_t n, std::size_t block,
+                       std::size_t b) noexcept;
+
+}  // namespace aoadmm

@@ -1,0 +1,89 @@
+#include "parallel/runtime.hpp"
+
+#if defined(AOADMM_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace aoadmm {
+
+int max_threads() noexcept {
+#if defined(AOADMM_HAVE_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+void set_num_threads(int n) noexcept {
+#if defined(AOADMM_HAVE_OPENMP)
+  if (n > 0) {
+    omp_set_num_threads(n);
+  }
+#else
+  (void)n;
+#endif
+}
+
+int thread_id() noexcept {
+#if defined(AOADMM_HAVE_OPENMP)
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  Schedule schedule, std::size_t chunk) {
+  if (begin >= end) {
+    return;
+  }
+#if defined(AOADMM_HAVE_OPENMP)
+  const auto n = static_cast<std::ptrdiff_t>(end - begin);
+  if (schedule == Schedule::kDynamic) {
+#pragma omp parallel for schedule(dynamic, 1)
+    for (std::ptrdiff_t c = 0; c < (n + static_cast<std::ptrdiff_t>(chunk) - 1) /
+                                        static_cast<std::ptrdiff_t>(chunk);
+         ++c) {
+      const std::size_t lo = begin + static_cast<std::size_t>(c) * chunk;
+      const std::size_t hi = lo + chunk < end ? lo + chunk : end;
+      for (std::size_t i = lo; i < hi; ++i) {
+        body(i);
+      }
+    }
+  } else {
+#pragma omp parallel for schedule(static)
+    for (std::ptrdiff_t i = 0; i < n; ++i) {
+      body(begin + static_cast<std::size_t>(i));
+    }
+  }
+#else
+  (void)schedule;
+  (void)chunk;
+  for (std::size_t i = begin; i < end; ++i) {
+    body(i);
+  }
+#endif
+}
+
+double parallel_reduce_sum(std::size_t begin, std::size_t end,
+                           const std::function<double(std::size_t)>& body) {
+  double total = 0.0;
+  if (begin >= end) {
+    return total;
+  }
+#if defined(AOADMM_HAVE_OPENMP)
+  const auto n = static_cast<std::ptrdiff_t>(end - begin);
+#pragma omp parallel for schedule(static) reduction(+ : total)
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    total += body(begin + static_cast<std::size_t>(i));
+  }
+#else
+  for (std::size_t i = begin; i < end; ++i) {
+    total += body(i);
+  }
+#endif
+  return total;
+}
+
+}  // namespace aoadmm

@@ -1,0 +1,63 @@
+#include "sparse/csr.hpp"
+
+#include <cmath>
+
+namespace aoadmm {
+
+CsrMatrix CsrMatrix::from_dense(const Matrix& a, real_t tol) {
+  CsrMatrix out;
+  out.rows_ = a.rows();
+  out.cols_ = a.cols();
+  out.row_ptr_.resize(a.rows() + 1);
+
+  offset_t count = 0;
+  out.row_ptr_[0] = 0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const real_t* __restrict row = a.data() + i * a.cols();
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if (std::abs(row[j]) > tol) {
+        ++count;
+      }
+    }
+    out.row_ptr_[i + 1] = count;
+  }
+
+  out.col_idx_.resize(count);
+  out.vals_.resize(count);
+  offset_t pos = 0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const real_t* __restrict row = a.data() + i * a.cols();
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if (std::abs(row[j]) > tol) {
+        out.col_idx_[pos] = static_cast<index_t>(j);
+        out.vals_[pos] = row[j];
+        ++pos;
+      }
+    }
+  }
+  return out;
+}
+
+real_t CsrMatrix::density() const noexcept {
+  const std::size_t total = rows_ * cols_;
+  return total == 0 ? real_t{0}
+                    : static_cast<real_t>(nnz()) / static_cast<real_t>(total);
+}
+
+Matrix CsrMatrix::to_dense() const {
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const auto [cols, vals] = row(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      out(i, cols[k]) = vals[k];
+    }
+  }
+  return out;
+}
+
+std::size_t CsrMatrix::storage_bytes() const noexcept {
+  return row_ptr_.size() * sizeof(offset_t) +
+         col_idx_.size() * sizeof(index_t) + vals_.size() * sizeof(real_t);
+}
+
+}  // namespace aoadmm

@@ -1,0 +1,55 @@
+// Compressed sparse row storage for *factor matrices* (paper §IV.C). Unlike
+// the tensor, factor sparsity evolves dynamically: a CSR mirror is rebuilt
+// from the dense factor whenever its density drops below the exploitation
+// threshold, so construction is a single O(I·F) pass.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "util/types.hpp"
+
+namespace aoadmm {
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Compress `a`, treating entries with |value| <= tol as zero (prox
+  /// operators produce exact zeros, so tol defaults to 0).
+  static CsrMatrix from_dense(const Matrix& a, real_t tol = 0);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  offset_t nnz() const noexcept { return vals_.size(); }
+
+  cspan<offset_t> row_ptr() const noexcept { return row_ptr_; }
+  cspan<index_t> col_idx() const noexcept { return col_idx_; }
+  cspan<real_t> values() const noexcept { return vals_; }
+
+  /// Column indices and values of row i.
+  std::pair<cspan<index_t>, cspan<real_t>> row(std::size_t i) const noexcept {
+    const offset_t lo = row_ptr_[i];
+    const offset_t hi = row_ptr_[i + 1];
+    return {cspan<index_t>{col_idx_.data() + lo, hi - lo},
+            cspan<real_t>{vals_.data() + lo, hi - lo}};
+  }
+
+  /// nnz / (rows * cols); 0 for an empty matrix.
+  real_t density() const noexcept;
+
+  Matrix to_dense() const;
+
+  std::size_t storage_bytes() const noexcept;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<offset_t> row_ptr_;
+  std::vector<index_t> col_idx_;
+  std::vector<real_t> vals_;
+};
+
+}  // namespace aoadmm

@@ -1,0 +1,37 @@
+#include "sparse/density.hpp"
+
+#include <cmath>
+
+namespace aoadmm {
+
+DensityStats measure_density(const Matrix& a, real_t tol) {
+  DensityStats stats;
+  stats.column_nnz.assign(a.cols(), 0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const real_t* __restrict row = a.data() + i * a.cols();
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if (std::abs(row[j]) > tol) {
+        ++stats.column_nnz[j];
+      }
+    }
+  }
+  for (const offset_t c : stats.column_nnz) {
+    stats.nnz += c;
+  }
+  const std::size_t total = a.rows() * a.cols();
+  stats.density = total == 0 ? real_t{0}
+                             : static_cast<real_t>(stats.nnz) /
+                                   static_cast<real_t>(total);
+  if (a.cols() > 0) {
+    const real_t mean_col =
+        static_cast<real_t>(stats.nnz) / static_cast<real_t>(a.cols());
+    for (const offset_t c : stats.column_nnz) {
+      if (static_cast<real_t>(c) > mean_col) {
+        ++stats.dense_columns;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace aoadmm

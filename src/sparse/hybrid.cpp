@@ -1,0 +1,112 @@
+#include "sparse/hybrid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace aoadmm {
+
+HybridMatrix HybridMatrix::from_dense(const Matrix& a, real_t tol) {
+  return from_dense(a, measure_density(a, tol), tol);
+}
+
+HybridMatrix HybridMatrix::from_dense(const Matrix& a,
+                                      const DensityStats& stats, real_t tol) {
+  AOADMM_CHECK(stats.column_nnz.size() == a.cols());
+  HybridMatrix out;
+  out.rows_ = a.rows();
+  out.cols_ = a.cols();
+
+  // Sort columns by nnz, densest first; "dense" = above the column mean
+  // (paper's definition). At least one dense column is kept when the matrix
+  // has any non-zero so the panel path is always exercised.
+  std::vector<index_t> order(a.cols());
+  std::iota(order.begin(), order.end(), index_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](index_t x, index_t y) {
+    return stats.column_nnz[x] > stats.column_nnz[y];
+  });
+
+  const real_t mean_col =
+      a.cols() > 0 ? static_cast<real_t>(stats.nnz) /
+                         static_cast<real_t>(a.cols())
+                   : real_t{0};
+  std::size_t ndense = 0;
+  for (const index_t col : order) {
+    if (static_cast<real_t>(stats.column_nnz[col]) > mean_col) {
+      ++ndense;
+    }
+  }
+  if (ndense == 0 && stats.nnz > 0) {
+    ndense = 1;
+  }
+  out.dense_cols_.assign(order.begin(), order.begin() + ndense);
+
+  // Dense panel: contiguous rows of the chosen columns.
+  out.panel_.assign(out.rows_ * ndense, real_t{0});
+  for (std::size_t i = 0; i < out.rows_; ++i) {
+    real_t* __restrict p = out.panel_.data() + i * ndense;
+    for (std::size_t d = 0; d < ndense; ++d) {
+      p[d] = a(i, out.dense_cols_[d]);
+    }
+  }
+
+  // CSR tail over the remaining (sparse) columns, keeping original ids.
+  std::vector<bool> is_dense(a.cols(), false);
+  for (const index_t c : out.dense_cols_) {
+    is_dense[c] = true;
+  }
+  out.csr_row_ptr_.resize(out.rows_ + 1);
+  out.csr_row_ptr_[0] = 0;
+  offset_t count = 0;
+  for (std::size_t i = 0; i < out.rows_; ++i) {
+    const real_t* __restrict row = a.data() + i * a.cols();
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if (!is_dense[j] && std::abs(row[j]) > tol) {
+        ++count;
+      }
+    }
+    out.csr_row_ptr_[i + 1] = count;
+  }
+  out.csr_col_idx_.resize(count);
+  out.csr_vals_.resize(count);
+  offset_t pos = 0;
+  for (std::size_t i = 0; i < out.rows_; ++i) {
+    const real_t* __restrict row = a.data() + i * a.cols();
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if (!is_dense[j] && std::abs(row[j]) > tol) {
+        out.csr_col_idx_[pos] = static_cast<index_t>(j);
+        out.csr_vals_[pos] = row[j];
+        ++pos;
+      }
+    }
+  }
+  return out;
+}
+
+Matrix HybridMatrix::to_dense() const {
+  Matrix out(rows_, cols_);
+  const std::size_t ndense = dense_cols_.size();
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const auto panel = dense_row(i);
+    for (std::size_t d = 0; d < ndense; ++d) {
+      out(i, dense_cols_[d]) = panel[d];
+    }
+    const auto [cols, vals] = csr_row(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      out(i, cols[k]) = vals[k];
+    }
+  }
+  return out;
+}
+
+std::size_t HybridMatrix::storage_bytes() const noexcept {
+  return dense_cols_.size() * sizeof(index_t) +
+         panel_.size() * sizeof(real_t) +
+         csr_row_ptr_.size() * sizeof(offset_t) +
+         csr_col_idx_.size() * sizeof(index_t) +
+         csr_vals_.size() * sizeof(real_t);
+}
+
+}  // namespace aoadmm

@@ -1,0 +1,75 @@
+// Hybrid dense + CSR factor storage (paper §IV.C). Factor sparsity is
+// non-uniform: a few columns are mostly dense while the rest hold a handful
+// of non-zeros. The hybrid format sorts columns by non-zero count, keeps the
+// "dense" columns (nnz above the column mean) in a contiguous dense panel,
+// and compresses the tail into CSR. During MTTKRP the CSR row is prefetched
+// while the dense panel is being computed, hiding the extra latency CSR
+// incurs (row-length indirection).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "sparse/density.hpp"
+#include "util/types.hpp"
+
+namespace aoadmm {
+
+class HybridMatrix {
+ public:
+  HybridMatrix() = default;
+
+  /// Build from a dense factor. `stats` must come from measure_density(a)
+  /// with the same tolerance (the overload without stats measures itself).
+  static HybridMatrix from_dense(const Matrix& a, const DensityStats& stats,
+                                 real_t tol = 0);
+  static HybridMatrix from_dense(const Matrix& a, real_t tol = 0);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t num_dense_cols() const noexcept { return dense_cols_.size(); }
+  offset_t csr_nnz() const noexcept { return csr_vals_.size(); }
+
+  /// Original column ids of the dense panel, in panel order.
+  cspan<index_t> dense_cols() const noexcept { return dense_cols_; }
+
+  /// Row i of the dense panel (num_dense_cols entries, panel order).
+  cspan<real_t> dense_row(std::size_t i) const noexcept {
+    return {panel_.data() + i * dense_cols_.size(), dense_cols_.size()};
+  }
+
+  /// CSR tail of row i: (original column ids, values).
+  std::pair<cspan<index_t>, cspan<real_t>> csr_row(
+      std::size_t i) const noexcept {
+    const offset_t lo = csr_row_ptr_[i];
+    const offset_t hi = csr_row_ptr_[i + 1];
+    return {cspan<index_t>{csr_col_idx_.data() + lo, hi - lo},
+            cspan<real_t>{csr_vals_.data() + lo, hi - lo}};
+  }
+
+  /// Issue software prefetches for row i's CSR structures (row pointer
+  /// indirection is the latency cost the dense panel hides).
+  void prefetch_row(std::size_t i) const noexcept {
+    __builtin_prefetch(&csr_row_ptr_[i], 0, 1);
+    const offset_t lo = csr_row_ptr_[i];
+    __builtin_prefetch(csr_col_idx_.data() + lo, 0, 1);
+    __builtin_prefetch(csr_vals_.data() + lo, 0, 1);
+  }
+
+  Matrix to_dense() const;
+
+  std::size_t storage_bytes() const noexcept;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<index_t> dense_cols_;  // original ids, sorted by nnz desc
+  std::vector<real_t, AlignedAllocator<real_t>> panel_;  // rows_ x |dense_cols_|
+  std::vector<offset_t> csr_row_ptr_;
+  std::vector<index_t> csr_col_idx_;  // original column ids
+  std::vector<real_t> csr_vals_;
+};
+
+}  // namespace aoadmm

@@ -1,0 +1,89 @@
+#include "tensor/compact.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace aoadmm {
+namespace {
+
+CooTensor apply_remaps(const CooTensor& x,
+                       const std::vector<ModeRemap>& remaps,
+                       const std::vector<index_t>& new_dims) {
+  CooTensor out(new_dims);
+  out.reserve(x.nnz());
+  std::vector<index_t> coord(x.order());
+  for (offset_t n = 0; n < x.nnz(); ++n) {
+    for (std::size_t m = 0; m < x.order(); ++m) {
+      coord[m] = remaps[m].forward[x.index(m, n)];
+    }
+    out.add(coord, x.value(n));
+  }
+  return out;
+}
+
+}  // namespace
+
+CompactResult compact_empty_slices(const CooTensor& x) {
+  CompactResult result;
+  result.remaps.resize(x.order());
+  std::vector<index_t> new_dims(x.order());
+
+  for (std::size_t m = 0; m < x.order(); ++m) {
+    const auto counts = x.slice_nnz(m);
+    ModeRemap& remap = result.remaps[m];
+    remap.forward.assign(x.dim(m), ModeRemap::kInvalidIndex);
+    for (index_t old_id = 0; old_id < x.dim(m); ++old_id) {
+      if (counts[old_id] > 0) {
+        remap.forward[old_id] = static_cast<index_t>(remap.backward.size());
+        remap.backward.push_back(old_id);
+      }
+    }
+    AOADMM_CHECK_MSG(!remap.backward.empty(),
+                     "compaction would empty a mode (tensor has no "
+                     "non-zeros)");
+    new_dims[m] = static_cast<index_t>(remap.backward.size());
+  }
+
+  result.tensor = apply_remaps(x, result.remaps, new_dims);
+  return result;
+}
+
+CompactResult relabel_by_degree(const CooTensor& x) {
+  CompactResult result;
+  result.remaps.resize(x.order());
+
+  for (std::size_t m = 0; m < x.order(); ++m) {
+    const auto counts = x.slice_nnz(m);
+    ModeRemap& remap = result.remaps[m];
+    remap.backward.resize(x.dim(m));
+    std::iota(remap.backward.begin(), remap.backward.end(), index_t{0});
+    std::stable_sort(remap.backward.begin(), remap.backward.end(),
+                     [&](index_t a, index_t b) {
+                       return counts[a] > counts[b];
+                     });
+    remap.forward.resize(x.dim(m));
+    for (index_t new_id = 0; new_id < x.dim(m); ++new_id) {
+      remap.forward[remap.backward[new_id]] = new_id;
+    }
+  }
+
+  result.tensor = apply_remaps(x, result.remaps, x.dims());
+  return result;
+}
+
+Matrix remap_factor_rows(const Matrix& factor, const ModeRemap& remap) {
+  AOADMM_CHECK_MSG(factor.rows() == remap.forward.size(),
+                   "factor rows do not match the remap's original space");
+  Matrix out(remap.backward.size(), factor.cols());
+  for (std::size_t new_id = 0; new_id < remap.backward.size(); ++new_id) {
+    const index_t old_id = remap.backward[new_id];
+    const auto src = factor.row(old_id);
+    auto dst = out.row(new_id);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return out;
+}
+
+}  // namespace aoadmm

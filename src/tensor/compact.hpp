@@ -1,0 +1,45 @@
+// Index-space preprocessing for real-world tensors: FROSTT datasets carry
+// empty slices (ids that never appear), and factorization quality and
+// memory both benefit from compacting them away. Also provides degree-based
+// relabeling, which groups hot slices together — useful for locality
+// studies and for making the synthetic generators' Zipf structure explicit.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "tensor/coo.hpp"
+
+namespace aoadmm {
+
+/// Per-mode relabeling produced by a compaction: new_id = forward[old_id]
+/// (kInvalidIndex for dropped ids) and old_id = backward[new_id].
+struct ModeRemap {
+  static constexpr index_t kInvalidIndex = ~index_t{0};
+  std::vector<index_t> forward;
+  std::vector<index_t> backward;
+};
+
+struct CompactResult {
+  CooTensor tensor;
+  /// One remap per mode.
+  std::vector<ModeRemap> remaps;
+};
+
+/// Remove empty slices from every mode: the result's mode m has length
+/// equal to the number of distinct indices appearing in mode m, with ids
+/// assigned in increasing old-id order.
+CompactResult compact_empty_slices(const CooTensor& x);
+
+/// Relabel every mode so that slice ids are ordered by decreasing non-zero
+/// count (id 0 = hottest slice). Dimensions are unchanged; ties keep old
+/// order. Returns the relabeled tensor plus the remaps.
+CompactResult relabel_by_degree(const CooTensor& x);
+
+/// Apply previously computed remaps to factor rows: given a factor matrix
+/// over the ORIGINAL id space of `remap`, return the matrix over the new
+/// id space (rows reordered/dropped). Rows for dropped ids are discarded;
+/// the output has remap.backward.size() rows.
+Matrix remap_factor_rows(const Matrix& factor, const ModeRemap& remap);
+
+}  // namespace aoadmm

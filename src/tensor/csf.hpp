@@ -1,0 +1,113 @@
+// Compressed Sparse Fiber (CSF) storage — the higher-order generalization of
+// CSR used by SPLATT (paper §III.B, Fig. 2). The modes of the tensor are
+// compressed recursively; each root-to-leaf path encodes one non-zero's
+// coordinate and the values live at the leaves.
+//
+// MTTKRP for mode m is computed from a CSF whose *root* is mode m: the root
+// slices are independent, so parallelizing over them is race-free. The
+// library therefore keeps one CSF per mode (SPLATT's ALLMODE strategy); see
+// CsfSet below.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "tensor/coo.hpp"
+#include "util/types.hpp"
+
+namespace aoadmm {
+
+class CsfTensor {
+ public:
+  /// Compile `coo` into CSF with modes ordered by `mode_perm` (root first).
+  /// mode_perm must be a permutation of 0..order-1. The COO tensor is
+  /// copied/sorted internally and not retained.
+  static CsfTensor build(const CooTensor& coo, std::vector<std::size_t> mode_perm);
+
+  /// Convenience: mode `root` first, remaining modes sorted by increasing
+  /// length (short modes near the root compress best — SPLATT's heuristic).
+  static CsfTensor build_for_mode(const CooTensor& coo, std::size_t root);
+
+  std::size_t order() const noexcept { return mode_perm_.size(); }
+  offset_t nnz() const noexcept { return vals_.size(); }
+  const std::vector<std::size_t>& mode_perm() const noexcept {
+    return mode_perm_;
+  }
+  /// Original tensor mode stored at CSF level `level`.
+  std::size_t level_mode(std::size_t level) const { return mode_perm_.at(level); }
+  /// Length of the original mode at CSF level `level`.
+  index_t level_dim(std::size_t level) const { return dims_.at(mode_perm_.at(level)); }
+  const std::vector<index_t>& dims() const noexcept { return dims_; }
+
+  /// Number of nodes (fibers) at a level. Level 0 = root slices present in
+  /// the tensor; level order-1 = non-zeros.
+  std::size_t num_nodes(std::size_t level) const {
+    return fids_[level].size();
+  }
+
+  /// Mode indices of the nodes at `level`.
+  cspan<index_t> fids(std::size_t level) const { return fids_[level]; }
+
+  /// Children offsets: node n at `level` owns children
+  /// [fptr(level)[n], fptr(level)[n+1]) at level+1. Defined for
+  /// level < order-1.
+  cspan<offset_t> fptr(std::size_t level) const { return fptr_[level]; }
+
+  /// Non-zero values (leaf payloads), aligned with fids(order-1).
+  cspan<real_t> vals() const noexcept { return vals_; }
+
+  /// Number of non-zeros under each root node — the weights used to balance
+  /// root-parallel MTTKRP.
+  std::vector<offset_t> root_weights() const;
+
+  /// Total bytes of the compressed structure (for reporting).
+  std::size_t storage_bytes() const noexcept;
+
+ private:
+  std::vector<std::size_t> mode_perm_;
+  std::vector<index_t> dims_;               // original mode lengths
+  std::vector<std::vector<index_t>> fids_;  // per level
+  std::vector<std::vector<offset_t>> fptr_; // per level (order-1 entries)
+  std::vector<real_t> vals_;
+};
+
+/// Memory/compute trade-off for the CSF compilation (SPLATT's -t flag):
+///  * kAllMode — one tree per mode; every MTTKRP is root-parallel and
+///    race-free. order() copies of the tensor. The paper's configuration.
+///  * kOneMode — a single tree rooted at the shortest mode; non-root
+///    MTTKRPs scatter with atomics. 1/order() the memory, slower kernels.
+enum class CsfStrategy {
+  kAllMode,
+  kOneMode,
+};
+
+const char* to_string(CsfStrategy s) noexcept;
+
+/// The compiled tensor handed to the CPD driver. for_mode(m) returns the
+/// tree MTTKRP for mode m should use; with kOneMode that tree's root may
+/// differ from m and callers must dispatch accordingly (mttkrp_dispatch).
+class CsfSet {
+ public:
+  explicit CsfSet(const CooTensor& coo,
+                  CsfStrategy strategy = CsfStrategy::kAllMode);
+
+  std::size_t order() const noexcept { return order_; }
+  CsfStrategy strategy() const noexcept { return strategy_; }
+  const CsfTensor& for_mode(std::size_t mode) const {
+    return strategy_ == CsfStrategy::kAllMode ? tensors_.at(mode)
+                                              : tensors_.at(0);
+  }
+  offset_t nnz() const { return tensors_.empty() ? 0 : tensors_[0].nnz(); }
+  const std::vector<index_t>& dims() const { return tensors_.at(0).dims(); }
+
+  /// Total bytes across all trees (the quantity kOneMode shrinks).
+  std::size_t storage_bytes() const noexcept;
+
+ private:
+  std::size_t order_ = 0;
+  CsfStrategy strategy_ = CsfStrategy::kAllMode;
+  std::vector<CsfTensor> tensors_;
+};
+
+}  // namespace aoadmm

@@ -1,0 +1,194 @@
+#include "tensor/io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace aoadmm {
+namespace {
+
+constexpr char kBinaryMagic[8] = {'A', 'O', 'T', 'N', 'S', '1', 0, 0};
+
+struct RawNonzero {
+  std::vector<index_t> coord;
+  real_t value;
+};
+
+}  // namespace
+
+CooTensor read_tns(std::istream& in) {
+  std::string line;
+  std::size_t order = 0;
+  std::vector<std::vector<index_t>> coords;
+  std::vector<real_t> values;
+  std::size_t lineno = 0;
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip comments and skip blank lines.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream ls(line);
+    std::vector<double> fields;
+    double v;
+    while (ls >> v) {
+      fields.push_back(v);
+    }
+    if (fields.empty()) {
+      continue;
+    }
+    if (order == 0) {
+      if (fields.size() < 2) {
+        throw ParseError("tns line " + std::to_string(lineno) +
+                         ": expected at least 2 fields");
+      }
+      order = fields.size() - 1;
+      coords.resize(order);
+    } else if (fields.size() != order + 1) {
+      throw ParseError("tns line " + std::to_string(lineno) +
+                       ": inconsistent arity (expected " +
+                       std::to_string(order + 1) + " fields)");
+    }
+    for (std::size_t m = 0; m < order; ++m) {
+      const double idx = fields[m];
+      if (idx < 1 || idx != static_cast<double>(static_cast<index_t>(idx))) {
+        throw ParseError("tns line " + std::to_string(lineno) +
+                         ": bad index in mode " + std::to_string(m));
+      }
+      coords[m].push_back(static_cast<index_t>(idx) - 1);  // 1-indexed file
+    }
+    values.push_back(static_cast<real_t>(fields[order]));
+  }
+
+  if (order == 0) {
+    throw ParseError("tns input contains no non-zeros");
+  }
+
+  std::vector<index_t> dims(order, 0);
+  for (std::size_t m = 0; m < order; ++m) {
+    for (const index_t i : coords[m]) {
+      dims[m] = std::max(dims[m], static_cast<index_t>(i + 1));
+    }
+  }
+
+  CooTensor out(dims);
+  out.reserve(values.size());
+  std::vector<index_t> c(order);
+  for (std::size_t n = 0; n < values.size(); ++n) {
+    for (std::size_t m = 0; m < order; ++m) {
+      c[m] = coords[m][n];
+    }
+    out.add(c, values[n]);
+  }
+  return out;
+}
+
+CooTensor read_tns_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw InvalidArgument("cannot open tensor file: " + path);
+  }
+  return read_tns(in);
+}
+
+void write_tns(const CooTensor& x, std::ostream& out) {
+  // Full round-trip precision: values must survive write→read unchanged.
+  out.precision(17);
+  for (offset_t n = 0; n < x.nnz(); ++n) {
+    for (std::size_t m = 0; m < x.order(); ++m) {
+      out << (x.index(m, n) + 1) << ' ';
+    }
+    out << x.value(n) << '\n';
+  }
+}
+
+void write_tns_file(const CooTensor& x, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw InvalidArgument("cannot create tensor file: " + path);
+  }
+  write_tns(x, out);
+}
+
+void write_binary_file(const CooTensor& x, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw InvalidArgument("cannot create tensor file: " + path);
+  }
+  out.write(kBinaryMagic, sizeof(kBinaryMagic));
+  const std::uint64_t order = x.order();
+  const std::uint64_t nnz = x.nnz();
+  out.write(reinterpret_cast<const char*>(&order), sizeof(order));
+  out.write(reinterpret_cast<const char*>(&nnz), sizeof(nnz));
+  for (std::size_t m = 0; m < x.order(); ++m) {
+    const std::uint64_t d = x.dim(m);
+    out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+  }
+  for (std::size_t m = 0; m < x.order(); ++m) {
+    const auto inds = x.mode_indices(m);
+    out.write(reinterpret_cast<const char*>(inds.data()),
+              static_cast<std::streamsize>(inds.size() * sizeof(index_t)));
+  }
+  const auto vals = x.values();
+  out.write(reinterpret_cast<const char*>(vals.data()),
+            static_cast<std::streamsize>(vals.size() * sizeof(real_t)));
+  if (!out) {
+    throw InvalidArgument("short write to: " + path);
+  }
+}
+
+CooTensor read_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw InvalidArgument("cannot open tensor file: " + path);
+  }
+  char magic[sizeof(kBinaryMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
+    throw ParseError("bad magic in binary tensor file: " + path);
+  }
+  std::uint64_t order = 0;
+  std::uint64_t nnz = 0;
+  in.read(reinterpret_cast<char*>(&order), sizeof(order));
+  in.read(reinterpret_cast<char*>(&nnz), sizeof(nnz));
+  if (!in || order == 0 || order > 64) {
+    throw ParseError("corrupt header in binary tensor file: " + path);
+  }
+  std::vector<index_t> dims(order);
+  for (auto& d : dims) {
+    std::uint64_t v = 0;
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+    d = static_cast<index_t>(v);
+  }
+  std::vector<std::vector<index_t>> coords(order,
+                                           std::vector<index_t>(nnz));
+  for (auto& c : coords) {
+    in.read(reinterpret_cast<char*>(c.data()),
+            static_cast<std::streamsize>(nnz * sizeof(index_t)));
+  }
+  std::vector<real_t> vals(nnz);
+  in.read(reinterpret_cast<char*>(vals.data()),
+          static_cast<std::streamsize>(nnz * sizeof(real_t)));
+  if (!in) {
+    throw ParseError("truncated binary tensor file: " + path);
+  }
+
+  CooTensor out(dims);
+  out.reserve(nnz);
+  std::vector<index_t> c(order);
+  for (offset_t n = 0; n < nnz; ++n) {
+    for (std::size_t m = 0; m < order; ++m) {
+      c[m] = coords[m][n];
+    }
+    out.add(c, vals[n]);
+  }
+  return out;
+}
+
+}  // namespace aoadmm

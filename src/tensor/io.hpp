@@ -1,0 +1,33 @@
+// Tensor file I/O.
+//
+// Text format: FROSTT `.tns` — one non-zero per line, 1-indexed coordinates
+// followed by the value, e.g. "17 3 204 1.5". Comments start with '#'.
+//
+// Binary format: a simple versioned container ("AOTNS1") holding the raw
+// COO arrays, for fast reload of generated workloads.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tensor/coo.hpp"
+
+namespace aoadmm {
+
+/// Parse a FROSTT .tns stream. Mode lengths are inferred as the maximum
+/// index seen per mode. Throws ParseError on malformed input.
+CooTensor read_tns(std::istream& in);
+
+/// Load a .tns file from disk. Throws ParseError (bad content) or
+/// InvalidArgument (unreadable path).
+CooTensor read_tns_file(const std::string& path);
+
+/// Write a tensor as .tns (1-indexed).
+void write_tns(const CooTensor& x, std::ostream& out);
+void write_tns_file(const CooTensor& x, const std::string& path);
+
+/// Binary round-trip.
+void write_binary_file(const CooTensor& x, const std::string& path);
+CooTensor read_binary_file(const std::string& path);
+
+}  // namespace aoadmm

@@ -1,0 +1,33 @@
+// Explicit (dense) matricization and dense reconstruction — reference
+// implementations used by tests as oracles for the CSF kernels. These
+// materialize O(∏ dims) memory and are only suitable for tiny tensors.
+#pragma once
+
+#include "la/matrix.hpp"
+#include "tensor/coo.hpp"
+
+namespace aoadmm {
+
+/// Mode-m matricization X(m): I_m x ∏_{n≠m} I_n, with lower modes varying
+/// fastest among the column modes (Kolda convention, matching
+/// khatri_rao_excluding).
+Matrix matricize(const CooTensor& x, std::size_t mode);
+
+/// Dense reconstruction of the rank-F model along `mode`:
+/// M(m) = A_m · khatri_rao_excluding(factors, m)ᵀ.
+Matrix reconstruct_matricized(cspan<const Matrix> factors, std::size_t mode);
+
+/// Exact inner product ⟨X, M⟩ = Σ_{nnz} x(i…) · Σ_f ∏_m A_m(i_m, f),
+/// streamed over the non-zeros (no dense materialization; parallel).
+real_t inner_with_model(const CooTensor& x, cspan<const Matrix> factors);
+
+/// ‖M‖² of the rank-F model via the Gram trick:
+/// 1ᵀ (⊛_m A_mᵀA_m) 1 — O(Σ I_m F²), no materialization.
+real_t model_norm_sq(cspan<const Matrix> factors);
+
+/// Exact relative error ‖X − M‖_F / ‖X‖_F using the streamed inner product
+/// and the Gram trick. `x_norm_sq` avoids recomputing ‖X‖² every call.
+real_t relative_error(const CooTensor& x, cspan<const Matrix> factors,
+                      real_t x_norm_sq);
+
+}  // namespace aoadmm

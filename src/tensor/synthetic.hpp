@@ -1,0 +1,60 @@
+// Synthetic sparse tensor generators. These stand in for the FROSTT
+// datasets of the paper's evaluation (Table I): coordinates follow a Zipf
+// (power-law) popularity per mode — the non-uniform distribution that
+// motivates blocked ADMM (§IV.B) — and values come from a non-negative
+// low-rank ground truth plus noise so factorizations converge meaningfully.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "tensor/coo.hpp"
+#include "util/rng.hpp"
+
+namespace aoadmm {
+
+struct SyntheticSpec {
+  /// Mode lengths (order = dims.size()).
+  std::vector<index_t> dims;
+  /// Target number of distinct non-zeros (post-deduplication; the generator
+  /// oversamples and trims, so the result has exactly this many unless the
+  /// tensor is too small to hold them).
+  offset_t nnz = 0;
+  /// Zipf exponent per mode (popularity skew). Empty => 1.0 for all modes;
+  /// a single entry broadcasts. 0 = uniform.
+  std::vector<real_t> zipf_alpha;
+  /// Rank of the non-negative ground-truth model the values are sampled
+  /// from. 0 => i.i.d. uniform values in (0, 1].
+  rank_t true_rank = 8;
+  /// Relative Gaussian noise added to model values.
+  real_t noise = 0.1;
+  /// Probability that a ground-truth factor entry is exactly zero — creates
+  /// recoverable factor sparsity (Table II workloads).
+  real_t factor_zero_prob = 0.0;
+  std::uint64_t seed = 42;
+};
+
+/// Generate a synthetic tensor per `spec`. Deterministic in spec.seed.
+CooTensor make_synthetic(const SyntheticSpec& spec);
+
+/// Generate the ground-truth factors that make_synthetic would use (same
+/// seed => same factors). Useful for recovery tests.
+std::vector<Matrix> synthetic_ground_truth(const SyntheticSpec& spec);
+
+/// The four FROSTT stand-ins used throughout bench/: reddit-s, nell-s,
+/// amazon-s, patents-s (Table I analogues scaled to laptop size).
+/// `scale` in (0, +inf) scales the non-zero counts (1.0 = defaults).
+struct NamedDataset {
+  std::string name;
+  SyntheticSpec spec;
+  /// What the stand-in models from the paper.
+  std::string paper_analogue;
+};
+std::vector<NamedDataset> frostt_standins(real_t scale = 1.0);
+
+/// Find a stand-in by name; throws InvalidArgument if unknown.
+NamedDataset frostt_standin(const std::string& name, real_t scale = 1.0);
+
+}  // namespace aoadmm

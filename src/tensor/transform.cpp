@@ -1,0 +1,99 @@
+#include "tensor/transform.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace aoadmm {
+
+CooTensor permute_modes(const CooTensor& x, cspan<std::size_t> perm) {
+  AOADMM_CHECK_MSG(perm.size() == x.order(), "permutation arity mismatch");
+  {
+    std::vector<std::size_t> check(perm.begin(), perm.end());
+    std::sort(check.begin(), check.end());
+    for (std::size_t m = 0; m < check.size(); ++m) {
+      AOADMM_CHECK_MSG(check[m] == m, "not a permutation");
+    }
+  }
+  std::vector<index_t> dims(x.order());
+  for (std::size_t m = 0; m < x.order(); ++m) {
+    dims[m] = x.dim(perm[m]);
+  }
+  CooTensor out(dims);
+  out.reserve(x.nnz());
+  std::vector<index_t> coord(x.order());
+  for (offset_t n = 0; n < x.nnz(); ++n) {
+    for (std::size_t m = 0; m < x.order(); ++m) {
+      coord[m] = x.index(perm[m], n);
+    }
+    out.add(coord, x.value(n));
+  }
+  return out;
+}
+
+CooTensor extract_slice(const CooTensor& x, std::size_t mode, index_t index) {
+  AOADMM_CHECK(mode < x.order());
+  AOADMM_CHECK(index < x.dim(mode));
+  AOADMM_CHECK_MSG(x.order() >= 2, "cannot slice an order-1 tensor");
+  std::vector<index_t> dims;
+  for (std::size_t m = 0; m < x.order(); ++m) {
+    if (m != mode) {
+      dims.push_back(x.dim(m));
+    }
+  }
+  CooTensor out(dims);
+  std::vector<index_t> coord(dims.size());
+  for (offset_t n = 0; n < x.nnz(); ++n) {
+    if (x.index(mode, n) != index) {
+      continue;
+    }
+    std::size_t k = 0;
+    for (std::size_t m = 0; m < x.order(); ++m) {
+      if (m != mode) {
+        coord[k++] = x.index(m, n);
+      }
+    }
+    out.add(coord, x.value(n));
+  }
+  return out;
+}
+
+void map_values(CooTensor& x, const std::function<real_t(real_t)>& f) {
+  for (auto& v : x.values()) {
+    v = f(v);
+  }
+}
+
+CooTensor filter(const CooTensor& x,
+                 const std::function<bool(cspan<index_t>, real_t)>& pred) {
+  CooTensor out(x.dims());
+  std::vector<index_t> coord(x.order());
+  for (offset_t n = 0; n < x.nnz(); ++n) {
+    for (std::size_t m = 0; m < x.order(); ++m) {
+      coord[m] = x.index(m, n);
+    }
+    if (pred(coord, x.value(n))) {
+      out.add(coord, x.value(n));
+    }
+  }
+  return out;
+}
+
+TrainTestSplit split_train_test(const CooTensor& x, real_t test_fraction,
+                                Rng& rng) {
+  AOADMM_CHECK_MSG(test_fraction >= 0 && test_fraction <= 1,
+                   "test_fraction must be in [0, 1]");
+  TrainTestSplit split{CooTensor(x.dims()), CooTensor(x.dims())};
+  std::vector<index_t> coord(x.order());
+  for (offset_t n = 0; n < x.nnz(); ++n) {
+    for (std::size_t m = 0; m < x.order(); ++m) {
+      coord[m] = x.index(m, n);
+    }
+    CooTensor& dst =
+        rng.uniform() < test_fraction ? split.test : split.train;
+    dst.add(coord, x.value(n));
+  }
+  return split;
+}
+
+}  // namespace aoadmm

@@ -1,0 +1,42 @@
+// Structural transformations of COO tensors: mode permutation, slice
+// extraction, value maps, filtering, and random non-zero holdout splits
+// (the standard protocol for evaluating factorizations on held-out data).
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "tensor/coo.hpp"
+#include "util/rng.hpp"
+
+namespace aoadmm {
+
+/// Reorder the modes: result mode m is input mode perm[m]. perm must be a
+/// permutation of 0..order-1.
+CooTensor permute_modes(const CooTensor& x, cspan<std::size_t> perm);
+
+/// The order-1 slice x(..., index, ...) obtained by fixing `mode` at
+/// `index`: an (order-1)-mode tensor over the remaining modes (in their
+/// original relative order). Requires order >= 2. Fails for order-2 inputs
+/// producing order-1 outputs? No — order-1 tensors are valid CooTensors.
+CooTensor extract_slice(const CooTensor& x, std::size_t mode, index_t index);
+
+/// Apply `f` to every stored value in place.
+void map_values(CooTensor& x, const std::function<real_t(real_t)>& f);
+
+/// Keep only the non-zeros for which `pred(coord, value)` is true.
+CooTensor filter(const CooTensor& x,
+                 const std::function<bool(cspan<index_t>, real_t)>& pred);
+
+/// Random holdout split: each non-zero lands in `test` with probability
+/// `test_fraction`, else in `train`. Both tensors keep the full dims (so
+/// factor shapes match). Deterministic in rng state.
+struct TrainTestSplit {
+  CooTensor train;
+  CooTensor test;
+};
+TrainTestSplit split_train_test(const CooTensor& x, real_t test_fraction,
+                                Rng& rng);
+
+}  // namespace aoadmm

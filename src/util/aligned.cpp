@@ -1,0 +1,23 @@
+#include "util/aligned.hpp"
+
+#include <cstdlib>
+
+namespace aoadmm {
+
+void* aligned_alloc_bytes(std::size_t bytes) {
+  if (bytes == 0) {
+    bytes = kCacheLineBytes;
+  }
+  // std::aligned_alloc requires the size to be a multiple of the alignment.
+  const std::size_t rounded =
+      (bytes + kCacheLineBytes - 1) / kCacheLineBytes * kCacheLineBytes;
+  void* p = std::aligned_alloc(kCacheLineBytes, rounded);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void aligned_free(void* p) noexcept { std::free(p); }
+
+}  // namespace aoadmm

@@ -1,0 +1,52 @@
+// Cache-line/SIMD aligned storage for hot numeric arrays.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+
+namespace aoadmm {
+
+/// Alignment used for all numeric buffers: one x86 cache line, which is also
+/// sufficient for any SIMD width up to AVX-512.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Allocate `bytes` of kCacheLineBytes-aligned memory. Throws std::bad_alloc
+/// on failure. Pair with aligned_free().
+void* aligned_alloc_bytes(std::size_t bytes);
+
+/// Release memory obtained from aligned_alloc_bytes().
+void aligned_free(void* p) noexcept;
+
+/// Minimal std::allocator-compatible aligned allocator so std::vector can be
+/// used for hot buffers without giving up alignment guarantees.
+template <typename T>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) {
+      throw std::bad_alloc();
+    }
+    return static_cast<T*>(aligned_alloc_bytes(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { aligned_free(p); }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U>&) const noexcept {
+    return false;
+  }
+};
+
+}  // namespace aoadmm

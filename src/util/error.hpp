@@ -1,0 +1,65 @@
+// Error handling: contract checks that throw structured exceptions.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace aoadmm {
+
+/// Base class for all errors raised by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a caller violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Raised when an input file cannot be parsed.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a numerical routine cannot complete (e.g. an indefinite
+/// matrix handed to the Cholesky factorization).
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw InvalidArgument(os.str());
+}
+
+}  // namespace detail
+}  // namespace aoadmm
+
+/// Precondition check that survives in release builds. Use for API-boundary
+/// validation; hot inner loops should validate once outside the loop.
+#define AOADMM_CHECK(expr)                                                  \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::aoadmm::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+    }                                                                       \
+  } while (false)
+
+#define AOADMM_CHECK_MSG(expr, msg)                                         \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::aoadmm::detail::throw_check_failure(#expr, __FILE__, __LINE__,      \
+                                            (msg));                         \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,41 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace aoadmm {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+const char* level_tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kDebug:
+      return "DEBUG";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) > static_cast<int>(log_level())) {
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[aoadmm %s] %s\n", level_tag(level), msg.c_str());
+}
+
+}  // namespace aoadmm

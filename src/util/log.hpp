@@ -1,0 +1,54 @@
+// Minimal leveled logging to stderr. Quiet by default so benchmark output
+// stays clean; examples and the CLI raise the level.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace aoadmm {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+/// Global log threshold. Messages above the threshold are dropped.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emit one line at `level` (thread-safe; one write per message).
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace aoadmm
+
+#define AOADMM_LOG(level)                                   \
+  if (static_cast<int>(level) <= static_cast<int>(::aoadmm::log_level())) \
+  ::aoadmm::detail::LogLine(level)
+
+#define AOADMM_LOG_ERROR AOADMM_LOG(::aoadmm::LogLevel::kError)
+#define AOADMM_LOG_WARN AOADMM_LOG(::aoadmm::LogLevel::kWarn)
+#define AOADMM_LOG_INFO AOADMM_LOG(::aoadmm::LogLevel::kInfo)
+#define AOADMM_LOG_DEBUG AOADMM_LOG(::aoadmm::LogLevel::kDebug)

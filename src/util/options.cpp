@@ -1,0 +1,106 @@
+#include "util/options.hpp"
+
+#include <charconv>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace aoadmm {
+
+Options::Options(int argc, const char* const* argv) {
+  AOADMM_CHECK(argc >= 1);
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    }
+    AOADMM_CHECK_MSG(!name.empty(), "empty option name: " + arg);
+    values_[name] = value;
+  }
+}
+
+bool Options::has(const std::string& name) const {
+  queried_[name] = true;
+  return values_.count(name) != 0;
+}
+
+std::optional<std::string> Options::get(const std::string& name) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::string Options::get_string(const std::string& name,
+                                const std::string& fallback) const {
+  return get(name).value_or(fallback);
+}
+
+std::int64_t Options::get_int(const std::string& name,
+                              std::int64_t fallback) const {
+  const auto v = get(name);
+  if (!v) {
+    return fallback;
+  }
+  std::int64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(v->data(), v->data() + v->size(), out);
+  AOADMM_CHECK_MSG(ec == std::errc() && ptr == v->data() + v->size(),
+                   "option --" + name + " expects an integer, got '" + *v +
+                       "'");
+  return out;
+}
+
+double Options::get_double(const std::string& name, double fallback) const {
+  const auto v = get(name);
+  if (!v) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double out = std::strtod(v->c_str(), &end);
+  AOADMM_CHECK_MSG(end == v->c_str() + v->size(),
+                   "option --" + name + " expects a number, got '" + *v + "'");
+  return out;
+}
+
+bool Options::get_bool(const std::string& name, bool fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  const std::string& v = it->second;
+  if (v.empty() || v == "1" || v == "true" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "0" || v == "false" || v == "no" || v == "off") {
+    return false;
+  }
+  throw InvalidArgument("option --" + name + " expects a boolean, got '" + v +
+                        "'");
+}
+
+std::vector<std::string> Options::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_) {
+    if (!queried_.count(name)) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+}  // namespace aoadmm

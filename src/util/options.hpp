@@ -1,0 +1,45 @@
+// Small command-line option parser used by the examples and benchmark
+// harnesses: `--key value`, `--key=value`, and `--flag` forms, plus
+// positional arguments. No external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace aoadmm {
+
+class Options {
+ public:
+  /// Parse argv. Throws InvalidArgument on malformed input (e.g. `--=x`).
+  Options(int argc, const char* const* argv);
+
+  /// True if --name was present (with or without a value).
+  bool has(const std::string& name) const;
+
+  /// Value of --name, if given with a value.
+  std::optional<std::string> get(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+  /// Names of all options that were passed but never queried; lets tools
+  /// reject typos (`--ranks` vs `--rank`).
+  std::vector<std::string> unused() const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace aoadmm

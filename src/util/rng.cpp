@@ -1,0 +1,105 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace aoadmm {
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) {
+    s = splitmix64(sm);
+  }
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+real_t Rng::uniform() noexcept {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<real_t>(next() >> 11) * 0x1.0p-53;
+}
+
+real_t Rng::uniform(real_t lo, real_t hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) noexcept {
+  // Lemire's method: unbiased without division in the common case.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  std::uint64_t lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+real_t Rng::normal() noexcept {
+  // Box–Muller; discards the second variate to keep the generator stateless
+  // beyond its 256-bit core (simplifies split()/replay semantics).
+  real_t u1 = uniform();
+  while (u1 <= 0.0) {
+    u1 = uniform();
+  }
+  const real_t u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi_v<real_t> * u2);
+}
+
+Rng Rng::split() noexcept { return Rng(next()); }
+
+ZipfSampler::ZipfSampler(index_t n, real_t alpha) : n_(n), alpha_(alpha) {
+  AOADMM_CHECK_MSG(n > 0, "ZipfSampler requires a non-empty support");
+  AOADMM_CHECK_MSG(alpha >= 0.0, "Zipf exponent must be non-negative");
+  cdf_.resize(n);
+  real_t sum = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    sum += std::pow(static_cast<real_t>(i + 1), -alpha);
+    cdf_[i] = sum;
+  }
+  const real_t inv = 1.0 / sum;
+  for (auto& c : cdf_) {
+    c *= inv;
+  }
+  cdf_.back() = 1.0;  // guard against round-off at the tail
+}
+
+index_t ZipfSampler::operator()(Rng& rng) const noexcept {
+  const real_t u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<index_t>(it - cdf_.begin());
+}
+
+}  // namespace aoadmm

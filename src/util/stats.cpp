@@ -1,0 +1,64 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace aoadmm {
+
+Summary summarize(cspan<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) {
+    return s;
+  }
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  double sum = 0.0;
+  for (const double v : sorted) {
+    sum += v;
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  double ss = 0.0;
+  for (const double v : sorted) {
+    const double d = v - s.mean;
+    ss += d * d;
+  }
+  s.stddev = s.count > 1 ? std::sqrt(ss / static_cast<double>(s.count - 1))
+                         : 0.0;
+  const std::size_t mid = s.count / 2;
+  s.median = (s.count % 2 == 1)
+                 ? sorted[mid]
+                 : 0.5 * (sorted[mid - 1] + sorted[mid]);
+  return s;
+}
+
+double percentile(cspan<const double> values, double p) {
+  AOADMM_CHECK(!values.empty());
+  AOADMM_CHECK(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) {
+    return sorted[0];
+  }
+  const double pos = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double geometric_mean(cspan<const double> values) {
+  AOADMM_CHECK(!values.empty());
+  double log_sum = 0.0;
+  for (const double v : values) {
+    AOADMM_CHECK_MSG(v > 0.0, "geometric_mean requires positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace aoadmm

@@ -1,0 +1,31 @@
+// Summary statistics for benchmark reporting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace aoadmm {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation
+  double median = 0.0;
+};
+
+/// Compute summary statistics of a sample. Empty input yields a
+/// zero-initialized Summary.
+Summary summarize(cspan<const double> values);
+
+/// p-th percentile (p in [0,100]) with linear interpolation. Requires a
+/// non-empty sample.
+double percentile(cspan<const double> values, double p);
+
+/// Geometric mean; requires all values > 0.
+double geometric_mean(cspan<const double> values);
+
+}  // namespace aoadmm

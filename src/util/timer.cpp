@@ -1,0 +1,24 @@
+#include "util/timer.hpp"
+
+namespace aoadmm {
+
+double TimerSet::seconds(const std::string& name) const {
+  const auto it = timers_.find(name);
+  return it == timers_.end() ? 0.0 : it->second.seconds();
+}
+
+double TimerSet::total_seconds() const {
+  double total = 0.0;
+  for (const auto& [name, timer] : timers_) {
+    total += timer.seconds();
+  }
+  return total;
+}
+
+void TimerSet::reset_all() {
+  for (auto& [name, timer] : timers_) {
+    timer.reset();
+  }
+}
+
+}  // namespace aoadmm

@@ -1,0 +1,34 @@
+// Fundamental scalar and index types shared across the library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace aoadmm {
+
+/// Floating-point type used for tensor values and factor matrices.
+using real_t = double;
+
+/// Index within a single tensor mode (mode lengths fit in 32 bits for all
+/// workloads this library targets; nnz counts use offset_t).
+using index_t = std::uint32_t;
+
+/// Offset into the non-zero stream of a sparse tensor (can exceed 2^32).
+using offset_t = std::uint64_t;
+
+/// Rank (number of CPD components). Small by construction.
+using rank_t = std::uint32_t;
+
+/// Maximum tensor order supported by the static-order kernels. Higher-order
+/// tensors are handled by the generic recursive kernels.
+inline constexpr std::size_t kMaxOrder = 8;
+
+template <typename T>
+using span = std::span<T>;
+
+template <typename T>
+using cspan = std::span<const T>;
+
+}  // namespace aoadmm

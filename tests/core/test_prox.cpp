@@ -1,0 +1,270 @@
+#include "core/prox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace aoadmm {
+namespace {
+
+Matrix test_input(std::uint64_t seed = 1) {
+  Rng rng(seed);
+  return Matrix::random_uniform(20, 6, rng, -2.0, 2.0);
+}
+
+TEST(ProxNone, IsIdentity) {
+  Matrix h = test_input();
+  const Matrix before = h;
+  make_prox({ConstraintKind::kNone})->apply(h, 0, h.rows(), 1.0);
+  EXPECT_LT(max_abs_diff(h, before), 1e-15);
+}
+
+TEST(ProxNonNegative, ClampsNegatives) {
+  Matrix h = test_input(2);
+  make_prox({ConstraintKind::kNonNegative})->apply(h, 0, h.rows(), 1.0);
+  for (const real_t v : h.flat()) {
+    EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(ProxNonNegative, KeepsPositivesExactly) {
+  Matrix h(1, 3);
+  h(0, 0) = 0.5;
+  h(0, 1) = -0.5;
+  h(0, 2) = 2.0;
+  make_prox({ConstraintKind::kNonNegative})->apply(h, 0, 1, 7.0);
+  EXPECT_DOUBLE_EQ(h(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(h(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(h(0, 2), 2.0);
+}
+
+TEST(ProxNonNegative, Idempotent) {
+  // Projections are idempotent: applying twice equals once.
+  Matrix h = test_input(3);
+  const auto prox = make_prox({ConstraintKind::kNonNegative});
+  prox->apply(h, 0, h.rows(), 1.0);
+  const Matrix once = h;
+  prox->apply(h, 0, h.rows(), 1.0);
+  EXPECT_LT(max_abs_diff(h, once), 1e-15);
+}
+
+TEST(ProxL1, SoftThresholdKnownValues) {
+  Matrix h(1, 4);
+  h(0, 0) = 1.0;
+  h(0, 1) = -1.0;
+  h(0, 2) = 0.05;
+  h(0, 3) = -0.05;
+  // lambda=0.2, rho=2 -> threshold 0.1.
+  make_prox({ConstraintKind::kL1, 0.2})->apply(h, 0, 1, 2.0);
+  EXPECT_DOUBLE_EQ(h(0, 0), 0.9);
+  EXPECT_DOUBLE_EQ(h(0, 1), -0.9);
+  EXPECT_DOUBLE_EQ(h(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(h(0, 3), 0.0);
+}
+
+TEST(ProxL1, ShrinksTowardZero) {
+  Matrix h = test_input(4);
+  const Matrix before = h;
+  make_prox({ConstraintKind::kL1, 0.5})->apply(h, 0, h.rows(), 1.0);
+  for (std::size_t k = 0; k < h.size(); ++k) {
+    EXPECT_LE(std::abs(h.data()[k]), std::abs(before.data()[k]) + 1e-15);
+  }
+}
+
+TEST(ProxL1, InducesSparsityFlag) {
+  EXPECT_TRUE(make_prox({ConstraintKind::kL1, 0.1})->induces_sparsity());
+  EXPECT_TRUE(make_prox({ConstraintKind::kNonNegative})->induces_sparsity());
+  EXPECT_FALSE(make_prox({ConstraintKind::kRidge, 0.1})->induces_sparsity());
+}
+
+TEST(ProxL1, PenaltyIsScaledL1Norm) {
+  Matrix h(1, 3);
+  h(0, 0) = 1;
+  h(0, 1) = -2;
+  h(0, 2) = 3;
+  EXPECT_DOUBLE_EQ(make_prox({ConstraintKind::kL1, 0.5})->penalty(h), 3.0);
+}
+
+TEST(ProxNnL1, NonNegativeSoftThreshold) {
+  Matrix h(1, 4);
+  h(0, 0) = 1.0;
+  h(0, 1) = -1.0;
+  h(0, 2) = 0.05;
+  h(0, 3) = 0.3;
+  make_prox({ConstraintKind::kNonNegativeL1, 0.2})->apply(h, 0, 1, 2.0);
+  EXPECT_DOUBLE_EQ(h(0, 0), 0.9);
+  EXPECT_DOUBLE_EQ(h(0, 1), 0.0);  // negative -> zero
+  EXPECT_DOUBLE_EQ(h(0, 2), 0.0);  // below threshold
+  EXPECT_DOUBLE_EQ(h(0, 3), 0.2);
+}
+
+TEST(ProxRidge, ScalesByClosedForm) {
+  Matrix h(1, 2);
+  h(0, 0) = 2.0;
+  h(0, 1) = -4.0;
+  // lambda=1, rho=1 -> scale 1/2.
+  make_prox({ConstraintKind::kRidge, 1.0})->apply(h, 0, 1, 1.0);
+  EXPECT_DOUBLE_EQ(h(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(h(0, 1), -2.0);
+}
+
+TEST(ProxSimplex, RowsLandOnSimplex) {
+  Matrix h = test_input(5);
+  make_prox({ConstraintKind::kSimplex})->apply(h, 0, h.rows(), 1.0);
+  for (std::size_t i = 0; i < h.rows(); ++i) {
+    real_t sum = 0;
+    for (std::size_t j = 0; j < h.cols(); ++j) {
+      EXPECT_GE(h(i, j), 0.0);
+      sum += h(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(ProxSimplex, FixedPointOnSimplexPoints) {
+  Matrix h(1, 3);
+  h(0, 0) = 0.2;
+  h(0, 1) = 0.3;
+  h(0, 2) = 0.5;
+  make_prox({ConstraintKind::kSimplex})->apply(h, 0, 1, 1.0);
+  EXPECT_NEAR(h(0, 0), 0.2, 1e-12);
+  EXPECT_NEAR(h(0, 1), 0.3, 1e-12);
+  EXPECT_NEAR(h(0, 2), 0.5, 1e-12);
+}
+
+TEST(ProxSimplex, KnownProjection) {
+  // Projection of (1,1) onto simplex is (0.5, 0.5).
+  Matrix h(1, 2);
+  h(0, 0) = 1;
+  h(0, 1) = 1;
+  make_prox({ConstraintKind::kSimplex})->apply(h, 0, 1, 1.0);
+  EXPECT_NEAR(h(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(h(0, 1), 0.5, 1e-12);
+}
+
+TEST(ProxBox, ClampsToBounds) {
+  Matrix h = test_input(6);
+  make_prox({ConstraintKind::kBox, 0, -0.5, 0.5})->apply(h, 0, h.rows(), 1.0);
+  for (const real_t v : h.flat()) {
+    EXPECT_GE(v, -0.5);
+    EXPECT_LE(v, 0.5);
+  }
+}
+
+TEST(ProxL2Ball, ProjectsOntoBall) {
+  Matrix h = test_input(10);
+  make_prox({ConstraintKind::kL2Ball, 0, 0, 1.5})->apply(h, 0, h.rows(), 1.0);
+  for (std::size_t i = 0; i < h.rows(); ++i) {
+    real_t norm_sq = 0;
+    for (std::size_t j = 0; j < h.cols(); ++j) {
+      norm_sq += h(i, j) * h(i, j);
+    }
+    EXPECT_LE(norm_sq, 1.5 * 1.5 + 1e-12);
+  }
+}
+
+TEST(ProxL2Ball, InteriorPointsUntouched) {
+  Matrix h(1, 3);
+  h(0, 0) = 0.1;
+  h(0, 1) = -0.2;
+  h(0, 2) = 0.1;
+  make_prox({ConstraintKind::kL2Ball, 0, 0, 1.0})->apply(h, 0, 1, 1.0);
+  EXPECT_DOUBLE_EQ(h(0, 0), 0.1);
+  EXPECT_DOUBLE_EQ(h(0, 1), -0.2);
+}
+
+TEST(ProxL2Ball, ExteriorPointsLandOnSphere) {
+  Matrix h(1, 2);
+  h(0, 0) = 3.0;
+  h(0, 1) = 4.0;  // norm 5
+  make_prox({ConstraintKind::kL2Ball, 0, 0, 1.0})->apply(h, 0, 1, 1.0);
+  EXPECT_NEAR(h(0, 0), 0.6, 1e-12);
+  EXPECT_NEAR(h(0, 1), 0.8, 1e-12);
+}
+
+TEST(ProxL2Ball, RejectsNonPositiveRadius) {
+  EXPECT_THROW(make_prox({ConstraintKind::kL2Ball, 0, 0, 0.0}),
+               InvalidArgument);
+}
+
+TEST(ProxRowRange, OnlyTouchesRequestedRows) {
+  Matrix h = test_input(7);
+  const Matrix before = h;
+  make_prox({ConstraintKind::kNonNegative})->apply(h, 5, 10, 1.0);
+  for (std::size_t i = 0; i < h.rows(); ++i) {
+    for (std::size_t j = 0; j < h.cols(); ++j) {
+      if (i < 5 || i >= 10) {
+        EXPECT_DOUBLE_EQ(h(i, j), before(i, j));
+      } else {
+        EXPECT_GE(h(i, j), 0.0);
+      }
+    }
+  }
+}
+
+TEST(ProxNonexpansive, AllProjectionsContract) {
+  // ‖prox(x) − prox(y)‖ ≤ ‖x − y‖ for proximal operators of convex r.
+  for (const ConstraintKind kind :
+       {ConstraintKind::kNonNegative, ConstraintKind::kL1,
+        ConstraintKind::kNonNegativeL1, ConstraintKind::kRidge,
+        ConstraintKind::kSimplex, ConstraintKind::kBox,
+        ConstraintKind::kL2Ball}) {
+    ConstraintSpec spec;
+    spec.kind = kind;
+    spec.lambda = 0.3;
+    spec.lo = -1;
+    spec.hi = 1;
+    const auto prox = make_prox(spec);
+    Matrix x = test_input(8);
+    Matrix y = test_input(9);
+    Matrix dx = x;
+    Matrix dy = y;
+    prox->apply(dx, 0, dx.rows(), 1.0);
+    prox->apply(dy, 0, dy.rows(), 1.0);
+    real_t before = 0;
+    real_t after = 0;
+    for (std::size_t k = 0; k < x.size(); ++k) {
+      const real_t din = x.data()[k] - y.data()[k];
+      const real_t dout = dx.data()[k] - dy.data()[k];
+      before += din * din;
+      after += dout * dout;
+    }
+    EXPECT_LE(after, before + 1e-12) << "kind " << to_string(kind);
+  }
+}
+
+TEST(ProxFactory, ParsesNames) {
+  EXPECT_EQ(parse_constraint_kind("none"), ConstraintKind::kNone);
+  EXPECT_EQ(parse_constraint_kind("nonneg"), ConstraintKind::kNonNegative);
+  EXPECT_EQ(parse_constraint_kind("l1"), ConstraintKind::kL1);
+  EXPECT_EQ(parse_constraint_kind("nnl1"), ConstraintKind::kNonNegativeL1);
+  EXPECT_EQ(parse_constraint_kind("ridge"), ConstraintKind::kRidge);
+  EXPECT_EQ(parse_constraint_kind("simplex"), ConstraintKind::kSimplex);
+  EXPECT_EQ(parse_constraint_kind("box"), ConstraintKind::kBox);
+  EXPECT_EQ(parse_constraint_kind("l2ball"), ConstraintKind::kL2Ball);
+  EXPECT_THROW(parse_constraint_kind("bogus"), InvalidArgument);
+}
+
+TEST(ProxFactory, RoundTripsToString) {
+  for (const auto kind :
+       {ConstraintKind::kNone, ConstraintKind::kNonNegative,
+        ConstraintKind::kL1, ConstraintKind::kNonNegativeL1,
+        ConstraintKind::kRidge, ConstraintKind::kSimplex,
+        ConstraintKind::kBox, ConstraintKind::kL2Ball}) {
+    EXPECT_EQ(parse_constraint_kind(to_string(kind)), kind);
+  }
+}
+
+TEST(ProxFactory, RejectsBadParameters) {
+  EXPECT_THROW(make_prox({ConstraintKind::kL1, -1.0}), InvalidArgument);
+  EXPECT_THROW(make_prox({ConstraintKind::kRidge, -0.1}), InvalidArgument);
+  EXPECT_THROW(make_prox({ConstraintKind::kBox, 0, 2.0, 1.0}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aoadmm

@@ -1,0 +1,61 @@
+#include "core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace aoadmm {
+namespace {
+
+ConvergenceTrace sample_trace() {
+  ConvergenceTrace t;
+  t.add(1, 0.5, 0.9);
+  t.add(2, 1.0, 0.7);
+  t.add(3, 1.5, 0.65);
+  t.add(4, 2.0, 0.66);  // small uptick
+  t.add(5, 2.5, 0.6);
+  return t;
+}
+
+TEST(Trace, EmptyByDefault) {
+  const ConvergenceTrace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Trace, StoresPointsInOrder) {
+  const ConvergenceTrace t = sample_trace();
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.points()[0].outer_iteration, 1u);
+  EXPECT_DOUBLE_EQ(t.points()[2].seconds, 1.5);
+  EXPECT_DOUBLE_EQ(t.points()[4].relative_error, 0.6);
+}
+
+TEST(Trace, BestErrorIsMinimum) {
+  EXPECT_DOUBLE_EQ(sample_trace().best_error(), 0.6);
+}
+
+TEST(Trace, TimeToErrorFindsFirstCrossing) {
+  const ConvergenceTrace t = sample_trace();
+  EXPECT_DOUBLE_EQ(t.time_to_error(0.7), 1.0);
+  EXPECT_DOUBLE_EQ(t.time_to_error(0.95), 0.5);
+  EXPECT_LT(t.time_to_error(0.1), 0.0);  // never reached
+}
+
+TEST(Trace, IterationsToError) {
+  const ConvergenceTrace t = sample_trace();
+  EXPECT_EQ(t.iterations_to_error(0.65), 3);
+  EXPECT_EQ(t.iterations_to_error(0.01), -1);
+}
+
+TEST(Trace, CsvOutputWellFormed) {
+  std::ostringstream os;
+  sample_trace().write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_EQ(csv.substr(0, 27), "iter,seconds,relative_error");
+  // Header + 5 rows = 6 newlines.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 6);
+}
+
+}  // namespace
+}  // namespace aoadmm

@@ -1,0 +1,135 @@
+#include "la/cholesky.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace aoadmm {
+namespace {
+
+/// SPD test matrix: AᵀA + n·I from a random A.
+Matrix random_spd(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  const Matrix a = Matrix::random_normal(n + 5, n, rng);
+  Matrix g;
+  gram(a, g);
+  for (std::size_t i = 0; i < n; ++i) {
+    g(i, i) += static_cast<real_t>(n);
+  }
+  return g;
+}
+
+TEST(CholeskyTest, ReconstructsLLt) {
+  const Matrix spd = random_spd(6, 1);
+  const Cholesky chol(spd);
+  const Matrix& l = chol.lower();
+  const Matrix llt = matmul(l, transpose(l));
+  EXPECT_LT(max_abs_diff(llt, spd), 1e-10);
+}
+
+TEST(CholeskyTest, LowerIsTriangular) {
+  const Cholesky chol(random_spd(5, 2));
+  const Matrix& l = chol.lower();
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = i + 1; j < 5; ++j) {
+      EXPECT_DOUBLE_EQ(l(i, j), 0.0);
+    }
+  }
+}
+
+TEST(CholeskyTest, SolveRecoversKnownSolution) {
+  const std::size_t n = 8;
+  const Matrix spd = random_spd(n, 3);
+  Rng rng(4);
+  std::vector<real_t> x_true(n);
+  for (auto& v : x_true) {
+    v = rng.normal();
+  }
+  // b = A x
+  std::vector<real_t> b(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      b[i] += spd(i, j) * x_true[j];
+    }
+  }
+  const Cholesky chol(spd);
+  chol.solve_inplace({b.data(), n});
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(b[i], x_true[i], 1e-9);
+  }
+}
+
+TEST(CholeskyTest, SolveRowsMatchesPerRowSolve) {
+  const std::size_t n = 5;
+  const Matrix spd = random_spd(n, 5);
+  Rng rng(6);
+  Matrix rhs = Matrix::random_normal(20, n, rng);
+  Matrix rhs2 = rhs;
+
+  const Cholesky chol(spd);
+  chol.solve_rows_inplace(rhs);
+  for (std::size_t i = 0; i < rhs2.rows(); ++i) {
+    chol.solve_inplace(rhs2.row(i));
+  }
+  EXPECT_LT(max_abs_diff(rhs, rhs2), 1e-14);
+}
+
+TEST(CholeskyTest, PartialRowRangeOnlyTouchesRange) {
+  const Matrix spd = random_spd(4, 7);
+  Rng rng(8);
+  Matrix rhs = Matrix::random_normal(10, 4, rng);
+  const Matrix before = rhs;
+  const Cholesky chol(spd);
+  chol.solve_rows_inplace(rhs, 3, 6);
+  for (std::size_t i = 0; i < 10; ++i) {
+    const bool in_range = i >= 3 && i < 6;
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (!in_range) {
+        EXPECT_DOUBLE_EQ(rhs(i, j), before(i, j));
+      }
+    }
+  }
+}
+
+TEST(CholeskyTest, IdentitySolveIsNoop) {
+  const Cholesky chol(Matrix::identity(3));
+  std::vector<real_t> b{1.0, -2.0, 3.0};
+  chol.solve_inplace({b.data(), 3});
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[1], -2.0);
+  EXPECT_DOUBLE_EQ(b[2], 3.0);
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  const Matrix m(2, 3);
+  EXPECT_THROW(Cholesky{m}, InvalidArgument);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix m = Matrix::identity(3);
+  m(2, 2) = -1;
+  EXPECT_THROW(Cholesky{m}, NumericalError);
+}
+
+TEST(CholeskyTest, RejectsSingular) {
+  const Matrix zero(3, 3);
+  EXPECT_THROW(Cholesky{zero}, NumericalError);
+}
+
+TEST(SolveNormalEquations, SolvesAllRows) {
+  const std::size_t f = 6;
+  const Matrix g = random_spd(f, 9);
+  Rng rng(10);
+  const Matrix x_true = Matrix::random_normal(30, f, rng);
+  // rhs = X * G (row i: G xᵢ since G symmetric)
+  Matrix rhs = matmul(x_true, g);
+  solve_normal_equations(g, rhs);
+  EXPECT_LT(max_abs_diff(rhs, x_true), 1e-8);
+}
+
+}  // namespace
+}  // namespace aoadmm

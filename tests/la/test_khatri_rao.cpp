@@ -1,0 +1,118 @@
+#include "la/khatri_rao.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "la/blas.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace aoadmm {
+namespace {
+
+TEST(KhatriRao, HandWorkedExample) {
+  Matrix p(2, 2);
+  p(0, 0) = 1;
+  p(0, 1) = 2;
+  p(1, 0) = 3;
+  p(1, 1) = 4;
+  Matrix q(2, 2);
+  q(0, 0) = 5;
+  q(0, 1) = 6;
+  q(1, 0) = 7;
+  q(1, 1) = 8;
+
+  const Matrix k = khatri_rao(p, q);
+  ASSERT_EQ(k.rows(), 4u);
+  ASSERT_EQ(k.cols(), 2u);
+  // Row p*2+q = P(p,:) * Q(q,:) elementwise.
+  EXPECT_DOUBLE_EQ(k(0, 0), 5);   // 1*5
+  EXPECT_DOUBLE_EQ(k(0, 1), 12);  // 2*6
+  EXPECT_DOUBLE_EQ(k(1, 0), 7);   // 1*7
+  EXPECT_DOUBLE_EQ(k(1, 1), 16);  // 2*8
+  EXPECT_DOUBLE_EQ(k(2, 0), 15);  // 3*5
+  EXPECT_DOUBLE_EQ(k(3, 1), 32);  // 4*8
+}
+
+TEST(KhatriRao, FirstArgumentVariesSlowest) {
+  Matrix p(3, 1);
+  p(0, 0) = 1;
+  p(1, 0) = 10;
+  p(2, 0) = 100;
+  Matrix q(2, 1);
+  q(0, 0) = 1;
+  q(1, 0) = 2;
+  const Matrix k = khatri_rao(p, q);
+  ASSERT_EQ(k.rows(), 6u);
+  EXPECT_DOUBLE_EQ(k(0, 0), 1);
+  EXPECT_DOUBLE_EQ(k(1, 0), 2);
+  EXPECT_DOUBLE_EQ(k(2, 0), 10);
+  EXPECT_DOUBLE_EQ(k(3, 0), 20);
+  EXPECT_DOUBLE_EQ(k(4, 0), 100);
+  EXPECT_DOUBLE_EQ(k(5, 0), 200);
+}
+
+TEST(KhatriRao, RejectsRankMismatch) {
+  const Matrix p(2, 2);
+  const Matrix q(2, 3);
+  EXPECT_THROW(khatri_rao(p, q), InvalidArgument);
+}
+
+TEST(KhatriRao, GramIdentity) {
+  // (P ⊙ Q)ᵀ(P ⊙ Q) = (PᵀP) ∗ (QᵀQ) — the identity AO-ADMM uses for G.
+  Rng rng(11);
+  const Matrix p = Matrix::random_normal(7, 4, rng);
+  const Matrix q = Matrix::random_normal(5, 4, rng);
+  const Matrix krp = khatri_rao(p, q);
+  Matrix g_full;
+  gram(krp, g_full);
+  Matrix gp;
+  Matrix gq;
+  gram(p, gp);
+  gram(q, gq);
+  const Matrix g_had = hadamard(gp, gq);
+  EXPECT_LT(max_abs_diff(g_full, g_had), 1e-10);
+}
+
+TEST(KhatriRaoExcluding, ThreeModeComposition) {
+  Rng rng(12);
+  std::vector<Matrix> factors;
+  factors.push_back(Matrix::random_normal(3, 2, rng));  // A (mode 0)
+  factors.push_back(Matrix::random_normal(4, 2, rng));  // B (mode 1)
+  factors.push_back(Matrix::random_normal(5, 2, rng));  // C (mode 2)
+
+  // Excluding mode 0: C ⊙ B (lower mode B varies fastest).
+  const Matrix k0 = khatri_rao_excluding(factors, 0);
+  const Matrix want0 = khatri_rao(factors[2], factors[1]);
+  EXPECT_LT(max_abs_diff(k0, want0), 1e-14);
+
+  // Excluding mode 1: C ⊙ A.
+  const Matrix k1 = khatri_rao_excluding(factors, 1);
+  const Matrix want1 = khatri_rao(factors[2], factors[0]);
+  EXPECT_LT(max_abs_diff(k1, want1), 1e-14);
+
+  // Excluding mode 2: B ⊙ A.
+  const Matrix k2 = khatri_rao_excluding(factors, 2);
+  const Matrix want2 = khatri_rao(factors[1], factors[0]);
+  EXPECT_LT(max_abs_diff(k2, want2), 1e-14);
+}
+
+TEST(KhatriRaoExcluding, FourModeShape) {
+  Rng rng(13);
+  std::vector<Matrix> factors;
+  for (const std::size_t d : {2u, 3u, 4u, 5u}) {
+    factors.push_back(Matrix::random_normal(d, 3, rng));
+  }
+  const Matrix k = khatri_rao_excluding(factors, 1);
+  EXPECT_EQ(k.rows(), 2u * 4u * 5u);
+  EXPECT_EQ(k.cols(), 3u);
+}
+
+TEST(KhatriRaoExcluding, RejectsBadMode) {
+  std::vector<Matrix> factors(2, Matrix(2, 2));
+  EXPECT_THROW(khatri_rao_excluding(factors, 2), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aoadmm

@@ -1,0 +1,129 @@
+#include "la/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace aoadmm {
+namespace {
+
+TEST(MatrixTest, ZeroInitialized) {
+  const Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  for (const real_t v : m.flat()) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(MatrixTest, ElementAccessRowMajor) {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(0, 2) = 2;
+  m(1, 1) = 3;
+  EXPECT_DOUBLE_EQ(m.data()[0], 1);
+  EXPECT_DOUBLE_EQ(m.data()[2], 2);
+  EXPECT_DOUBLE_EQ(m.data()[4], 3);
+}
+
+TEST(MatrixTest, RowSpanViewsRow) {
+  Matrix m(3, 2);
+  m(1, 0) = 5;
+  m(1, 1) = 6;
+  const auto r = m.row(1);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_DOUBLE_EQ(r[0], 5);
+  EXPECT_DOUBLE_EQ(r[1], 6);
+  // Writing through the span mutates the matrix.
+  m.row(1)[0] = 9;
+  EXPECT_DOUBLE_EQ(m(1, 0), 9);
+}
+
+TEST(MatrixTest, DataIsCacheLineAligned) {
+  const Matrix m(100, 7);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.data()) % kCacheLineBytes, 0u);
+}
+
+TEST(MatrixTest, FillAndZero) {
+  Matrix m(2, 2);
+  m.fill(3.5);
+  for (const real_t v : m.flat()) {
+    EXPECT_DOUBLE_EQ(v, 3.5);
+  }
+  m.zero();
+  for (const real_t v : m.flat()) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(MatrixTest, ReshapePreservesData) {
+  Matrix m(2, 6);
+  m(0, 5) = 7;
+  m.reshape(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_DOUBLE_EQ(m(1, 1), 7);  // same flat offset 5
+}
+
+TEST(MatrixTest, ReshapeRejectsSizeChange) {
+  Matrix m(2, 3);
+  EXPECT_THROW(m.reshape(2, 4), InvalidArgument);
+}
+
+TEST(MatrixTest, ResizeDiscardsAndZeroes) {
+  Matrix m(2, 2);
+  m.fill(1);
+  m.resize(3, 5);
+  EXPECT_EQ(m.rows(), 3u);
+  for (const real_t v : m.flat()) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(MatrixTest, IdentityHasUnitDiagonal) {
+  const Matrix id = Matrix::identity(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(id(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, RandomUniformWithinBounds) {
+  Rng rng(3);
+  const Matrix m = Matrix::random_uniform(50, 4, rng, 2.0, 3.0);
+  for (const real_t v : m.flat()) {
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(MatrixTest, RandomIsDeterministicInSeed) {
+  Rng r1(9);
+  Rng r2(9);
+  const Matrix a = Matrix::random_normal(10, 3, r1);
+  const Matrix b = Matrix::random_normal(10, 3, r2);
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_DOUBLE_EQ(a.data()[k], b.data()[k]);
+  }
+}
+
+TEST(MatrixTest, SameShape) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  const Matrix c(3, 2);
+  EXPECT_TRUE(a.same_shape(b));
+  EXPECT_FALSE(a.same_shape(c));
+}
+
+TEST(MatrixTest, EmptyMatrix) {
+  const Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+}
+
+}  // namespace
+}  // namespace aoadmm

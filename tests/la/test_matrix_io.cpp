@@ -1,0 +1,100 @@
+#include "la/matrix_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "la/blas.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace aoadmm {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("aoadmm_mio_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+TEST(MatrixIo, StreamRoundTripExact) {
+  Rng rng(1);
+  const Matrix a = Matrix::random_normal(13, 5, rng);
+  std::ostringstream out;
+  write_matrix(a, out);
+  std::istringstream in(out.str());
+  const Matrix b = read_matrix(in);
+  ASSERT_EQ(b.rows(), a.rows());
+  ASSERT_EQ(b.cols(), a.cols());
+  EXPECT_LT(max_abs_diff(a, b), 0.0 + 1e-300);  // bit-exact at 17 digits
+}
+
+TEST(MatrixIo, FileRoundTrip) {
+  const TempDir dir;
+  Rng rng(2);
+  const Matrix a = Matrix::random_uniform(7, 3, rng, -5, 5);
+  write_matrix_file(a, dir.file("a.mat"));
+  const Matrix b = read_matrix_file(dir.file("a.mat"));
+  EXPECT_LT(max_abs_diff(a, b), 1e-300);
+}
+
+TEST(MatrixIo, SkipsBlankLines) {
+  std::istringstream in("1 2\n\n3 4\n");
+  const Matrix m = read_matrix(in);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(MatrixIo, RejectsRaggedRows) {
+  std::istringstream in("1 2\n3 4 5\n");
+  EXPECT_THROW(read_matrix(in), ParseError);
+}
+
+TEST(MatrixIo, RejectsNonNumeric) {
+  std::istringstream in("1 two\n");
+  EXPECT_THROW(read_matrix(in), ParseError);
+}
+
+TEST(MatrixIo, RejectsEmptyInput) {
+  std::istringstream in("\n\n");
+  EXPECT_THROW(read_matrix(in), ParseError);
+}
+
+TEST(MatrixIo, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_file("/nonexistent/m.mat"), InvalidArgument);
+}
+
+TEST(MatrixIo, FactorsRoundTrip) {
+  const TempDir dir;
+  Rng rng(3);
+  std::vector<Matrix> factors;
+  factors.push_back(Matrix::random_normal(6, 4, rng));
+  factors.push_back(Matrix::random_normal(9, 4, rng));
+  factors.push_back(Matrix::random_normal(5, 4, rng));
+  const std::string prefix = dir.file("model");
+  write_factors(factors, prefix);
+  const auto loaded = read_factors(prefix, 3);
+  ASSERT_EQ(loaded.size(), 3u);
+  for (std::size_t m = 0; m < 3; ++m) {
+    EXPECT_LT(max_abs_diff(loaded[m], factors[m]), 1e-300);
+  }
+}
+
+}  // namespace
+}  // namespace aoadmm

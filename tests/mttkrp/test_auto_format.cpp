@@ -1,0 +1,133 @@
+// Tests for the automatic leaf-format selector (the paper's §VI future-work
+// item) and its integration with the sparse-factor cache.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/workspace.hpp"
+#include "la/blas.hpp"
+#include "mttkrp/mttkrp.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace aoadmm {
+namespace {
+
+std::vector<offset_t> uniform_cols(std::size_t cols, offset_t per_col) {
+  return std::vector<offset_t>(cols, per_col);
+}
+
+TEST(AutoFormat, DenseWhenAboveThreshold) {
+  // 50% dense, threshold 20% -> stay dense.
+  const auto col_nnz = uniform_cols(10, 50);
+  EXPECT_EQ(auto_select_leaf_format(500, 100, 10, col_nnz, 0.20),
+            LeafFormat::kDense);
+}
+
+TEST(AutoFormat, CsrWhenSparseAndSpread) {
+  // 5% dense, mass spread evenly -> CSR.
+  const auto col_nnz = uniform_cols(10, 5);
+  EXPECT_EQ(auto_select_leaf_format(50, 100, 10, col_nnz, 0.20),
+            LeafFormat::kCsr);
+}
+
+TEST(AutoFormat, HybridWhenMassConcentrated) {
+  // 2 of 12 columns hold ~90% of the non-zeros -> hybrid.
+  std::vector<offset_t> col_nnz(12, 1);
+  col_nnz[3] = 50;
+  col_nnz[7] = 45;
+  offset_t nnz = 0;
+  for (const auto c : col_nnz) {
+    nnz += c;
+  }
+  EXPECT_EQ(auto_select_leaf_format(nnz, 100, 12, col_nnz, 0.20),
+            LeafFormat::kHybrid);
+}
+
+TEST(AutoFormat, EmptyMatrixIsDense) {
+  const auto col_nnz = uniform_cols(4, 0);
+  EXPECT_EQ(auto_select_leaf_format(0, 0, 4, col_nnz, 0.20),
+            LeafFormat::kDense);
+}
+
+TEST(AutoFormat, AllZeroSparseMatrixIsCsr) {
+  // Non-empty shape, zero nnz, below threshold: CSR (cheapest to carry).
+  const auto col_nnz = uniform_cols(4, 0);
+  EXPECT_EQ(auto_select_leaf_format(0, 10, 4, col_nnz, 0.20),
+            LeafFormat::kCsr);
+}
+
+TEST(AutoFormat, RejectsColumnCountMismatch) {
+  const auto col_nnz = uniform_cols(3, 1);
+  EXPECT_THROW(auto_select_leaf_format(3, 10, 4, col_nnz, 0.2),
+               InvalidArgument);
+}
+
+Matrix concentrated_sparse(std::size_t rows, std::size_t cols,
+                           std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    m(i, 0) = rng.uniform(0.1, 1.0);  // one fully dense column
+    if (rng.uniform() < 0.02) {
+      m(i, cols - 1) = rng.uniform(0.1, 1.0);
+    }
+  }
+  return m;
+}
+
+Matrix spread_sparse(std::size_t rows, std::size_t cols,
+                     std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (auto& v : m.flat()) {
+    if (rng.uniform() < 0.05) {
+      v = rng.uniform(0.1, 1.0);
+    }
+  }
+  return m;
+}
+
+TEST(AutoFormatCache, ResolvesToHybridForConcentratedPattern) {
+  SparseFactorCache cache(1);
+  const Matrix f = concentrated_sparse(200, 8, 1);
+  const auto m = cache.refresh(0, f, LeafFormat::kAuto, 0.30);
+  EXPECT_EQ(m.format, LeafFormat::kHybrid);
+  ASSERT_NE(m.hybrid, nullptr);
+  EXPECT_EQ(m.csr, nullptr);
+}
+
+TEST(AutoFormatCache, ResolvesToCsrForSpreadPattern) {
+  SparseFactorCache cache(1);
+  const Matrix f = spread_sparse(200, 8, 2);
+  const auto m = cache.refresh(0, f, LeafFormat::kAuto, 0.30);
+  EXPECT_EQ(m.format, LeafFormat::kCsr);
+  ASSERT_NE(m.csr, nullptr);
+}
+
+TEST(AutoFormatCache, ResolvedFormatStableUntilInvalidated) {
+  SparseFactorCache cache(1);
+  const Matrix f = spread_sparse(100, 6, 3);
+  const auto first = cache.refresh(0, f, LeafFormat::kAuto, 0.30);
+  ASSERT_NE(first.csr, nullptr);
+  const auto second = cache.refresh(0, f, LeafFormat::kAuto, 0.30);
+  EXPECT_EQ(second.csr, first.csr);
+  EXPECT_FALSE(second.rebuilt);
+}
+
+TEST(AutoFormatCache, AutoMirrorsMatchDense) {
+  SparseFactorCache cache(2);
+  for (const std::uint64_t seed : {4u, 5u}) {
+    const Matrix f = concentrated_sparse(150, 10, seed);
+    const auto m = cache.refresh(0, f, LeafFormat::kAuto, 0.50);
+    if (m.hybrid != nullptr) {
+      EXPECT_LT(max_abs_diff(m.hybrid->to_dense(), f), 1e-15);
+    } else if (m.csr != nullptr) {
+      EXPECT_LT(max_abs_diff(m.csr->to_dense(), f), 1e-15);
+    }
+    cache.invalidate(0);
+  }
+}
+
+}  // namespace
+}  // namespace aoadmm

@@ -1,0 +1,220 @@
+#include "mttkrp/mttkrp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "la/blas.hpp"
+#include "la/khatri_rao.hpp"
+#include "tensor/matricize.hpp"
+#include "testing/helpers.hpp"
+#include "util/rng.hpp"
+
+namespace aoadmm {
+namespace {
+
+/// Oracle via explicit matricization: K = X(m) · khatri_rao_excluding.
+Matrix mttkrp_oracle(const CooTensor& x, cspan<const Matrix> factors,
+                     std::size_t mode) {
+  return matmul(matricize(x, mode), khatri_rao_excluding(factors, mode));
+}
+
+Matrix zero_some(Matrix m, real_t zero_prob, std::uint64_t seed) {
+  Rng rng(seed);
+  for (auto& v : m.flat()) {
+    if (rng.uniform() < zero_prob) {
+      v = 0;
+    }
+  }
+  return m;
+}
+
+TEST(MttkrpCoo, MatchesOracleThreeMode) {
+  const std::vector<index_t> dims{6, 7, 5};
+  const CooTensor x = testing::random_coo(dims, 50, 1);
+  const auto factors = testing::random_factors(dims, 3, 2);
+  for (std::size_t m = 0; m < 3; ++m) {
+    Matrix k;
+    mttkrp_coo(x, factors, m, k);
+    EXPECT_LT(max_abs_diff(k, mttkrp_oracle(x, factors, m)), 1e-10)
+        << "mode " << m;
+  }
+}
+
+TEST(MttkrpCsf, MatchesCooOnTinyTensor) {
+  const CooTensor x = testing::tiny_tensor();
+  const auto factors = testing::random_factors({2, 3, 2}, 2, 3);
+  for (std::size_t m = 0; m < 3; ++m) {
+    const CsfTensor csf = CsfTensor::build_for_mode(x, m);
+    Matrix k_csf;
+    mttkrp_csf(csf, factors, k_csf);
+    Matrix k_coo;
+    mttkrp_coo(x, factors, m, k_coo);
+    EXPECT_LT(max_abs_diff(k_csf, k_coo), 1e-12) << "mode " << m;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: every (order, rank, mode) combination must agree with the
+// COO reference for the dense CSF kernel.
+// ---------------------------------------------------------------------------
+
+using SweepParam = std::tuple<int /*order*/, int /*rank*/>;
+
+class MttkrpSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(MttkrpSweep, CsfDenseMatchesCooAllModes) {
+  const auto [order, rank] = GetParam();
+  std::vector<index_t> dims;
+  for (int m = 0; m < order; ++m) {
+    dims.push_back(static_cast<index_t>(5 + 3 * m));
+  }
+  const CooTensor x =
+      testing::random_coo(dims, 40 * static_cast<offset_t>(order),
+                          static_cast<std::uint64_t>(order * 100 + rank));
+  const auto factors = testing::random_factors(
+      dims, static_cast<rank_t>(rank),
+      static_cast<std::uint64_t>(order * 100 + rank + 1));
+
+  for (std::size_t m = 0; m < dims.size(); ++m) {
+    const CsfTensor csf = CsfTensor::build_for_mode(x, m);
+    Matrix k_csf;
+    mttkrp_csf(csf, factors, k_csf);
+    Matrix k_coo;
+    mttkrp_coo(x, factors, m, k_coo);
+    EXPECT_LT(max_abs_diff(k_csf, k_coo), 1e-10)
+        << "order " << order << " rank " << rank << " mode " << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OrdersAndRanks, MttkrpSweep,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5),
+                       ::testing::Values(1, 2, 8, 17)),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "order" + std::to_string(std::get<0>(info.param)) + "_rank" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Sparse-leaf kernels: CSR and hybrid must agree with the dense kernel when
+// given the compressed mirror of the (sparsified) leaf factor.
+// ---------------------------------------------------------------------------
+
+class SparseLeafSweep
+    : public ::testing::TestWithParam<double /*zero_prob*/> {};
+
+TEST_P(SparseLeafSweep, CsrMatchesDenseKernel) {
+  const double zero_prob = GetParam();
+  const std::vector<index_t> dims{10, 12, 30};
+  const CooTensor x = testing::random_coo(dims, 200, 42);
+  auto factors = testing::random_factors(dims, 6, 43);
+
+  for (std::size_t m = 0; m < 3; ++m) {
+    const CsfTensor csf = CsfTensor::build_for_mode(x, m);
+    const std::size_t leaf_mode = csf.level_mode(2);
+    factors[leaf_mode] =
+        zero_some(factors[leaf_mode], zero_prob, 44 + m);
+    const CsrMatrix leaf = CsrMatrix::from_dense(factors[leaf_mode]);
+
+    Matrix k_dense;
+    mttkrp_csf(csf, factors, k_dense);
+    Matrix k_csr;
+    mttkrp_csf_csr(csf, factors, leaf, k_csr);
+    EXPECT_LT(max_abs_diff(k_csr, k_dense), 1e-11)
+        << "mode " << m << " zero_prob " << zero_prob;
+  }
+}
+
+TEST_P(SparseLeafSweep, HybridMatchesDenseKernel) {
+  const double zero_prob = GetParam();
+  const std::vector<index_t> dims{10, 12, 30};
+  const CooTensor x = testing::random_coo(dims, 200, 52);
+  auto factors = testing::random_factors(dims, 6, 53);
+
+  for (std::size_t m = 0; m < 3; ++m) {
+    const CsfTensor csf = CsfTensor::build_for_mode(x, m);
+    const std::size_t leaf_mode = csf.level_mode(2);
+    factors[leaf_mode] =
+        zero_some(factors[leaf_mode], zero_prob, 54 + m);
+    const HybridMatrix leaf = HybridMatrix::from_dense(factors[leaf_mode]);
+
+    Matrix k_dense;
+    mttkrp_csf(csf, factors, k_dense);
+    Matrix k_hybrid;
+    mttkrp_csf_hybrid(csf, factors, leaf, k_hybrid);
+    EXPECT_LT(max_abs_diff(k_hybrid, k_dense), 1e-11)
+        << "mode " << m << " zero_prob " << zero_prob;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ZeroFractions, SparseLeafSweep,
+                         ::testing::Values(0.0, 0.3, 0.8, 0.95, 1.0),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "zeros" +
+                                  std::to_string(static_cast<int>(
+                                      info.param * 100));
+                         });
+
+// ---------------------------------------------------------------------------
+// Sparse-leaf kernels on four-mode tensors exercise the generic skeleton.
+// ---------------------------------------------------------------------------
+
+TEST(MttkrpSparseLeaf, FourModeCsrMatchesDense) {
+  const std::vector<index_t> dims{5, 6, 7, 20};
+  const CooTensor x = testing::random_coo(dims, 120, 62);
+  auto factors = testing::random_factors(dims, 4, 63);
+
+  const CsfTensor csf = CsfTensor::build_for_mode(x, 0);
+  const std::size_t leaf_mode = csf.level_mode(3);
+  factors[leaf_mode] = zero_some(factors[leaf_mode], 0.7, 64);
+  const CsrMatrix leaf = CsrMatrix::from_dense(factors[leaf_mode]);
+
+  Matrix k_dense;
+  mttkrp_csf(csf, factors, k_dense);
+  Matrix k_csr;
+  mttkrp_csf_csr(csf, factors, leaf, k_csr);
+  EXPECT_LT(max_abs_diff(k_csr, k_dense), 1e-11);
+}
+
+TEST(Mttkrp, EmptySlicesYieldZeroRows) {
+  // Rows of K for slices with no non-zeros must be exactly zero.
+  CooTensor x({5, 3, 3});
+  const index_t a[3] = {1, 0, 0};
+  const index_t b[3] = {3, 2, 1};
+  x.add({a, 3}, 2.0);
+  x.add({b, 3}, 3.0);
+  const auto factors = testing::random_factors({5, 3, 3}, 4, 71);
+  const CsfTensor csf = CsfTensor::build_for_mode(x, 0);
+  Matrix k;
+  mttkrp_csf(csf, factors, k);
+  for (const std::size_t empty_row : {0u, 2u, 4u}) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_DOUBLE_EQ(k(empty_row, c), 0.0);
+    }
+  }
+}
+
+TEST(Mttkrp, OutputBufferIsReusedAndOverwritten) {
+  const std::vector<index_t> dims{6, 7, 5};
+  const CooTensor x = testing::random_coo(dims, 40, 72);
+  const auto factors = testing::random_factors(dims, 3, 73);
+  const CsfTensor csf = CsfTensor::build_for_mode(x, 0);
+
+  Matrix k(6, 3);
+  k.fill(123.0);  // stale garbage must be cleared
+  mttkrp_csf(csf, factors, k);
+  Matrix k_fresh;
+  mttkrp_csf(csf, factors, k_fresh);
+  EXPECT_LT(max_abs_diff(k, k_fresh), 1e-15);
+}
+
+TEST(Mttkrp, LeafFormatNames) {
+  EXPECT_STREQ(to_string(LeafFormat::kDense), "DENSE");
+  EXPECT_STREQ(to_string(LeafFormat::kCsr), "CSR");
+  EXPECT_STREQ(to_string(LeafFormat::kHybrid), "CSR-H");
+}
+
+}  // namespace
+}  // namespace aoadmm

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "la/blas.hpp"
+#include "mttkrp/mttkrp.hpp"
+#include "testing/helpers.hpp"
+#include "util/error.hpp"
+
+namespace aoadmm {
+namespace {
+
+class TileSweep : public ::testing::TestWithParam<int /*tile_rows*/> {};
+
+TEST_P(TileSweep, TiledMatchesUntiledAllRoots) {
+  const auto tile_rows = static_cast<index_t>(GetParam());
+  const std::vector<index_t> dims{12, 9, 31};
+  const CooTensor x = testing::random_coo(dims, 250, 201);
+  const auto factors = testing::random_factors(dims, 5, 202);
+
+  for (std::size_t root = 0; root < dims.size(); ++root) {
+    const TiledCsf tiled(x, root, tile_rows);
+    Matrix k_tiled;
+    mttkrp_tiled(tiled, factors, k_tiled);
+
+    const CsfTensor plain = CsfTensor::build_for_mode(x, root);
+    Matrix k_plain;
+    mttkrp_csf(plain, factors, k_plain);
+    EXPECT_LT(max_abs_diff(k_tiled, k_plain), 1e-11)
+        << "root " << root << " tile " << tile_rows;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TileSizes, TileSweep,
+                         ::testing::Values(1, 4, 7, 16, 1000),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "tile" + std::to_string(info.param);
+                         });
+
+TEST(Tiled, ZeroTileRowsMeansSingleTile) {
+  const CooTensor x = testing::random_coo({8, 6, 20}, 60, 203);
+  const TiledCsf tiled(x, 0, 0);
+  EXPECT_EQ(tiled.num_tiles(), 1u);
+  EXPECT_EQ(tiled.nnz(), x.nnz());
+}
+
+TEST(Tiled, TileCountMatchesLeafPartition) {
+  // Root 0 -> leaf is the longest other mode (length 20); 7-row tiles.
+  const CooTensor x = testing::random_coo({8, 6, 20}, 200, 204);
+  const TiledCsf tiled(x, 0, 7);
+  EXPECT_LE(tiled.num_tiles(), 3u);  // ceil(20/7), minus any empty tile
+  EXPECT_GE(tiled.num_tiles(), 1u);
+  EXPECT_EQ(tiled.nnz(), x.nnz());
+}
+
+TEST(Tiled, NnzPreservedAcrossTiles) {
+  const CooTensor x = testing::random_coo({10, 10, 50}, 300, 205);
+  for (const index_t tile : {3u, 11u, 25u}) {
+    const TiledCsf tiled(x, 1, tile);
+    EXPECT_EQ(tiled.nnz(), x.nnz()) << "tile " << tile;
+  }
+}
+
+TEST(Tiled, FourModeTensorTiles) {
+  const std::vector<index_t> dims{6, 5, 4, 18};
+  const CooTensor x = testing::random_coo(dims, 120, 206);
+  const auto factors = testing::random_factors(dims, 3, 207);
+  const TiledCsf tiled(x, 0, 5);
+  Matrix k_tiled;
+  mttkrp_tiled(tiled, factors, k_tiled);
+  Matrix k_plain;
+  mttkrp_coo(x, factors, 0, k_plain);
+  EXPECT_LT(max_abs_diff(k_tiled, k_plain), 1e-11);
+}
+
+TEST(Tiled, AccumulateFlagAddsIntoOutput) {
+  const std::vector<index_t> dims{6, 7, 5};
+  const CooTensor x = testing::random_coo(dims, 50, 208);
+  const auto factors = testing::random_factors(dims, 3, 209);
+  const CsfTensor csf = CsfTensor::build_for_mode(x, 0);
+  Matrix once;
+  mttkrp_csf(csf, factors, once);
+  Matrix twice = once;
+  mttkrp_csf(csf, factors, twice, /*accumulate=*/true);
+  for (std::size_t i = 0; i < once.size(); ++i) {
+    EXPECT_NEAR(twice.data()[i], 2 * once.data()[i], 1e-12);
+  }
+}
+
+TEST(Tiled, RejectsBadRoot) {
+  const CooTensor x = testing::random_coo({4, 4}, 8, 210);
+  EXPECT_THROW(TiledCsf(x, 2, 2), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aoadmm

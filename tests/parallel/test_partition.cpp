@@ -1,0 +1,109 @@
+#include "parallel/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace aoadmm {
+namespace {
+
+TEST(EvenPartition, CoversRangeExactly) {
+  for (std::size_t n : {0u, 1u, 7u, 100u, 101u}) {
+    for (std::size_t p : {1u, 2u, 3u, 8u}) {
+      const auto bounds = even_partition(n, p);
+      ASSERT_EQ(bounds.size(), p + 1);
+      EXPECT_EQ(bounds.front(), 0u);
+      EXPECT_EQ(bounds.back(), n);
+      for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+        EXPECT_LE(bounds[i], bounds[i + 1]);
+      }
+    }
+  }
+}
+
+TEST(EvenPartition, ChunksDifferByAtMostOne) {
+  const auto bounds = even_partition(10, 3);
+  std::size_t min_sz = 10;
+  std::size_t max_sz = 0;
+  for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+    const std::size_t sz = bounds[i + 1] - bounds[i];
+    min_sz = std::min(min_sz, sz);
+    max_sz = std::max(max_sz, sz);
+  }
+  EXPECT_LE(max_sz - min_sz, 1u);
+}
+
+TEST(EvenPartition, RejectsZeroParts) {
+  EXPECT_THROW(even_partition(10, 0), InvalidArgument);
+}
+
+TEST(WeightedPartition, BalancesSkewedWeights) {
+  // One huge item at the front: it must get its own chunk.
+  std::vector<offset_t> w{1000, 1, 1, 1, 1, 1, 1, 1};
+  const auto bounds = weighted_partition(w, 2);
+  ASSERT_EQ(bounds.size(), 3u);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), w.size());
+  // First chunk should contain just the heavy item.
+  EXPECT_EQ(bounds[1], 1u);
+}
+
+TEST(WeightedPartition, UniformWeightsMatchEven) {
+  std::vector<offset_t> w(12, 5);
+  const auto wb = weighted_partition(w, 4);
+  const auto eb = even_partition(12, 4);
+  EXPECT_EQ(wb, eb);
+}
+
+TEST(WeightedPartition, MonotoneBoundaries) {
+  std::vector<offset_t> w{0, 0, 10, 0, 0, 10, 0, 0};
+  const auto bounds = weighted_partition(w, 3);
+  for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+    EXPECT_LE(bounds[i], bounds[i + 1]);
+  }
+  EXPECT_EQ(bounds.back(), w.size());
+}
+
+TEST(WeightedPartition, EmptyInput) {
+  const auto bounds = weighted_partition({}, 3);
+  ASSERT_EQ(bounds.size(), 4u);
+  for (const auto b : bounds) {
+    EXPECT_EQ(b, 0u);
+  }
+}
+
+TEST(Blocks, CountAndRanges) {
+  EXPECT_EQ(num_blocks(100, 50), 2u);
+  EXPECT_EQ(num_blocks(101, 50), 3u);
+  EXPECT_EQ(num_blocks(0, 50), 0u);
+  EXPECT_EQ(num_blocks(49, 50), 1u);
+
+  const auto r0 = block_range(101, 50, 0);
+  EXPECT_EQ(r0.begin, 0u);
+  EXPECT_EQ(r0.end, 50u);
+  const auto r2 = block_range(101, 50, 2);
+  EXPECT_EQ(r2.begin, 100u);
+  EXPECT_EQ(r2.end, 101u);
+}
+
+TEST(Blocks, BlocksTileTheRange) {
+  const std::size_t n = 237;
+  const std::size_t block = 50;
+  std::vector<bool> covered(n, false);
+  for (std::size_t b = 0; b < num_blocks(n, block); ++b) {
+    const auto r = block_range(n, block, b);
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      EXPECT_FALSE(covered[i]) << "row covered twice";
+      covered[i] = true;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(covered[i]);
+  }
+}
+
+}  // namespace
+}  // namespace aoadmm

@@ -1,0 +1,69 @@
+#include "parallel/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace aoadmm {
+namespace {
+
+TEST(Runtime, MaxThreadsPositive) { EXPECT_GE(max_threads(), 1); }
+
+TEST(Runtime, SetNumThreadsRoundTrips) {
+  const int before = max_threads();
+  set_num_threads(1);
+  EXPECT_EQ(max_threads(), 1);
+  set_num_threads(before);
+  EXPECT_EQ(max_threads(), before);
+}
+
+TEST(Runtime, ParallelForVisitsEachIndexOnce) {
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(0, n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Runtime, ParallelForDynamicVisitsEachIndexOnce) {
+  const std::size_t n = 1003;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(
+      0, n, [&](std::size_t i) { hits[i].fetch_add(1); },
+      Schedule::kDynamic, 7);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(Runtime, ParallelForRespectsOffset) {
+  std::atomic<std::size_t> sum{0};
+  parallel_for(10, 20, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), std::size_t{145});  // 10+...+19
+}
+
+TEST(Runtime, ParallelForEmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(5, 5, [&](std::size_t) { called = true; });
+  parallel_for(7, 3, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Runtime, ReduceSumMatchesSerial) {
+  const std::size_t n = 50000;
+  const double got = parallel_reduce_sum(
+      0, n, [](std::size_t i) { return static_cast<double>(i); });
+  const double want = static_cast<double>(n) * (n - 1) / 2.0;
+  EXPECT_DOUBLE_EQ(got, want);
+}
+
+TEST(Runtime, ReduceSumEmptyRange) {
+  EXPECT_DOUBLE_EQ(parallel_reduce_sum(3, 3, [](std::size_t) { return 1.0; }),
+                   0.0);
+}
+
+}  // namespace
+}  // namespace aoadmm

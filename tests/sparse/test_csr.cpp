@@ -1,0 +1,104 @@
+#include "sparse/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "la/blas.hpp"
+#include "util/rng.hpp"
+
+namespace aoadmm {
+namespace {
+
+Matrix sparse_random(std::size_t rows, std::size_t cols, real_t zero_prob,
+                     std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m = Matrix::random_uniform(rows, cols, rng, -1.0, 1.0);
+  for (auto& v : m.flat()) {
+    if (rng.uniform() < zero_prob) {
+      v = 0;
+    }
+  }
+  return m;
+}
+
+TEST(Csr, RoundTripsDense) {
+  const Matrix a = sparse_random(40, 10, 0.7, 1);
+  const CsrMatrix csr = CsrMatrix::from_dense(a);
+  EXPECT_LT(max_abs_diff(csr.to_dense(), a), 0.0 + 1e-15);
+}
+
+TEST(Csr, NnzMatchesManualCount) {
+  const Matrix a = sparse_random(30, 8, 0.5, 2);
+  offset_t manual = 0;
+  for (const real_t v : a.flat()) {
+    manual += v != 0 ? 1 : 0;
+  }
+  EXPECT_EQ(CsrMatrix::from_dense(a).nnz(), manual);
+}
+
+TEST(Csr, RowAccessYieldsSortedColumns) {
+  const Matrix a = sparse_random(20, 12, 0.6, 3);
+  const CsrMatrix csr = CsrMatrix::from_dense(a);
+  for (std::size_t i = 0; i < csr.rows(); ++i) {
+    const auto [cols, vals] = csr.row(i);
+    ASSERT_EQ(cols.size(), vals.size());
+    for (std::size_t k = 1; k < cols.size(); ++k) {
+      EXPECT_LT(cols[k - 1], cols[k]);
+    }
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      EXPECT_DOUBLE_EQ(vals[k], a(i, cols[k]));
+    }
+  }
+}
+
+TEST(Csr, ToleranceZeroesSmallEntries) {
+  Matrix a(2, 2);
+  a(0, 0) = 0.05;
+  a(1, 1) = 0.5;
+  const CsrMatrix csr = CsrMatrix::from_dense(a, 0.1);
+  EXPECT_EQ(csr.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(csr.to_dense()(1, 1), 0.5);
+}
+
+TEST(Csr, DensityMatchesDefinition) {
+  Matrix a(4, 5);
+  a(0, 0) = 1;
+  a(3, 4) = 2;
+  EXPECT_DOUBLE_EQ(CsrMatrix::from_dense(a).density(), 2.0 / 20.0);
+}
+
+TEST(Csr, EmptyMatrix) {
+  const Matrix a(5, 3);  // all zeros
+  const CsrMatrix csr = CsrMatrix::from_dense(a);
+  EXPECT_EQ(csr.nnz(), 0u);
+  EXPECT_DOUBLE_EQ(csr.density(), 0.0);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(csr.row(i).first.empty());
+  }
+}
+
+TEST(Csr, FullyDenseMatrix) {
+  Rng rng(4);
+  const Matrix a = Matrix::random_uniform(6, 4, rng, 0.5, 1.0);
+  const CsrMatrix csr = CsrMatrix::from_dense(a);
+  EXPECT_EQ(csr.nnz(), 24u);
+  EXPECT_DOUBLE_EQ(csr.density(), 1.0);
+  EXPECT_LT(max_abs_diff(csr.to_dense(), a), 1e-15);
+}
+
+TEST(Csr, StorageScalesWithNnz) {
+  const Matrix sparse = sparse_random(100, 20, 0.95, 5);
+  const Matrix dense = sparse_random(100, 20, 0.0, 6);
+  EXPECT_LT(CsrMatrix::from_dense(sparse).storage_bytes(),
+            CsrMatrix::from_dense(dense).storage_bytes());
+}
+
+TEST(Csr, NegativeValuesPreserved) {
+  Matrix a(1, 3);
+  a(0, 1) = -2.5;
+  const CsrMatrix csr = CsrMatrix::from_dense(a);
+  EXPECT_EQ(csr.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(csr.row(0).second[0], -2.5);
+}
+
+}  // namespace
+}  // namespace aoadmm

@@ -1,0 +1,74 @@
+#include "sparse/density.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace aoadmm {
+namespace {
+
+TEST(Density, AllZeroMatrix) {
+  const Matrix a(10, 5);
+  const DensityStats s = measure_density(a);
+  EXPECT_EQ(s.nnz, 0u);
+  EXPECT_DOUBLE_EQ(s.density, 0.0);
+  EXPECT_EQ(s.dense_columns, 0u);
+  for (const offset_t c : s.column_nnz) {
+    EXPECT_EQ(c, 0u);
+  }
+}
+
+TEST(Density, FullMatrix) {
+  Rng rng(1);
+  const Matrix a = Matrix::random_uniform(8, 3, rng, 0.1, 1.0);
+  const DensityStats s = measure_density(a);
+  EXPECT_EQ(s.nnz, 24u);
+  EXPECT_DOUBLE_EQ(s.density, 1.0);
+  // All columns equal the mean, so none is strictly above it.
+  EXPECT_EQ(s.dense_columns, 0u);
+}
+
+TEST(Density, PerColumnCounts) {
+  Matrix a(4, 3);
+  a(0, 0) = 1;
+  a(1, 0) = 1;
+  a(2, 0) = 1;
+  a(0, 1) = 1;
+  const DensityStats s = measure_density(a);
+  ASSERT_EQ(s.column_nnz.size(), 3u);
+  EXPECT_EQ(s.column_nnz[0], 3u);
+  EXPECT_EQ(s.column_nnz[1], 1u);
+  EXPECT_EQ(s.column_nnz[2], 0u);
+  EXPECT_EQ(s.nnz, 4u);
+  EXPECT_DOUBLE_EQ(s.density, 4.0 / 12.0);
+}
+
+TEST(Density, DenseColumnsAboveMean) {
+  // Mean column nnz = 4/3; only column 0 (3 nnz) exceeds it... and column 1
+  // has 1 < 4/3, column 2 has 0.
+  Matrix a(4, 3);
+  a(0, 0) = 1;
+  a(1, 0) = 1;
+  a(2, 0) = 1;
+  a(0, 1) = 1;
+  EXPECT_EQ(measure_density(a).dense_columns, 1u);
+}
+
+TEST(Density, ToleranceTreatsSmallAsZero) {
+  Matrix a(2, 2);
+  a(0, 0) = 1e-8;
+  a(1, 1) = 0.9;
+  const DensityStats strict = measure_density(a, 0.0);
+  const DensityStats loose = measure_density(a, 1e-6);
+  EXPECT_EQ(strict.nnz, 2u);
+  EXPECT_EQ(loose.nnz, 1u);
+}
+
+TEST(Density, NegativeEntriesCount) {
+  Matrix a(2, 2);
+  a(0, 0) = -0.5;
+  EXPECT_EQ(measure_density(a).nnz, 1u);
+}
+
+}  // namespace
+}  // namespace aoadmm

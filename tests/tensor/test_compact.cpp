@@ -1,0 +1,112 @@
+#include "tensor/compact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/helpers.hpp"
+#include "util/error.hpp"
+
+namespace aoadmm {
+namespace {
+
+/// Tensor with deliberate empty slices: dims 6x5x4, data only at even ids.
+CooTensor gappy_tensor() {
+  CooTensor x({6, 5, 4});
+  const auto add = [&x](index_t i, index_t j, index_t k, real_t v) {
+    const index_t c[3] = {i, j, k};
+    x.add({c, 3}, v);
+  };
+  add(0, 0, 0, 1.0);
+  add(2, 2, 2, 2.0);
+  add(4, 4, 0, 3.0);
+  add(0, 2, 2, 4.0);
+  return x;
+}
+
+TEST(Compact, DropsEmptySlices) {
+  const CompactResult r = compact_empty_slices(gappy_tensor());
+  EXPECT_EQ(r.tensor.dim(0), 3u);  // ids 0, 2, 4
+  EXPECT_EQ(r.tensor.dim(1), 3u);  // ids 0, 2, 4
+  EXPECT_EQ(r.tensor.dim(2), 2u);  // ids 0, 2
+  EXPECT_EQ(r.tensor.nnz(), 4u);
+  EXPECT_DOUBLE_EQ(r.tensor.norm_sq(), 1 + 4 + 9 + 16);
+}
+
+TEST(Compact, RemapsAreConsistent) {
+  const CompactResult r = compact_empty_slices(gappy_tensor());
+  for (std::size_t m = 0; m < 3; ++m) {
+    const ModeRemap& remap = r.remaps[m];
+    for (std::size_t new_id = 0; new_id < remap.backward.size(); ++new_id) {
+      EXPECT_EQ(remap.forward[remap.backward[new_id]], new_id);
+    }
+  }
+  // Old id 4 in mode 0 -> new id 2.
+  EXPECT_EQ(r.remaps[0].forward[4], 2u);
+  EXPECT_EQ(r.remaps[0].forward[1], ModeRemap::kInvalidIndex);
+}
+
+TEST(Compact, ValuesFollowCoordinates) {
+  const CompactResult r = compact_empty_slices(gappy_tensor());
+  // (2,2,2) value 2 must land at (forward ids) (1,1,1).
+  bool found = false;
+  for (offset_t n = 0; n < r.tensor.nnz(); ++n) {
+    if (r.tensor.index(0, n) == 1 && r.tensor.index(1, n) == 1 &&
+        r.tensor.index(2, n) == 1) {
+      EXPECT_DOUBLE_EQ(r.tensor.value(n), 2.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Compact, DenseTensorUnchanged) {
+  const CooTensor x = testing::tiny_tensor();  // every id appears
+  const CompactResult r = compact_empty_slices(x);
+  EXPECT_EQ(r.tensor.dims(), x.dims());
+  EXPECT_EQ(r.tensor.nnz(), x.nnz());
+}
+
+TEST(Compact, RejectsEmptyTensor) {
+  const CooTensor x({3, 3});
+  EXPECT_THROW(compact_empty_slices(x), InvalidArgument);
+}
+
+TEST(RelabelByDegree, HottestSliceGetsIdZero) {
+  const CooTensor x = testing::tiny_tensor();
+  // Mode 0 slice counts: id0 -> 2, id1 -> 3.
+  const CompactResult r = relabel_by_degree(x);
+  EXPECT_EQ(r.remaps[0].forward[1], 0u);  // hottest old id 1 -> new 0
+  EXPECT_EQ(r.remaps[0].forward[0], 1u);
+  const auto counts = r.tensor.slice_nnz(0);
+  for (std::size_t i = 1; i < counts.size(); ++i) {
+    EXPECT_GE(counts[i - 1], counts[i]) << "degrees must be non-increasing";
+  }
+}
+
+TEST(RelabelByDegree, PreservesDimsAndNorm) {
+  const CooTensor x = testing::random_coo({12, 9, 7}, 80, 61);
+  const CompactResult r = relabel_by_degree(x);
+  EXPECT_EQ(r.tensor.dims(), x.dims());
+  EXPECT_EQ(r.tensor.nnz(), x.nnz());
+  EXPECT_NEAR(r.tensor.norm_sq(), x.norm_sq(), 1e-10);
+}
+
+TEST(RemapFactorRows, ReordersToNewSpace) {
+  const CompactResult r = compact_empty_slices(gappy_tensor());
+  Rng rng(62);
+  const Matrix factor = Matrix::random_normal(6, 3, rng);  // original mode 0
+  const Matrix mapped = remap_factor_rows(factor, r.remaps[0]);
+  ASSERT_EQ(mapped.rows(), 3u);
+  // New row 2 corresponds to old row 4.
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_DOUBLE_EQ(mapped(2, c), factor(4, c));
+  }
+}
+
+TEST(RemapFactorRows, RejectsWrongSpace) {
+  const CompactResult r = compact_empty_slices(gappy_tensor());
+  const Matrix wrong(5, 3);
+  EXPECT_THROW(remap_factor_rows(wrong, r.remaps[0]), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aoadmm

@@ -1,0 +1,184 @@
+#include "tensor/coo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "testing/helpers.hpp"
+#include "util/error.hpp"
+
+namespace aoadmm {
+namespace {
+
+TEST(Coo, ConstructionValidatesDims) {
+  EXPECT_THROW(CooTensor(std::vector<index_t>{}), InvalidArgument);
+  EXPECT_THROW(CooTensor(std::vector<index_t>{2, 0, 3}), InvalidArgument);
+}
+
+TEST(Coo, AddAndAccess) {
+  CooTensor x({2, 3});
+  const index_t c0[2] = {1, 2};
+  x.add({c0, 2}, 4.5);
+  EXPECT_EQ(x.nnz(), 1u);
+  EXPECT_EQ(x.index(0, 0), 1u);
+  EXPECT_EQ(x.index(1, 0), 2u);
+  EXPECT_DOUBLE_EQ(x.value(0), 4.5);
+}
+
+TEST(Coo, AddRejectsOutOfBounds) {
+  CooTensor x({2, 3});
+  const index_t bad[2] = {2, 0};
+  EXPECT_THROW(x.add({bad, 2}, 1.0), InvalidArgument);
+}
+
+TEST(Coo, AddRejectsWrongArity) {
+  CooTensor x({2, 3});
+  const index_t c[3] = {0, 0, 0};
+  EXPECT_THROW(x.add({c, 3}, 1.0), InvalidArgument);
+}
+
+TEST(Coo, SortModeMajorOrdersLexicographically) {
+  CooTensor x = testing::tiny_tensor();
+  x.sort_mode_major(1);  // mode 1 most significant
+  for (offset_t n = 1; n < x.nnz(); ++n) {
+    const bool ordered =
+        x.index(1, n - 1) < x.index(1, n) ||
+        (x.index(1, n - 1) == x.index(1, n) &&
+         (x.index(0, n - 1) < x.index(0, n) ||
+          (x.index(0, n - 1) == x.index(0, n) &&
+           x.index(2, n - 1) <= x.index(2, n))));
+    EXPECT_TRUE(ordered) << "violation at position " << n;
+  }
+}
+
+TEST(Coo, SortPreservesNonzeroAssociation) {
+  CooTensor x = testing::tiny_tensor();
+  // Find the value at (1,1,1) before and after sorting.
+  x.sort_mode_major(2);
+  bool found = false;
+  for (offset_t n = 0; n < x.nnz(); ++n) {
+    if (x.index(0, n) == 1 && x.index(1, n) == 1 && x.index(2, n) == 1) {
+      EXPECT_DOUBLE_EQ(x.value(n), 4.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Coo, DeduplicateSumsValues) {
+  CooTensor x({2, 2});
+  const index_t a[2] = {0, 1};
+  const index_t b[2] = {1, 0};
+  x.add({a, 2}, 1.0);
+  x.add({b, 2}, 2.0);
+  x.add({a, 2}, 3.5);
+  x.deduplicate();
+  EXPECT_EQ(x.nnz(), 2u);
+  real_t sum01 = 0;
+  for (offset_t n = 0; n < x.nnz(); ++n) {
+    if (x.index(0, n) == 0 && x.index(1, n) == 1) {
+      sum01 = x.value(n);
+    }
+  }
+  EXPECT_DOUBLE_EQ(sum01, 4.5);
+}
+
+TEST(Coo, DeduplicateOnEmptyIsNoop) {
+  CooTensor x({2, 2});
+  EXPECT_NO_THROW(x.deduplicate());
+  EXPECT_EQ(x.nnz(), 0u);
+}
+
+TEST(Coo, NormSq) {
+  const CooTensor x = testing::tiny_tensor();
+  // 1 + 4 + 9 + 16 + 25 = 55.
+  EXPECT_DOUBLE_EQ(x.norm_sq(), 55.0);
+}
+
+TEST(Coo, SliceNnzCounts) {
+  const CooTensor x = testing::tiny_tensor();
+  const auto counts0 = x.slice_nnz(0);
+  ASSERT_EQ(counts0.size(), 2u);
+  EXPECT_EQ(counts0[0], 2u);
+  EXPECT_EQ(counts0[1], 3u);
+  const auto counts1 = x.slice_nnz(1);
+  ASSERT_EQ(counts1.size(), 3u);
+  EXPECT_EQ(counts1[0], 2u);
+  EXPECT_EQ(counts1[1], 1u);
+  EXPECT_EQ(counts1[2], 2u);
+}
+
+TEST(Coo, PruneExplicitZeros) {
+  CooTensor x({3, 3});
+  const index_t a[2] = {0, 0};
+  const index_t b[2] = {1, 1};
+  const index_t c[2] = {2, 2};
+  x.add({a, 2}, 1.0);
+  x.add({b, 2}, 0.0);
+  x.add({c, 2}, -2.0);
+  x.prune_explicit_zeros();
+  EXPECT_EQ(x.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(x.value(0), 1.0);
+  EXPECT_DOUBLE_EQ(x.value(1), -2.0);
+  EXPECT_EQ(x.index(0, 1), 2u);
+}
+
+TEST(Coo, SortByRejectsBadPermutation) {
+  CooTensor x = testing::tiny_tensor();
+  const std::size_t perm[2] = {0, 1};
+  EXPECT_THROW(x.sort_by({perm, 2}), InvalidArgument);
+}
+
+TEST(Coo, RadixSortMatchesComparisonSort) {
+  // The LSD counting sort must order exactly like a lexicographic
+  // comparison sort, for every mode permutation.
+  const CooTensor base = testing::random_coo({17, 9, 23}, 300, 77);
+  const std::size_t perms[][3] = {{0, 1, 2}, {2, 0, 1}, {1, 2, 0},
+                                  {2, 1, 0}};
+  for (const auto& p : perms) {
+    CooTensor sorted = base;
+    sorted.sort_by({p, 3});
+    // Verify lexicographic order under the permutation.
+    for (offset_t n = 1; n < sorted.nnz(); ++n) {
+      bool le = false;
+      for (const std::size_t m : p) {
+        if (sorted.index(m, n - 1) != sorted.index(m, n)) {
+          le = sorted.index(m, n - 1) < sorted.index(m, n);
+          break;
+        }
+        le = true;  // fully equal so far
+      }
+      EXPECT_TRUE(le) << "order violated at " << n;
+    }
+    // Multiset of (coords, value) preserved.
+    EXPECT_EQ(sorted.nnz(), base.nnz());
+    EXPECT_NEAR(sorted.norm_sq(), base.norm_sq(), 1e-10);
+  }
+}
+
+TEST(Coo, SortIsStableForEqualKeys) {
+  // Two non-zeros with identical coordinates (before dedup) must keep
+  // their insertion order — LSD radix relies on per-pass stability.
+  CooTensor x({2, 2});
+  const index_t c[2] = {1, 1};
+  x.add({c, 2}, 1.0);
+  x.add({c, 2}, 2.0);
+  const index_t d[2] = {0, 0};
+  x.add({d, 2}, 3.0);
+  x.sort_mode_major(0);
+  EXPECT_DOUBLE_EQ(x.value(0), 3.0);
+  EXPECT_DOUBLE_EQ(x.value(1), 1.0);  // first (1,1) kept before second
+  EXPECT_DOUBLE_EQ(x.value(2), 2.0);
+}
+
+TEST(Coo, RandomHelperIsDeterministic) {
+  const CooTensor a = testing::random_coo({10, 12, 8}, 100, 3);
+  const CooTensor b = testing::random_coo({10, 12, 8}, 100, 3);
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (offset_t n = 0; n < a.nnz(); ++n) {
+    EXPECT_DOUBLE_EQ(a.value(n), b.value(n));
+  }
+}
+
+}  // namespace
+}  // namespace aoadmm

@@ -1,0 +1,155 @@
+#include "tensor/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "testing/helpers.hpp"
+#include "util/error.hpp"
+
+namespace aoadmm {
+namespace {
+
+TEST(Permute, ReordersDimsAndIndices) {
+  const CooTensor x = testing::tiny_tensor();  // 2 x 3 x 2
+  const std::size_t perm[3] = {2, 0, 1};
+  const CooTensor y = permute_modes(x, {perm, 3});
+  EXPECT_EQ(y.dim(0), 2u);
+  EXPECT_EQ(y.dim(1), 2u);
+  EXPECT_EQ(y.dim(2), 3u);
+  EXPECT_EQ(y.nnz(), x.nnz());
+  // (1,1,1) value 4 becomes (1,1,1) under this perm; (0,2,1) value 2
+  // becomes (1,0,2).
+  bool found = false;
+  for (offset_t n = 0; n < y.nnz(); ++n) {
+    if (y.index(0, n) == 1 && y.index(1, n) == 0 && y.index(2, n) == 2) {
+      EXPECT_DOUBLE_EQ(y.value(n), 2.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Permute, IdentityIsNoop) {
+  const CooTensor x = testing::random_coo({4, 5, 6}, 30, 41);
+  const std::size_t perm[3] = {0, 1, 2};
+  const CooTensor y = permute_modes(x, {perm, 3});
+  EXPECT_EQ(y.nnz(), x.nnz());
+  EXPECT_DOUBLE_EQ(y.norm_sq(), x.norm_sq());
+}
+
+TEST(Permute, RoundTripThroughInverse) {
+  const CooTensor x = testing::random_coo({4, 5, 6}, 30, 42);
+  const std::size_t perm[3] = {1, 2, 0};
+  const std::size_t inv[3] = {2, 0, 1};
+  const CooTensor y = permute_modes(permute_modes(x, {perm, 3}), {inv, 3});
+  CooTensor xs = x;
+  CooTensor ys = y;
+  xs.sort_mode_major(0);
+  ys.sort_mode_major(0);
+  for (offset_t n = 0; n < xs.nnz(); ++n) {
+    for (std::size_t m = 0; m < 3; ++m) {
+      EXPECT_EQ(xs.index(m, n), ys.index(m, n));
+    }
+    EXPECT_DOUBLE_EQ(xs.value(n), ys.value(n));
+  }
+}
+
+TEST(Permute, RejectsBadPermutation) {
+  const CooTensor x = testing::tiny_tensor();
+  const std::size_t bad[3] = {0, 0, 1};
+  EXPECT_THROW(permute_modes(x, {bad, 3}), InvalidArgument);
+}
+
+TEST(Slice, ExtractsMatchingNonzeros) {
+  const CooTensor x = testing::tiny_tensor();  // nnz at i=1: 3 entries
+  const CooTensor s = extract_slice(x, 0, 1);
+  EXPECT_EQ(s.order(), 2u);
+  EXPECT_EQ(s.dim(0), 3u);
+  EXPECT_EQ(s.dim(1), 2u);
+  EXPECT_EQ(s.nnz(), 3u);
+  // (1,1,1) value 4 -> (1,1).
+  bool found = false;
+  for (offset_t n = 0; n < s.nnz(); ++n) {
+    if (s.index(0, n) == 1 && s.index(1, n) == 1) {
+      EXPECT_DOUBLE_EQ(s.value(n), 4.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Slice, EmptySliceYieldsEmptyTensor) {
+  CooTensor x({3, 4});
+  const index_t c[2] = {0, 0};
+  x.add({c, 2}, 1.0);
+  const CooTensor s = extract_slice(x, 0, 2);
+  EXPECT_EQ(s.nnz(), 0u);
+}
+
+TEST(Slice, RejectsOutOfRange) {
+  const CooTensor x = testing::tiny_tensor();
+  EXPECT_THROW(extract_slice(x, 0, 2), InvalidArgument);
+  EXPECT_THROW(extract_slice(x, 3, 0), InvalidArgument);
+}
+
+TEST(MapValues, AppliesElementwise) {
+  CooTensor x = testing::tiny_tensor();
+  map_values(x, [](real_t v) { return std::log1p(v); });
+  // First value (sorted order unknown, use norm check instead): recompute.
+  real_t want = 0;
+  for (const real_t v : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    want += std::log1p(v) * std::log1p(v);
+  }
+  EXPECT_NEAR(x.norm_sq(), want, 1e-12);
+}
+
+TEST(Filter, KeepsMatchingNonzeros) {
+  const CooTensor x = testing::tiny_tensor();
+  const CooTensor big = filter(
+      x, [](cspan<index_t>, real_t v) { return v >= 3.0; });
+  EXPECT_EQ(big.nnz(), 3u);  // values 3, 4, 5
+  const CooTensor slice0 = filter(
+      x, [](cspan<index_t> c, real_t) { return c[0] == 0; });
+  EXPECT_EQ(slice0.nnz(), 2u);
+}
+
+TEST(Split, PartitionsAllNonzeros) {
+  const CooTensor x = testing::random_coo({20, 20, 20}, 500, 43);
+  Rng rng(44);
+  const TrainTestSplit split = split_train_test(x, 0.2, rng);
+  EXPECT_EQ(split.train.nnz() + split.test.nnz(), x.nnz());
+  EXPECT_EQ(split.train.dims(), x.dims());
+  EXPECT_EQ(split.test.dims(), x.dims());
+  EXPECT_NEAR(split.train.norm_sq() + split.test.norm_sq(), x.norm_sq(),
+              1e-9);
+}
+
+TEST(Split, FractionApproximatelyRespected) {
+  const CooTensor x = testing::random_coo({30, 30, 30}, 2000, 45);
+  Rng rng(46);
+  const TrainTestSplit split = split_train_test(x, 0.25, rng);
+  const double frac =
+      static_cast<double>(split.test.nnz()) / static_cast<double>(x.nnz());
+  EXPECT_NEAR(frac, 0.25, 0.05);
+}
+
+TEST(Split, ExtremeFractions) {
+  const CooTensor x = testing::random_coo({10, 10}, 40, 47);
+  Rng rng(48);
+  const TrainTestSplit all_train = split_train_test(x, 0.0, rng);
+  EXPECT_EQ(all_train.test.nnz(), 0u);
+  EXPECT_EQ(all_train.train.nnz(), x.nnz());
+  const TrainTestSplit all_test = split_train_test(x, 1.0, rng);
+  EXPECT_EQ(all_test.train.nnz(), 0u);
+}
+
+TEST(Split, RejectsBadFraction) {
+  const CooTensor x = testing::tiny_tensor();
+  Rng rng(49);
+  EXPECT_THROW(split_train_test(x, -0.1, rng), InvalidArgument);
+  EXPECT_THROW(split_train_test(x, 1.1, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aoadmm

@@ -1,0 +1,104 @@
+// Shared fixtures and builders for the test suite.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "tensor/coo.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace aoadmm::testing {
+
+/// Small random sparse tensor with `nnz` distinct uniform coordinates and
+/// uniform values in (0, 1]. Deterministic in seed.
+inline CooTensor random_coo(std::vector<index_t> dims, offset_t nnz,
+                            std::uint64_t seed = 7) {
+  CooTensor x(dims);
+  Rng rng(seed);
+  std::vector<index_t> coord(dims.size());
+  x.reserve(nnz + nnz / 4 + 4);
+  for (offset_t n = 0; n < nnz + nnz / 4 + 4; ++n) {
+    for (std::size_t m = 0; m < dims.size(); ++m) {
+      coord[m] = static_cast<index_t>(rng.uniform_index(dims[m]));
+    }
+    x.add(coord, rng.uniform(0.01, 1.0));
+  }
+  x.deduplicate();
+  return x;
+}
+
+/// Random dense factors for a tensor, one per mode, entries in [lo, hi).
+inline std::vector<Matrix> random_factors(const std::vector<index_t>& dims,
+                                          rank_t rank,
+                                          std::uint64_t seed = 11,
+                                          real_t lo = 0.0, real_t hi = 1.0) {
+  Rng rng(seed);
+  std::vector<Matrix> out;
+  out.reserve(dims.size());
+  for (const index_t d : dims) {
+    out.push_back(Matrix::random_uniform(d, rank, rng, lo, hi));
+  }
+  return out;
+}
+
+/// A *fully observed* low-rank-plus-noise tensor: every coordinate of the
+/// dense model is stored as a non-zero. Unlike a sparsely sampled low-rank
+/// tensor (which is NOT globally low-rank because the unobserved entries are
+/// zero), this admits a genuinely tight low-rank fit, so tests can assert
+/// small relative errors.
+inline CooTensor dense_lowrank_tensor(const std::vector<index_t>& dims,
+                                      rank_t rank, real_t noise,
+                                      std::uint64_t seed = 13) {
+  Rng rng(seed);
+  std::vector<Matrix> truth;
+  truth.reserve(dims.size());
+  for (const index_t d : dims) {
+    truth.push_back(Matrix::random_uniform(d, rank, rng, 0.1, 1.0));
+  }
+  CooTensor x(dims);
+  std::vector<index_t> coord(dims.size(), 0);
+  bool done = false;
+  while (!done) {
+    real_t v = 0;
+    for (rank_t c = 0; c < rank; ++c) {
+      real_t prod = 1;
+      for (std::size_t m = 0; m < dims.size(); ++m) {
+        prod *= truth[m](coord[m], c);
+      }
+      v += prod;
+    }
+    if (noise > 0) {
+      v += noise * v * rng.normal();
+    }
+    x.add(coord, v);
+    // Odometer increment.
+    done = true;
+    for (std::size_t m = 0; m < dims.size(); ++m) {
+      if (++coord[m] < dims[m]) {
+        done = false;
+        break;
+      }
+      coord[m] = 0;
+    }
+  }
+  return x;
+}
+
+/// A fixed tiny 3-mode tensor with handworked values, used where tests want
+/// an exactly known input: dims 2x3x2, 5 non-zeros.
+inline CooTensor tiny_tensor() {
+  CooTensor x({2, 3, 2});
+  const auto add = [&x](index_t i, index_t j, index_t k, real_t v) {
+    const index_t c[3] = {i, j, k};
+    x.add({c, 3}, v);
+  };
+  add(0, 0, 0, 1.0);
+  add(0, 2, 1, 2.0);
+  add(1, 0, 0, 3.0);
+  add(1, 1, 1, 4.0);
+  add(1, 2, 0, 5.0);
+  return x;
+}
+
+}  // namespace aoadmm::testing

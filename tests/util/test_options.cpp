@@ -1,0 +1,86 @@
+#include "util/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace aoadmm {
+namespace {
+
+Options parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Options(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Options, SeparateValueForm) {
+  const Options o = parse({"--rank", "50"});
+  EXPECT_EQ(o.get_int("rank", 0), 50);
+}
+
+TEST(Options, EqualsValueForm) {
+  const Options o = parse({"--rank=50"});
+  EXPECT_EQ(o.get_int("rank", 0), 50);
+}
+
+TEST(Options, FlagWithoutValue) {
+  const Options o = parse({"--verbose"});
+  EXPECT_TRUE(o.has("verbose"));
+  EXPECT_TRUE(o.get_bool("verbose", false));
+}
+
+TEST(Options, FallbacksWhenAbsent) {
+  const Options o = parse({});
+  EXPECT_EQ(o.get_int("rank", 17), 17);
+  EXPECT_DOUBLE_EQ(o.get_double("tol", 0.5), 0.5);
+  EXPECT_EQ(o.get_string("name", "dflt"), "dflt");
+  EXPECT_FALSE(o.get_bool("verbose", false));
+  EXPECT_TRUE(o.get_bool("quiet", true));
+}
+
+TEST(Options, DoubleParsing) {
+  const Options o = parse({"--tol", "1e-4"});
+  EXPECT_DOUBLE_EQ(o.get_double("tol", 0), 1e-4);
+}
+
+TEST(Options, BooleanForms) {
+  EXPECT_TRUE(parse({"--x=true"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x=1"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x=on"}).get_bool("x", false));
+  EXPECT_FALSE(parse({"--x=false"}).get_bool("x", true));
+  EXPECT_FALSE(parse({"--x=0"}).get_bool("x", true));
+  EXPECT_FALSE(parse({"--x=off"}).get_bool("x", true));
+}
+
+TEST(Options, RejectsBadInteger) {
+  const Options o = parse({"--rank", "abc"});
+  EXPECT_THROW(o.get_int("rank", 0), InvalidArgument);
+}
+
+TEST(Options, RejectsBadBoolean) {
+  const Options o = parse({"--x=maybe"});
+  EXPECT_THROW(o.get_bool("x", false), InvalidArgument);
+}
+
+TEST(Options, PositionalArguments) {
+  const Options o = parse({"input.tns", "--rank=5", "output.tns"});
+  ASSERT_EQ(o.positional().size(), 2u);
+  EXPECT_EQ(o.positional()[0], "input.tns");
+  EXPECT_EQ(o.positional()[1], "output.tns");
+}
+
+TEST(Options, UnusedTracksUnqueriedNames) {
+  const Options o = parse({"--rank=5", "--typo=3"});
+  EXPECT_EQ(o.get_int("rank", 0), 5);
+  const auto unused = o.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Options, ProgramNameKept) {
+  const Options o = parse({});
+  EXPECT_EQ(o.program(), "prog");
+}
+
+}  // namespace
+}  // namespace aoadmm

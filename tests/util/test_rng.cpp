@@ -1,0 +1,162 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace aoadmm {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const real_t u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const real_t u = rng.uniform(-3.0, 5.5);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.5);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(99);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.uniform();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexStaysInRange) {
+  Rng rng(5);
+  for (std::uint64_t n : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.uniform_index(n), n);
+    }
+  }
+}
+
+TEST(Rng, UniformIndexCoversSupport) {
+  Rng rng(6);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.uniform_index(10));
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIndexApproximatelyUniform) {
+  Rng rng(8);
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.uniform_index(8)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, n / 8, n / 80);  // within 10% of expected
+  }
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(21);
+  const int n = 200000;
+  double sum = 0;
+  double sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const real_t v = rng.normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(42);
+  Rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(ZipfSampler, UniformWhenAlphaZero) {
+  ZipfSampler z(4, 0.0);
+  Rng rng(3);
+  std::vector<int> counts(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[z(rng)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, n / 4, n / 40);
+  }
+}
+
+TEST(ZipfSampler, SkewFavorsLowRanks) {
+  ZipfSampler z(100, 1.5);
+  Rng rng(4);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) {
+    ++counts[z(rng)];
+  }
+  // Rank 0 must dominate rank 10 which must dominate rank 90.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[90]);
+  // Theoretical head mass for alpha=1.5, n=100 is ~38%.
+  EXPECT_GT(counts[0], 50000 / 4);
+}
+
+TEST(ZipfSampler, SamplesWithinSupport) {
+  ZipfSampler z(13, 2.0);
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(z(rng), 13u);
+  }
+}
+
+TEST(ZipfSampler, RejectsEmptySupport) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), InvalidArgument);
+}
+
+TEST(ZipfSampler, RejectsNegativeAlpha) {
+  EXPECT_THROW(ZipfSampler(10, -0.5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aoadmm

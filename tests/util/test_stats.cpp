@@ -1,0 +1,77 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace aoadmm {
+namespace {
+
+TEST(Summarize, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, SingleValue) {
+  const std::vector<double> v{3.5};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.median, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Summarize, KnownSample) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.median, 4.5);
+  EXPECT_NEAR(s.stddev, 2.138, 1e-3);  // sample stddev
+}
+
+TEST(Summarize, MedianOddCount) {
+  const std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(summarize(v).median, 3.0);
+}
+
+TEST(Percentile, Extremes) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 4.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.5);
+}
+
+TEST(Percentile, RejectsEmpty) {
+  EXPECT_THROW(percentile({}, 50), InvalidArgument);
+}
+
+TEST(Percentile, RejectsOutOfRange) {
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(percentile(v, -1), InvalidArgument);
+  EXPECT_THROW(percentile(v, 101), InvalidArgument);
+}
+
+TEST(GeometricMean, KnownValue) {
+  const std::vector<double> v{1.0, 4.0, 16.0};
+  EXPECT_NEAR(geometric_mean(v), 4.0, 1e-12);
+}
+
+TEST(GeometricMean, RejectsNonPositive) {
+  const std::vector<double> v{1.0, 0.0};
+  EXPECT_THROW(geometric_mean(v), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aoadmm
