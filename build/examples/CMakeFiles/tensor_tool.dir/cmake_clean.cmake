@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_tool.dir/tensor_tool.cpp.o"
+  "CMakeFiles/tensor_tool.dir/tensor_tool.cpp.o.d"
+  "tensor_tool"
+  "tensor_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

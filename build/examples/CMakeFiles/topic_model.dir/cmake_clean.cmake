@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topic_model.dir/topic_model.cpp.o"
+  "CMakeFiles/topic_model.dir/topic_model.cpp.o.d"
+  "topic_model"
+  "topic_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topic_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_recommender "/root/repo/build/examples/recommender")
+set_tests_properties(example_recommender PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_network_anomaly "/root/repo/build/examples/network_anomaly")
+set_tests_properties(example_network_anomaly PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_topic_model "/root/repo/build/examples/topic_model")
+set_tests_properties(example_topic_model PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_rank_selection "/root/repo/build/examples/rank_selection")
+set_tests_properties(example_rank_selection PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_tensor_tool "sh" "-c" "      ./tensor_tool generate --out tt_test.tns --dims 40x30x20 --nnz 2000 &&       ./tensor_tool stats tt_test.tns &&       ./tensor_tool convert tt_test.tns tt_test.bin &&       ./tensor_tool cpd tt_test.bin --rank 4 --max-outer 10           --constraint nnl1 --lambda 0.05 --format auto           --save-factors tt_model --trace tt_trace.csv &&       ./tensor_tool cpd tt_test.bin --rank 4 --max-outer 10           --objective observed &&       rm -f tt_test.tns tt_test.bin tt_trace.csv tt_model.mode*.mat")
+set_tests_properties(example_tensor_tool PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")

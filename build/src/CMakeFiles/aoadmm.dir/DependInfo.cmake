@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/admm.cpp" "src/CMakeFiles/aoadmm.dir/core/admm.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/core/admm.cpp.o.d"
+  "/root/repo/src/core/admm_blocked.cpp" "src/CMakeFiles/aoadmm.dir/core/admm_blocked.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/core/admm_blocked.cpp.o.d"
+  "/root/repo/src/core/als.cpp" "src/CMakeFiles/aoadmm.dir/core/als.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/core/als.cpp.o.d"
+  "/root/repo/src/core/corcondia.cpp" "src/CMakeFiles/aoadmm.dir/core/corcondia.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/core/corcondia.cpp.o.d"
+  "/root/repo/src/core/cpd.cpp" "src/CMakeFiles/aoadmm.dir/core/cpd.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/core/cpd.cpp.o.d"
+  "/root/repo/src/core/eval.cpp" "src/CMakeFiles/aoadmm.dir/core/eval.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/core/eval.cpp.o.d"
+  "/root/repo/src/core/kruskal.cpp" "src/CMakeFiles/aoadmm.dir/core/kruskal.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/core/kruskal.cpp.o.d"
+  "/root/repo/src/core/prox.cpp" "src/CMakeFiles/aoadmm.dir/core/prox.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/core/prox.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/CMakeFiles/aoadmm.dir/core/trace.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/core/trace.cpp.o.d"
+  "/root/repo/src/core/wcpd.cpp" "src/CMakeFiles/aoadmm.dir/core/wcpd.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/core/wcpd.cpp.o.d"
+  "/root/repo/src/core/workspace.cpp" "src/CMakeFiles/aoadmm.dir/core/workspace.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/core/workspace.cpp.o.d"
+  "/root/repo/src/la/blas.cpp" "src/CMakeFiles/aoadmm.dir/la/blas.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/la/blas.cpp.o.d"
+  "/root/repo/src/la/cholesky.cpp" "src/CMakeFiles/aoadmm.dir/la/cholesky.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/la/cholesky.cpp.o.d"
+  "/root/repo/src/la/khatri_rao.cpp" "src/CMakeFiles/aoadmm.dir/la/khatri_rao.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/la/khatri_rao.cpp.o.d"
+  "/root/repo/src/la/matrix.cpp" "src/CMakeFiles/aoadmm.dir/la/matrix.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/la/matrix.cpp.o.d"
+  "/root/repo/src/la/matrix_io.cpp" "src/CMakeFiles/aoadmm.dir/la/matrix_io.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/la/matrix_io.cpp.o.d"
+  "/root/repo/src/mttkrp/mttkrp.cpp" "src/CMakeFiles/aoadmm.dir/mttkrp/mttkrp.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/mttkrp/mttkrp.cpp.o.d"
+  "/root/repo/src/mttkrp/mttkrp_coo.cpp" "src/CMakeFiles/aoadmm.dir/mttkrp/mttkrp_coo.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/mttkrp/mttkrp_coo.cpp.o.d"
+  "/root/repo/src/mttkrp/mttkrp_csf.cpp" "src/CMakeFiles/aoadmm.dir/mttkrp/mttkrp_csf.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/mttkrp/mttkrp_csf.cpp.o.d"
+  "/root/repo/src/mttkrp/mttkrp_csr.cpp" "src/CMakeFiles/aoadmm.dir/mttkrp/mttkrp_csr.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/mttkrp/mttkrp_csr.cpp.o.d"
+  "/root/repo/src/mttkrp/mttkrp_hybrid.cpp" "src/CMakeFiles/aoadmm.dir/mttkrp/mttkrp_hybrid.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/mttkrp/mttkrp_hybrid.cpp.o.d"
+  "/root/repo/src/mttkrp/mttkrp_nonroot.cpp" "src/CMakeFiles/aoadmm.dir/mttkrp/mttkrp_nonroot.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/mttkrp/mttkrp_nonroot.cpp.o.d"
+  "/root/repo/src/mttkrp/mttkrp_tiled.cpp" "src/CMakeFiles/aoadmm.dir/mttkrp/mttkrp_tiled.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/mttkrp/mttkrp_tiled.cpp.o.d"
+  "/root/repo/src/parallel/partition.cpp" "src/CMakeFiles/aoadmm.dir/parallel/partition.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/parallel/partition.cpp.o.d"
+  "/root/repo/src/parallel/runtime.cpp" "src/CMakeFiles/aoadmm.dir/parallel/runtime.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/parallel/runtime.cpp.o.d"
+  "/root/repo/src/sparse/csr.cpp" "src/CMakeFiles/aoadmm.dir/sparse/csr.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/sparse/csr.cpp.o.d"
+  "/root/repo/src/sparse/density.cpp" "src/CMakeFiles/aoadmm.dir/sparse/density.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/sparse/density.cpp.o.d"
+  "/root/repo/src/sparse/hybrid.cpp" "src/CMakeFiles/aoadmm.dir/sparse/hybrid.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/sparse/hybrid.cpp.o.d"
+  "/root/repo/src/tensor/compact.cpp" "src/CMakeFiles/aoadmm.dir/tensor/compact.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/tensor/compact.cpp.o.d"
+  "/root/repo/src/tensor/coo.cpp" "src/CMakeFiles/aoadmm.dir/tensor/coo.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/tensor/coo.cpp.o.d"
+  "/root/repo/src/tensor/csf.cpp" "src/CMakeFiles/aoadmm.dir/tensor/csf.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/tensor/csf.cpp.o.d"
+  "/root/repo/src/tensor/io.cpp" "src/CMakeFiles/aoadmm.dir/tensor/io.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/tensor/io.cpp.o.d"
+  "/root/repo/src/tensor/matricize.cpp" "src/CMakeFiles/aoadmm.dir/tensor/matricize.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/tensor/matricize.cpp.o.d"
+  "/root/repo/src/tensor/synthetic.cpp" "src/CMakeFiles/aoadmm.dir/tensor/synthetic.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/tensor/synthetic.cpp.o.d"
+  "/root/repo/src/tensor/transform.cpp" "src/CMakeFiles/aoadmm.dir/tensor/transform.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/tensor/transform.cpp.o.d"
+  "/root/repo/src/util/aligned.cpp" "src/CMakeFiles/aoadmm.dir/util/aligned.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/util/aligned.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/aoadmm.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/options.cpp" "src/CMakeFiles/aoadmm.dir/util/options.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/util/options.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/aoadmm.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/aoadmm.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/timer.cpp" "src/CMakeFiles/aoadmm.dir/util/timer.cpp.o" "gcc" "src/CMakeFiles/aoadmm.dir/util/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

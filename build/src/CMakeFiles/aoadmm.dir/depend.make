@@ -1,0 +1,2 @@
+# Empty dependencies file for aoadmm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_admm.cpp" "tests/CMakeFiles/test_core.dir/core/test_admm.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_admm.cpp.o.d"
+  "/root/repo/tests/core/test_corcondia.cpp" "tests/CMakeFiles/test_core.dir/core/test_corcondia.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_corcondia.cpp.o.d"
+  "/root/repo/tests/core/test_cpd.cpp" "tests/CMakeFiles/test_core.dir/core/test_cpd.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_cpd.cpp.o.d"
+  "/root/repo/tests/core/test_eval.cpp" "tests/CMakeFiles/test_core.dir/core/test_eval.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_eval.cpp.o.d"
+  "/root/repo/tests/core/test_kruskal.cpp" "tests/CMakeFiles/test_core.dir/core/test_kruskal.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_kruskal.cpp.o.d"
+  "/root/repo/tests/core/test_prox.cpp" "tests/CMakeFiles/test_core.dir/core/test_prox.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_prox.cpp.o.d"
+  "/root/repo/tests/core/test_trace.cpp" "tests/CMakeFiles/test_core.dir/core/test_trace.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_trace.cpp.o.d"
+  "/root/repo/tests/core/test_wcpd.cpp" "tests/CMakeFiles/test_core.dir/core/test_wcpd.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_wcpd.cpp.o.d"
+  "/root/repo/tests/core/test_workspace.cpp" "tests/CMakeFiles/test_core.dir/core/test_workspace.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_workspace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aoadmm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_admm.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_admm.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_corcondia.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_corcondia.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_cpd.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_cpd.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_eval.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_eval.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_kruskal.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_kruskal.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_prox.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_prox.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_trace.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_trace.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_wcpd.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_wcpd.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_workspace.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_workspace.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

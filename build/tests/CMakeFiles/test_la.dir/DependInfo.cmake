@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/la/test_blas.cpp" "tests/CMakeFiles/test_la.dir/la/test_blas.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/test_blas.cpp.o.d"
+  "/root/repo/tests/la/test_cholesky.cpp" "tests/CMakeFiles/test_la.dir/la/test_cholesky.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/test_cholesky.cpp.o.d"
+  "/root/repo/tests/la/test_khatri_rao.cpp" "tests/CMakeFiles/test_la.dir/la/test_khatri_rao.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/test_khatri_rao.cpp.o.d"
+  "/root/repo/tests/la/test_matrix.cpp" "tests/CMakeFiles/test_la.dir/la/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/test_matrix.cpp.o.d"
+  "/root/repo/tests/la/test_matrix_io.cpp" "tests/CMakeFiles/test_la.dir/la/test_matrix_io.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/test_matrix_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aoadmm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la.dir/la/test_blas.cpp.o"
+  "CMakeFiles/test_la.dir/la/test_blas.cpp.o.d"
+  "CMakeFiles/test_la.dir/la/test_cholesky.cpp.o"
+  "CMakeFiles/test_la.dir/la/test_cholesky.cpp.o.d"
+  "CMakeFiles/test_la.dir/la/test_khatri_rao.cpp.o"
+  "CMakeFiles/test_la.dir/la/test_khatri_rao.cpp.o.d"
+  "CMakeFiles/test_la.dir/la/test_matrix.cpp.o"
+  "CMakeFiles/test_la.dir/la/test_matrix.cpp.o.d"
+  "CMakeFiles/test_la.dir/la/test_matrix_io.cpp.o"
+  "CMakeFiles/test_la.dir/la/test_matrix_io.cpp.o.d"
+  "test_la"
+  "test_la.pdb"
+  "test_la[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mttkrp/test_auto_format.cpp" "tests/CMakeFiles/test_mttkrp.dir/mttkrp/test_auto_format.cpp.o" "gcc" "tests/CMakeFiles/test_mttkrp.dir/mttkrp/test_auto_format.cpp.o.d"
+  "/root/repo/tests/mttkrp/test_mttkrp.cpp" "tests/CMakeFiles/test_mttkrp.dir/mttkrp/test_mttkrp.cpp.o" "gcc" "tests/CMakeFiles/test_mttkrp.dir/mttkrp/test_mttkrp.cpp.o.d"
+  "/root/repo/tests/mttkrp/test_mttkrp_nonroot.cpp" "tests/CMakeFiles/test_mttkrp.dir/mttkrp/test_mttkrp_nonroot.cpp.o" "gcc" "tests/CMakeFiles/test_mttkrp.dir/mttkrp/test_mttkrp_nonroot.cpp.o.d"
+  "/root/repo/tests/mttkrp/test_mttkrp_tiled.cpp" "tests/CMakeFiles/test_mttkrp.dir/mttkrp/test_mttkrp_tiled.cpp.o" "gcc" "tests/CMakeFiles/test_mttkrp.dir/mttkrp/test_mttkrp_tiled.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aoadmm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

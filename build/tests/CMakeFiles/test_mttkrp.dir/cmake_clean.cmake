@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mttkrp.dir/mttkrp/test_auto_format.cpp.o"
+  "CMakeFiles/test_mttkrp.dir/mttkrp/test_auto_format.cpp.o.d"
+  "CMakeFiles/test_mttkrp.dir/mttkrp/test_mttkrp.cpp.o"
+  "CMakeFiles/test_mttkrp.dir/mttkrp/test_mttkrp.cpp.o.d"
+  "CMakeFiles/test_mttkrp.dir/mttkrp/test_mttkrp_nonroot.cpp.o"
+  "CMakeFiles/test_mttkrp.dir/mttkrp/test_mttkrp_nonroot.cpp.o.d"
+  "CMakeFiles/test_mttkrp.dir/mttkrp/test_mttkrp_tiled.cpp.o"
+  "CMakeFiles/test_mttkrp.dir/mttkrp/test_mttkrp_tiled.cpp.o.d"
+  "test_mttkrp"
+  "test_mttkrp.pdb"
+  "test_mttkrp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mttkrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

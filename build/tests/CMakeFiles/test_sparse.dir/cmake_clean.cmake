@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse.dir/sparse/test_csr.cpp.o"
+  "CMakeFiles/test_sparse.dir/sparse/test_csr.cpp.o.d"
+  "CMakeFiles/test_sparse.dir/sparse/test_density.cpp.o"
+  "CMakeFiles/test_sparse.dir/sparse/test_density.cpp.o.d"
+  "CMakeFiles/test_sparse.dir/sparse/test_hybrid.cpp.o"
+  "CMakeFiles/test_sparse.dir/sparse/test_hybrid.cpp.o.d"
+  "test_sparse"
+  "test_sparse.pdb"
+  "test_sparse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tensor/test_compact.cpp" "tests/CMakeFiles/test_tensor.dir/tensor/test_compact.cpp.o" "gcc" "tests/CMakeFiles/test_tensor.dir/tensor/test_compact.cpp.o.d"
+  "/root/repo/tests/tensor/test_coo.cpp" "tests/CMakeFiles/test_tensor.dir/tensor/test_coo.cpp.o" "gcc" "tests/CMakeFiles/test_tensor.dir/tensor/test_coo.cpp.o.d"
+  "/root/repo/tests/tensor/test_csf.cpp" "tests/CMakeFiles/test_tensor.dir/tensor/test_csf.cpp.o" "gcc" "tests/CMakeFiles/test_tensor.dir/tensor/test_csf.cpp.o.d"
+  "/root/repo/tests/tensor/test_io.cpp" "tests/CMakeFiles/test_tensor.dir/tensor/test_io.cpp.o" "gcc" "tests/CMakeFiles/test_tensor.dir/tensor/test_io.cpp.o.d"
+  "/root/repo/tests/tensor/test_matricize.cpp" "tests/CMakeFiles/test_tensor.dir/tensor/test_matricize.cpp.o" "gcc" "tests/CMakeFiles/test_tensor.dir/tensor/test_matricize.cpp.o.d"
+  "/root/repo/tests/tensor/test_synthetic.cpp" "tests/CMakeFiles/test_tensor.dir/tensor/test_synthetic.cpp.o" "gcc" "tests/CMakeFiles/test_tensor.dir/tensor/test_synthetic.cpp.o.d"
+  "/root/repo/tests/tensor/test_transform.cpp" "tests/CMakeFiles/test_tensor.dir/tensor/test_transform.cpp.o" "gcc" "tests/CMakeFiles/test_tensor.dir/tensor/test_transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aoadmm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

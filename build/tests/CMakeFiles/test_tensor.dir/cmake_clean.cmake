@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tensor.dir/tensor/test_compact.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_compact.cpp.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/test_coo.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_coo.cpp.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/test_csf.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_csf.cpp.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/test_io.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_io.cpp.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/test_matricize.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_matricize.cpp.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/test_synthetic.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_synthetic.cpp.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/test_transform.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_transform.cpp.o.d"
+  "test_tensor"
+  "test_tensor.pdb"
+  "test_tensor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
