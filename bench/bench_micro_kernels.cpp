@@ -4,6 +4,8 @@
 // isolation.
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
+
 #include "core/admm.hpp"
 #include "la/blas.hpp"
 #include "la/cholesky.hpp"
@@ -25,6 +27,7 @@ SyntheticSpec micro_tensor_spec() {
 }
 
 const CooTensor& micro_tensor() {
+  bench::install_metrics_sidecar();  // micro benches bypass DatasetCache
   static const CooTensor x = make_synthetic(micro_tensor_spec());
   return x;
 }

@@ -2,8 +2,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <mutex>
 #include <thread>
 
+#include "obs/metrics.hpp"
 #include "parallel/runtime.hpp"
 
 namespace aoadmm::bench {
@@ -61,8 +64,28 @@ std::vector<int> bench_thread_sweep() {
   return sweep;
 }
 
+void install_metrics_sidecar() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* path = std::getenv("AOADMM_BENCH_METRICS_JSON");
+    if (path == nullptr || *path == '\0') {
+      return;
+    }
+    // atexit handlers take no arguments; park the path in static storage.
+    static std::string sidecar_path;
+    sidecar_path = path;
+    std::atexit([] {
+      std::ofstream out(sidecar_path);
+      if (out) {
+        obs::MetricsRegistry::global().write_json(out);
+      }
+    });
+  });
+}
+
 DatasetCache& DatasetCache::instance() {
   static DatasetCache cache;
+  install_metrics_sidecar();
   return cache;
 }
 
@@ -142,6 +165,7 @@ std::string TablePrinter::pct(double v, int precision) {
 }
 
 void print_banner(const std::string& experiment, const std::string& summary) {
+  install_metrics_sidecar();
   std::printf("================================================================\n");
   std::printf("%s\n", experiment.c_str());
   std::printf("%s\n", summary.c_str());

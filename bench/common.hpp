@@ -70,4 +70,11 @@ class TablePrinter {
 /// Banner with the experiment id and the substitution notice.
 void print_banner(const std::string& experiment, const std::string& summary);
 
+/// If env AOADMM_BENCH_METRICS_JSON names a path, registers (once per
+/// process) an atexit hook that dumps the global metric registry there as
+/// JSON — a machine-readable sidecar next to every harness's table output.
+/// print_banner() and DatasetCache::instance() call this, so every bench
+/// binary gets the hook without touching its main().
+void install_metrics_sidecar();
+
 }  // namespace aoadmm::bench

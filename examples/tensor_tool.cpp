@@ -10,16 +10,26 @@
 //             [--max-outer 50] [--tol 1e-5] [--block 50] [--trace out.csv]
 //             [--threads N] [--save-factors prefix]
 //             [--objective ls|observed] [--ridge 1e-6]
+//             [--progress] [--metrics-json m.json] [--chrome-trace t.json]
+//
+// Observability (cpd): --progress prints one line per outer iteration;
+// --metrics-json writes per-iteration snapshots plus the process-wide
+// metric registry; --chrome-trace writes a chrome://tracing / Perfetto
+// trace (spans require a build with -DAOADMM_ENABLE_PROFILING=ON).
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/cpd.hpp"
 #include "core/wcpd.hpp"
 #include "la/matrix_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "parallel/runtime.hpp"
 #include "tensor/io.hpp"
 #include "tensor/synthetic.hpp"
@@ -167,6 +177,66 @@ int cmd_cpd(const Options& opts) {
       parse_constraint_kind(opts.get_string("constraint", "nonneg"));
   constraint.lambda = static_cast<real_t>(opts.get_double("lambda", 0.1));
 
+  const bool progress = opts.has("progress");
+  const auto metrics_path = opts.get("metrics-json");
+  const auto chrome_path = opts.get("chrome-trace");
+  if (chrome_path) {
+    if (!obs::profiling_compiled()) {
+      std::printf("note: spans not compiled in (build with "
+                  "-DAOADMM_ENABLE_PROFILING=ON); %s will be empty\n",
+                  chrome_path->c_str());
+    }
+    obs::profiling_start();
+  }
+
+  // Accumulates per-iteration snapshots as JSON while the solver runs.
+  std::ostringstream iter_json;
+  bool first_snapshot = true;
+  if (progress || metrics_path) {
+    cpd_opts.on_iteration = [&](const obs::MetricsSnapshot& s) {
+      if (progress) {
+        double mttkrp = 0;
+        for (const double sec : s.mode_mttkrp_seconds) {
+          mttkrp += sec;
+        }
+        std::printf("iter %3u  err %.6f  %6.3fs  mttkrp %.3fs  admm %.3fs  "
+                    "inner %llu  imbalance %.2f\n",
+                    s.outer_iteration, static_cast<double>(s.relative_error),
+                    s.seconds, mttkrp, s.admm_seconds,
+                    static_cast<unsigned long long>(s.admm_inner_iterations),
+                    s.thread_imbalance);
+        std::fflush(stdout);
+      }
+      if (metrics_path) {
+        iter_json << (first_snapshot ? "\n    " : ",\n    ");
+        s.write_json(iter_json);
+        first_snapshot = false;
+      }
+    };
+  }
+
+  const auto export_observability = [&] {
+    if (metrics_path) {
+      std::ofstream out(*metrics_path);
+      AOADMM_CHECK_MSG(static_cast<bool>(out),
+                       "cannot write metrics to " + *metrics_path);
+      out << "{\n  \"iterations\": [" << iter_json.str()
+          << (first_snapshot ? "]" : "\n  ]") << ",\n  \"registry\": ";
+      obs::MetricsRegistry::global().write_json(out);
+      out << "\n}\n";
+      std::printf("metrics written to %s\n", metrics_path->c_str());
+    }
+    if (chrome_path) {
+      obs::profiling_stop();
+      std::ofstream out(*chrome_path);
+      AOADMM_CHECK_MSG(static_cast<bool>(out),
+                       "cannot write trace to " + *chrome_path);
+      obs::write_chrome_trace(out);
+      std::printf("chrome trace written to %s (open in chrome://tracing)\n",
+                  chrome_path->c_str());
+    }
+  };
+
   // --objective ls (default) minimizes over ALL cells (missing = zero);
   // --objective observed minimizes over the stored non-zeros only
   // (missing = unknown) via cpd_wopt.
@@ -196,6 +266,9 @@ int cmd_cpd(const Options& opts) {
       r.trace.write_csv(out);
       std::printf("trace written to %s\n", trace_path->c_str());
     }
+    // cpd_wopt has no per-iteration callback; the registry and any spans
+    // are still worth exporting.
+    export_observability();
     return 0;
   }
   AOADMM_CHECK_MSG(objective == "ls", "--objective must be ls|observed");
@@ -230,6 +303,7 @@ int cmd_cpd(const Options& opts) {
     r.trace.write_csv(out);
     std::printf("trace written to %s\n", trace_path->c_str());
   }
+  export_observability();
   return 0;
 }
 
@@ -242,7 +316,10 @@ void usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  set_log_level(LogLevel::kInfo);
+  // Default to chatty; AOADMM_LOG_LEVEL (already applied at startup) wins.
+  if (std::getenv("AOADMM_LOG_LEVEL") == nullptr) {
+    set_log_level(LogLevel::kInfo);
+  }
   try {
     const Options opts(argc, argv);
     if (opts.positional().empty()) {

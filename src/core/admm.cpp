@@ -1,14 +1,25 @@
 #include "core/admm.hpp"
 
+#include <algorithm>
+#include <chrono>
+
 #include "core/admm_impl.hpp"
 #include "la/cholesky.hpp"
+#include "obs/parallel_stats.hpp"
+#include "obs/profile.hpp"
+#include "parallel/runtime.hpp"
 #include "util/error.hpp"
+
+#if defined(AOADMM_HAVE_OPENMP)
+#include <omp.h>
+#endif
 
 namespace aoadmm {
 
 AdmmResult admm_update(Matrix& h, Matrix& u, const Matrix& k, const Matrix& g,
                        const ProxOperator& prox, const AdmmOptions& opts,
                        AdmmScratch& scratch) {
+  AOADMM_PROFILE_SCOPE("admm/base");
   const std::size_t rows = h.rows();
   const std::size_t f = h.cols();
   AOADMM_CHECK(u.rows() == rows && u.cols() == f);
@@ -29,41 +40,59 @@ AdmmResult admm_update(Matrix& h, Matrix& u, const Matrix& k, const Matrix& g,
   for (unsigned iter = 0; iter < opts.max_iterations; ++iter) {
     acc = detail::ResidualAccum{};
 
-    // Each kernel is parallelized over rows with an implicit barrier after
-    // it — the §IV.A baseline decomposition.
+    // Each kernel runs over a static row partition with a barrier after
+    // it — the §IV.A baseline decomposition. The partition is explicit
+    // (rather than `omp for`) so each thread can time its own work,
+    // excluding barrier waits, for the busy-time imbalance report.
 #if defined(AOADMM_HAVE_OPENMP)
+    obs::BusyTimes busy(max_threads());
 #pragma omp parallel
     {
+      const int nt = omp_get_num_threads();
+      const std::size_t chunk = (rows + static_cast<std::size_t>(nt) - 1) /
+                                static_cast<std::size_t>(nt);
+      const std::size_t lo =
+          std::min(rows, chunk * static_cast<std::size_t>(thread_id()));
+      const std::size_t hi = std::min(rows, lo + chunk);
+
+      using clock = std::chrono::steady_clock;
+      double busy_seconds = 0;
+      const auto timed = [&busy_seconds](const auto& work) {
+        const auto t0 = clock::now();
+        work();
+        busy_seconds += std::chrono::duration<double>(clock::now() - t0)
+                            .count();
+      };
+
       detail::ResidualAccum local;
-#pragma omp for schedule(static)
-      for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(rows); ++i) {
-        const auto ii = static_cast<std::size_t>(i);
-        detail::admm_solve_rows(h, u, k, rho, chol, aux, ii, ii + 1);
-      }
-#pragma omp for schedule(static)
-      for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(rows); ++i) {
-        const auto ii = static_cast<std::size_t>(i);
-        detail::admm_primal_prep_rows(h, u, aux, h_old, opts.relaxation, ii,
-                                      ii + 1);
-      }
-#pragma omp for schedule(static)
-      for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(rows); ++i) {
-        const auto ii = static_cast<std::size_t>(i);
-        prox.apply(h, ii, ii + 1, rho);
-      }
-#pragma omp for schedule(static)
-      for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(rows); ++i) {
-        const auto ii = static_cast<std::size_t>(i);
-        local.merge(detail::admm_dual_rows(h, u, aux, h_old, ii, ii + 1));
-      }
+      timed([&] {
+        detail::admm_solve_rows(h, u, k, rho, chol, aux, lo, hi);
+      });
+#pragma omp barrier
+      timed([&] {
+        detail::admm_primal_prep_rows(h, u, aux, h_old, opts.relaxation, lo,
+                                      hi);
+      });
+#pragma omp barrier
+      timed([&] { prox.apply(h, lo, hi, rho); });
+#pragma omp barrier
+      timed([&] {
+        local.merge(detail::admm_dual_rows(h, u, aux, h_old, lo, hi));
+      });
+      busy.add(thread_id(), busy_seconds);
 #pragma omp critical(aoadmm_admm_residuals)
       acc.merge(local);
     }
 #else
+    obs::BusyTimes busy(1);
+    const auto t0 = std::chrono::steady_clock::now();
     detail::admm_solve_rows(h, u, k, rho, chol, aux, 0, rows);
     detail::admm_primal_prep_rows(h, u, aux, h_old, opts.relaxation, 0, rows);
     prox.apply(h, 0, rows, rho);
     acc = detail::admm_dual_rows(h, u, aux, h_old, 0, rows);
+    busy.add(0, std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
 #endif
 
     ++result.iterations;

@@ -1,9 +1,13 @@
 #include <algorithm>
+#include <chrono>
 
 #include "core/admm.hpp"
 #include "core/admm_impl.hpp"
 #include "la/cholesky.hpp"
+#include "obs/parallel_stats.hpp"
+#include "obs/profile.hpp"
 #include "parallel/partition.hpp"
+#include "parallel/runtime.hpp"
 #include "util/error.hpp"
 
 namespace aoadmm {
@@ -19,6 +23,7 @@ std::size_t auto_block_size(std::size_t rank,
 AdmmResult admm_update_blocked(Matrix& h, Matrix& u, const Matrix& k,
                                const Matrix& g, const ProxOperator& prox,
                                const AdmmOptions& opts, AdmmScratch& scratch) {
+  AOADMM_PROFILE_SCOPE("admm/blocked");
   const std::size_t rows = h.rows();
   const std::size_t f = h.cols();
   AOADMM_CHECK(u.rows() == rows && u.cols() == f);
@@ -46,26 +51,22 @@ AdmmResult admm_update_blocked(Matrix& h, Matrix& u, const Matrix& k,
   real_t worst_primal = 0;
   real_t worst_dual = 0;
 
-  // Blocks are equal-sized but converge after different iteration counts,
-  // so they are dynamically scheduled (§IV.B).
-#if defined(AOADMM_HAVE_OPENMP)
-#pragma omp parallel for schedule(dynamic, 1) \
-    reduction(max : max_block_iters, worst_primal, worst_dual) \
-    reduction(+ : total_row_iters)
-#endif
-  for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(nblocks); ++b) {
-    const auto [lo, hi] =
-        block_range(rows, block_size, static_cast<std::size_t>(b));
-    const std::size_t brows = hi - lo;
+  using clock = std::chrono::steady_clock;
+  obs::BusyTimes busy(max_threads());
 
+  /// One block's whole inner loop: its primal/dual/aux rows stay
+  /// cache-resident throughout, and no barrier with other blocks ever
+  /// happens (§IV.B).
+  const auto run_block = [&](std::size_t b, unsigned& iters_out,
+                             detail::ResidualAccum& acc_out) {
+    AOADMM_PROFILE_SCOPE("admm/blocked/block");
+    const auto [lo, hi] = block_range(rows, block_size, b);
     detail::ResidualAccum acc;
     unsigned iters = 0;
-    // The whole inner loop runs on this block before the thread moves on —
-    // the block's primal/dual/aux rows stay cache-resident throughout, and
-    // no barrier with other blocks ever happens.
     for (; iters < opts.max_iterations;) {
       detail::admm_solve_rows(h, u, k, rho, chol, aux, lo, hi);
-      detail::admm_primal_prep_rows(h, u, aux, h_old, opts.relaxation, lo, hi);
+      detail::admm_primal_prep_rows(h, u, aux, h_old, opts.relaxation, lo,
+                                    hi);
       prox.apply(h, lo, hi, rho);
       acc = detail::admm_dual_rows(h, u, aux, h_old, lo, hi);
       ++iters;
@@ -73,12 +74,65 @@ AdmmResult admm_update_blocked(Matrix& h, Matrix& u, const Matrix& k,
         break;
       }
     }
+    iters_out = iters;
+    acc_out = acc;
+  };
 
-    max_block_iters = std::max(max_block_iters, iters);
-    total_row_iters += static_cast<std::uint64_t>(iters) * brows;
-    worst_primal = std::max(worst_primal, acc.primal());
-    worst_dual = std::max(worst_dual, acc.dual());
+  // Blocks are equal-sized but converge after different iteration counts,
+  // so they are dynamically scheduled (§IV.B). Each thread accumulates its
+  // own busy time across the blocks it ran for the imbalance report.
+#if defined(AOADMM_HAVE_OPENMP)
+#pragma omp parallel
+  {
+    unsigned local_max_iters = 0;
+    std::uint64_t local_row_iters = 0;
+    real_t local_worst_primal = 0;
+    real_t local_worst_dual = 0;
+    double busy_seconds = 0;
+
+#pragma omp for schedule(dynamic, 1) nowait
+    for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(nblocks);
+         ++b) {
+      const auto t0 = clock::now();
+      unsigned iters = 0;
+      detail::ResidualAccum acc;
+      run_block(static_cast<std::size_t>(b), iters, acc);
+      busy_seconds +=
+          std::chrono::duration<double>(clock::now() - t0).count();
+
+      const auto [lo, hi] =
+          block_range(rows, block_size, static_cast<std::size_t>(b));
+      local_max_iters = std::max(local_max_iters, iters);
+      local_row_iters += static_cast<std::uint64_t>(iters) * (hi - lo);
+      local_worst_primal = std::max(local_worst_primal, acc.primal());
+      local_worst_dual = std::max(local_worst_dual, acc.dual());
+    }
+    busy.add(thread_id(), busy_seconds);
+
+#pragma omp critical(aoadmm_admm_blocked_merge)
+    {
+      max_block_iters = std::max(max_block_iters, local_max_iters);
+      total_row_iters += local_row_iters;
+      worst_primal = std::max(worst_primal, local_worst_primal);
+      worst_dual = std::max(worst_dual, local_worst_dual);
+    }
   }
+#else
+  {
+    const auto t0 = clock::now();
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      unsigned iters = 0;
+      detail::ResidualAccum acc;
+      run_block(b, iters, acc);
+      const auto [lo, hi] = block_range(rows, block_size, b);
+      max_block_iters = std::max(max_block_iters, iters);
+      total_row_iters += static_cast<std::uint64_t>(iters) * (hi - lo);
+      worst_primal = std::max(worst_primal, acc.primal());
+      worst_dual = std::max(worst_dual, acc.dual());
+    }
+    busy.add(0, std::chrono::duration<double>(clock::now() - t0).count());
+  }
+#endif
 
   result.iterations = max_block_iters;
   result.row_iterations = total_row_iters;

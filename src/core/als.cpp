@@ -1,41 +1,85 @@
+#include <algorithm>
 #include <limits>
 
 #include "core/cpd.hpp"
 #include "core/cpd_impl.hpp"
 #include "core/workspace.hpp"
 #include "la/cholesky.hpp"
+#include "obs/metrics.hpp"
+#include "obs/parallel_stats.hpp"
+#include "obs/profile.hpp"
 #include "sparse/density.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
 namespace aoadmm {
+namespace {
+
+struct AlsMetrics {
+  obs::Counter runs;
+  obs::Counter outer_iterations;
+  obs::Counter mttkrp_calls;
+  obs::Histogram iteration_seconds;
+
+  static const AlsMetrics& get() {
+    static const AlsMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::global();
+      AlsMetrics out;
+      out.runs = reg.counter("als/runs");
+      out.outer_iterations = reg.counter("als/outer_iterations");
+      out.mttkrp_calls = reg.counter("als/mttkrp_calls");
+      out.iteration_seconds = reg.histogram("als/iteration_seconds");
+      return out;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 CpdResult cpd_als(const CsfSet& csf, const CpdOptions& opts, real_t ridge) {
+  AOADMM_PROFILE_SCOPE("cpd/als");
   const std::size_t order = csf.order();
   AOADMM_CHECK(order >= 2);
   AOADMM_CHECK(ridge >= 0);
 
+  const AlsMetrics& metrics = AlsMetrics::get();
+  metrics.runs.add(1);
+
   Timer wall;
   wall.start();
-  TimerSet timers;
+  Timer mttkrp_timer;
+  Timer solve_timer;
 
   CpdResult result;
   const real_t x_norm_sq = detail::tensor_norm_sq(csf.for_mode(0));
-  result.factors = detail::init_factors(csf, opts.rank, opts.seed, x_norm_sq);
+  {
+    AOADMM_PROFILE_SCOPE("cpd/init");
+    result.factors =
+        detail::init_factors(csf, opts.rank, opts.seed, x_norm_sq);
+  }
   CpdWorkspace ws(order);
   {
-    const ScopedTimer t(timers["other"]);
+    AOADMM_PROFILE_SCOPE("cpd/gram");
     for (std::size_t m = 0; m < order; ++m) {
       gram(result.factors[m], ws.grams[m]);
     }
   }
 
   real_t prev_error = std::numeric_limits<real_t>::infinity();
+  std::vector<double> mode_mttkrp_seconds(order, 0);
 
   for (unsigned outer = 1; outer <= opts.max_outer_iterations; ++outer) {
+    AOADMM_PROFILE_SCOPE("cpd/outer");
+    const double iter_start_seconds = wall.seconds();
+    const obs::ParallelTotals parallel_before = obs::parallel_totals();
+    const double solve_seconds_before = solve_timer.seconds();
+    std::fill(mode_mttkrp_seconds.begin(), mode_mttkrp_seconds.end(), 0.0);
+
     for (std::size_t m = 0; m < order; ++m) {
+      AOADMM_PROFILE_SCOPE("cpd/mode");
       {
-        const ScopedTimer t(timers["other"]);
+        AOADMM_PROFILE_SCOPE("cpd/gram_product");
         detail::gram_product_excluding(ws.grams, m, ws.gram_prod);
         // A touch of ridge keeps the normal equations positive definite
         // even when a factor momentarily loses rank.
@@ -45,25 +89,29 @@ CpdResult cpd_als(const CsfSet& csf, const CpdOptions& opts, real_t ridge) {
         }
       }
       {
-        const ScopedTimer t(timers["mttkrp"]);
+        const ScopedTimer t(mttkrp_timer);
+        const double before = mttkrp_timer.seconds();
         ++result.mttkrp_count;
+        metrics.mttkrp_calls.add(1);
         mttkrp_dispatch(csf.for_mode(m), result.factors, m, ws.mttkrp_out);
+        mode_mttkrp_seconds[m] = mttkrp_timer.seconds() - before;
       }
       {
         // The least-squares solve plays the role ADMM does in AO-ADMM.
-        const ScopedTimer t(timers["admm"]);
+        const ScopedTimer t(solve_timer);
+        AOADMM_PROFILE_SCOPE("cpd/solve");
         solve_normal_equations(ws.gram_prod, ws.mttkrp_out);
         result.factors[m] = ws.mttkrp_out;
       }
       {
-        const ScopedTimer t(timers["other"]);
+        AOADMM_PROFILE_SCOPE("cpd/gram");
         gram(result.factors[m], ws.grams[m]);
       }
     }
 
     real_t err;
     {
-      const ScopedTimer t(timers["other"]);
+      AOADMM_PROFILE_SCOPE("cpd/fit");
       // mttkrp_out was overwritten by the solve; recompute the final-mode
       // MTTKRP for an exact fit. (ALS is a baseline; simplicity wins.)
       mttkrp_dispatch(csf.for_mode(order - 1), result.factors, order - 1,
@@ -77,6 +125,30 @@ CpdResult cpd_als(const CsfSet& csf, const CpdOptions& opts, real_t ridge) {
       result.trace.add(outer, wall.seconds(), err);
     }
 
+    const double iter_seconds = wall.seconds() - iter_start_seconds;
+    metrics.outer_iterations.add(1);
+    metrics.iteration_seconds.observe(iter_seconds);
+
+    if (opts.on_iteration) {
+      obs::MetricsSnapshot snap;
+      snap.outer_iteration = outer;
+      snap.seconds = wall.seconds();
+      snap.iteration_seconds = iter_seconds;
+      snap.relative_error = err;
+      snap.mode_mttkrp_seconds = mode_mttkrp_seconds;
+      // ALS has no ADMM inner loop; the solve time fills its slot and the
+      // residual fields stay at their zero defaults.
+      snap.admm_seconds = solve_timer.seconds() - solve_seconds_before;
+      snap.thread_imbalance = obs::imbalance_since(parallel_before);
+      snap.factor_density.reserve(order);
+      for (std::size_t m = 0; m < order; ++m) {
+        snap.factor_density.push_back(
+            measure_density(result.factors[m]).density);
+      }
+      snap.mttkrp_count = result.mttkrp_count;
+      opts.on_iteration(snap);
+    }
+
     if (prev_error - err < opts.tolerance && outer > 1) {
       result.converged = true;
       break;
@@ -86,8 +158,8 @@ CpdResult cpd_als(const CsfSet& csf, const CpdOptions& opts, real_t ridge) {
 
   wall.stop();
   result.times.total_seconds = wall.seconds();
-  result.times.mttkrp_seconds = timers.seconds("mttkrp");
-  result.times.admm_seconds = timers.seconds("admm");
+  result.times.mttkrp_seconds = mttkrp_timer.seconds();
+  result.times.admm_seconds = solve_timer.seconds();
   result.times.other_seconds = result.times.total_seconds -
                                result.times.mttkrp_seconds -
                                result.times.admm_seconds;

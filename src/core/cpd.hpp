@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/admm.hpp"
@@ -21,6 +22,7 @@
 #include "core/trace.hpp"
 #include "la/matrix.hpp"
 #include "mttkrp/mttkrp.hpp"
+#include "obs/snapshot.hpp"
 #include "tensor/csf.hpp"
 
 namespace aoadmm {
@@ -46,6 +48,12 @@ struct CpdOptions {
   real_t sparsity_threshold = 0.20;
   std::uint64_t seed = 123;
   bool record_trace = true;
+  /// Invoked at the end of every outer iteration with that iteration's
+  /// metrics (relative error, per-mode MTTKRP seconds, ADMM residuals,
+  /// thread imbalance, ... — see obs/snapshot.hpp). Called exactly
+  /// `outer_iterations` times. Leave empty to skip snapshot assembly (the
+  /// per-iteration factor-density measurement is only done when set).
+  std::function<void(const obs::MetricsSnapshot&)> on_iteration;
 };
 
 /// Wall-clock decomposition of a factorization (paper Fig. 3).

@@ -41,4 +41,16 @@ void ConvergenceTrace::write_csv(std::ostream& out) const {
   }
 }
 
+void ConvergenceTrace::write_json(std::ostream& out) const {
+  out << "[";
+  bool first = true;
+  for (const auto& p : points_) {
+    out << (first ? "\n" : ",\n") << "  {\"iter\": " << p.outer_iteration
+        << ", \"seconds\": " << p.seconds
+        << ", \"relative_error\": " << p.relative_error << "}";
+    first = false;
+  }
+  out << (first ? "]" : "\n]") << "\n";
+}
+
 }  // namespace aoadmm

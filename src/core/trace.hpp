@@ -40,6 +40,9 @@ class ConvergenceTrace {
   /// CSV with header: iter,seconds,relative_error.
   void write_csv(std::ostream& out) const;
 
+  /// JSON array of {"iter", "seconds", "relative_error"} objects.
+  void write_json(std::ostream& out) const;
+
  private:
   std::vector<TracePoint> points_;
 };

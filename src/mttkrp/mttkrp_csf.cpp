@@ -2,6 +2,7 @@
 
 #include "mttkrp/mttkrp.hpp"
 #include "mttkrp/mttkrp_impl.hpp"
+#include "mttkrp/mttkrp_obs.hpp"
 #include "util/aligned.hpp"
 #include "util/error.hpp"
 
@@ -88,10 +89,12 @@ void mttkrp_csf(const CsfTensor& csf, cspan<const Matrix> factors,
     } else if (!accumulate) {
       out.zero();
     }
+    AOADMM_MTTKRP_OBS("csf3_dense");
     mttkrp_csf3_dense(csf, b, c, out);
     return;
   }
 
+  AOADMM_MTTKRP_OBS("csf_dense");
   const Matrix& leaf = factors[csf.level_mode(csf.order() - 1)];
   detail::mttkrp_csf_skeleton(
       csf, factors, f,

@@ -1,11 +1,13 @@
 #include "mttkrp/mttkrp.hpp"
 #include "mttkrp/mttkrp_impl.hpp"
+#include "mttkrp/mttkrp_obs.hpp"
 #include "util/error.hpp"
 
 namespace aoadmm {
 
 void mttkrp_csf_hybrid(const CsfTensor& csf, cspan<const Matrix> factors,
                        const HybridMatrix& leaf, Matrix& out) {
+  AOADMM_MTTKRP_OBS("csf_hybrid");
   AOADMM_CHECK(factors.size() == csf.order());
   const std::size_t leaf_mode = csf.level_mode(csf.order() - 1);
   AOADMM_CHECK_MSG(leaf.rows() == csf.level_dim(csf.order() - 1),

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "mttkrp/mttkrp.hpp"
+#include "mttkrp/mttkrp_obs.hpp"
 #include "util/aligned.hpp"
 #include "util/error.hpp"
 
@@ -32,6 +33,7 @@ inline void atomic_add_row(real_t* __restrict dst,
 
 void mttkrp_csf_nonroot(const CsfTensor& csf, cspan<const Matrix> factors,
                         std::size_t target_mode, Matrix& out) {
+  AOADMM_MTTKRP_OBS("csf_nonroot");
   const std::size_t order = csf.order();
   AOADMM_CHECK(order >= 2);
   AOADMM_CHECK(factors.size() == order);

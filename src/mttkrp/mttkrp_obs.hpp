@@ -1,0 +1,71 @@
+// Internal helper: one-line observability for MTTKRP kernel entry points.
+//
+//   void mttkrp_csf_csr(...) {
+//     AOADMM_MTTKRP_OBS("csf_csr");
+//     ...
+//   }
+//
+// registers (once) and maintains a per-kernel call counter
+// `mttkrp/<kernel>/calls`, a per-kernel latency histogram
+// `mttkrp/<kernel>/seconds`, the shared `mttkrp/seconds` histogram, and —
+// in profiling builds — a `mttkrp/<kernel>` span.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+
+namespace aoadmm {
+namespace detail {
+
+struct MttkrpKernelMetrics {
+  obs::Counter calls;
+  obs::Histogram seconds;
+  /// Shared across all kernels: total MTTKRP latency distribution.
+  obs::Histogram all_seconds;
+
+  static MttkrpKernelMetrics make(const std::string& kernel) {
+    auto& reg = obs::MetricsRegistry::global();
+    MttkrpKernelMetrics m;
+    m.calls = reg.counter("mttkrp/" + kernel + "/calls");
+    m.seconds = reg.histogram("mttkrp/" + kernel + "/seconds");
+    m.all_seconds = reg.histogram("mttkrp/seconds");
+    return m;
+  }
+};
+
+/// RAII: on destruction, bumps the kernel's call counter and records the
+/// call's wall time into both the per-kernel and the shared histogram.
+class MttkrpCallObs {
+ public:
+  explicit MttkrpCallObs(const MttkrpKernelMetrics& m) noexcept
+      : m_(m), t0_(std::chrono::steady_clock::now()) {}
+  ~MttkrpCallObs() {
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+            .count();
+    m_.calls.add(1);
+    m_.seconds.observe(s);
+    m_.all_seconds.observe(s);
+  }
+  MttkrpCallObs(const MttkrpCallObs&) = delete;
+  MttkrpCallObs& operator=(const MttkrpCallObs&) = delete;
+
+ private:
+  const MttkrpKernelMetrics& m_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace detail
+}  // namespace aoadmm
+
+/// Instruments the enclosing function as MTTKRP kernel `kernel` (a string
+/// literal). Registration happens once per call site (magic static).
+#define AOADMM_MTTKRP_OBS(kernel)                                         \
+  static const ::aoadmm::detail::MttkrpKernelMetrics                      \
+      aoadmm_mttkrp_metrics_ =                                            \
+          ::aoadmm::detail::MttkrpKernelMetrics::make(kernel);            \
+  const ::aoadmm::detail::MttkrpCallObs aoadmm_mttkrp_obs_(              \
+      aoadmm_mttkrp_metrics_);                                            \
+  AOADMM_PROFILE_SCOPE("mttkrp/" kernel)

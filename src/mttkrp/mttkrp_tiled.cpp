@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "mttkrp/mttkrp.hpp"
+#include "mttkrp/mttkrp_obs.hpp"
 #include "tensor/transform.hpp"
 #include "util/error.hpp"
 
@@ -70,6 +71,7 @@ std::size_t TiledCsf::storage_bytes() const noexcept {
 
 void mttkrp_tiled(const TiledCsf& tiled, cspan<const Matrix> factors,
                   Matrix& out) {
+  AOADMM_MTTKRP_OBS("tiled");
   AOADMM_CHECK(tiled.num_tiles() > 0);
   const CsfTensor& first = tiled.tile(0);
   AOADMM_CHECK(factors.size() == first.order());

@@ -1,0 +1,62 @@
+// Internal JSON emission helpers shared by the obs exporters. This is a
+// writer only — the library never parses JSON (tests carry their own
+// minimal parser to validate exporter output).
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+namespace aoadmm::obs::detail {
+
+/// Escape a string for inclusion inside a JSON string literal.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Write a double as a JSON number. JSON has no inf/nan literals, so those
+/// are emitted as strings ("inf", "-inf", "nan") to keep documents valid.
+inline void json_number(std::ostream& out, double v) {
+  if (std::isnan(v)) {
+    out << "\"nan\"";
+  } else if (std::isinf(v)) {
+    out << (v > 0 ? "\"inf\"" : "\"-inf\"");
+  } else {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out << buf;
+  }
+}
+
+}  // namespace aoadmm::obs::detail

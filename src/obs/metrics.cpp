@@ -1,0 +1,465 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "obs/json_util.hpp"
+#include "util/error.hpp"
+
+namespace aoadmm::obs {
+namespace detail {
+namespace {
+
+constexpr std::size_t kMaxCounters = 1024;
+constexpr std::size_t kMaxGauges = 256;
+constexpr std::size_t kMaxHistograms = 256;
+
+/// One scalar slot. Single writer (the owning thread); concurrent scrapes
+/// read relaxed — never torn, possibly one update stale.
+struct alignas(8) ScalarCell {
+  std::atomic<double> v{0};
+};
+
+struct HistCell {
+  std::atomic<std::uint64_t> buckets[kHistogramBuckets]{};
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<double> sum{0};
+  std::atomic<double> min{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+
+  void zero() noexcept {
+    for (auto& b : buckets) {
+      b.store(0, std::memory_order_relaxed);
+    }
+    count.store(0, std::memory_order_relaxed);
+    sum.store(0, std::memory_order_relaxed);
+    min.store(std::numeric_limits<double>::infinity(),
+              std::memory_order_relaxed);
+    max.store(-std::numeric_limits<double>::infinity(),
+              std::memory_order_relaxed);
+  }
+};
+
+/// Per-thread storage: fixed-capacity arrays so the hot path indexes
+/// without any growth/synchronization concern. ~8 KiB of counters plus the
+/// histogram block per thread.
+struct Shard {
+  std::vector<ScalarCell> counters{kMaxCounters};
+  std::vector<HistCell> hists{kMaxHistograms};
+
+  void zero() noexcept {
+    for (auto& c : counters) {
+      c.v.store(0, std::memory_order_relaxed);
+    }
+    for (auto& h : hists) {
+      h.zero();
+    }
+  }
+};
+
+}  // namespace
+
+struct RegistryImpl {
+  std::uint64_t gen;  // unique per impl; guards against pointer reuse
+
+  mutable std::mutex mutex;
+  std::unordered_map<std::string, std::pair<MetricKind, std::uint32_t>> byname;
+  std::uint32_t n_counters = 0;
+  std::uint32_t n_gauges = 0;
+  std::uint32_t n_hists = 0;
+
+  std::vector<std::unique_ptr<Shard>> shards;  // every shard ever created
+  std::vector<Shard*> free_shards;             // recycled, values preserved
+  std::vector<ScalarCell> gauges{kMaxGauges};
+
+  Shard* acquire_shard() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (!free_shards.empty()) {
+      Shard* s = free_shards.back();
+      free_shards.pop_back();
+      return s;
+    }
+    shards.push_back(std::make_unique<Shard>());
+    return shards.back().get();
+  }
+
+  void release_shard(Shard* s) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    free_shards.push_back(s);
+  }
+};
+
+namespace {
+
+std::mutex& live_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::unordered_set<RegistryImpl*>& live_impls() {
+  static auto* set = new std::unordered_set<RegistryImpl*>();
+  return *set;
+}
+
+std::uint64_t next_gen() {
+  static std::atomic<std::uint64_t> gen{1};
+  return gen.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Thread-local (impl, shard) bindings. On thread exit every shard is
+/// handed back to its registry's free list — if that registry is still
+/// alive (the generation check defends against a recycled address).
+struct ThreadShards {
+  struct Entry {
+    RegistryImpl* impl;
+    std::uint64_t gen;
+    Shard* shard;
+  };
+  std::vector<Entry> entries;
+
+  ~ThreadShards() {
+    const std::lock_guard<std::mutex> lock(live_mutex());
+    for (const Entry& e : entries) {
+      if (live_impls().count(e.impl) != 0 && e.impl->gen == e.gen) {
+        e.impl->release_shard(e.shard);
+      }
+    }
+  }
+};
+
+Shard& shard_for(RegistryImpl* impl, std::uint64_t gen) {
+  thread_local ThreadShards shards;
+  for (const auto& e : shards.entries) {
+    if (e.impl == impl && e.gen == gen) {
+      return *e.shard;
+    }
+  }
+  Shard* s = impl->acquire_shard();
+  shards.entries.push_back({impl, gen, s});
+  return *s;
+}
+
+}  // namespace
+
+void scalar_add(RegistryImpl* impl, std::uint64_t gen, std::uint32_t slot,
+                double v) noexcept {
+  auto& cell = shard_for(impl, gen).counters[slot].v;
+  cell.store(cell.load(std::memory_order_relaxed) + v,
+             std::memory_order_relaxed);
+}
+
+void gauge_store(RegistryImpl* impl, std::uint32_t slot, double v,
+                 bool accumulate) noexcept {
+  auto& cell = impl->gauges[slot].v;
+  if (accumulate) {
+    double cur = cell.load(std::memory_order_relaxed);
+    while (!cell.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+    }
+  } else {
+    cell.store(v, std::memory_order_relaxed);
+  }
+}
+
+void histogram_observe(RegistryImpl* impl, std::uint64_t gen,
+                       std::uint32_t slot, double v) noexcept {
+  HistCell& h = shard_for(impl, gen).hists[slot];
+  const std::size_t b = histogram_bucket(v);
+  auto bump = [](std::atomic<std::uint64_t>& c) {
+    c.store(c.load(std::memory_order_relaxed) + 1,
+            std::memory_order_relaxed);
+  };
+  bump(h.buckets[b]);
+  bump(h.count);
+  if (!std::isnan(v)) {
+    h.sum.store(h.sum.load(std::memory_order_relaxed) + v,
+                std::memory_order_relaxed);
+    if (v < h.min.load(std::memory_order_relaxed)) {
+      h.min.store(v, std::memory_order_relaxed);
+    }
+    if (v > h.max.load(std::memory_order_relaxed)) {
+      h.max.store(v, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace detail
+
+const char* to_string(MetricKind k) noexcept {
+  switch (k) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+std::size_t histogram_bucket(double v) noexcept {
+  if (!(v > 0)) {  // catches <= 0 and NaN
+    return 0;
+  }
+  if (std::isinf(v)) {
+    return kHistogramBuckets - 1;
+  }
+  const int e = std::ilogb(v);
+  if (e < kHistogramMinExp) {
+    return 1;
+  }
+  if (e > kHistogramMaxExp) {
+    return kHistogramBuckets - 1;
+  }
+  return static_cast<std::size_t>(e - kHistogramMinExp) + 2;
+}
+
+double histogram_bucket_upper(std::size_t b) noexcept {
+  if (b == 0) {
+    return 0;
+  }
+  if (b >= kHistogramBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Bucket 1 is the underflow (0, 2^min); bucket b >= 2 covers
+  // [2^(min + b - 2), 2^(min + b - 1)).
+  const int exp = kHistogramMinExp + static_cast<int>(b) - 1;
+  return std::ldexp(1.0, exp);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked: worker threads may record metrics during their (post-main)
+  // teardown, so the registry must never be destroyed.
+  static auto* r = new MetricsRegistry();
+  return *r;
+}
+
+MetricsRegistry::MetricsRegistry() : impl_(new detail::RegistryImpl()) {
+  impl_->gen = detail::next_gen();
+  const std::lock_guard<std::mutex> lock(detail::live_mutex());
+  detail::live_impls().insert(impl_);
+}
+
+MetricsRegistry::~MetricsRegistry() {
+  {
+    const std::lock_guard<std::mutex> lock(detail::live_mutex());
+    detail::live_impls().erase(impl_);
+  }
+  delete impl_;
+}
+
+Counter MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->byname.find(name);
+  if (it == impl_->byname.end()) {
+    AOADMM_CHECK_MSG(impl_->n_counters < detail::kMaxCounters,
+                     "metrics: counter capacity exhausted");
+    it = impl_->byname
+             .emplace(name, std::make_pair(MetricKind::kCounter,
+                                           impl_->n_counters++))
+             .first;
+  }
+  AOADMM_CHECK_MSG(it->second.first == MetricKind::kCounter,
+                   "metrics: '" + name + "' already registered as " +
+                       to_string(it->second.first));
+  return Counter(impl_, impl_->gen, it->second.second);
+}
+
+Gauge MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->byname.find(name);
+  if (it == impl_->byname.end()) {
+    AOADMM_CHECK_MSG(impl_->n_gauges < detail::kMaxGauges,
+                     "metrics: gauge capacity exhausted");
+    it = impl_->byname
+             .emplace(name,
+                      std::make_pair(MetricKind::kGauge, impl_->n_gauges++))
+             .first;
+  }
+  AOADMM_CHECK_MSG(it->second.first == MetricKind::kGauge,
+                   "metrics: '" + name + "' already registered as " +
+                       to_string(it->second.first));
+  return Gauge(impl_, it->second.second);
+}
+
+Histogram MetricsRegistry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->byname.find(name);
+  if (it == impl_->byname.end()) {
+    AOADMM_CHECK_MSG(impl_->n_hists < detail::kMaxHistograms,
+                     "metrics: histogram capacity exhausted");
+    it = impl_->byname
+             .emplace(name, std::make_pair(MetricKind::kHistogram,
+                                           impl_->n_hists++))
+             .first;
+  }
+  AOADMM_CHECK_MSG(it->second.first == MetricKind::kHistogram,
+                   "metrics: '" + name + "' already registered as " +
+                       to_string(it->second.first));
+  return Histogram(impl_, impl_->gen, it->second.second);
+}
+
+double MetricsRegistry::counter_value(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->byname.find(name);
+  if (it == impl_->byname.end() ||
+      it->second.first != MetricKind::kCounter) {
+    return 0;
+  }
+  double total = 0;
+  for (const auto& shard : impl_->shards) {
+    total += shard->counters[it->second.second].v.load(
+        std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double MetricsRegistry::gauge_value(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->byname.find(name);
+  if (it == impl_->byname.end() || it->second.first != MetricKind::kGauge) {
+    return 0;
+  }
+  return impl_->gauges[it->second.second].v.load(std::memory_order_relaxed);
+}
+
+HistogramSnapshot MetricsRegistry::histogram_snapshot(
+    const std::string& name) const {
+  HistogramSnapshot out;
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->byname.find(name);
+  if (it == impl_->byname.end() ||
+      it->second.first != MetricKind::kHistogram) {
+    return out;
+  }
+  double mn = std::numeric_limits<double>::infinity();
+  double mx = -std::numeric_limits<double>::infinity();
+  for (const auto& shard : impl_->shards) {
+    const detail::HistCell& h = shard->hists[it->second.second];
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      out.buckets[b] += h.buckets[b].load(std::memory_order_relaxed);
+    }
+    out.count += h.count.load(std::memory_order_relaxed);
+    out.sum += h.sum.load(std::memory_order_relaxed);
+    mn = std::min(mn, h.min.load(std::memory_order_relaxed));
+    mx = std::max(mx, h.max.load(std::memory_order_relaxed));
+  }
+  out.min = std::isinf(mn) && mn > 0 ? 0 : mn;
+  out.max = std::isinf(mx) && mx < 0 ? 0 : mx;
+  return out;
+}
+
+std::vector<std::string> MetricsRegistry::names(MetricKind kind) const {
+  std::vector<std::string> out;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (const auto& [name, meta] : impl_->byname) {
+      if (meta.first == kind) {
+        out.push_back(name);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (const auto& shard : impl_->shards) {
+    shard->zero();
+  }
+  for (auto& g : impl_->gauges) {
+    g.v.store(0, std::memory_order_relaxed);
+  }
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  using detail::json_escape;
+  using detail::json_number;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const std::string& name : names(MetricKind::kCounter)) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+        << "\": ";
+    json_number(out, counter_value(name));
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const std::string& name : names(MetricKind::kGauge)) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+        << "\": ";
+    json_number(out, gauge_value(name));
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const std::string& name : names(MetricKind::kHistogram)) {
+    const HistogramSnapshot h = histogram_snapshot(name);
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+        << "\": {\"count\": " << h.count << ", \"sum\": ";
+    json_number(out, h.sum);
+    out << ", \"min\": ";
+    json_number(out, h.min);
+    out << ", \"max\": ";
+    json_number(out, h.max);
+    out << ", \"mean\": ";
+    json_number(out, h.mean());
+    out << ", \"buckets\": [";
+    bool bfirst = true;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (h.buckets[b] == 0) {
+        continue;
+      }
+      out << (bfirst ? "" : ", ") << "{\"le\": ";
+      json_number(out, histogram_bucket_upper(b));
+      out << ", \"count\": " << h.buckets[b] << "}";
+      bfirst = false;
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+void MetricsRegistry::write_csv(std::ostream& out) const {
+  out << "kind,name,field,value\n";
+  char buf[64];
+  for (const std::string& name : names(MetricKind::kCounter)) {
+    std::snprintf(buf, sizeof(buf), "%.17g", counter_value(name));
+    out << "counter," << name << ",value," << buf << '\n';
+  }
+  for (const std::string& name : names(MetricKind::kGauge)) {
+    std::snprintf(buf, sizeof(buf), "%.17g", gauge_value(name));
+    out << "gauge," << name << ",value," << buf << '\n';
+  }
+  for (const std::string& name : names(MetricKind::kHistogram)) {
+    const HistogramSnapshot h = histogram_snapshot(name);
+    out << "histogram," << name << ",count," << h.count << '\n';
+    std::snprintf(buf, sizeof(buf), "%.17g", h.sum);
+    out << "histogram," << name << ",sum," << buf << '\n';
+    std::snprintf(buf, sizeof(buf), "%.17g", h.min);
+    out << "histogram," << name << ",min," << buf << '\n';
+    std::snprintf(buf, sizeof(buf), "%.17g", h.max);
+    out << "histogram," << name << ",max," << buf << '\n';
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (h.buckets[b] == 0) {
+        continue;
+      }
+      std::snprintf(buf, sizeof(buf), "%g", histogram_bucket_upper(b));
+      out << "histogram," << name << ",bucket_le_" << buf << ','
+          << h.buckets[b] << '\n';
+    }
+  }
+}
+
+}  // namespace aoadmm::obs

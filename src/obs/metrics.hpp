@@ -1,0 +1,178 @@
+// Structured runtime metrics: named counters, gauges, and fixed-bucket
+// log-scale histograms, collected process-wide and exported as JSON or CSV.
+//
+// Design (hot-path first):
+//  * Each thread writes to its own shard — a flat array of cells indexed by
+//    metric slot. A cell has exactly one writer (its thread), so updates are
+//    relaxed atomic load/store pairs: no locks, no contended cache lines.
+//  * Scrapes (value queries, exporters) take the registry mutex, walk every
+//    shard ever created, and merge. Scraping is rare and may race benignly
+//    with in-flight updates (a scrape sees a slightly stale value, never a
+//    torn one).
+//  * Shards are recycled through a free list when threads exit, so thread
+//    churn does not grow memory and no accumulated value is ever lost.
+//  * Registration (MetricsRegistry::counter("name")) takes the mutex once;
+//    call sites cache the returned handle (typically in a function-local
+//    static) so the hot path never touches the name map.
+//
+// Histograms use fixed base-2 log buckets chosen for kernel timings:
+//   bucket 0          : v <= 0 (also NaN)
+//   bucket 1          : 0 < v < 2^-20 (~1 us) — underflow
+//   buckets 2..35     : [2^e, 2^(e+1)) for e in [-20, 13]
+//   bucket 36         : v >= 2^14 or +inf — overflow
+// plus count / sum / min / max of every observation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace aoadmm::obs {
+
+namespace detail {
+struct RegistryImpl;
+void scalar_add(RegistryImpl* impl, std::uint64_t gen, std::uint32_t slot,
+                double v) noexcept;
+void gauge_store(RegistryImpl* impl, std::uint32_t slot, double v,
+                 bool accumulate) noexcept;
+void histogram_observe(RegistryImpl* impl, std::uint64_t gen,
+                       std::uint32_t slot, double v) noexcept;
+}  // namespace detail
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+const char* to_string(MetricKind k) noexcept;
+
+/// Histogram bucket layout (see file header).
+inline constexpr int kHistogramMinExp = -20;
+inline constexpr int kHistogramMaxExp = 13;
+inline constexpr std::size_t kHistogramBuckets =
+    static_cast<std::size_t>(kHistogramMaxExp - kHistogramMinExp + 1) + 3;
+
+/// Bucket index an observation falls into (pure function; exposed for
+/// tests).
+std::size_t histogram_bucket(double v) noexcept;
+
+/// Exclusive upper bound of bucket `b` (0 for the non-positive bucket,
+/// +inf for the overflow bucket).
+double histogram_bucket_upper(std::size_t b) noexcept;
+
+/// Merged view of one histogram at scrape time.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0;
+  double min = 0;  // 0 when count == 0
+  double max = 0;
+  std::uint64_t buckets[kHistogramBuckets] = {};
+
+  double mean() const noexcept {
+    return count > 0 ? sum / static_cast<double>(count) : 0;
+  }
+};
+
+/// Cheap copyable handle to a registered counter. add() is lock-free; a
+/// default-constructed handle drops updates. Handles must not outlive their
+/// registry (the global registry lives forever).
+class Counter {
+ public:
+  Counter() = default;
+  void add(double v = 1.0) const noexcept {
+    if (impl_ != nullptr) {
+      detail::scalar_add(impl_, gen_, slot_, v);
+    }
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(detail::RegistryImpl* impl, std::uint64_t gen, std::uint32_t slot)
+      : impl_(impl), gen_(gen), slot_(slot) {}
+  detail::RegistryImpl* impl_ = nullptr;
+  std::uint64_t gen_ = 0;
+  std::uint32_t slot_ = 0;
+};
+
+/// Gauge: last-set value wins, process-wide (gauges are not sharded — they
+/// are set occasionally, not accumulated on the hot path).
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double v) const noexcept {
+    if (impl_ != nullptr) {
+      detail::gauge_store(impl_, slot_, v, false);
+    }
+  }
+  void add(double v) const noexcept {
+    if (impl_ != nullptr) {
+      detail::gauge_store(impl_, slot_, v, true);
+    }
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(detail::RegistryImpl* impl, std::uint32_t slot)
+      : impl_(impl), slot_(slot) {}
+  detail::RegistryImpl* impl_ = nullptr;
+  std::uint32_t slot_ = 0;
+};
+
+/// Histogram handle. observe() is lock-free.
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double v) const noexcept {
+    if (impl_ != nullptr) {
+      detail::histogram_observe(impl_, gen_, slot_, v);
+    }
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(detail::RegistryImpl* impl, std::uint64_t gen, std::uint32_t slot)
+      : impl_(impl), gen_(gen), slot_(slot) {}
+  detail::RegistryImpl* impl_ = nullptr;
+  std::uint64_t gen_ = 0;
+  std::uint32_t slot_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry the library instruments into. Never
+  /// destroyed (threads may outlive main), so handles stay valid forever.
+  static MetricsRegistry& global();
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Register (or look up) a metric. Idempotent per name; registering the
+  /// same name under a different kind throws.
+  Counter counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  Histogram histogram(const std::string& name);
+
+  /// Merged values across all shards. Unknown names read as zero/empty.
+  double counter_value(const std::string& name) const;
+  double gauge_value(const std::string& name) const;
+  HistogramSnapshot histogram_snapshot(const std::string& name) const;
+
+  /// Registered names of one kind, sorted.
+  std::vector<std::string> names(MetricKind kind) const;
+
+  /// Zero every cell (all shards, all kinds). Intended for tests and
+  /// between-run isolation; not safe concurrently with hot-path writers.
+  void reset();
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}
+  void write_json(std::ostream& out) const;
+
+  /// One row per scalar / histogram field: kind,name,field,value.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  detail::RegistryImpl* impl_;
+};
+
+}  // namespace aoadmm::obs

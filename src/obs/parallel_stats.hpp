@@ -1,0 +1,77 @@
+// Per-region busy-time accounting for parallel regions: each instrumented
+// region measures every thread's working time (excluding barrier waits),
+// and the region's load imbalance
+//
+//   imbalance = 1 - mean(busy) / max(busy)   in [0, 1]
+//
+// is accumulated process-wide. 0 means perfectly balanced, 1 means one
+// thread did all the work while the team idled — the quantity ALTO-style
+// runtime tuning watches. The CPD driver diffs cumulative totals around an
+// outer iteration to report per-iteration imbalance in MetricsSnapshot.
+//
+// The cost is two steady_clock reads per thread per region, so this is
+// always on (no compile gate): regions are kernel-sized, never row-sized.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace aoadmm::obs {
+
+/// Cumulative totals over all instrumented regions since process start
+/// (or the last reset_parallel_totals()).
+struct ParallelTotals {
+  double max_busy_seconds = 0;   // sum over regions of max-thread busy time
+  double mean_busy_seconds = 0;  // sum over regions of mean-thread busy time
+  std::uint64_t regions = 0;
+
+  /// Aggregate imbalance of the regions covered by these totals.
+  double imbalance() const noexcept {
+    return max_busy_seconds > 0
+               ? 1.0 - mean_busy_seconds / max_busy_seconds
+               : 0.0;
+  }
+};
+
+ParallelTotals parallel_totals() noexcept;
+void reset_parallel_totals() noexcept;
+
+/// Imbalance of the regions that ran since `before` was captured —
+/// clamped to [0, 1]; 0 when nothing ran.
+double imbalance_since(const ParallelTotals& before) noexcept;
+
+/// Feed one region's per-thread busy seconds (array of `nthreads` entries;
+/// threads that did no work contribute their 0). Also observes the
+/// region's imbalance into the "parallel/region_imbalance" histogram.
+void record_parallel_region(const double* busy_seconds, int nthreads);
+
+/// Stack helper collecting per-thread busy times for one region without
+/// false sharing; reports to record_parallel_region() on destruction.
+///
+///   { obs::BusyTimes busy(max_threads());
+///     #pragma omp parallel
+///     { auto t0 = ...; work(); busy.add(thread_id(), elapsed(t0)); } }
+class BusyTimes {
+ public:
+  explicit BusyTimes(int nthreads);
+  ~BusyTimes();
+  BusyTimes(const BusyTimes&) = delete;
+  BusyTimes& operator=(const BusyTimes&) = delete;
+
+  void add(int tid, double seconds) noexcept {
+    if (tid >= 0 && tid < nthreads_) {
+      cells_[tid].v += seconds;
+    }
+  }
+
+ private:
+  struct alignas(64) Cell {
+    double v = 0;
+  };
+  static constexpr int kInlineThreads = 64;
+  Cell inline_cells_[kInlineThreads];
+  Cell* cells_ = inline_cells_;
+  int nthreads_ = 0;
+};
+
+}  // namespace aoadmm::obs

@@ -1,0 +1,256 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+#include "obs/json_util.hpp"
+
+namespace aoadmm::obs {
+namespace detail {
+
+struct ProfNode {
+  const char* name = "";
+  ProfNode* parent = nullptr;
+  std::vector<std::unique_ptr<ProfNode>> children;
+  std::uint64_t count = 0;
+  std::chrono::steady_clock::duration total{};
+};
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+/// A finished span, buffered for the Chrome exporter.
+struct Event {
+  const char* name;
+  double ts_us;
+  double dur_us;
+  int tid;
+};
+
+constexpr std::size_t kMaxEventsPerThread = 1 << 20;
+
+struct ThreadProfile {
+  ProfNode root;
+  ProfNode* current = &root;
+  std::vector<Event> events;
+  int tid = 0;
+};
+
+std::atomic<bool> g_active{false};
+
+std::mutex& profiles_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+/// All thread profiles ever created. Leaked (and never shrunk) so reports
+/// can read spans from threads that already exited — profiling is a
+/// diagnostic mode, and the per-thread footprint is the tree + event
+/// buffer.
+std::vector<ThreadProfile*>& profiles() {
+  static auto* v = new std::vector<ThreadProfile*>();
+  return *v;
+}
+
+clock::time_point process_epoch() {
+  static const clock::time_point epoch = clock::now();
+  return epoch;
+}
+
+ThreadProfile& thread_profile() {
+  thread_local ThreadProfile* tp = nullptr;
+  if (tp == nullptr) {
+    tp = new ThreadProfile();
+    const std::lock_guard<std::mutex> lock(profiles_mutex());
+    tp->tid = static_cast<int>(profiles().size());
+    profiles().push_back(tp);
+  }
+  return *tp;
+}
+
+double to_us(clock::duration d) {
+  return std::chrono::duration<double, std::micro>(d).count();
+}
+
+double to_seconds(clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+}  // namespace
+
+ProfNode* profile_begin(const char* name) noexcept {
+  ThreadProfile& tp = thread_profile();
+  ProfNode* parent = tp.current;
+  // Scope names are string literals, so pointer equality hits almost
+  // always; strcmp covers the same text from different translation units.
+  for (const auto& child : parent->children) {
+    if (child->name == name || std::strcmp(child->name, name) == 0) {
+      tp.current = child.get();
+      return child.get();
+    }
+  }
+  auto node = std::make_unique<ProfNode>();
+  node->name = name;
+  node->parent = parent;
+  ProfNode* raw = node.get();
+  parent->children.push_back(std::move(node));
+  tp.current = raw;
+  return raw;
+}
+
+void profile_end(ProfNode* node, clock::time_point start) noexcept {
+  const clock::time_point end = clock::now();
+  node->total += end - start;
+  ++node->count;
+  ThreadProfile& tp = thread_profile();
+  tp.current = node->parent;
+  if (tp.events.size() < kMaxEventsPerThread) {
+    tp.events.push_back({node->name, to_us(start - process_epoch()),
+                         to_us(end - start), tp.tid});
+  }
+}
+
+}  // namespace detail
+
+void profiling_start() noexcept {
+  if (profiling_compiled()) {
+    detail::process_epoch();  // pin the trace epoch before the first span
+    detail::g_active.store(true, std::memory_order_relaxed);
+  }
+}
+
+void profiling_stop() noexcept {
+  detail::g_active.store(false, std::memory_order_relaxed);
+}
+
+bool profiling_active() noexcept {
+  return detail::g_active.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+void reset_node(detail::ProfNode& node) {
+  node.count = 0;
+  node.total = {};
+  for (const auto& child : node.children) {
+    reset_node(*child);
+  }
+}
+
+/// Name-path-merged view of every thread's tree.
+struct MergedNode {
+  const char* name = "";
+  std::uint64_t count = 0;
+  std::chrono::steady_clock::duration total{};
+  std::map<std::string, MergedNode> children;  // ordered => stable reports
+};
+
+void merge_into(MergedNode& dst, const detail::ProfNode& src) {
+  for (const auto& child : src.children) {
+    MergedNode& m = dst.children[child->name];
+    m.name = child->name;
+    m.count += child->count;
+    m.total += child->total;
+    merge_into(m, *child);
+  }
+}
+
+void flatten(const MergedNode& node, const std::string& prefix,
+             unsigned depth, std::vector<SpanStats>& out) {
+  for (const auto& [name, child] : node.children) {
+    if (child.count == 0 && child.children.empty()) {
+      continue;
+    }
+    SpanStats s;
+    s.path = prefix.empty() ? name : prefix + " > " + name;
+    s.name = child.name;
+    s.depth = depth;
+    s.count = child.count;
+    s.seconds = detail::to_seconds(child.total);
+    double child_seconds = 0;
+    for (const auto& [cname, grand] : child.children) {
+      child_seconds += detail::to_seconds(grand.total);
+    }
+    s.self_seconds = std::max(0.0, s.seconds - child_seconds);
+    out.push_back(s);
+    // Recurse with the local copy of the path: a reference into `out` would
+    // dangle as soon as the recursion grows the vector.
+    flatten(child, s.path, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::vector<SpanStats> profile_report() {
+  std::vector<SpanStats> out;
+  MergedNode root;
+  {
+    const std::lock_guard<std::mutex> lock(detail::profiles_mutex());
+    for (const detail::ThreadProfile* tp : detail::profiles()) {
+      merge_into(root, tp->root);
+    }
+  }
+  flatten(root, "", 0, out);
+  return out;
+}
+
+void write_profile_report(std::ostream& out) {
+  const std::vector<SpanStats> spans = profile_report();
+  if (spans.empty()) {
+    out << "profile: no spans recorded"
+        << (profiling_compiled()
+                ? "\n"
+                : " (library compiled without AOADMM_ENABLE_PROFILING)\n");
+    return;
+  }
+  out << "profile (inclusive seconds | self | count):\n";
+  char buf[160];
+  for (const SpanStats& s : spans) {
+    std::snprintf(buf, sizeof(buf), "%*s%-*s %10.6f %10.6f %10llu\n",
+                  static_cast<int>(2 * s.depth), "",
+                  static_cast<int>(40 - 2 * s.depth), s.name, s.seconds,
+                  s.self_seconds,
+                  static_cast<unsigned long long>(s.count));
+    out << buf;
+  }
+}
+
+void write_chrome_trace(std::ostream& out) {
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  {
+    const std::lock_guard<std::mutex> lock(detail::profiles_mutex());
+    for (const detail::ThreadProfile* tp : detail::profiles()) {
+      for (const auto& e : tp->events) {
+        out << (first ? "\n" : ",\n") << "  {\"name\": \""
+            << detail::json_escape(e.name)
+            << "\", \"cat\": \"aoadmm\", \"ph\": \"X\", \"ts\": ";
+        detail::json_number(out, e.ts_us);
+        out << ", \"dur\": ";
+        detail::json_number(out, e.dur_us);
+        out << ", \"pid\": 0, \"tid\": " << e.tid << "}";
+        first = false;
+      }
+    }
+  }
+  out << (first ? "" : "\n") << "], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+void profiling_reset() {
+  profiling_stop();
+  const std::lock_guard<std::mutex> lock(detail::profiles_mutex());
+  for (detail::ThreadProfile* tp : detail::profiles()) {
+    // Node structure is kept (open scopes may still hold node pointers);
+    // only the accumulated stats and the event buffer are dropped.
+    reset_node(tp->root);
+    tp->events.clear();
+  }
+}
+
+}  // namespace aoadmm::obs

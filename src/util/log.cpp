@@ -1,13 +1,28 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
 #include <mutex>
+#include <thread>
 
 namespace aoadmm {
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+LogLevel initial_level() noexcept {
+  const char* v = std::getenv("AOADMM_LOG_LEVEL");
+  if (v != nullptr && *v != '\0') {
+    if (const auto parsed = log_level_from_string(v)) {
+      return *parsed;
+    }
+  }
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
 std::mutex g_mutex;
 
 const char* level_tag(LogLevel level) noexcept {
@@ -24,18 +39,57 @@ const char* level_tag(LogLevel level) noexcept {
   return "?";
 }
 
+double seconds_since_start() noexcept {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+/// Short stable id for the calling thread (hash of the std id, mod 1e4).
+unsigned short_thread_id() noexcept {
+  return static_cast<unsigned>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % 10000u);
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 
 LogLevel log_level() noexcept { return g_level.load(); }
 
+std::optional<LogLevel> log_level_from_string(const std::string& s) {
+  std::string lower;
+  lower.reserve(s.size());
+  for (const char c : s) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "error" || lower == "0") {
+    return LogLevel::kError;
+  }
+  if (lower == "warn" || lower == "warning" || lower == "1") {
+    return LogLevel::kWarn;
+  }
+  if (lower == "info" || lower == "2") {
+    return LogLevel::kInfo;
+  }
+  if (lower == "debug" || lower == "3") {
+    return LogLevel::kDebug;
+  }
+  return std::nullopt;
+}
+
 void log_message(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) > static_cast<int>(log_level())) {
     return;
   }
   const std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[aoadmm %s] %s\n", level_tag(level), msg.c_str());
+  if (log_level() >= LogLevel::kDebug) {
+    std::fprintf(stderr, "[aoadmm %s %9.3fs t%04u] %s\n", level_tag(level),
+                 seconds_since_start(), short_thread_id(), msg.c_str());
+  } else {
+    std::fprintf(stderr, "[aoadmm %s] %s\n", level_tag(level), msg.c_str());
+  }
 }
 
 }  // namespace aoadmm

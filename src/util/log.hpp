@@ -1,7 +1,11 @@
 // Minimal leveled logging to stderr. Quiet by default so benchmark output
-// stays clean; examples and the CLI raise the level.
+// stays clean; examples and the CLI raise the level. The environment
+// variable AOADMM_LOG_LEVEL (error|warn|info|debug, or 0-3) sets the
+// initial threshold without touching code. When the threshold is kDebug,
+// every line carries a relative timestamp and the emitting thread's id.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -17,6 +21,11 @@ enum class LogLevel : int {
 /// Global log threshold. Messages above the threshold are dropped.
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
+
+/// Parses "error"/"warn"/"warning"/"info"/"debug" (any case) or a numeric
+/// "0".."3"; nullopt on anything else. This is the AOADMM_LOG_LEVEL parser,
+/// exposed for tests.
+std::optional<LogLevel> log_level_from_string(const std::string& s);
 
 /// Emit one line at `level` (thread-safe; one write per message).
 void log_message(LogLevel level, const std::string& msg);

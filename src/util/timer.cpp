@@ -3,11 +3,13 @@
 namespace aoadmm {
 
 double TimerSet::seconds(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = timers_.find(name);
   return it == timers_.end() ? 0.0 : it->second.seconds();
 }
 
 double TimerSet::total_seconds() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   double total = 0.0;
   for (const auto& [name, timer] : timers_) {
     total += timer.seconds();
@@ -16,6 +18,7 @@ double TimerSet::total_seconds() const {
 }
 
 void TimerSet::reset_all() {
+  const std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, timer] : timers_) {
     timer.reset();
   }

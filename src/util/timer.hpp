@@ -4,6 +4,7 @@
 
 #include <chrono>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace aoadmm {
@@ -56,11 +57,23 @@ class ScopedTimer {
 };
 
 /// A set of named timers, e.g. {"mttkrp", "admm", "fit"}.
+///
+/// Name lookup (and the map insertion it may trigger) is guarded by an
+/// internal mutex, so concurrent first-touches of different names are
+/// safe. The returned Timer& itself is NOT synchronized: as with any
+/// Timer, start/stop on one timer must stay within one thread.
 class TimerSet {
  public:
-  Timer& operator[](const std::string& name) { return timers_[name]; }
+  /// Timer registered under `name`, inserting it on first use.
+  /// Thread-safe; the reference stays valid for the TimerSet's lifetime
+  /// (map nodes are stable under insertion).
+  Timer& operator[](const std::string& name) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return timers_[name];
+  }
 
-  /// Seconds accumulated under `name` (0 if never started).
+  /// Seconds accumulated under `name` (0 if never started). Thread-safe
+  /// against concurrent operator[] insertions.
   double seconds(const std::string& name) const;
 
   /// Sum of all timers.
@@ -68,9 +81,15 @@ class TimerSet {
 
   void reset_all();
 
-  const std::map<std::string, Timer>& timers() const { return timers_; }
+  /// Snapshot of the registered timers. Copies under the lock — safe to
+  /// iterate while other threads keep inserting.
+  std::map<std::string, Timer> timers() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return timers_;
+  }
 
  private:
+  mutable std::mutex mutex_;
   std::map<std::string, Timer> timers_;
 };
 

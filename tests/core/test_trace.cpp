@@ -4,6 +4,8 @@
 
 #include <sstream>
 
+#include "testing/json_check.hpp"
+
 namespace aoadmm {
 namespace {
 
@@ -55,6 +57,27 @@ TEST(Trace, CsvOutputWellFormed) {
   EXPECT_EQ(csv.substr(0, 27), "iter,seconds,relative_error");
   // Header + 5 rows = 6 newlines.
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 6);
+}
+
+TEST(Trace, JsonOutputIsValidAndCarriesEveryPoint) {
+  std::ostringstream os;
+  sample_trace().write_json(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(testing::is_valid_json(json)) << json;
+  // 5 points -> 5 objects with an "iter" key each.
+  std::size_t count = 0;
+  for (std::size_t pos = json.find("\"iter\""); pos != std::string::npos;
+       pos = json.find("\"iter\"", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(Trace, EmptyTraceWritesEmptyJsonArray) {
+  std::ostringstream os;
+  ConvergenceTrace().write_json(os);
+  EXPECT_TRUE(testing::is_valid_json(os.str())) << os.str();
+  EXPECT_NE(os.str().find("[]"), std::string::npos);
 }
 
 }  // namespace

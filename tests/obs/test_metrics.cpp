@@ -1,0 +1,221 @@
+// Metrics registry: bucket layout edge cases, shard merging under real
+// OpenMP parallelism, exporter well-formedness, reset semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "testing/json_check.hpp"
+#include "obs/metrics.hpp"
+#include "parallel/runtime.hpp"
+
+namespace aoadmm::obs {
+namespace {
+
+TEST(HistogramBucket, NonPositiveAndNanLandInBucketZero) {
+  EXPECT_EQ(histogram_bucket(0.0), 0u);
+  EXPECT_EQ(histogram_bucket(-0.0), 0u);
+  EXPECT_EQ(histogram_bucket(-1.0), 0u);
+  EXPECT_EQ(histogram_bucket(-std::numeric_limits<double>::infinity()), 0u);
+  EXPECT_EQ(histogram_bucket(std::numeric_limits<double>::quiet_NaN()), 0u);
+}
+
+TEST(HistogramBucket, UnderflowBucket) {
+  // Anything positive but below 2^-20 is "underflow", bucket 1.
+  EXPECT_EQ(histogram_bucket(std::ldexp(1.0, kHistogramMinExp - 1)), 1u);
+  EXPECT_EQ(histogram_bucket(std::numeric_limits<double>::denorm_min()), 1u);
+  EXPECT_EQ(histogram_bucket(1e-300), 1u);
+}
+
+TEST(HistogramBucket, OverflowAndInfinity) {
+  const std::size_t last = kHistogramBuckets - 1;
+  EXPECT_EQ(histogram_bucket(std::ldexp(1.0, kHistogramMaxExp + 1)), last);
+  EXPECT_EQ(histogram_bucket(1e300), last);
+  EXPECT_EQ(histogram_bucket(std::numeric_limits<double>::infinity()), last);
+}
+
+TEST(HistogramBucket, BinadeBoundariesAreHalfOpen) {
+  // [2^e, 2^(e+1)) for e in [minExp, maxExp]: bucket index e - minExp + 2.
+  for (int e = kHistogramMinExp; e <= kHistogramMaxExp; ++e) {
+    const std::size_t expect =
+        static_cast<std::size_t>(e - kHistogramMinExp) + 2;
+    const double lo = std::ldexp(1.0, e);
+    EXPECT_EQ(histogram_bucket(lo), expect) << "e=" << e;
+    EXPECT_EQ(histogram_bucket(std::nextafter(std::ldexp(1.0, e + 1), 0.0)),
+              expect)
+        << "e=" << e;
+  }
+  EXPECT_EQ(histogram_bucket(1.0), histogram_bucket(1.5));
+  EXPECT_NE(histogram_bucket(1.0), histogram_bucket(2.0));
+}
+
+TEST(HistogramBucket, UpperBoundsAreMonotone) {
+  for (std::size_t b = 1; b + 1 < kHistogramBuckets; ++b) {
+    EXPECT_LT(histogram_bucket_upper(b), histogram_bucket_upper(b + 1));
+  }
+  EXPECT_TRUE(std::isinf(histogram_bucket_upper(kHistogramBuckets - 1)));
+}
+
+TEST(Registry, CounterAccumulatesAndIsIdempotentToRegister) {
+  MetricsRegistry reg;
+  Counter c1 = reg.counter("x");
+  Counter c2 = reg.counter("x");  // same slot
+  c1.add(2.0);
+  c2.add(3.0);
+  EXPECT_DOUBLE_EQ(reg.counter_value("x"), 5.0);
+  EXPECT_DOUBLE_EQ(reg.counter_value("unknown"), 0.0);
+}
+
+TEST(Registry, KindMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter("name");
+  EXPECT_ANY_THROW(reg.gauge("name"));
+  EXPECT_ANY_THROW(reg.histogram("name"));
+}
+
+TEST(Registry, GaugeLastSetWins) {
+  MetricsRegistry reg;
+  Gauge g = reg.gauge("g");
+  g.set(1.5);
+  g.set(-2.5);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("g"), -2.5);
+  g.add(1.0);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("g"), -1.5);
+}
+
+TEST(Registry, HistogramEdgeObservations) {
+  MetricsRegistry reg;
+  Histogram h = reg.histogram("h");
+  h.observe(0.0);
+  h.observe(-3.0);
+  h.observe(std::numeric_limits<double>::infinity());
+  h.observe(1e-30);
+  h.observe(1.0);
+
+  const HistogramSnapshot s = reg.histogram_snapshot("h");
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(s.buckets[0], 2u);                      // 0 and -3
+  EXPECT_EQ(s.buckets[1], 1u);                      // 1e-30 underflow
+  EXPECT_EQ(s.buckets[kHistogramBuckets - 1], 1u);  // +inf overflow
+  EXPECT_EQ(s.buckets[histogram_bucket(1.0)], 1u);
+  EXPECT_DOUBLE_EQ(s.min, -3.0);
+  EXPECT_TRUE(std::isinf(s.max));
+}
+
+TEST(Registry, NanObservationCountsButSkipsSum) {
+  MetricsRegistry reg;
+  Histogram h = reg.histogram("h");
+  h.observe(2.0);
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  const HistogramSnapshot s = reg.histogram_snapshot("h");
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_FALSE(std::isnan(s.sum));
+  EXPECT_DOUBLE_EQ(s.sum, 2.0);
+}
+
+TEST(Registry, ShardMergeUnderParallelFor) {
+  // Updates land in per-thread shards; the scrape must see every one of
+  // them regardless of which OpenMP worker performed it.
+  MetricsRegistry reg;
+  Counter c = reg.counter("par/count");
+  Histogram h = reg.histogram("par/hist");
+  constexpr std::size_t kN = 10000;
+  parallel_for(0, kN, [&](std::size_t i) {
+    c.add(1.0);
+    h.observe(static_cast<double>(i % 7) + 0.5);
+  });
+  EXPECT_DOUBLE_EQ(reg.counter_value("par/count"), static_cast<double>(kN));
+  const HistogramSnapshot s = reg.histogram_snapshot("par/hist");
+  EXPECT_EQ(s.count, kN);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : s.buckets) {
+    bucket_total += b;
+  }
+  EXPECT_EQ(bucket_total, kN);
+}
+
+TEST(Registry, ResetZeroesButKeepsNames) {
+  MetricsRegistry reg;
+  Counter c = reg.counter("c");
+  Histogram h = reg.histogram("h");
+  c.add(4);
+  h.observe(1.0);
+  reg.reset();
+  EXPECT_DOUBLE_EQ(reg.counter_value("c"), 0.0);
+  EXPECT_EQ(reg.histogram_snapshot("h").count, 0u);
+  // Names survive; handles keep working after reset.
+  ASSERT_EQ(reg.names(MetricKind::kCounter).size(), 1u);
+  c.add(1);
+  EXPECT_DOUBLE_EQ(reg.counter_value("c"), 1.0);
+}
+
+TEST(Registry, NamesAreSortedPerKind) {
+  MetricsRegistry reg;
+  reg.counter("b");
+  reg.counter("a");
+  reg.gauge("z");
+  const auto counters = reg.names(MetricKind::kCounter);
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0], "a");
+  EXPECT_EQ(counters[1], "b");
+  EXPECT_EQ(reg.names(MetricKind::kGauge),
+            std::vector<std::string>{"z"});
+}
+
+TEST(Registry, JsonExportIsValidAndComplete) {
+  MetricsRegistry reg;
+  reg.counter("runs").add(3);
+  reg.gauge("temp").set(1.25);
+  Histogram h = reg.histogram("lat\"ency");  // name needing escaping
+  h.observe(0.5);
+  h.observe(std::numeric_limits<double>::infinity());
+
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(aoadmm::testing::is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"runs\""), std::string::npos);
+}
+
+TEST(Registry, EmptyRegistryStillExportsValidJson) {
+  MetricsRegistry reg;
+  std::ostringstream os;
+  reg.write_json(os);
+  EXPECT_TRUE(aoadmm::testing::is_valid_json(os.str())) << os.str();
+}
+
+TEST(Registry, CsvExportHasHeaderAndRows) {
+  MetricsRegistry reg;
+  reg.counter("c").add(1);
+  Histogram h = reg.histogram("h");
+  h.observe(1.0);
+  std::ostringstream os;
+  reg.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("kind,name,field,value"), std::string::npos);
+  EXPECT_NE(csv.find("counter,c,value,"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,h,count,"), std::string::npos);
+}
+
+TEST(Registry, GlobalRegistryIsASingleton) {
+  MetricsRegistry& a = MetricsRegistry::global();
+  MetricsRegistry& b = MetricsRegistry::global();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Registry, DefaultConstructedHandlesDropSilently) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  c.add(1);
+  g.set(1);
+  h.observe(1);  // must not crash
+}
+
+}  // namespace
+}  // namespace aoadmm::obs

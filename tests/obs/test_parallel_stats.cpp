@@ -1,0 +1,97 @@
+// Busy-time accounting: imbalance arithmetic, clamping, and the
+// process-wide totals the CPD driver diffs per outer iteration.
+#include <gtest/gtest.h>
+
+#include "obs/parallel_stats.hpp"
+#include "parallel/runtime.hpp"
+
+namespace aoadmm::obs {
+namespace {
+
+TEST(ParallelStats, ImbalanceOfBalancedRegionIsZero) {
+  const ParallelTotals before = parallel_totals();
+  const double busy[4] = {1.0, 1.0, 1.0, 1.0};
+  record_parallel_region(busy, 4);
+  EXPECT_NEAR(imbalance_since(before), 0.0, 1e-12);
+}
+
+TEST(ParallelStats, ImbalanceOfOneHotRegionApproachesOne) {
+  const ParallelTotals before = parallel_totals();
+  const double busy[4] = {2.0, 0.0, 0.0, 0.0};
+  record_parallel_region(busy, 4);
+  // mean = 0.5, max = 2.0 -> 1 - 0.25 = 0.75 for a 4-thread team.
+  EXPECT_NEAR(imbalance_since(before), 0.75, 1e-12);
+}
+
+TEST(ParallelStats, NoRegionsMeansZeroNotNan) {
+  const ParallelTotals before = parallel_totals();
+  EXPECT_DOUBLE_EQ(imbalance_since(before), 0.0);
+}
+
+TEST(ParallelStats, AllIdleRegionIsIgnored) {
+  const ParallelTotals before = parallel_totals();
+  const double busy[2] = {0.0, 0.0};
+  record_parallel_region(busy, 2);
+  const ParallelTotals after = parallel_totals();
+  EXPECT_EQ(after.regions, before.regions);
+}
+
+TEST(ParallelStats, TotalsAccumulateAcrossRegions) {
+  const ParallelTotals before = parallel_totals();
+  const double r1[2] = {1.0, 1.0};
+  const double r2[2] = {3.0, 1.0};
+  record_parallel_region(r1, 2);
+  record_parallel_region(r2, 2);
+  const ParallelTotals after = parallel_totals();
+  EXPECT_EQ(after.regions, before.regions + 2);
+  EXPECT_NEAR(after.max_busy_seconds - before.max_busy_seconds, 4.0, 1e-12);
+  EXPECT_NEAR(after.mean_busy_seconds - before.mean_busy_seconds, 3.0,
+              1e-12);
+  const double imb = imbalance_since(before);
+  EXPECT_GE(imb, 0.0);
+  EXPECT_LE(imb, 1.0);
+}
+
+TEST(ParallelStats, ParallelForFeedsTheTotals) {
+  const ParallelTotals before = parallel_totals();
+  volatile double sink = 0;
+  parallel_for(0, 1000, [&](std::size_t i) {
+    sink = sink + static_cast<double>(i);
+  });
+  const ParallelTotals after = parallel_totals();
+  // The region ran and did measurable-or-zero work; whatever it recorded,
+  // the derived imbalance must stay in range.
+  EXPECT_GE(after.regions, before.regions);
+  const double imb = imbalance_since(before);
+  EXPECT_GE(imb, 0.0);
+  EXPECT_LE(imb, 1.0);
+}
+
+TEST(BusyTimesTest, OutOfRangeThreadIdsAreDropped) {
+  const ParallelTotals before = parallel_totals();
+  {
+    BusyTimes busy(2);
+    busy.add(-1, 5.0);
+    busy.add(2, 5.0);  // >= nthreads
+    busy.add(0, 1.0);
+    busy.add(1, 1.0);
+  }
+  const ParallelTotals after = parallel_totals();
+  EXPECT_NEAR(after.max_busy_seconds - before.max_busy_seconds, 1.0, 1e-12);
+}
+
+TEST(BusyTimesTest, HeapFallbackBeyondInlineCapacity) {
+  const ParallelTotals before = parallel_totals();
+  {
+    BusyTimes busy(100);  // > 64 inline cells
+    for (int t = 0; t < 100; ++t) {
+      busy.add(t, 0.5);
+    }
+  }
+  const ParallelTotals after = parallel_totals();
+  EXPECT_EQ(after.regions, before.regions + 1);
+  EXPECT_NEAR(after.max_busy_seconds - before.max_busy_seconds, 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace aoadmm::obs

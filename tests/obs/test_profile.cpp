@@ -1,0 +1,126 @@
+// Profiler: both configurations must link and export valid JSON; span
+// accounting (nesting, counts, self time) is asserted only when spans are
+// compiled in.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "testing/json_check.hpp"
+#include "obs/profile.hpp"
+
+namespace aoadmm::obs {
+namespace {
+
+TEST(Profile, ChromeTraceIsValidJsonInEveryConfiguration) {
+  std::ostringstream os;
+  write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(aoadmm::testing::is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(Profile, InactiveScopesRecordNothing) {
+  profiling_reset();
+  ASSERT_FALSE(profiling_active());
+  {
+    AOADMM_PROFILE_SCOPE("test/inactive");
+  }
+  for (const SpanStats& s : profile_report()) {
+    EXPECT_EQ(s.count, 0u) << s.path;
+  }
+}
+
+#if defined(AOADMM_ENABLE_PROFILING)
+
+TEST(Profile, CompiledFlagReflectsBuild) { EXPECT_TRUE(profiling_compiled()); }
+
+TEST(Profile, NestedScopesBuildATree) {
+  profiling_reset();
+  profiling_start();
+  for (int i = 0; i < 3; ++i) {
+    AOADMM_PROFILE_SCOPE("t/outer");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    {
+      AOADMM_PROFILE_SCOPE("t/inner");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  profiling_stop();
+
+  const auto report = profile_report();
+  const SpanStats* outer = nullptr;
+  const SpanStats* inner = nullptr;
+  for (const SpanStats& s : report) {
+    if (s.path == "t/outer") {
+      outer = &s;
+    }
+    if (s.path == "t/outer > t/inner") {
+      inner = &s;
+    }
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->count, 3u);
+  EXPECT_EQ(inner->count, 3u);
+  EXPECT_EQ(outer->depth, 0u);
+  EXPECT_EQ(inner->depth, 1u);
+  // Inclusive time covers the child; self time excludes it.
+  EXPECT_GE(outer->seconds, inner->seconds);
+  EXPECT_LE(outer->self_seconds, outer->seconds);
+  EXPECT_GT(outer->self_seconds, 0.0);
+  profiling_reset();
+}
+
+TEST(Profile, ChromeTraceContainsRecordedEvents) {
+  profiling_reset();
+  profiling_start();
+  {
+    AOADMM_PROFILE_SCOPE("t/traced");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  profiling_stop();
+
+  std::ostringstream os;
+  write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(aoadmm::testing::is_valid_json(json)) << json;
+  EXPECT_NE(json.find("t/traced"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\""), std::string::npos);
+  profiling_reset();
+}
+
+TEST(Profile, ReportWriterProducesIndentedTree) {
+  profiling_reset();
+  profiling_start();
+  {
+    AOADMM_PROFILE_SCOPE("t/a");
+    AOADMM_PROFILE_SCOPE("t/b");
+  }
+  profiling_stop();
+  std::ostringstream os;
+  write_profile_report(os);
+  EXPECT_NE(os.str().find("t/a"), std::string::npos);
+  EXPECT_NE(os.str().find("t/b"), std::string::npos);
+  profiling_reset();
+}
+
+#else  // !AOADMM_ENABLE_PROFILING
+
+TEST(Profile, CompiledFlagReflectsBuild) {
+  EXPECT_FALSE(profiling_compiled());
+}
+
+TEST(Profile, ReportIsEmptyWhenCompiledOut) {
+  profiling_start();  // must be a harmless no-op
+  { AOADMM_PROFILE_SCOPE("t/ignored"); }
+  profiling_stop();
+  EXPECT_TRUE(profile_report().empty());
+  EXPECT_FALSE(profiling_active());
+}
+
+#endif
+
+}  // namespace
+}  // namespace aoadmm::obs

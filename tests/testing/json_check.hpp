@@ -1,0 +1,194 @@
+// Minimal recursive-descent JSON validity checker for tests: answers only
+// "is this well-formed JSON?" — no DOM, no numbers-to-double conversion.
+// Strict enough to catch the exporter bugs we care about (trailing commas,
+// unbalanced brackets, bare NaN, unescaped quotes).
+#pragma once
+
+#include <cctype>
+#include <string>
+
+namespace aoadmm::testing {
+namespace json_detail {
+
+struct Cursor {
+  const std::string& s;
+  std::size_t i = 0;
+
+  bool eof() const { return i >= s.size(); }
+  char peek() const { return eof() ? '\0' : s[i]; }
+  void skip_ws() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+  }
+  bool consume(char c) {
+    if (peek() == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  bool consume_literal(const char* lit) {
+    std::size_t j = i;
+    for (const char* p = lit; *p != '\0'; ++p, ++j) {
+      if (j >= s.size() || s[j] != *p) {
+        return false;
+      }
+    }
+    i = j;
+    return true;
+  }
+};
+
+inline bool parse_value(Cursor& c, int depth);
+
+inline bool parse_string(Cursor& c) {
+  if (!c.consume('"')) {
+    return false;
+  }
+  while (!c.eof()) {
+    const char ch = c.s[c.i++];
+    if (ch == '"') {
+      return true;
+    }
+    if (ch == '\\') {
+      if (c.eof()) {
+        return false;
+      }
+      const char esc = c.s[c.i++];
+      if (esc == 'u') {
+        for (int k = 0; k < 4; ++k) {
+          if (c.eof() ||
+              !std::isxdigit(static_cast<unsigned char>(c.s[c.i]))) {
+            return false;
+          }
+          ++c.i;
+        }
+      } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                 esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+        return false;
+      }
+    } else if (static_cast<unsigned char>(ch) < 0x20) {
+      return false;  // raw control character inside a string
+    }
+  }
+  return false;  // unterminated
+}
+
+inline bool parse_number(Cursor& c) {
+  std::size_t start = c.i;
+  c.consume('-');
+  if (!std::isdigit(static_cast<unsigned char>(c.peek()))) {
+    return false;
+  }
+  while (std::isdigit(static_cast<unsigned char>(c.peek()))) {
+    ++c.i;
+  }
+  if (c.consume('.')) {
+    if (!std::isdigit(static_cast<unsigned char>(c.peek()))) {
+      return false;
+    }
+    while (std::isdigit(static_cast<unsigned char>(c.peek()))) {
+      ++c.i;
+    }
+  }
+  if (c.peek() == 'e' || c.peek() == 'E') {
+    ++c.i;
+    if (c.peek() == '+' || c.peek() == '-') {
+      ++c.i;
+    }
+    if (!std::isdigit(static_cast<unsigned char>(c.peek()))) {
+      return false;
+    }
+    while (std::isdigit(static_cast<unsigned char>(c.peek()))) {
+      ++c.i;
+    }
+  }
+  return c.i > start;
+}
+
+inline bool parse_object(Cursor& c, int depth) {
+  if (!c.consume('{')) {
+    return false;
+  }
+  c.skip_ws();
+  if (c.consume('}')) {
+    return true;
+  }
+  while (true) {
+    c.skip_ws();
+    if (!parse_string(c)) {
+      return false;
+    }
+    c.skip_ws();
+    if (!c.consume(':')) {
+      return false;
+    }
+    if (!parse_value(c, depth + 1)) {
+      return false;
+    }
+    c.skip_ws();
+    if (c.consume(',')) {
+      continue;
+    }
+    return c.consume('}');
+  }
+}
+
+inline bool parse_array(Cursor& c, int depth) {
+  if (!c.consume('[')) {
+    return false;
+  }
+  c.skip_ws();
+  if (c.consume(']')) {
+    return true;
+  }
+  while (true) {
+    if (!parse_value(c, depth + 1)) {
+      return false;
+    }
+    c.skip_ws();
+    if (c.consume(',')) {
+      continue;
+    }
+    return c.consume(']');
+  }
+}
+
+inline bool parse_value(Cursor& c, int depth) {
+  if (depth > 128) {
+    return false;
+  }
+  c.skip_ws();
+  switch (c.peek()) {
+    case '{':
+      return parse_object(c, depth);
+    case '[':
+      return parse_array(c, depth);
+    case '"':
+      return parse_string(c);
+    case 't':
+      return c.consume_literal("true");
+    case 'f':
+      return c.consume_literal("false");
+    case 'n':
+      return c.consume_literal("null");
+    default:
+      return parse_number(c);
+  }
+}
+
+}  // namespace json_detail
+
+/// True iff `text` is one complete well-formed JSON value (object, array,
+/// string, number, bool, or null) with nothing but whitespace after it.
+inline bool is_valid_json(const std::string& text) {
+  json_detail::Cursor c{text};
+  if (!json_detail::parse_value(c, 0)) {
+    return false;
+  }
+  c.skip_ws();
+  return c.eof();
+}
+
+}  // namespace aoadmm::testing

@@ -101,6 +101,46 @@ TEST(TimerSetTest, NamedAccumulation) {
   EXPECT_DOUBLE_EQ(ts.total_seconds(), 0.0);
 }
 
+TEST(TimerSetTest, ConcurrentFirstTouchIsSafe) {
+  // Concurrent operator[] insertions of distinct names used to race on the
+  // underlying map; with the internal lock every name must survive.
+  TimerSet ts;
+  constexpr int kThreads = 8;
+  constexpr int kNamesPerThread = 25;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&ts, t] {
+      for (int i = 0; i < kNamesPerThread; ++i) {
+        Timer& timer =
+            ts["t" + std::to_string(t) + "_n" + std::to_string(i)];
+        timer.start();
+        timer.stop();
+        // Reads may interleave with other threads' insertions.
+        (void)ts.total_seconds();
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  EXPECT_EQ(ts.timers().size(),
+            static_cast<std::size_t>(kThreads * kNamesPerThread));
+}
+
+TEST(Log, LevelFromStringParsesNamesAndNumbers) {
+  EXPECT_EQ(log_level_from_string("error"), LogLevel::kError);
+  EXPECT_EQ(log_level_from_string("WARN"), LogLevel::kWarn);
+  EXPECT_EQ(log_level_from_string("Warning"), LogLevel::kWarn);
+  EXPECT_EQ(log_level_from_string("info"), LogLevel::kInfo);
+  EXPECT_EQ(log_level_from_string("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(log_level_from_string("0"), LogLevel::kError);
+  EXPECT_EQ(log_level_from_string("3"), LogLevel::kDebug);
+  EXPECT_EQ(log_level_from_string(""), std::nullopt);
+  EXPECT_EQ(log_level_from_string("verbose"), std::nullopt);
+  EXPECT_EQ(log_level_from_string("4"), std::nullopt);
+}
+
 TEST(Log, LevelGateWorks) {
   const LogLevel before = log_level();
   set_log_level(LogLevel::kError);
