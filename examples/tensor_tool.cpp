@@ -10,7 +10,16 @@
 //             [--max-outer 50] [--tol 1e-5] [--block 50] [--trace out.csv]
 //             [--threads N] [--save-factors prefix]
 //             [--objective ls|observed] [--ridge 1e-6]
+//             [--checkpoint run.ckpt] [--checkpoint-every 10]
+//             [--resume run.ckpt]
 //             [--progress] [--metrics-json m.json] [--chrome-trace t.json]
+//
+// Checkpointing (cpd): --checkpoint writes full solver state to the given
+// file every --checkpoint-every outer iterations (default 10); --resume
+// continues a killed run from such a file, reproducing the uninterrupted
+// convergence trace exactly. The configuration is validated before the
+// solve starts; every problem is reported with its flag and severity, and
+// errors abort with exit code 2.
 //
 // Observability (cpd): --progress prints one line per outer iteration;
 // --metrics-json writes per-iteration snapshots plus the process-wide
@@ -25,7 +34,9 @@
 #include <string>
 #include <vector>
 
+#include "core/config.hpp"
 #include "core/cpd.hpp"
+#include "core/solver.hpp"
 #include "core/wcpd.hpp"
 #include "la/matrix_io.hpp"
 #include "obs/metrics.hpp"
@@ -131,6 +142,20 @@ int cmd_convert(const Options& opts) {
               opts.positional()[1].c_str(), opts.positional()[2].c_str(),
               static_cast<unsigned long long>(x.nnz()));
   return 0;
+}
+
+/// Map a CpdConfig::validate() field to the tensor_tool flag that sets it,
+/// so diagnostics are actionable from the command line.
+std::string cli_flag_for(const std::string& field) {
+  if (field == "rank") return "--rank";
+  if (field == "max_outer_iterations") return "--max-outer";
+  if (field == "tolerance") return "--tol";
+  if (field == "admm.block_size") return "--block";
+  if (field == "leaf_format") return "--format";
+  if (field == "checkpoint_path") return "--checkpoint";
+  if (field == "checkpoint_every") return "--checkpoint-every";
+  if (field.rfind("constraints", 0) == 0) return "--constraint/--lambda";
+  return field;  // no dedicated flag; name the option itself
 }
 
 int cmd_cpd(const Options& opts) {
@@ -273,7 +298,36 @@ int cmd_cpd(const Options& opts) {
   }
   AOADMM_CHECK_MSG(objective == "ls", "--objective must be ls|observed");
 
-  const CpdResult r = cpd_aoadmm(csf, cpd_opts, {&constraint, 1});
+  CpdConfig config(cpd_opts);
+  config.with_constraints(ModeConstraints::broadcast(constraint));
+  if (const auto ck_path = opts.get("checkpoint")) {
+    config.with_checkpoint(
+        *ck_path, static_cast<unsigned>(opts.get_int("checkpoint-every", 10)));
+  }
+
+  // Surface configuration problems as CLI diagnostics, each naming the flag
+  // it concerns, before any work starts. Errors abort with exit code 2.
+  const ValidationReport report = config.validate(csf.order());
+  for (const ValidationIssue& issue : report.issues) {
+    std::fprintf(stderr, "tensor_tool: %s: %s: %s\n",
+                 to_string(issue.severity), cli_flag_for(issue.field).c_str(),
+                 issue.message.c_str());
+  }
+  if (!report.ok()) {
+    std::fprintf(stderr,
+                 "tensor_tool: %zu configuration error(s); fix the flags "
+                 "above and retry\n",
+                 report.error_count());
+    return 2;
+  }
+
+  CpdSolver solver(csf, config);
+  const auto resume_path = opts.get("resume");
+  if (resume_path) {
+    std::printf("resuming from %s\n", resume_path->c_str());
+  }
+  const CpdResult r =
+      resume_path ? solver.resume(*resume_path) : solver.solve();
 
   std::printf("\nvariant         : %s / %s leaf\n", to_string(cpd_opts.variant),
               to_string(cpd_opts.leaf_format));

@@ -32,7 +32,9 @@ AdmmResult admm_update(Matrix& h, Matrix& u, const Matrix& k, const Matrix& g,
   Matrix& h_old = scratch.h_old;
 
   const real_t rho = detail::admm_penalty(g);
-  const Cholesky chol(detail::regularized_gram(g, rho));
+  detail::regularized_gram_into(g, rho, scratch.sys);
+  scratch.chol.factor(scratch.sys);
+  const Cholesky& chol = scratch.chol;
 
   AdmmResult result;
   detail::ResidualAccum acc;

@@ -17,6 +17,7 @@
 #pragma once
 
 #include "core/prox.hpp"
+#include "la/cholesky.hpp"
 #include "la/matrix.hpp"
 #include "util/types.hpp"
 
@@ -62,11 +63,16 @@ struct AdmmResult {
   real_t dual_residual = 0;
 };
 
-/// Scratch matrices reused across ADMM calls (aux = H̃, h_old = H₀). Sized
-/// lazily to the largest factor they have seen.
+/// Scratch reused across ADMM calls (aux = H̃, h_old = H₀), plus the F x F
+/// system matrix G + ρI and its Cholesky factorization, which are rebuilt in
+/// place every call. Sized lazily to the largest factor they have seen, so a
+/// long-lived solver session performs no heap allocation here after the
+/// first outer iteration.
 struct AdmmScratch {
   Matrix aux;
   Matrix h_old;
+  Matrix sys;     // G + ρI
+  Cholesky chol;  // factorization of sys, refreshed per call
 
   void ensure(std::size_t rows, std::size_t cols) {
     if (aux.rows() < rows || aux.cols() != cols) {

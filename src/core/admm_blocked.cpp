@@ -41,7 +41,9 @@ AdmmResult admm_update_blocked(Matrix& h, Matrix& u, const Matrix& k,
   // blockwise reformulation splits only the row dimension, and the
   // F x F system matrix does not depend on rows.
   const real_t rho = detail::admm_penalty(g);
-  const Cholesky chol(detail::regularized_gram(g, rho));
+  detail::regularized_gram_into(g, rho, scratch.sys);
+  scratch.chol.factor(scratch.sys);
+  const Cholesky& chol = scratch.chol;
 
   const std::size_t nblocks = num_blocks(rows, block_size);
 

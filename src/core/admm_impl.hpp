@@ -32,6 +32,22 @@ inline Matrix regularized_gram(const Matrix& g, real_t rho) {
   return out;
 }
 
+/// Allocation-free variant: writes G + ρI into `out` (resized only when the
+/// rank changes) — the form the solver session uses on its hot path.
+inline void regularized_gram_into(const Matrix& g, real_t rho, Matrix& out) {
+  if (!out.same_shape(g)) {
+    out.resize(g.rows(), g.cols());
+  }
+  const cspan<real_t> src = g.flat();
+  const span<real_t> dst = out.flat();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = src[i];
+  }
+  for (std::size_t i = 0; i < g.rows(); ++i) {
+    out(i, i) += rho;
+  }
+}
+
 struct ResidualAccum {
   real_t primal_num = 0;
   real_t primal_den = 0;

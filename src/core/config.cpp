@@ -1,0 +1,233 @@
+#include "core/config.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace aoadmm {
+
+ModeConstraints ModeConstraints::per_mode(std::vector<ConstraintSpec> specs) {
+  if (specs.empty()) {
+    throw InvalidArgument(
+        "ModeConstraints::per_mode: need at least one spec (use broadcast() "
+        "for a single constraint applied to all modes)");
+  }
+  ModeConstraints c;
+  c.specs_ = std::move(specs);
+  return c;
+}
+
+ModeConstraints ModeConstraints::from_legacy(cspan<const ConstraintSpec> specs,
+                                             std::size_t order) {
+  if (specs.size() == 1) {
+    return broadcast(specs[0]);
+  }
+  if (order > 0 && specs.size() != order) {
+    std::ostringstream os;
+    os << "constraints: got " << specs.size() << " specs for an order-"
+       << order << " tensor; give 1 (broadcast to all modes) or exactly "
+       << order << " (one per mode)";
+    throw InvalidArgument(os.str());
+  }
+  return per_mode(std::vector<ConstraintSpec>(specs.begin(), specs.end()));
+}
+
+void ModeConstraints::check_order(std::size_t order) const {
+  if (!broadcasts() && specs_.size() != order) {
+    std::ostringstream os;
+    os << "ModeConstraints holds " << specs_.size()
+       << " per-mode specs but the tensor has " << order
+       << " modes; give one spec per mode or a single broadcast spec";
+    throw InvalidArgument(os.str());
+  }
+}
+
+const char* to_string(ValidationIssue::Severity s) noexcept {
+  switch (s) {
+    case ValidationIssue::Severity::kError:
+      return "error";
+    case ValidationIssue::Severity::kWarning:
+      return "warning";
+  }
+  return "?";
+}
+
+bool ValidationReport::ok() const noexcept { return error_count() == 0; }
+
+std::size_t ValidationReport::error_count() const noexcept {
+  std::size_t n = 0;
+  for (const ValidationIssue& i : issues) {
+    n += i.severity == ValidationIssue::Severity::kError ? 1 : 0;
+  }
+  return n;
+}
+
+std::size_t ValidationReport::warning_count() const noexcept {
+  return issues.size() - error_count();
+}
+
+std::string ValidationReport::to_string() const {
+  std::ostringstream os;
+  for (const ValidationIssue& i : issues) {
+    os << aoadmm::to_string(i.severity) << " " << i.field << ": " << i.message
+       << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+void check_constraint_spec(const ConstraintSpec& spec, const std::string& field,
+                           ValidationReport& report) {
+  using Severity = ValidationIssue::Severity;
+  const auto add = [&](Severity sev, std::string msg) {
+    report.issues.push_back({sev, field, std::move(msg)});
+  };
+  switch (spec.kind) {
+    case ConstraintKind::kL1:
+    case ConstraintKind::kNonNegativeL1:
+    case ConstraintKind::kRidge:
+      if (spec.lambda < 0) {
+        add(Severity::kError, "regularization strength lambda must be >= 0");
+      } else if (spec.lambda == 0) {
+        add(Severity::kWarning,
+            "lambda is 0, so this regularizer is a no-op; use kind=none (or "
+            "nonneg for nnl1) to make that explicit");
+      }
+      break;
+    case ConstraintKind::kBox:
+      if (spec.lo > spec.hi) {
+        add(Severity::kError,
+            "box bounds are inverted (lo > hi); swap them or widen the box");
+      }
+      break;
+    case ConstraintKind::kL2Ball:
+      if (spec.hi <= 0) {
+        add(Severity::kError,
+            "l2ball radius (hi) must be positive; every factor row would "
+            "collapse to zero");
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+bool induces_factor_sparsity(ConstraintKind kind) {
+  switch (kind) {
+    case ConstraintKind::kNonNegative:
+    case ConstraintKind::kL1:
+    case ConstraintKind::kNonNegativeL1:
+    case ConstraintKind::kBox:  // lo = 0 clamps to exact zeros
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+ValidationReport CpdConfig::validate(std::size_t order) const {
+  using Severity = ValidationIssue::Severity;
+  ValidationReport report;
+  const auto add = [&](Severity sev, const char* field, std::string msg) {
+    report.issues.push_back({sev, field, std::move(msg)});
+  };
+
+  if (options.rank == 0) {
+    add(Severity::kError, "rank", "rank must be positive");
+  } else if (options.rank > 2048) {
+    add(Severity::kWarning, "rank",
+        "rank > 2048: each MTTKRP output and ADMM scratch holds rank doubles "
+        "per row; expect heavy memory use and slow F x F Cholesky solves");
+  }
+
+  if (options.max_outer_iterations == 0) {
+    add(Severity::kError, "max_outer_iterations",
+        "max_outer_iterations must be positive");
+  }
+  if (options.tolerance < 0) {
+    add(Severity::kError, "tolerance",
+        "tolerance must be >= 0 (it bounds the per-iteration error "
+        "improvement)");
+  } else if (options.tolerance == 0) {
+    add(Severity::kWarning, "tolerance",
+        "tolerance 0 never converges early; the solver always runs all "
+        "max_outer_iterations");
+  }
+
+  if (options.admm.max_iterations == 0) {
+    add(Severity::kError, "admm.max_iterations",
+        "admm.max_iterations must be positive");
+  }
+  if (!(options.admm.tolerance > 0)) {
+    add(Severity::kError, "admm.tolerance",
+        "admm.tolerance must be positive (the inner loop would never stop "
+        "before its iteration cap)");
+  }
+  if (!(options.admm.relaxation > 0 && options.admm.relaxation < 2)) {
+    add(Severity::kError, "admm.relaxation",
+        "admm.relaxation must lie in (0, 2); 1.0 disables over-relaxation");
+  }
+  if (options.admm.block_size > 0 && options.admm.block_size < 4) {
+    add(Severity::kWarning, "admm.block_size",
+        "block sizes below 4 rows pay per-block overhead on every inner "
+        "iteration; the paper found ~50 optimal, 0 selects the analytical "
+        "model");
+  }
+  if (options.admm.block_size > 65536) {
+    add(Severity::kWarning, "admm.block_size",
+        "very large blocks forfeit the cache residency and per-block "
+        "convergence the blocked variant exists for; prefer <= 512");
+  }
+
+  if (!(options.sparsity_threshold >= 0 && options.sparsity_threshold <= 1)) {
+    add(Severity::kError, "sparsity_threshold",
+        "sparsity_threshold is a density fraction and must lie in [0, 1]");
+  }
+
+  // Cross-field: a sparse leaf format only ever pays off when some
+  // constraint can produce exact zeros in a factor.
+  if (options.leaf_format != LeafFormat::kDense) {
+    bool any_sparsity = false;
+    for (const ConstraintSpec& spec : constraints.specs()) {
+      any_sparsity = any_sparsity || induces_factor_sparsity(spec.kind);
+    }
+    if (!any_sparsity) {
+      add(Severity::kWarning, "leaf_format",
+          std::string("leaf format ") + to_string(options.leaf_format) +
+              " requested, but no configured constraint can produce factor "
+              "sparsity; the dense kernel will be used every iteration and "
+              "the density measurement is pure overhead");
+    }
+  }
+
+  if (checkpoint_every > 0 && checkpoint_path.empty()) {
+    add(Severity::kError, "checkpoint_path",
+        "checkpoint_every is set but checkpoint_path is empty; give a file "
+        "path to write checkpoints to");
+  }
+  if (!checkpoint_path.empty() && checkpoint_every == 0) {
+    add(Severity::kWarning, "checkpoint_every",
+        "checkpoint_path is set but checkpoint_every is 0; no checkpoints "
+        "will be written");
+  }
+
+  if (order > 0 && !constraints.broadcasts() &&
+      constraints.size() != order) {
+    std::ostringstream os;
+    os << "got " << constraints.size() << " per-mode specs for an order-"
+       << order << " tensor; give one per mode or a single broadcast spec";
+    add(Severity::kError, "constraints", os.str());
+  }
+  for (std::size_t i = 0; i < constraints.size(); ++i) {
+    std::ostringstream field;
+    field << "constraints[" << i << "]";
+    check_constraint_spec(constraints.specs()[i], field.str(), report);
+  }
+
+  return report;
+}
+
+}  // namespace aoadmm

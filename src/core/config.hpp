@@ -1,0 +1,148 @@
+// Validated solver configuration for the CpdSolver session API.
+//
+//  * ModeConstraints replaces the old implicit cspan<const ConstraintSpec>
+//    convention ("one entry broadcasts, otherwise one per mode") with an
+//    explicit type that states which of the two it means and rejects
+//    mismatched counts with a clear error instead of a deep assert.
+//  * CpdConfig wraps CpdOptions + constraints + checkpoint policy behind
+//    chainable with_* setters and a validate() that returns structured
+//    diagnostics (field, severity, actionable message) rather than
+//    asserting — callers like tensor_tool print them as CLI errors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cpd.hpp"
+#include "core/prox.hpp"
+
+namespace aoadmm {
+
+/// Constraints for every mode of a factorization: either one spec broadcast
+/// to all modes, or exactly one spec per mode.
+class ModeConstraints {
+ public:
+  /// Default: non-negativity broadcast to every mode (the paper's headline
+  /// configuration and the previous implicit default).
+  ModeConstraints() : specs_(1) {}
+
+  static ModeConstraints broadcast(const ConstraintSpec& spec) {
+    ModeConstraints c;
+    c.specs_[0] = spec;
+    return c;
+  }
+
+  /// One spec per mode, in mode order. Throws InvalidArgument when empty.
+  static ModeConstraints per_mode(std::vector<ConstraintSpec> specs);
+
+  /// Adapter for the legacy span convention (1 entry = broadcast, else one
+  /// per mode of an order-`order` tensor). Throws InvalidArgument with an
+  /// explicit count/order message on any other size.
+  static ModeConstraints from_legacy(cspan<const ConstraintSpec> specs,
+                                     std::size_t order);
+
+  bool broadcasts() const noexcept { return specs_.size() == 1; }
+  std::size_t size() const noexcept { return specs_.size(); }
+  const std::vector<ConstraintSpec>& specs() const noexcept { return specs_; }
+
+  /// The spec governing `mode`. Requires check_order to have passed for the
+  /// tensor at hand (broadcast ignores `mode`).
+  const ConstraintSpec& for_mode(std::size_t mode) const {
+    return specs_[broadcasts() ? 0 : mode];
+  }
+
+  /// Throws InvalidArgument naming both counts unless this holds one
+  /// broadcast spec or exactly `order` per-mode specs.
+  void check_order(std::size_t order) const;
+
+ private:
+  std::vector<ConstraintSpec> specs_;
+};
+
+struct ValidationIssue {
+  enum class Severity { kError, kWarning };
+  Severity severity = Severity::kError;
+  /// Option the issue concerns, e.g. "rank" or "admm.relaxation".
+  std::string field;
+  /// Actionable description, suitable for direct CLI display.
+  std::string message;
+};
+
+const char* to_string(ValidationIssue::Severity s) noexcept;
+
+/// Outcome of CpdConfig::validate(): all findings, never a throw.
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+
+  bool ok() const noexcept;  // true when no kError issue is present
+  std::size_t error_count() const noexcept;
+  std::size_t warning_count() const noexcept;
+  /// One "severity field: message" line per issue.
+  std::string to_string() const;
+};
+
+/// Full description of a factorization run, built fluently:
+///
+///   CpdConfig cfg = CpdConfig()
+///       .with_rank(50)
+///       .with_constraints(ModeConstraints::broadcast(nonneg))
+///       .with_checkpoint("run.ckpt", 10);
+///   ValidationReport report = cfg.validate(csf.order());
+///   if (!report.ok()) { ... print report.to_string() ... }
+struct CpdConfig {
+  /// Legacy knobs, unchanged (rank, tolerances, ADMM options, variant,
+  /// leaf format, seed, trace, on_iteration callback).
+  CpdOptions options;
+  ModeConstraints constraints;
+  /// When checkpoint_every > 0, CpdSolver writes a checkpoint of the full
+  /// solver state to checkpoint_path after every checkpoint_every outer
+  /// iterations (atomically: temp file + rename).
+  std::string checkpoint_path;
+  unsigned checkpoint_every = 0;
+
+  CpdConfig() = default;
+  explicit CpdConfig(const CpdOptions& opts) : options(opts) {}
+
+  CpdConfig& with_rank(rank_t r) { options.rank = r; return *this; }
+  CpdConfig& with_max_outer(unsigned n) {
+    options.max_outer_iterations = n;
+    return *this;
+  }
+  CpdConfig& with_tolerance(real_t t) { options.tolerance = t; return *this; }
+  CpdConfig& with_admm(const AdmmOptions& a) {
+    options.admm = a;
+    return *this;
+  }
+  CpdConfig& with_variant(AdmmVariant v) { options.variant = v; return *this; }
+  CpdConfig& with_leaf_format(LeafFormat f) {
+    options.leaf_format = f;
+    return *this;
+  }
+  CpdConfig& with_sparsity_threshold(real_t t) {
+    options.sparsity_threshold = t;
+    return *this;
+  }
+  CpdConfig& with_seed(std::uint64_t s) { options.seed = s; return *this; }
+  CpdConfig& with_trace(bool record) {
+    options.record_trace = record;
+    return *this;
+  }
+  CpdConfig& with_constraints(ModeConstraints c) {
+    constraints = std::move(c);
+    return *this;
+  }
+  CpdConfig& with_checkpoint(std::string path, unsigned every) {
+    checkpoint_path = std::move(path);
+    checkpoint_every = every;
+    return *this;
+  }
+
+  /// Check every field for consistency. Pass the tensor order when known to
+  /// also validate the constraint count and mode-dependent combinations;
+  /// order == 0 skips those checks. Never throws: all findings are returned,
+  /// errors and warnings alike.
+  ValidationReport validate(std::size_t order = 0) const;
+};
+
+}  // namespace aoadmm

@@ -1,64 +1,9 @@
 #include "core/cpd.hpp"
 
-#include <algorithm>
-#include <limits>
-#include <memory>
-
-#include "core/cpd_impl.hpp"
-#include "core/workspace.hpp"
-#include "obs/metrics.hpp"
-#include "obs/parallel_stats.hpp"
-#include "obs/profile.hpp"
-#include "sparse/density.hpp"
-#include "util/error.hpp"
-#include "util/log.hpp"
-#include "util/timer.hpp"
+#include "core/config.hpp"
+#include "core/solver.hpp"
 
 namespace aoadmm {
-namespace {
-
-/// The driver's kernel-time breakdown (paper Fig. 3). Plain members — no
-/// name lookup, nothing shared across threads.
-struct KernelTimers {
-  Timer mttkrp;
-  Timer admm;
-  Timer other;
-};
-
-/// Registry handles the driver reports into; registered once per process.
-struct CpdMetrics {
-  obs::Counter runs;
-  obs::Counter outer_iterations;
-  obs::Counter mttkrp_calls;
-  obs::Counter sparse_mttkrp_calls;
-  obs::Counter mttkrp_seconds;
-  obs::Counter admm_seconds;
-  obs::Histogram iteration_seconds;
-  obs::Histogram admm_inner_iterations;
-  obs::Histogram admm_primal_residual;
-  obs::Histogram admm_dual_residual;
-
-  static const CpdMetrics& get() {
-    static const CpdMetrics m = [] {
-      auto& reg = obs::MetricsRegistry::global();
-      CpdMetrics out;
-      out.runs = reg.counter("cpd/runs");
-      out.outer_iterations = reg.counter("cpd/outer_iterations");
-      out.mttkrp_calls = reg.counter("cpd/mttkrp_calls");
-      out.sparse_mttkrp_calls = reg.counter("cpd/sparse_mttkrp_calls");
-      out.mttkrp_seconds = reg.counter("cpd/mttkrp_seconds");
-      out.admm_seconds = reg.counter("cpd/admm_seconds");
-      out.iteration_seconds = reg.histogram("cpd/iteration_seconds");
-      out.admm_inner_iterations = reg.histogram("admm/inner_iterations");
-      out.admm_primal_residual = reg.histogram("admm/primal_residual");
-      out.admm_dual_residual = reg.histogram("admm/dual_residual");
-      return out;
-    }();
-    return m;
-  }
-};
-
-}  // namespace
 
 const char* to_string(AdmmVariant v) noexcept {
   switch (v) {
@@ -72,214 +17,11 @@ const char* to_string(AdmmVariant v) noexcept {
 
 CpdResult cpd_aoadmm(const CsfSet& csf, const CpdOptions& opts,
                      cspan<const ConstraintSpec> constraints) {
-  AOADMM_PROFILE_SCOPE("cpd/aoadmm");
-  const std::size_t order = csf.order();
-  AOADMM_CHECK(order >= 2);
-  AOADMM_CHECK(opts.rank > 0);
-  AOADMM_CHECK_MSG(constraints.size() == 1 || constraints.size() == order,
-                   "constraints: give 1 (broadcast) or one per mode");
-
-  const CpdMetrics& metrics = CpdMetrics::get();
-  metrics.runs.add(1);
-
-  std::vector<std::unique_ptr<ProxOperator>> prox(order);
-  for (std::size_t m = 0; m < order; ++m) {
-    prox[m] = make_prox(constraints.size() == 1 ? constraints[0]
-                                                : constraints[m]);
-  }
-
-  Timer wall;
-  wall.start();
-  KernelTimers timers;
-
-  CpdResult result;
-  const real_t x_norm_sq = detail::tensor_norm_sq(csf.for_mode(0));
-  {
-    AOADMM_PROFILE_SCOPE("cpd/init");
-    result.factors =
-        detail::init_factors(csf, opts.rank, opts.seed, x_norm_sq);
-  }
-  std::vector<Matrix> duals;
-  duals.reserve(order);
-  for (std::size_t m = 0; m < order; ++m) {
-    duals.emplace_back(result.factors[m].rows(), opts.rank);
-  }
-
-  CpdWorkspace ws(order);
-  SparseFactorCache sparse_cache(order);
-  {
-    const ScopedTimer t(timers.other);
-    AOADMM_PROFILE_SCOPE("cpd/gram");
-    for (std::size_t m = 0; m < order; ++m) {
-      gram(result.factors[m], ws.grams[m]);
-    }
-  }
-
-  real_t prev_error = std::numeric_limits<real_t>::infinity();
-
-  // Per-iteration accounting for the snapshot callback.
-  std::vector<double> mode_mttkrp_seconds(order, 0);
-
-  for (unsigned outer = 1; outer <= opts.max_outer_iterations; ++outer) {
-    AOADMM_PROFILE_SCOPE("cpd/outer");
-    const double iter_start_seconds = wall.seconds();
-    const obs::ParallelTotals parallel_before = obs::parallel_totals();
-    const double admm_seconds_before = timers.admm.seconds();
-    std::fill(mode_mttkrp_seconds.begin(), mode_mttkrp_seconds.end(), 0.0);
-    std::uint64_t iter_inner_iterations = 0;
-    real_t worst_primal = 0;
-    real_t worst_dual = 0;
-    real_t sum_primal = 0;
-    real_t sum_dual = 0;
-
-    for (std::size_t m = 0; m < order; ++m) {
-      AOADMM_PROFILE_SCOPE("cpd/mode");
-      const CsfTensor& tree = csf.for_mode(m);
-
-      {
-        const ScopedTimer t(timers.other);
-        AOADMM_PROFILE_SCOPE("cpd/gram_product");
-        detail::gram_product_excluding(ws.grams, m, ws.gram_prod);
-      }
-
-      // MTTKRP, optionally with a compressed leaf factor. The leaf mode of
-      // this tree is the factor read once per non-zero — the only one worth
-      // compressing (paper §IV.C).
-      ++result.mttkrp_count;
-      metrics.mttkrp_calls.add(1);
-      const double mttkrp_seconds_before = timers.mttkrp.seconds();
-      bool used_sparse = false;
-      // Sparse-leaf kernels exist for root-mode trees only (ALLMODE); a
-      // one-tree set serves non-root modes through the atomic dispatcher.
-      if (opts.leaf_format != LeafFormat::kDense &&
-          tree.level_mode(0) == m) {
-        const std::size_t leaf_mode = tree.level_mode(order - 1);
-        SparseFactorCache::Mirror mirror;
-        {
-          const ScopedTimer t(timers.other);
-          AOADMM_PROFILE_SCOPE("cpd/sparse_mirror");
-          mirror = sparse_cache.refresh(leaf_mode, result.factors[leaf_mode],
-                                        opts.leaf_format,
-                                        opts.sparsity_threshold);
-        }
-        if (mirror.csr != nullptr) {
-          const ScopedTimer t(timers.mttkrp);
-          mttkrp_csf_csr(tree, result.factors, *mirror.csr, ws.mttkrp_out);
-          used_sparse = true;
-        } else if (mirror.hybrid != nullptr) {
-          const ScopedTimer t(timers.mttkrp);
-          mttkrp_csf_hybrid(tree, result.factors, *mirror.hybrid,
-                            ws.mttkrp_out);
-          used_sparse = true;
-        }
-      }
-      if (!used_sparse) {
-        const ScopedTimer t(timers.mttkrp);
-        mttkrp_dispatch(tree, result.factors, m, ws.mttkrp_out);
-      } else {
-        ++result.sparse_mttkrp_count;
-        metrics.sparse_mttkrp_calls.add(1);
-      }
-      mode_mttkrp_seconds[m] =
-          timers.mttkrp.seconds() - mttkrp_seconds_before;
-
-      {
-        const ScopedTimer t(timers.admm);
-        const AdmmResult ar =
-            opts.variant == AdmmVariant::kBlocked
-                ? admm_update_blocked(result.factors[m], duals[m],
-                                      ws.mttkrp_out, ws.gram_prod, *prox[m],
-                                      opts.admm, ws.admm)
-                : admm_update(result.factors[m], duals[m], ws.mttkrp_out,
-                              ws.gram_prod, *prox[m], opts.admm, ws.admm);
-        result.total_inner_iterations += ar.iterations;
-        result.total_row_iterations += ar.row_iterations;
-        iter_inner_iterations += ar.iterations;
-        worst_primal = std::max(worst_primal, ar.primal_residual);
-        worst_dual = std::max(worst_dual, ar.dual_residual);
-        sum_primal += ar.primal_residual;
-        sum_dual += ar.dual_residual;
-        metrics.admm_inner_iterations.observe(ar.iterations);
-        metrics.admm_primal_residual.observe(
-            static_cast<double>(ar.primal_residual));
-        metrics.admm_dual_residual.observe(
-            static_cast<double>(ar.dual_residual));
-      }
-
-      {
-        const ScopedTimer t(timers.other);
-        AOADMM_PROFILE_SCOPE("cpd/gram");
-        gram(result.factors[m], ws.grams[m]);
-        sparse_cache.invalidate(m);
-      }
-    }
-
-    // Fit: exact, reusing the final mode's MTTKRP output (see cpd_impl.hpp).
-    real_t err;
-    {
-      const ScopedTimer t(timers.other);
-      AOADMM_PROFILE_SCOPE("cpd/fit");
-      err = detail::fit_relative_error(x_norm_sq, ws.mttkrp_out,
-                                       result.factors[order - 1], ws.grams);
-    }
-    result.relative_error = err;
-    result.outer_iterations = outer;
-    if (opts.record_trace) {
-      result.trace.add(outer, wall.seconds(), err);
-    }
-    AOADMM_LOG_DEBUG << "outer " << outer << " relative_error " << err;
-
-    const double iter_seconds = wall.seconds() - iter_start_seconds;
-    metrics.outer_iterations.add(1);
-    metrics.iteration_seconds.observe(iter_seconds);
-
-    if (opts.on_iteration) {
-      obs::MetricsSnapshot snap;
-      snap.outer_iteration = outer;
-      snap.seconds = wall.seconds();
-      snap.iteration_seconds = iter_seconds;
-      snap.relative_error = err;
-      snap.mode_mttkrp_seconds = mode_mttkrp_seconds;
-      snap.admm_seconds = timers.admm.seconds() - admm_seconds_before;
-      snap.admm_inner_iterations = iter_inner_iterations;
-      snap.worst_primal_residual = worst_primal;
-      snap.mean_primal_residual = sum_primal / static_cast<real_t>(order);
-      snap.worst_dual_residual = worst_dual;
-      snap.mean_dual_residual = sum_dual / static_cast<real_t>(order);
-      snap.thread_imbalance = obs::imbalance_since(parallel_before);
-      snap.factor_density.reserve(order);
-      for (std::size_t m = 0; m < order; ++m) {
-        snap.factor_density.push_back(
-            measure_density(result.factors[m]).density);
-      }
-      snap.mttkrp_count = result.mttkrp_count;
-      snap.sparse_mttkrp_count = result.sparse_mttkrp_count;
-      opts.on_iteration(snap);
-    }
-
-    if (prev_error - err < opts.tolerance && outer > 1) {
-      result.converged = true;
-      break;
-    }
-    prev_error = err;
-  }
-
-  wall.stop();
-  result.times.total_seconds = wall.seconds();
-  result.times.mttkrp_seconds = timers.mttkrp.seconds();
-  result.times.admm_seconds = timers.admm.seconds();
-  result.times.other_seconds = result.times.total_seconds -
-                               result.times.mttkrp_seconds -
-                               result.times.admm_seconds;
-  metrics.mttkrp_seconds.add(result.times.mttkrp_seconds);
-  metrics.admm_seconds.add(result.times.admm_seconds);
-
-  result.factor_density.reserve(order);
-  for (std::size_t m = 0; m < order; ++m) {
-    result.factor_density.push_back(
-        measure_density(result.factors[m]).density);
-  }
-  return result;
+  CpdConfig config(opts);
+  config.with_constraints(
+      ModeConstraints::from_legacy(constraints, csf.order()));
+  CpdSolver solver(csf, std::move(config));
+  return solver.solve();
 }
 
 }  // namespace aoadmm

@@ -1,12 +1,16 @@
-// The AO-ADMM outer driver (Algorithm 2) and the unconstrained ALS
-// baseline. This is the library's primary public entry point:
+// Options and result types for constrained CPD, plus the legacy free-
+// function entry points. The primary API is the CpdSolver session
+// (core/solver.hpp), which validates its configuration up front and reuses
+// all solver state across repeated solves:
 //
 //   CooTensor x = read_tns_file("data.tns");
 //   CsfSet csf(x);
-//   CpdOptions opts;
-//   opts.rank = 50;
-//   ConstraintSpec nonneg{ConstraintKind::kNonNegative};
-//   CpdResult r = cpd_aoadmm(csf, opts, {&nonneg, 1});
+//   CpdConfig cfg = CpdConfig()
+//       .with_rank(50)
+//       .with_constraints(
+//           ModeConstraints::broadcast({ConstraintKind::kNonNegative}));
+//   CpdSolver solver(csf, cfg);
+//   CpdResult r = solver.solve();
 //
 // Convergence follows the paper (§V.A): factorization quality is the
 // relative error ‖X − M‖_F/‖X‖_F, and the loop stops when it improves by
@@ -97,6 +101,10 @@ struct CpdResult {
 
 /// Constrained CPD via AO-ADMM. `constraints` has either one entry
 /// (broadcast to all modes) or one per mode.
+///
+/// Deprecated shim over a throwaway CpdSolver session: prefer CpdSolver
+/// (core/solver.hpp) with an explicit ModeConstraints, which validates the
+/// configuration up front and reuses state across repeated solves.
 CpdResult cpd_aoadmm(const CsfSet& csf, const CpdOptions& opts,
                      cspan<const ConstraintSpec> constraints);
 

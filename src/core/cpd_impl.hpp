@@ -40,10 +40,13 @@ inline void gram_product_excluding(const std::vector<Matrix>& grams,
 /// other (already current) factors. ‖M‖² comes from the Gram trick.
 inline real_t fit_relative_error(real_t x_norm_sq, const Matrix& k,
                                  const Matrix& a_last,
-                                 const std::vector<Matrix>& grams) {
+                                 const std::vector<Matrix>& grams,
+                                 Matrix& acc) {
   const real_t inner = dot(k, a_last);
   const std::size_t f = grams[0].rows();
-  Matrix acc(f, f);
+  if (acc.rows() != f || acc.cols() != f) {
+    acc.resize(f, f);
+  }
   acc.fill(real_t{1});
   for (const Matrix& g : grams) {
     hadamard_inplace(acc, g);
@@ -57,17 +60,32 @@ inline real_t fit_relative_error(real_t x_norm_sq, const Matrix& k,
                        : std::sqrt(resid_sq);
 }
 
-inline std::vector<Matrix> init_factors(const CsfSet& csf, rank_t rank,
-                                        std::uint64_t seed,
-                                        real_t x_norm_sq) {
-  Rng rng(seed);
-  std::vector<Matrix> factors;
+inline real_t fit_relative_error(real_t x_norm_sq, const Matrix& k,
+                                 const Matrix& a_last,
+                                 const std::vector<Matrix>& grams) {
+  Matrix acc;
+  return fit_relative_error(x_norm_sq, k, a_last, grams, acc);
+}
+
+/// In-place factor initialization drawing from a caller-owned generator.
+/// Reuses the matrices' existing storage when shapes already match, so a
+/// session's repeated cold solves reallocate nothing. Draw order matches
+/// the historical Matrix::random_uniform path exactly.
+inline void init_factors_into(const CsfSet& csf, rank_t rank, Rng& rng,
+                              real_t x_norm_sq,
+                              std::vector<Matrix>& factors) {
   const auto& dims = csf.dims();
-  factors.reserve(dims.size());
-  for (const index_t d : dims) {
+  factors.resize(dims.size());
+  for (std::size_t m = 0; m < dims.size(); ++m) {
+    Matrix& a = factors[m];
+    if (a.rows() != dims[m] || a.cols() != rank) {
+      a.resize(dims[m], rank);
+    }
     // Uniform [0,1) keeps the start feasible for the non-negative and box
     // constraints and matches the paper's random initialization.
-    factors.push_back(Matrix::random_uniform(d, rank, rng));
+    for (real_t& v : a.flat()) {
+      v = rng.uniform();
+    }
   }
 
   // Balance the initial model energy against the data: on hypersparse
@@ -96,6 +114,14 @@ inline std::vector<Matrix> init_factors(const CsfSet& csf, rank_t rank,
       }
     }
   }
+}
+
+inline std::vector<Matrix> init_factors(const CsfSet& csf, rank_t rank,
+                                        std::uint64_t seed,
+                                        real_t x_norm_sq) {
+  Rng rng(seed);
+  std::vector<Matrix> factors;
+  init_factors_into(csf, rank, rng, x_norm_sq, factors);
   return factors;
 }
 

@@ -20,6 +20,11 @@ KruskalTensor::KruskalTensor(std::vector<Matrix> factors)
   lambda_.assign(rank_, real_t{1});
 }
 
+void KruskalTensor::set_lambda(std::vector<real_t> lambda) {
+  AOADMM_CHECK_MSG(lambda.size() == rank_, "lambda size must equal rank");
+  lambda_ = std::move(lambda);
+}
+
 void KruskalTensor::normalize_columns() {
   for (Matrix& a : factors_) {
     for (rank_t f = 0; f < rank_; ++f) {

@@ -27,6 +27,10 @@ class KruskalTensor {
   std::vector<Matrix>& factors() noexcept { return factors_; }
   const std::vector<real_t>& lambda() const noexcept { return lambda_; }
 
+  /// Replace the weight vector (e.g. when deserializing a saved model).
+  /// Size must equal rank().
+  void set_lambda(std::vector<real_t> lambda);
+
   /// Normalize every factor column to unit 2-norm, absorbing the norms into
   /// λ (λ_f ← λ_f · ∏_m ‖A_m(:,f)‖). Zero columns get λ_f = 0 and are left
   /// as-is.

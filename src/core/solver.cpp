@@ -1,0 +1,401 @@
+#include "core/solver.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "core/cpd_impl.hpp"
+#include "obs/metrics.hpp"
+#include "obs/parallel_stats.hpp"
+#include "obs/profile.hpp"
+#include "sparse/density.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace aoadmm {
+namespace {
+
+/// The driver's kernel-time breakdown (paper Fig. 3). Plain members — no
+/// name lookup, nothing shared across threads.
+struct KernelTimers {
+  Timer mttkrp;
+  Timer admm;
+  Timer other;
+};
+
+/// Registry handles the driver reports into; registered once per process.
+struct CpdMetrics {
+  obs::Counter runs;
+  obs::Counter outer_iterations;
+  obs::Counter mttkrp_calls;
+  obs::Counter sparse_mttkrp_calls;
+  obs::Counter mttkrp_seconds;
+  obs::Counter admm_seconds;
+  obs::Counter checkpoints_written;
+  obs::Histogram iteration_seconds;
+  obs::Histogram admm_inner_iterations;
+  obs::Histogram admm_primal_residual;
+  obs::Histogram admm_dual_residual;
+
+  static const CpdMetrics& get() {
+    static const CpdMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::global();
+      CpdMetrics out;
+      out.runs = reg.counter("cpd/runs");
+      out.outer_iterations = reg.counter("cpd/outer_iterations");
+      out.mttkrp_calls = reg.counter("cpd/mttkrp_calls");
+      out.sparse_mttkrp_calls = reg.counter("cpd/sparse_mttkrp_calls");
+      out.mttkrp_seconds = reg.counter("cpd/mttkrp_seconds");
+      out.admm_seconds = reg.counter("cpd/admm_seconds");
+      out.checkpoints_written = reg.counter("cpd/checkpoints_written");
+      out.iteration_seconds = reg.histogram("cpd/iteration_seconds");
+      out.admm_inner_iterations = reg.histogram("admm/inner_iterations");
+      out.admm_primal_residual = reg.histogram("admm/primal_residual");
+      out.admm_dual_residual = reg.histogram("admm/dual_residual");
+      return out;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+CpdSolver::CpdSolver(const CsfSet& csf, CpdConfig config)
+    : csf_(csf),
+      config_(std::move(config)),
+      ws_(csf.order()),
+      sparse_cache_(csf.order()),
+      rng_(config_.options.seed),
+      mode_mttkrp_seconds_(csf.order(), 0) {
+  const std::size_t order = csf_.order();
+  AOADMM_CHECK(order >= 2);
+
+  validation_ = config_.validate(order);
+  if (!validation_.ok()) {
+    throw InvalidArgument("invalid CpdConfig:\n" + validation_.to_string());
+  }
+
+  prox_.resize(order);
+  for (std::size_t m = 0; m < order; ++m) {
+    prox_[m] = make_prox(config_.constraints.for_mode(m));
+  }
+
+  x_norm_sq_ = detail::tensor_norm_sq(csf_.for_mode(0));
+}
+
+void CpdSolver::zero_duals() {
+  const std::size_t order = csf_.order();
+  const auto& dims = csf_.dims();
+  duals_.resize(order);
+  for (std::size_t m = 0; m < order; ++m) {
+    // resize zero-fills and reuses capacity, so a warmed session's repeat
+    // solves reset the duals without touching the allocator.
+    duals_[m].resize(dims[m], config_.options.rank);
+  }
+}
+
+CpdResult CpdSolver::solve() {
+  AOADMM_PROFILE_SCOPE("cpd/aoadmm");
+  {
+    AOADMM_PROFILE_SCOPE("cpd/init");
+    rng_ = Rng(config_.options.seed);
+    detail::init_factors_into(csf_, config_.options.rank, rng_, x_norm_sq_,
+                              factors_);
+  }
+  zero_duals();
+  return run(1, std::numeric_limits<real_t>::infinity(), CpdResult{});
+}
+
+CpdResult CpdSolver::solve_warm(const KruskalTensor& model) {
+  AOADMM_PROFILE_SCOPE("cpd/aoadmm");
+  const std::size_t order = csf_.order();
+  const auto& dims = csf_.dims();
+  if (model.order() != order) {
+    throw InvalidArgument("warm start: model order " +
+                          std::to_string(model.order()) +
+                          " does not match tensor order " +
+                          std::to_string(order));
+  }
+  if (model.rank() != config_.options.rank) {
+    throw InvalidArgument("warm start: model rank " +
+                          std::to_string(model.rank()) +
+                          " does not match configured rank " +
+                          std::to_string(config_.options.rank));
+  }
+  for (std::size_t m = 0; m < order; ++m) {
+    if (model.factors()[m].rows() != dims[m]) {
+      throw InvalidArgument("warm start: factor " + std::to_string(m) +
+                            " has " +
+                            std::to_string(model.factors()[m].rows()) +
+                            " rows, tensor mode has " +
+                            std::to_string(dims[m]));
+    }
+  }
+
+  factors_ = model.factors();
+  // Fold the component weights into mode 0 so the seeded iterate represents
+  // the same tensor the model does.
+  Matrix& a0 = factors_[0];
+  const std::vector<real_t>& lambda = model.lambda();
+  for (std::size_t i = 0; i < a0.rows(); ++i) {
+    real_t* __restrict row = a0.data() + i * a0.cols();
+    for (std::size_t f = 0; f < a0.cols(); ++f) {
+      row[f] *= lambda[f];
+    }
+  }
+
+  // Keep the session's duals when a prior run left them behind — they
+  // encode the constraint geometry near the warm iterate. A fresh session
+  // starts them at zero like a cold solve.
+  bool duals_usable = duals_.size() == order;
+  for (std::size_t m = 0; duals_usable && m < order; ++m) {
+    duals_usable = duals_[m].rows() == dims[m] &&
+                   duals_[m].cols() == config_.options.rank;
+  }
+  if (!duals_usable) {
+    zero_duals();
+  }
+  return run(1, std::numeric_limits<real_t>::infinity(), CpdResult{});
+}
+
+CpdResult CpdSolver::resume(const std::string& checkpoint_path) {
+  AOADMM_PROFILE_SCOPE("cpd/aoadmm");
+  CpdCheckpoint ck = read_checkpoint_file(checkpoint_path);
+
+  const auto& dims = csf_.dims();
+  if (ck.dims != std::vector<index_t>(dims.begin(), dims.end())) {
+    throw InvalidArgument("resume: checkpoint tensor shape does not match "
+                          "this session's tensor");
+  }
+  if (ck.rank != config_.options.rank) {
+    throw InvalidArgument("resume: checkpoint rank " +
+                          std::to_string(ck.rank) +
+                          " does not match configured rank " +
+                          std::to_string(config_.options.rank));
+  }
+
+  factors_ = std::move(ck.factors);
+  duals_ = std::move(ck.duals);
+  rng_.set_state(ck.rng_state);
+
+  CpdResult result;
+  result.total_inner_iterations = ck.total_inner_iterations;
+  result.total_row_iterations = ck.total_row_iterations;
+  result.mttkrp_count = ck.mttkrp_count;
+  result.sparse_mttkrp_count = ck.sparse_mttkrp_count;
+  result.trace = std::move(ck.trace);
+  result.relative_error = ck.prev_error;
+  result.outer_iterations = ck.outer_iteration;
+  return run(ck.outer_iteration + 1, ck.prev_error, std::move(result));
+}
+
+CpdResult CpdSolver::run(unsigned start_outer, real_t prev_error,
+                         CpdResult result) {
+  const std::size_t order = csf_.order();
+  const CpdOptions& opts = config_.options;
+  const CpdMetrics& metrics = CpdMetrics::get();
+  metrics.runs.add(1);
+
+  Timer wall;
+  wall.start();
+  KernelTimers timers;
+
+  {
+    const ScopedTimer t(timers.other);
+    AOADMM_PROFILE_SCOPE("cpd/gram");
+    for (std::size_t m = 0; m < order; ++m) {
+      gram(factors_[m], ws_.grams[m]);
+      sparse_cache_.invalidate(m);
+    }
+  }
+
+  for (unsigned outer = start_outer; outer <= opts.max_outer_iterations;
+       ++outer) {
+    AOADMM_PROFILE_SCOPE("cpd/outer");
+    const double iter_start_seconds = wall.seconds();
+    const obs::ParallelTotals parallel_before = obs::parallel_totals();
+    const double admm_seconds_before = timers.admm.seconds();
+    std::fill(mode_mttkrp_seconds_.begin(), mode_mttkrp_seconds_.end(), 0.0);
+    std::uint64_t iter_inner_iterations = 0;
+    real_t worst_primal = 0;
+    real_t worst_dual = 0;
+    real_t sum_primal = 0;
+    real_t sum_dual = 0;
+
+    for (std::size_t m = 0; m < order; ++m) {
+      AOADMM_PROFILE_SCOPE("cpd/mode");
+      const CsfTensor& tree = csf_.for_mode(m);
+
+      {
+        const ScopedTimer t(timers.other);
+        AOADMM_PROFILE_SCOPE("cpd/gram_product");
+        detail::gram_product_excluding(ws_.grams, m, ws_.gram_prod);
+      }
+
+      // MTTKRP, optionally with a compressed leaf factor. The leaf mode of
+      // this tree is the factor read once per non-zero — the only one worth
+      // compressing (paper §IV.C).
+      ++result.mttkrp_count;
+      metrics.mttkrp_calls.add(1);
+      const double mttkrp_seconds_before = timers.mttkrp.seconds();
+      bool used_sparse = false;
+      // Sparse-leaf kernels exist for root-mode trees only (ALLMODE); a
+      // one-tree set serves non-root modes through the atomic dispatcher.
+      if (opts.leaf_format != LeafFormat::kDense &&
+          tree.level_mode(0) == m) {
+        const std::size_t leaf_mode = tree.level_mode(order - 1);
+        SparseFactorCache::Mirror mirror;
+        {
+          const ScopedTimer t(timers.other);
+          AOADMM_PROFILE_SCOPE("cpd/sparse_mirror");
+          mirror = sparse_cache_.refresh(leaf_mode, factors_[leaf_mode],
+                                         opts.leaf_format,
+                                         opts.sparsity_threshold);
+        }
+        if (mirror.csr != nullptr) {
+          const ScopedTimer t(timers.mttkrp);
+          mttkrp_csf_csr(tree, factors_, *mirror.csr, ws_.mttkrp_out);
+          used_sparse = true;
+        } else if (mirror.hybrid != nullptr) {
+          const ScopedTimer t(timers.mttkrp);
+          mttkrp_csf_hybrid(tree, factors_, *mirror.hybrid, ws_.mttkrp_out);
+          used_sparse = true;
+        }
+      }
+      if (!used_sparse) {
+        const ScopedTimer t(timers.mttkrp);
+        mttkrp_dispatch(tree, factors_, m, ws_.mttkrp_out);
+      } else {
+        ++result.sparse_mttkrp_count;
+        metrics.sparse_mttkrp_calls.add(1);
+      }
+      mode_mttkrp_seconds_[m] =
+          timers.mttkrp.seconds() - mttkrp_seconds_before;
+
+      {
+        const ScopedTimer t(timers.admm);
+        const AdmmResult ar =
+            opts.variant == AdmmVariant::kBlocked
+                ? admm_update_blocked(factors_[m], duals_[m], ws_.mttkrp_out,
+                                      ws_.gram_prod, *prox_[m], opts.admm,
+                                      ws_.admm)
+                : admm_update(factors_[m], duals_[m], ws_.mttkrp_out,
+                              ws_.gram_prod, *prox_[m], opts.admm, ws_.admm);
+        result.total_inner_iterations += ar.iterations;
+        result.total_row_iterations += ar.row_iterations;
+        iter_inner_iterations += ar.iterations;
+        worst_primal = std::max(worst_primal, ar.primal_residual);
+        worst_dual = std::max(worst_dual, ar.dual_residual);
+        sum_primal += ar.primal_residual;
+        sum_dual += ar.dual_residual;
+        metrics.admm_inner_iterations.observe(ar.iterations);
+        metrics.admm_primal_residual.observe(
+            static_cast<double>(ar.primal_residual));
+        metrics.admm_dual_residual.observe(
+            static_cast<double>(ar.dual_residual));
+      }
+
+      {
+        const ScopedTimer t(timers.other);
+        AOADMM_PROFILE_SCOPE("cpd/gram");
+        gram(factors_[m], ws_.grams[m]);
+        sparse_cache_.invalidate(m);
+      }
+    }
+
+    // Fit: exact, reusing the final mode's MTTKRP output (see cpd_impl.hpp).
+    real_t err;
+    {
+      const ScopedTimer t(timers.other);
+      AOADMM_PROFILE_SCOPE("cpd/fit");
+      err = detail::fit_relative_error(x_norm_sq_, ws_.mttkrp_out,
+                                       factors_[order - 1], ws_.grams,
+                                       ws_.fit_acc);
+    }
+    result.relative_error = err;
+    result.outer_iterations = outer;
+    if (opts.record_trace) {
+      result.trace.add(outer, wall.seconds(), err);
+    }
+    AOADMM_LOG_DEBUG << "outer " << outer << " relative_error " << err;
+
+    const double iter_seconds = wall.seconds() - iter_start_seconds;
+    metrics.outer_iterations.add(1);
+    metrics.iteration_seconds.observe(iter_seconds);
+
+    if (opts.on_iteration) {
+      obs::MetricsSnapshot snap;
+      snap.outer_iteration = outer;
+      snap.seconds = wall.seconds();
+      snap.iteration_seconds = iter_seconds;
+      snap.relative_error = err;
+      snap.mode_mttkrp_seconds = mode_mttkrp_seconds_;
+      snap.admm_seconds = timers.admm.seconds() - admm_seconds_before;
+      snap.admm_inner_iterations = iter_inner_iterations;
+      snap.worst_primal_residual = worst_primal;
+      snap.mean_primal_residual = sum_primal / static_cast<real_t>(order);
+      snap.worst_dual_residual = worst_dual;
+      snap.mean_dual_residual = sum_dual / static_cast<real_t>(order);
+      snap.thread_imbalance = obs::imbalance_since(parallel_before);
+      snap.factor_density.reserve(order);
+      for (std::size_t m = 0; m < order; ++m) {
+        snap.factor_density.push_back(measure_density(factors_[m]).density);
+      }
+      snap.mttkrp_count = result.mttkrp_count;
+      snap.sparse_mttkrp_count = result.sparse_mttkrp_count;
+      opts.on_iteration(snap);
+    }
+
+    const bool converged_now = prev_error - err < opts.tolerance && outer > 1;
+    prev_error = err;
+
+    if (!converged_now && config_.checkpoint_every > 0 &&
+        outer % config_.checkpoint_every == 0) {
+      const ScopedTimer t(timers.other);
+      AOADMM_PROFILE_SCOPE("cpd/checkpoint");
+      CpdCheckpoint ck;
+      const auto& dims = csf_.dims();
+      ck.dims.assign(dims.begin(), dims.end());
+      ck.rank = opts.rank;
+      ck.seed = opts.seed;
+      ck.rng_state = rng_.state();
+      ck.outer_iteration = outer;
+      ck.prev_error = prev_error;
+      ck.total_inner_iterations = result.total_inner_iterations;
+      ck.total_row_iterations = result.total_row_iterations;
+      ck.mttkrp_count = result.mttkrp_count;
+      ck.sparse_mttkrp_count = result.sparse_mttkrp_count;
+      ck.factors = factors_;
+      ck.duals = duals_;
+      ck.trace = result.trace;
+      write_checkpoint_file(ck, config_.checkpoint_path);
+      metrics.checkpoints_written.add(1);
+    }
+
+    if (converged_now) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  wall.stop();
+  result.times.total_seconds = wall.seconds();
+  result.times.mttkrp_seconds = timers.mttkrp.seconds();
+  result.times.admm_seconds = timers.admm.seconds();
+  result.times.other_seconds = result.times.total_seconds -
+                               result.times.mttkrp_seconds -
+                               result.times.admm_seconds;
+  metrics.mttkrp_seconds.add(result.times.mttkrp_seconds);
+  metrics.admm_seconds.add(result.times.admm_seconds);
+
+  result.factors = factors_;
+  result.factor_density.clear();
+  result.factor_density.reserve(order);
+  for (std::size_t m = 0; m < order; ++m) {
+    result.factor_density.push_back(measure_density(factors_[m]).density);
+  }
+  return result;
+}
+
+}  // namespace aoadmm

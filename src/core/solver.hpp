@@ -1,0 +1,97 @@
+// Persistent solver sessions — the library's primary entry point.
+//
+// A CpdSolver binds a CsfSet to a validated CpdConfig once and then runs
+// any number of factorizations against it, reusing every piece of hoisted
+// state between calls: ADMM scratch (including the Cholesky system), MTTKRP
+// workspaces, sparse-mirror buffers, factor and dual storage, and the
+// tensor norm. After the first solve warms the buffers, a repeat solve()
+// on an unchanged session performs zero heap allocations inside the outer
+// loop (asserted in tests/integration/test_session.cpp against the
+// alloc/aligned_calls obs counter).
+//
+//   CsfSet csf(x);
+//   CpdConfig cfg = CpdConfig().with_rank(50).with_checkpoint("run.ckpt", 10);
+//   CpdSolver solver(csf, cfg);        // validates; throws on config errors
+//   CpdResult r1 = solver.solve();     // cold start from cfg.options.seed
+//   CpdResult r2 = solver.solve_warm(KruskalTensor(r1.factors));
+//   CpdResult r3 = solver.resume("run.ckpt");  // continue a killed run
+//
+// solve_warm seeds the factors from a prior model (λ folded into mode 0)
+// and keeps the session's ADMM duals, so a re-solve after a small data or
+// config perturbation converges in strictly fewer inner iterations than a
+// cold start. resume() restores factors, duals, RNG state, counters, and
+// the convergence trace from a checkpoint file and continues the run
+// bitwise-identically (same variant/thread configuration assumed).
+//
+// The free functions cpd_aoadmm()/cpd_als() remain as thin shims over a
+// throwaway session.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/config.hpp"
+#include "core/cpd.hpp"
+#include "core/workspace.hpp"
+#include "util/rng.hpp"
+
+namespace aoadmm {
+
+class CpdSolver {
+ public:
+  /// Bind a tensor to a validated configuration. Runs config.validate(order)
+  /// and throws InvalidArgument listing every error when validation fails;
+  /// warnings are kept and readable via validation(). The CsfSet is held by
+  /// reference and must outlive the solver.
+  CpdSolver(const CsfSet& csf, CpdConfig config);
+
+  const CpdConfig& config() const noexcept { return config_; }
+  /// The full validation report from construction (warnings included).
+  const ValidationReport& validation() const noexcept { return validation_; }
+
+  /// Cold solve: re-initialize factors from config.options.seed, zero the
+  /// duals, run the AO-ADMM outer loop. Callable any number of times; each
+  /// call reproduces the same run on an unchanged session.
+  CpdResult solve();
+
+  /// Warm solve: seed the factors from `model` (λ folded into mode 0) and
+  /// keep the session's current ADMM duals — after a prior solve on a
+  /// nearby problem they carry the constraint geometry, so the inner loops
+  /// start near their fixed points. Throws InvalidArgument when the model's
+  /// shape or rank does not match the session.
+  CpdResult solve_warm(const KruskalTensor& model);
+
+  /// Continue a checkpointed run to completion. Restores factors, duals,
+  /// RNG state, iteration counters, and the recorded trace, then resumes at
+  /// the next outer iteration; the completed run's trace is bitwise
+  /// identical (iteration, relative_error) to an uninterrupted one. Throws
+  /// ParseError on a corrupt file and InvalidArgument when the checkpoint
+  /// does not match the session's tensor or rank.
+  CpdResult resume(const std::string& checkpoint_path);
+
+ private:
+  /// The AO-ADMM outer loop (Algorithm 2), shared by all three entry
+  /// points. `result` arrives pre-seeded with carried-over counters and
+  /// trace; factors_/duals_ hold the starting iterate.
+  CpdResult run(unsigned start_outer, real_t prev_error, CpdResult result);
+
+  void zero_duals();
+
+  const CsfSet& csf_;
+  CpdConfig config_;
+  ValidationReport validation_;
+  real_t x_norm_sq_ = 0;
+
+  // Hoisted per-session state, allocated on first use and reused forever.
+  std::vector<std::unique_ptr<ProxOperator>> prox_;
+  std::vector<Matrix> factors_;
+  std::vector<Matrix> duals_;
+  CpdWorkspace ws_;
+  SparseFactorCache sparse_cache_;
+  Rng rng_;
+  std::vector<double> mode_mttkrp_seconds_;
+};
+
+}  // namespace aoadmm

@@ -65,6 +65,7 @@ struct CpdWorkspace {
   AdmmScratch admm;
   Matrix mttkrp_out;  // K, resized per mode
   Matrix gram_prod;   // ⊛ of the other modes' Grams
+  Matrix fit_acc;     // ⊛ of ALL Grams, for the fit evaluation
   std::vector<Matrix> grams;  // per-mode AᵀA, kept current
 
   explicit CpdWorkspace(std::size_t order) : grams(order) {}

@@ -43,7 +43,10 @@ void gram(const Matrix& a, Matrix& g) {
 #if defined(AOADMM_HAVE_OPENMP)
 #pragma omp parallel
   {
-    Matrix local(f, f);
+    // Grow-only per-thread accumulator: solver sessions call gram() every
+    // outer iteration, and their steady state must not touch the allocator.
+    static thread_local Matrix local;
+    local.resize(f, f);  // zero-fills; reuses capacity once warmed
 #pragma omp for schedule(static) nowait
     for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
       const auto ii = static_cast<std::size_t>(i);

@@ -7,9 +7,10 @@
 
 namespace aoadmm {
 
-Cholesky::Cholesky(const Matrix& spd) : l_(spd.rows(), spd.cols()) {
+void Cholesky::factor(const Matrix& spd) {
   AOADMM_CHECK_MSG(spd.rows() == spd.cols(), "Cholesky requires square input");
   const std::size_t n = spd.rows();
+  l_.resize(n, n);  // no-op reallocation-wise when the size is unchanged
 
   // Left-looking scalar Cholesky: fine for the small F x F systems AO-ADMM
   // produces (F is the CPD rank, 10..200).

@@ -14,9 +14,18 @@ namespace aoadmm {
 /// from many threads.
 class Cholesky {
  public:
+  /// Empty factorization; call factor() before solving. Lets long-lived
+  /// solver sessions hoist the object and refactor in place every sweep
+  /// without reallocating the F x F storage.
+  Cholesky() = default;
+
   /// Factor `spd` (must be square, symmetric, positive definite).
   /// Throws NumericalError if a non-positive pivot is encountered.
-  explicit Cholesky(const Matrix& spd);
+  explicit Cholesky(const Matrix& spd) { factor(spd); }
+
+  /// (Re)factor into the existing storage. Reuses the allocation when the
+  /// dimension is unchanged.
+  void factor(const Matrix& spd);
 
   std::size_t dim() const noexcept { return l_.rows(); }
   const Matrix& lower() const noexcept { return l_; }

@@ -3,6 +3,7 @@
 #include "mttkrp/mttkrp.hpp"
 #include "mttkrp/mttkrp_impl.hpp"
 #include "mttkrp/mttkrp_obs.hpp"
+#include "mttkrp/thread_scratch.hpp"
 #include "util/aligned.hpp"
 #include "util/error.hpp"
 
@@ -26,8 +27,7 @@ void mttkrp_csf3_dense(const CsfTensor& csf, const Matrix& b_mid,
 #pragma omp parallel
 #endif
   {
-    std::vector<real_t, AlignedAllocator<real_t>> zbuf(f);
-    real_t* __restrict z = zbuf.data();
+    real_t* __restrict z = detail::mttkrp_thread_scratch(f);
 
 #if defined(AOADMM_HAVE_OPENMP)
 #pragma omp for schedule(dynamic, 16)

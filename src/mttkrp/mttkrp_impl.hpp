@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "la/matrix.hpp"
+#include "mttkrp/thread_scratch.hpp"
 #include "tensor/csf.hpp"
 #include "util/aligned.hpp"
 #include "util/error.hpp"
@@ -54,8 +55,7 @@ void mttkrp_csf_skeleton(const CsfTensor& csf, cspan<const Matrix> factors,
 #pragma omp parallel
 #endif
     {
-      std::vector<real_t, AlignedAllocator<real_t>> zbuf(f);
-      real_t* __restrict z = zbuf.data();
+      real_t* __restrict z = mttkrp_thread_scratch(f);
 #if defined(AOADMM_HAVE_OPENMP)
 #pragma omp for schedule(dynamic, 16)
 #endif
@@ -86,9 +86,9 @@ void mttkrp_csf_skeleton(const CsfTensor& csf, cspan<const Matrix> factors,
 #endif
   {
     // One accumulation buffer per internal level (order-2 of them; none for
-    // matrices). Thread-private, allocated once per thread.
-    std::vector<real_t, AlignedAllocator<real_t>> scratch(
-        order >= 2 ? (order - 1) * f : f);
+    // matrices). Thread-private and persistent across calls.
+    real_t* const scratch_base =
+        mttkrp_thread_scratch(order >= 2 ? (order - 1) * f : f);
 
 #if defined(AOADMM_HAVE_OPENMP)
 #pragma omp for schedule(dynamic, 16)
@@ -122,7 +122,7 @@ void mttkrp_csf_skeleton(const CsfTensor& csf, cspan<const Matrix> factors,
         // Implemented with explicit recursion over levels via lambda.
         const auto subtree = [&](auto&& self, std::size_t level,
                                  offset_t node) -> void {
-          real_t* __restrict z = scratch.data() + (level - 1) * f;
+          real_t* __restrict z = scratch_base + (level - 1) * f;
           for (std::size_t k = 0; k < f; ++k) {
             z[k] = 0;
           }
@@ -133,7 +133,7 @@ void mttkrp_csf_skeleton(const CsfTensor& csf, cspan<const Matrix> factors,
             }
           } else {
             const auto fptr = csf.fptr(level);
-            real_t* __restrict zc = scratch.data() + level * f;
+            real_t* __restrict zc = scratch_base + level * f;
             for (offset_t c = fptr[node]; c < fptr[node + 1]; ++c) {
               self(self, level + 1, c);
               for (std::size_t k = 0; k < f; ++k) {
@@ -150,7 +150,7 @@ void mttkrp_csf_skeleton(const CsfTensor& csf, cspan<const Matrix> factors,
           }
         };
         subtree(subtree, 1, n1);
-        const real_t* __restrict z1 = scratch.data();
+        const real_t* __restrict z1 = scratch_base;
         for (std::size_t k = 0; k < f; ++k) {
           out_row[k] += z1[k];
         }

@@ -13,6 +13,7 @@
 
 #include "mttkrp/mttkrp.hpp"
 #include "mttkrp/mttkrp_obs.hpp"
+#include "mttkrp/thread_scratch.hpp"
 #include "util/aligned.hpp"
 #include "util/error.hpp"
 
@@ -73,18 +74,18 @@ void mttkrp_csf_nonroot(const CsfTensor& csf, cspan<const Matrix> factors,
 #endif
   {
     // down[l]: product of factor rows along the current path, for levels
-    // 0..t-1. up buffers for levels t..order-2. One row each.
-    std::vector<real_t, AlignedAllocator<real_t>> down_buf(
-        (t > 0 ? t : 1) * f);
-    std::vector<real_t, AlignedAllocator<real_t>> up_buf(
-        (order - t) * f);
-    std::vector<real_t, AlignedAllocator<real_t>> contrib(f);
+    // 0..t-1. up buffers for levels t..order-2, plus one contribution row —
+    // all carved from the thread's persistent scratch.
+    real_t* const base = detail::mttkrp_thread_scratch((order + 1) * f);
+    real_t* const down_buf = base;
+    real_t* const up_buf = base + t * f;
+    real_t* const contrib = base + order * f;
 
     // Upward accumulation below the target level: identical to the root
     // kernel's subtree(), scaling by each node's own row EXCEPT at level t.
     const auto up_subtree = [&](auto&& self, std::size_t level,
                                 offset_t node) -> real_t* {
-      real_t* __restrict z = up_buf.data() + (level - t) * f;
+      real_t* __restrict z = up_buf + (level - t) * f;
       for (std::size_t k = 0; k < f; ++k) {
         z[k] = 0;
       }
@@ -138,14 +139,14 @@ void mttkrp_csf_nonroot(const CsfTensor& csf, cspan<const Matrix> factors,
             contrib[k] = up[k] * down[k];
           }
         }
-        atomic_add_row(krow, contrib.data(), f);
+        atomic_add_row(krow, contrib, f);
         return;
       }
       // Extend the down product with this level's own factor row.
       const Matrix& a = factors[csf.level_mode(level)];
       const real_t* __restrict own =
           a.data() + static_cast<std::size_t>(csf.fids(level)[node]) * f;
-      real_t* __restrict next_down = down_buf.data() + level * f;
+      real_t* __restrict next_down = down_buf + level * f;
       if (level == 0) {
         for (std::size_t k = 0; k < f; ++k) {
           next_down[k] = own[k];

@@ -1,0 +1,31 @@
+// Persistent per-thread scratch for the MTTKRP kernels. Internal header.
+//
+// The kernels need a handful of rank-length accumulation rows per worker
+// thread. Allocating them inside each parallel region puts a heap
+// allocation on every MTTKRP call — invisible in a one-shot run, but a
+// steady-state cost for a long-lived CpdSolver session (and the one thing
+// that broke its zero-allocation guarantee). Instead each thread keeps one
+// grow-only aligned buffer for its lifetime: OpenMP pools its workers, so
+// after the first outer iteration every call is allocation-free.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/aligned.hpp"
+#include "util/types.hpp"
+
+namespace aoadmm::detail {
+
+/// A pointer to at least `n` reals, private to the calling thread and valid
+/// until the next call from the same thread with a larger `n`. Contents are
+/// unspecified; callers must initialize what they use.
+inline real_t* mttkrp_thread_scratch(std::size_t n) {
+  thread_local std::vector<real_t, AlignedAllocator<real_t>> buf;
+  if (buf.size() < n) {
+    buf.resize(n);
+  }
+  return buf.data();
+}
+
+}  // namespace aoadmm::detail

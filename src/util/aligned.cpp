@@ -1,8 +1,36 @@
 #include "util/aligned.hpp"
 
+#include <atomic>
 #include <cstdlib>
 
+#include "obs/metrics.hpp"
+
 namespace aoadmm {
+namespace {
+
+// Relaxed atomics: the counters are diagnostics, not synchronization.
+std::atomic<std::uint64_t> g_alloc_calls{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+
+// obs handles, registered on first allocation. The registry itself never
+// allocates through aligned_alloc_bytes, so there is no recursion.
+struct AllocMetrics {
+  obs::Counter calls;
+  obs::Counter bytes;
+
+  static const AllocMetrics& get() {
+    static const AllocMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::global();
+      AllocMetrics out;
+      out.calls = reg.counter("alloc/aligned_calls");
+      out.bytes = reg.counter("alloc/aligned_bytes");
+      return out;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 void* aligned_alloc_bytes(std::size_t bytes) {
   if (bytes == 0) {
@@ -15,7 +43,17 @@ void* aligned_alloc_bytes(std::size_t bytes) {
   if (p == nullptr) {
     throw std::bad_alloc();
   }
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(rounded, std::memory_order_relaxed);
+  const AllocMetrics& m = AllocMetrics::get();
+  m.calls.add(1);
+  m.bytes.add(static_cast<double>(rounded));
   return p;
+}
+
+AlignedAllocStats aligned_alloc_stats() noexcept {
+  return {g_alloc_calls.load(std::memory_order_relaxed),
+          g_alloc_bytes.load(std::memory_order_relaxed)};
 }
 
 void aligned_free(void* p) noexcept { std::free(p); }

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <limits>
 #include <new>
@@ -14,7 +15,21 @@ inline constexpr std::size_t kCacheLineBytes = 64;
 
 /// Allocate `bytes` of kCacheLineBytes-aligned memory. Throws std::bad_alloc
 /// on failure. Pair with aligned_free().
+///
+/// Every call is counted: process-wide totals are readable via
+/// aligned_alloc_stats() and mirrored into the obs metrics registry as the
+/// counters "alloc/aligned_calls" and "alloc/aligned_bytes". Because every
+/// hot numeric buffer in the library (Matrix, MTTKRP scratch, sparse
+/// mirrors) goes through this function, the counters are the ground truth
+/// for the CpdSolver zero-steady-state-allocation guarantee.
 void* aligned_alloc_bytes(std::size_t bytes);
+
+/// Monotone process-wide allocation totals (never reset).
+struct AlignedAllocStats {
+  std::uint64_t calls = 0;
+  std::uint64_t bytes = 0;
+};
+AlignedAllocStats aligned_alloc_stats() noexcept;
 
 /// Release memory obtained from aligned_alloc_bytes().
 void aligned_free(void* p) noexcept;

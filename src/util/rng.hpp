@@ -6,6 +6,7 @@
 // SplitMix64 (the initialization recommended by its authors).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -44,6 +45,17 @@ class Rng {
   /// Split off an independent stream (jump-free: reseeds via SplitMix64 of a
   /// fresh draw). Suitable for giving each thread its own generator.
   Rng split() noexcept;
+
+  /// The full 256-bit generator state, for checkpointing. Restoring the
+  /// state with set_state() resumes the exact draw sequence.
+  std::array<std::uint64_t, 4> state() const noexcept {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    for (std::size_t i = 0; i < 4; ++i) {
+      s_[i] = s[i];
+    }
+  }
 
  private:
   std::uint64_t s_[4];

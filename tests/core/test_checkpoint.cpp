@@ -1,0 +1,160 @@
+#include "core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "testing/helpers.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace aoadmm {
+namespace {
+
+CpdCheckpoint sample_checkpoint() {
+  CpdCheckpoint ck;
+  ck.dims = {7, 5, 4};
+  ck.rank = 3;
+  ck.seed = 42;
+  Rng rng(99);
+  for (unsigned i = 0; i < 100; ++i) {
+    rng.next();
+  }
+  ck.rng_state = rng.state();
+  ck.outer_iteration = 12;
+  ck.prev_error = 0.3716243614;
+  ck.total_inner_iterations = 480;
+  ck.total_row_iterations = 9001;
+  ck.mttkrp_count = 36;
+  ck.sparse_mttkrp_count = 4;
+  ck.factors = testing::random_factors({7, 5, 4}, 3, 21);
+  ck.duals = testing::random_factors({7, 5, 4}, 3, 22, -0.5, 0.5);
+  ck.trace.add(1, 0.01, 0.9);
+  ck.trace.add(2, 0.02, 0.5);
+  ck.trace.add(12, 0.13, 0.3716243614);
+  return ck;
+}
+
+void expect_matrices_identical(const std::vector<Matrix>& a,
+                               const std::vector<Matrix>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t m = 0; m < a.size(); ++m) {
+    ASSERT_EQ(a[m].rows(), b[m].rows());
+    ASSERT_EQ(a[m].cols(), b[m].cols());
+    const auto fa = a[m].flat();
+    const auto fb = b[m].flat();
+    for (std::size_t i = 0; i < fa.size(); ++i) {
+      // Bitwise: serialization stores the memory representation.
+      EXPECT_EQ(fa[i], fb[i]) << "matrix " << m << " entry " << i;
+    }
+  }
+}
+
+TEST(Checkpoint, StreamRoundTripIsExact) {
+  const CpdCheckpoint ck = sample_checkpoint();
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_checkpoint(ck, buf);
+  const CpdCheckpoint back = read_checkpoint(buf);
+
+  EXPECT_EQ(back.dims, ck.dims);
+  EXPECT_EQ(back.rank, ck.rank);
+  EXPECT_EQ(back.seed, ck.seed);
+  EXPECT_EQ(back.rng_state, ck.rng_state);
+  EXPECT_EQ(back.outer_iteration, ck.outer_iteration);
+  EXPECT_EQ(back.prev_error, ck.prev_error);
+  EXPECT_EQ(back.total_inner_iterations, ck.total_inner_iterations);
+  EXPECT_EQ(back.total_row_iterations, ck.total_row_iterations);
+  EXPECT_EQ(back.mttkrp_count, ck.mttkrp_count);
+  EXPECT_EQ(back.sparse_mttkrp_count, ck.sparse_mttkrp_count);
+  expect_matrices_identical(back.factors, ck.factors);
+  expect_matrices_identical(back.duals, ck.duals);
+  ASSERT_EQ(back.trace.size(), ck.trace.size());
+  for (std::size_t i = 0; i < ck.trace.size(); ++i) {
+    EXPECT_EQ(back.trace.points()[i].outer_iteration,
+              ck.trace.points()[i].outer_iteration);
+    EXPECT_EQ(back.trace.points()[i].seconds, ck.trace.points()[i].seconds);
+    EXPECT_EQ(back.trace.points()[i].relative_error,
+              ck.trace.points()[i].relative_error);
+  }
+}
+
+TEST(Checkpoint, FileRoundTripIsExactAndLeavesNoTempFile) {
+  const std::string path =
+      ::testing::TempDir() + "aoadmm_ckpt_roundtrip.ckpt";
+  const CpdCheckpoint ck = sample_checkpoint();
+  write_checkpoint_file(ck, path);
+  {
+    std::ifstream tmp(path + ".tmp");
+    EXPECT_FALSE(tmp.good()) << "temp file must be renamed away";
+  }
+  const CpdCheckpoint back = read_checkpoint_file(path);
+  EXPECT_EQ(back.outer_iteration, ck.outer_iteration);
+  expect_matrices_identical(back.factors, ck.factors);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsBadMagic) {
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  buf << "definitely not a checkpoint file, padded to be long enough";
+  EXPECT_THROW(read_checkpoint(buf), ParseError);
+}
+
+TEST(Checkpoint, RejectsTruncation) {
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_checkpoint(sample_checkpoint(), buf);
+  const std::string whole = buf.str();
+  std::stringstream cut(whole.substr(0, whole.size() / 2),
+                        std::ios::in | std::ios::binary);
+  EXPECT_THROW(read_checkpoint(cut), ParseError);
+}
+
+TEST(Checkpoint, RejectsCorruptPayloadViaChecksum) {
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_checkpoint(sample_checkpoint(), buf);
+  std::string bytes = buf.str();
+  bytes[bytes.size() / 2] ^= 0x01;  // flip one payload bit
+  std::stringstream corrupt(bytes, std::ios::in | std::ios::binary);
+  EXPECT_THROW(read_checkpoint(corrupt), ParseError);
+}
+
+TEST(KruskalSerialization, RoundTripIsExact) {
+  KruskalTensor k(testing::random_factors({9, 6, 5}, 4, 31));
+  k.normalize_columns();
+  k.sort_components();
+
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_kruskal(k, buf);
+  const KruskalTensor back = read_kruskal(buf);
+
+  EXPECT_EQ(back.order(), k.order());
+  EXPECT_EQ(back.rank(), k.rank());
+  expect_matrices_identical(back.factors(), k.factors());
+  ASSERT_EQ(back.lambda().size(), k.lambda().size());
+  for (std::size_t f = 0; f < k.lambda().size(); ++f) {
+    EXPECT_EQ(back.lambda()[f], k.lambda()[f]);
+  }
+}
+
+TEST(KruskalSerialization, FileRoundTripIsExact) {
+  const std::string path = ::testing::TempDir() + "aoadmm_kruskal.bin";
+  KruskalTensor k(testing::random_factors({8, 7}, 3, 17));
+  write_kruskal_file(k, path);
+  const KruskalTensor back = read_kruskal_file(path);
+  EXPECT_EQ(back.rank(), k.rank());
+  expect_matrices_identical(back.factors(), k.factors());
+  std::remove(path.c_str());
+}
+
+TEST(KruskalSerialization, RejectsCheckpointFile) {
+  // The two formats share a container but not a magic; mixing them up is a
+  // ParseError, not garbage data.
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_checkpoint(sample_checkpoint(), buf);
+  EXPECT_THROW(read_kruskal(buf), ParseError);
+}
+
+}  // namespace
+}  // namespace aoadmm
