@@ -12,7 +12,15 @@
 //             [--objective ls|observed] [--ridge 1e-6]
 //             [--checkpoint run.ckpt] [--checkpoint-every 10]
 //             [--resume run.ckpt]
+//             [--robust] [--max-recoveries 3]
 //             [--progress] [--metrics-json m.json] [--chrome-trace t.json]
+//
+// Robustness (cpd): --robust enables the numerical guard rails (guarded
+// Cholesky, ADMM divergence recovery, NaN/Inf sentinels — see
+// docs/robustness.md); --max-recoveries bounds retries per intervention
+// (implies --robust). Every recovery is reported after the solve. The
+// AOADMM_FAULT_* environment hooks (seeded fault injection) are honored
+// when set, for exercising the guard rails on a stock binary.
 //
 // Checkpointing (cpd): --checkpoint writes full solver state to the given
 // file every --checkpoint-every outer iterations (default 10); --resume
@@ -44,6 +52,7 @@
 #include "parallel/runtime.hpp"
 #include "tensor/io.hpp"
 #include "tensor/synthetic.hpp"
+#include "testing/fault_injection.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/options.hpp"
@@ -154,6 +163,8 @@ std::string cli_flag_for(const std::string& field) {
   if (field == "leaf_format") return "--format";
   if (field == "checkpoint_path") return "--checkpoint";
   if (field == "checkpoint_every") return "--checkpoint-every";
+  if (field == "robustness.max_recoveries") return "--max-recoveries";
+  if (field.rfind("robustness", 0) == 0) return "--robust";
   if (field.rfind("constraints", 0) == 0) return "--constraint/--lambda";
   return field;  // no dedicated flag; name the option itself
 }
@@ -201,6 +212,12 @@ int cmd_cpd(const Options& opts) {
   constraint.kind =
       parse_constraint_kind(opts.get_string("constraint", "nonneg"));
   constraint.lambda = static_cast<real_t>(opts.get_double("lambda", 0.1));
+
+  if (opts.has("robust") || opts.has("max-recoveries")) {
+    cpd_opts.admm.robustness.enabled = true;
+    cpd_opts.admm.robustness.max_recoveries =
+        static_cast<unsigned>(opts.get_int("max-recoveries", 3));
+  }
 
   const bool progress = opts.has("progress");
   const auto metrics_path = opts.get("metrics-json");
@@ -344,6 +361,10 @@ int cmd_cpd(const Options& opts) {
     std::printf("factor %zu density: %.1f%%\n", m,
                 100.0 * static_cast<double>(r.factor_density[m]));
   }
+  if (!r.recovery.empty()) {
+    std::printf("recoveries      : %s\n", r.recovery.summary().c_str());
+    std::printf("%s", r.recovery.to_string().c_str());
+  }
 
   if (const auto prefix = opts.get("save-factors")) {
     write_factors(r.factors, *prefix);
@@ -375,6 +396,11 @@ int main(int argc, char** argv) {
     set_log_level(LogLevel::kInfo);
   }
   try {
+    if (testing::arm_faults_from_env()) {
+      std::fprintf(stderr,
+                   "tensor_tool: AOADMM_FAULT_* set — fault injection is "
+                   "armed\n");
+    }
     const Options opts(argc, argv);
     if (opts.positional().empty()) {
       usage();

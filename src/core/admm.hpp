@@ -17,6 +17,7 @@
 #pragma once
 
 #include "core/prox.hpp"
+#include "core/robustness.hpp"
 #include "la/cholesky.hpp"
 #include "la/matrix.hpp"
 #include "util/types.hpp"
@@ -38,6 +39,10 @@ struct AdmmOptions {
   /// primal, Ĥ = α·H̃ + (1−α)·H₀, before the prox and dual steps. 1.0
   /// disables it; 1.5–1.8 typically speeds convergence.
   real_t relaxation = 1.0;
+  /// Numerical guard rails (guarded Cholesky, divergence recovery). Off by
+  /// default: a non-PD system throws and divergence runs unchecked, exactly
+  /// the historical behavior.
+  RobustnessOptions robustness;
 };
 
 /// Analytical block-size model (implements the paper's future-work item:
@@ -53,7 +58,8 @@ std::size_t auto_block_size(std::size_t rank,
 
 struct AdmmResult {
   /// Inner iterations executed: for the baseline, the global count; for the
-  /// blocked variant, the maximum over blocks.
+  /// blocked variant, the maximum over blocks. Accumulated across
+  /// divergence restarts (the true work performed).
   unsigned iterations = 0;
   /// Σ over rows of the number of iterations that touched them — the true
   /// work measure that the blocked variant reduces.
@@ -61,6 +67,20 @@ struct AdmmResult {
   /// Final relative residuals (worst block for the blocked variant).
   real_t primal_residual = 0;
   real_t dual_residual = 0;
+
+  // --- Guard-rail telemetry (all zero unless robustness intervened) ---
+  /// Jitter retries the guarded Cholesky factorization(s) consumed.
+  unsigned cholesky_attempts = 0;
+  /// Largest diagonal ridge the guard had to add.
+  real_t cholesky_jitter = 0;
+  /// Divergence restarts performed (ρ rescaled, duals reset each time).
+  unsigned restarts = 0;
+  /// True when the solve still diverged after every permitted restart; the
+  /// primal was rolled back to its entry iterate and the duals were reset,
+  /// so the caller keeps a sane (if stale) factor.
+  bool abandoned = false;
+  /// Final penalty in effect (== tr(G)/F unless restarts rescaled it).
+  real_t rho = 0;
 };
 
 /// Scratch reused across ADMM calls (aux = H̃, h_old = H₀), plus the F x F
@@ -73,6 +93,9 @@ struct AdmmScratch {
   Matrix h_old;
   Matrix sys;     // G + ρI
   Cholesky chol;  // factorization of sys, refreshed per call
+  /// Snapshot of the primal at call entry, maintained only when robustness
+  /// is enabled: divergence restarts and sentinel rollbacks restore it.
+  Matrix h_entry;
 
   void ensure(std::size_t rows, std::size_t cols) {
     if (aux.rows() < rows || aux.cols() != cols) {

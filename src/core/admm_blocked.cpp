@@ -40,104 +40,161 @@ AdmmResult admm_update_blocked(Matrix& h, Matrix& u, const Matrix& k,
   // One penalty and one Cholesky are still shared by every block: the
   // blockwise reformulation splits only the row dimension, and the
   // F x F system matrix does not depend on rows.
-  const real_t rho = detail::admm_penalty(g);
-  detail::regularized_gram_into(g, rho, scratch.sys);
-  scratch.chol.factor(scratch.sys);
-  const Cholesky& chol = scratch.chol;
+  const RobustnessOptions& rb = opts.robustness;
+  real_t rho = detail::admm_penalty(g);
+  if (rb.enabled) {
+    // Entry snapshot for divergence restarts and the abandon path.
+    scratch.h_entry = h;
+  }
 
   const std::size_t nblocks = num_blocks(rows, block_size);
 
   AdmmResult result;
-  unsigned max_block_iters = 0;
-  std::uint64_t total_row_iters = 0;
+  unsigned restarts = 0;
+  bool abandoned = false;
   real_t worst_primal = 0;
   real_t worst_dual = 0;
 
   using clock = std::chrono::steady_clock;
   obs::BusyTimes busy(max_threads());
 
-  /// One block's whole inner loop: its primal/dual/aux rows stay
-  /// cache-resident throughout, and no barrier with other blocks ever
-  /// happens (§IV.B).
-  const auto run_block = [&](std::size_t b, unsigned& iters_out,
-                             detail::ResidualAccum& acc_out) {
-    AOADMM_PROFILE_SCOPE("admm/blocked/block");
-    const auto [lo, hi] = block_range(rows, block_size, b);
-    detail::ResidualAccum acc;
-    unsigned iters = 0;
-    for (; iters < opts.max_iterations;) {
-      detail::admm_solve_rows(h, u, k, rho, chol, aux, lo, hi);
-      detail::admm_primal_prep_rows(h, u, aux, h_old, opts.relaxation, lo,
-                                    hi);
-      prox.apply(h, lo, hi, rho);
-      acc = detail::admm_dual_rows(h, u, aux, h_old, lo, hi);
-      ++iters;
-      if (acc.converged(opts.tolerance)) {
-        break;
+  // Divergence-recovery attempts. A restart is global — one block blowing
+  // up restarts every block from the entry iterate with a rescaled penalty
+  // — because the blocks share G and the outer AO step consumes the whole
+  // factor; per-block rho values would break the shared factorization.
+  for (;;) {
+    detail::regularized_gram_into(g, rho, scratch.sys);
+    if (rb.enabled) {
+      const CholeskyReport cr =
+          scratch.chol.factor_guarded(scratch.sys, detail::to_guard(rb));
+      result.cholesky_attempts += cr.attempts;
+      if (cr.jitter > result.cholesky_jitter) {
+        result.cholesky_jitter = cr.jitter;
       }
+    } else {
+      scratch.chol.factor(scratch.sys);
     }
-    iters_out = iters;
-    acc_out = acc;
-  };
+    const Cholesky& chol = scratch.chol;
 
-  // Blocks are equal-sized but converge after different iteration counts,
-  // so they are dynamically scheduled (§IV.B). Each thread accumulates its
-  // own busy time across the blocks it ran for the imbalance report.
+    unsigned max_block_iters = 0;
+    std::uint64_t total_row_iters = 0;
+    worst_primal = 0;
+    worst_dual = 0;
+    bool any_diverged = false;
+
+    /// One block's whole inner loop: its primal/dual/aux rows stay
+    /// cache-resident throughout, and no barrier with other blocks ever
+    /// happens (§IV.B). Each block watches its own residuals for blow-up.
+    const auto run_block = [&](std::size_t b, unsigned& iters_out,
+                               detail::ResidualAccum& acc_out,
+                               bool& diverged_out) {
+      AOADMM_PROFILE_SCOPE("admm/blocked/block");
+      const auto [lo, hi] = block_range(rows, block_size, b);
+      detail::DivergenceMonitor monitor;
+      detail::ResidualAccum acc;
+      unsigned iters = 0;
+      for (; iters < opts.max_iterations;) {
+        detail::admm_solve_rows(h, u, k, rho, chol, aux, lo, hi);
+        detail::admm_primal_prep_rows(h, u, aux, h_old, opts.relaxation, lo,
+                                      hi);
+        prox.apply(h, lo, hi, rho);
+        acc = detail::admm_dual_rows(h, u, aux, h_old, lo, hi);
+        ++iters;
+        if (rb.enabled && monitor.diverged(acc, rb.divergence_factor)) {
+          diverged_out = true;
+          break;
+        }
+        if (acc.converged(opts.tolerance)) {
+          break;
+        }
+      }
+      iters_out = iters;
+      acc_out = acc;
+    };
+
+    // Blocks are equal-sized but converge after different iteration counts,
+    // so they are dynamically scheduled (§IV.B). Each thread accumulates its
+    // own busy time across the blocks it ran for the imbalance report.
 #if defined(AOADMM_HAVE_OPENMP)
 #pragma omp parallel
-  {
-    unsigned local_max_iters = 0;
-    std::uint64_t local_row_iters = 0;
-    real_t local_worst_primal = 0;
-    real_t local_worst_dual = 0;
-    double busy_seconds = 0;
+    {
+      unsigned local_max_iters = 0;
+      std::uint64_t local_row_iters = 0;
+      real_t local_worst_primal = 0;
+      real_t local_worst_dual = 0;
+      bool local_diverged = false;
+      double busy_seconds = 0;
 
 #pragma omp for schedule(dynamic, 1) nowait
-    for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(nblocks);
-         ++b) {
-      const auto t0 = clock::now();
-      unsigned iters = 0;
-      detail::ResidualAccum acc;
-      run_block(static_cast<std::size_t>(b), iters, acc);
-      busy_seconds +=
-          std::chrono::duration<double>(clock::now() - t0).count();
+      for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(nblocks);
+           ++b) {
+        const auto t0 = clock::now();
+        unsigned iters = 0;
+        detail::ResidualAccum acc;
+        run_block(static_cast<std::size_t>(b), iters, acc, local_diverged);
+        busy_seconds +=
+            std::chrono::duration<double>(clock::now() - t0).count();
 
-      const auto [lo, hi] =
-          block_range(rows, block_size, static_cast<std::size_t>(b));
-      local_max_iters = std::max(local_max_iters, iters);
-      local_row_iters += static_cast<std::uint64_t>(iters) * (hi - lo);
-      local_worst_primal = std::max(local_worst_primal, acc.primal());
-      local_worst_dual = std::max(local_worst_dual, acc.dual());
-    }
-    busy.add(thread_id(), busy_seconds);
+        const auto [lo, hi] =
+            block_range(rows, block_size, static_cast<std::size_t>(b));
+        local_max_iters = std::max(local_max_iters, iters);
+        local_row_iters += static_cast<std::uint64_t>(iters) * (hi - lo);
+        local_worst_primal = std::max(local_worst_primal, acc.primal());
+        local_worst_dual = std::max(local_worst_dual, acc.dual());
+      }
+      busy.add(thread_id(), busy_seconds);
 
 #pragma omp critical(aoadmm_admm_blocked_merge)
-    {
-      max_block_iters = std::max(max_block_iters, local_max_iters);
-      total_row_iters += local_row_iters;
-      worst_primal = std::max(worst_primal, local_worst_primal);
-      worst_dual = std::max(worst_dual, local_worst_dual);
+      {
+        max_block_iters = std::max(max_block_iters, local_max_iters);
+        total_row_iters += local_row_iters;
+        worst_primal = std::max(worst_primal, local_worst_primal);
+        worst_dual = std::max(worst_dual, local_worst_dual);
+        any_diverged = any_diverged || local_diverged;
+      }
     }
-  }
 #else
-  {
-    const auto t0 = clock::now();
-    for (std::size_t b = 0; b < nblocks; ++b) {
-      unsigned iters = 0;
-      detail::ResidualAccum acc;
-      run_block(b, iters, acc);
-      const auto [lo, hi] = block_range(rows, block_size, b);
-      max_block_iters = std::max(max_block_iters, iters);
-      total_row_iters += static_cast<std::uint64_t>(iters) * (hi - lo);
-      worst_primal = std::max(worst_primal, acc.primal());
-      worst_dual = std::max(worst_dual, acc.dual());
+    {
+      const auto t0 = clock::now();
+      for (std::size_t b = 0; b < nblocks; ++b) {
+        unsigned iters = 0;
+        detail::ResidualAccum acc;
+        run_block(b, iters, acc, any_diverged);
+        const auto [lo, hi] = block_range(rows, block_size, b);
+        max_block_iters = std::max(max_block_iters, iters);
+        total_row_iters += static_cast<std::uint64_t>(iters) * (hi - lo);
+        worst_primal = std::max(worst_primal, acc.primal());
+        worst_dual = std::max(worst_dual, acc.dual());
+      }
+      busy.add(0, std::chrono::duration<double>(clock::now() - t0).count());
     }
-    busy.add(0, std::chrono::duration<double>(clock::now() - t0).count());
-  }
 #endif
 
-  result.iterations = max_block_iters;
-  result.row_iterations = total_row_iters;
+    result.iterations += max_block_iters;
+    result.row_iterations += total_row_iters;
+
+    if (!any_diverged) {
+      break;
+    }
+    if (restarts >= rb.max_recoveries) {
+      // Out of retries: roll the primal back to the entry iterate and reset
+      // the duals so the caller keeps a sane (if stale) factor.
+      h = scratch.h_entry;
+      u.zero();
+      worst_primal = 0;
+      worst_dual = 0;
+      abandoned = true;
+      break;
+    }
+    ++restarts;
+    rho *= rb.rho_rescale;
+    h = scratch.h_entry;
+    u.zero();
+  }
+
+  result.restarts = restarts;
+  result.abandoned = abandoned;
+  result.rho = rho;
   result.primal_residual = worst_primal;
   result.dual_residual = worst_dual;
   return result;

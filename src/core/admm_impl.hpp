@@ -1,12 +1,21 @@
 // Internal helpers shared by the baseline and blocked ADMM variants.
 #pragma once
 
+#include <cmath>
+#include <limits>
+
 #include "core/admm.hpp"
 #include "la/blas.hpp"
 #include "la/cholesky.hpp"
 #include "util/error.hpp"
 
 namespace aoadmm::detail {
+
+/// The Cholesky guard a RobustnessOptions block configures.
+inline CholeskyGuard to_guard(const RobustnessOptions& rb) noexcept {
+  return {rb.cholesky_max_attempts, rb.cholesky_initial_jitter,
+          rb.cholesky_jitter_growth};
+}
 
 /// ρ = trace(G)/F (Algorithm 1, line 3), floored away from zero so the
 /// normal equations stay positive definite even for degenerate factors.
@@ -75,6 +84,31 @@ struct ResidualAccum {
   }
   bool converged(real_t eps) const noexcept {
     return primal() < eps && dual() < eps;
+  }
+};
+
+/// Per-inner-solve divergence detector. An iterate is declared divergent
+/// when its residual accumulators go non-finite (NaN/Inf contamination
+/// propagates into the sums within one iteration), or when the relative
+/// primal residual both exceeds 1 — a 100% residual, far outside any
+/// convergent regime — and has grown past `factor` times the best residual
+/// this solve has seen. The two-part growth test avoids false positives on
+/// iterates whose residual merely wobbles near convergence.
+struct DivergenceMonitor {
+  real_t best_primal = std::numeric_limits<real_t>::infinity();
+
+  bool diverged(const ResidualAccum& acc, real_t factor) noexcept {
+    const real_t probe =
+        acc.primal_num + acc.primal_den + acc.dual_num + acc.dual_den;
+    if (!std::isfinite(probe)) {
+      return true;
+    }
+    const real_t p = acc.primal();
+    if (p < best_primal) {
+      best_primal = p;
+      return false;
+    }
+    return p > real_t{1} && p > factor * best_primal;
   }
 };
 

@@ -98,9 +98,26 @@ CpdResult cpd_als(const CsfSet& csf, const CpdOptions& opts, real_t ridge) {
       }
       {
         // The least-squares solve plays the role ADMM does in AO-ADMM.
+        // Unlike the ADMM path, whose ρ = tr(G)/F ridge keeps the system
+        // well-conditioned, ALS adds only a tiny fixed ridge — on badly
+        // scaled rank-deficient data roundoff can swamp it and the plain
+        // Cholesky throws. The guarded variant escalates instead.
         const ScopedTimer t(solve_timer);
         AOADMM_PROFILE_SCOPE("cpd/solve");
-        solve_normal_equations(ws.gram_prod, ws.mttkrp_out);
+        const RobustnessOptions& rb = opts.admm.robustness;
+        if (rb.enabled) {
+          const CholeskyReport cr = solve_normal_equations_guarded(
+              ws.gram_prod, ws.mttkrp_out,
+              {rb.cholesky_max_attempts, rb.cholesky_initial_jitter,
+               rb.cholesky_jitter_growth});
+          if (cr.attempts > 0) {
+            result.recovery.add({RecoveryKind::kCholeskyJitter, outer, m,
+                                 cr.attempts, static_cast<double>(cr.jitter),
+                                 std::string()});
+          }
+        } else {
+          solve_normal_equations(ws.gram_prod, ws.mttkrp_out);
+        }
         result.factors[m] = ws.mttkrp_out;
       }
       {

@@ -6,6 +6,7 @@
 #include <istream>
 #include <ostream>
 
+#include "testing/fault_injection.hpp"
 #include "util/error.hpp"
 
 namespace aoadmm {
@@ -133,19 +134,40 @@ void check_trailer(std::istream& in, std::uint64_t computed, const char* what) {
   }
 }
 
+/// Write-to-temp-then-rename. Any failure — open, short write, failed
+/// close, failed rename — throws CheckpointError and removes the temp
+/// file, so a previously written checkpoint at `path` is never disturbed.
 template <typename WriteBody>
 void write_file_atomic(const std::string& path, const WriteBody& body) {
   const std::string tmp = path + ".tmp";
-  {
+  try {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    AOADMM_CHECK_MSG(static_cast<bool>(out), "cannot write " + tmp);
+    if (!out) {
+      throw CheckpointError("checkpoint: cannot open " + tmp +
+                            " for writing");
+    }
     body(out);
+    if (testing::maybe_fail_checkpoint_write()) {
+      // Injected short write: poison the stream exactly as a full disk or
+      // yanked volume would mid-payload.
+      out.setstate(std::ios::badbit);
+    }
     out.flush();
-    AOADMM_CHECK_MSG(static_cast<bool>(out), "write failed for " + tmp);
+    if (!out) {
+      throw CheckpointError("checkpoint: short write to " + tmp +
+                            " (disk full?)");
+    }
+    out.close();
+    if (out.fail()) {
+      throw CheckpointError("checkpoint: close failed for " + tmp);
+    }
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
-    throw InvalidArgument("cannot rename " + tmp + " to " + path);
+    throw CheckpointError("checkpoint: cannot rename " + tmp + " to " + path);
   }
 }
 

@@ -182,6 +182,38 @@ ValidationReport CpdConfig::validate(std::size_t order) const {
         "convergence the blocked variant exists for; prefer <= 512");
   }
 
+  const RobustnessOptions& rb = options.admm.robustness;
+  if (rb.enabled) {
+    if (rb.cholesky_max_attempts == 0) {
+      add(Severity::kError, "robustness.cholesky_max_attempts",
+          "guarded Cholesky needs at least one jitter attempt");
+    }
+    if (!(rb.cholesky_initial_jitter > 0)) {
+      add(Severity::kError, "robustness.cholesky_initial_jitter",
+          "initial jitter must be positive (it seeds the diagonal ridge "
+          "escalation)");
+    }
+    if (!(rb.cholesky_jitter_growth > 1)) {
+      add(Severity::kError, "robustness.cholesky_jitter_growth",
+          "jitter growth must exceed 1 or the escalation never escalates");
+    }
+    if (!(rb.divergence_factor > 1)) {
+      add(Severity::kError, "robustness.divergence_factor",
+          "divergence_factor must exceed 1 (residual growth past this factor "
+          "triggers a restart; <= 1 would flag ordinary wobble)");
+    }
+    if (!(rb.rho_rescale > 1)) {
+      add(Severity::kError, "robustness.rho_rescale",
+          "rho_rescale must exceed 1 so each restart strengthens the "
+          "penalty");
+    }
+    if (rb.max_recoveries == 0) {
+      add(Severity::kWarning, "robustness.max_recoveries",
+          "max_recoveries is 0: divergence is detected but never retried; "
+          "the solve is abandoned on the first blow-up");
+    }
+  }
+
   if (!(options.sparsity_threshold >= 0 && options.sparsity_threshold <= 1)) {
     add(Severity::kError, "sparsity_threshold",
         "sparsity_threshold is a density fraction and must lie in [0, 1]");

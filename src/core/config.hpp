@@ -132,6 +132,20 @@ struct CpdConfig {
     constraints = std::move(c);
     return *this;
   }
+  /// Numerical guard rails (guarded Cholesky, ADMM divergence recovery,
+  /// NaN/Inf sentinels). See core/robustness.hpp and docs/robustness.md.
+  CpdConfig& with_robustness(const RobustnessOptions& r) {
+    options.admm.robustness = r;
+    return *this;
+  }
+  /// Shorthand: enable the guard rails with their default thresholds.
+  CpdConfig& with_robustness(bool enabled = true) {
+    options.admm.robustness.enabled = enabled;
+    return *this;
+  }
+  const RobustnessOptions& robustness() const noexcept {
+    return options.admm.robustness;
+  }
   CpdConfig& with_checkpoint(std::string path, unsigned every) {
     checkpoint_path = std::move(path);
     checkpoint_every = every;

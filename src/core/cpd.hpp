@@ -97,6 +97,9 @@ struct CpdResult {
   std::uint64_t mttkrp_count = 0;
   /// Density of each factor at termination (nnz / (I·F)).
   std::vector<real_t> factor_density;
+  /// Every numerical intervention the guard rails performed (empty unless
+  /// RobustnessOptions::enabled and something actually went wrong).
+  RecoveryReport recovery;
 };
 
 /// Constrained CPD via AO-ADMM. `constraints` has either one entry

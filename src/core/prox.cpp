@@ -144,6 +144,11 @@ class Simplex final : public ProxOperator {
     for (std::size_t i = row_begin; i < row_end; ++i) {
       real_t* __restrict row = h.data() + i * f;
       for (std::size_t k = 0; k < f; ++k) {
+        // Non-finite entries have no meaningful projection and would poison
+        // the threshold; treat them as 0 so the output is always feasible.
+        if (!std::isfinite(row[k])) {
+          row[k] = 0;
+        }
         sorted[k] = row[k];
       }
       std::sort(sorted.begin(), sorted.end(), std::greater<real_t>());
@@ -184,6 +189,11 @@ class L2Ball final : public ProxOperator {
       real_t* __restrict row = h.data() + i * f;
       real_t norm_sq = 0;
       for (std::size_t k = 0; k < f; ++k) {
+        // Zero out non-finite entries so the norm (and with it the whole
+        // row) cannot be poisoned; the projection stays feasible.
+        if (!std::isfinite(row[k])) {
+          row[k] = 0;
+        }
         norm_sq += row[k] * row[k];
       }
       if (norm_sq > radius_ * radius_) {

@@ -1,0 +1,71 @@
+#include "core/robustness.hpp"
+
+#include <array>
+#include <sstream>
+
+namespace aoadmm {
+
+const char* to_string(RecoveryKind k) noexcept {
+  switch (k) {
+    case RecoveryKind::kCholeskyJitter:
+      return "cholesky_jitter";
+    case RecoveryKind::kAdmmRestart:
+      return "admm_restart";
+    case RecoveryKind::kAdmmAbandoned:
+      return "admm_abandoned";
+    case RecoveryKind::kMttkrpRetry:
+      return "mttkrp_retry";
+    case RecoveryKind::kFactorRollback:
+      return "factor_rollback";
+    case RecoveryKind::kCheckpointWriteFailure:
+      return "checkpoint_write_failure";
+  }
+  return "?";
+}
+
+std::size_t RecoveryReport::count(RecoveryKind k) const noexcept {
+  std::size_t n = 0;
+  for (const RecoveryEvent& e : events) {
+    n += e.kind == k ? 1 : 0;
+  }
+  return n;
+}
+
+std::string RecoveryReport::to_string() const {
+  std::ostringstream os;
+  for (const RecoveryEvent& e : events) {
+    os << "outer " << e.outer_iteration << " mode " << e.mode << ": "
+       << aoadmm::to_string(e.kind) << " attempts=" << e.attempts
+       << " magnitude=" << e.magnitude;
+    if (!e.detail.empty()) {
+      os << " (" << e.detail << ")";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string RecoveryReport::summary() const {
+  if (events.empty()) {
+    return "none";
+  }
+  constexpr std::array<RecoveryKind, 6> kKinds = {
+      RecoveryKind::kCholeskyJitter,     RecoveryKind::kAdmmRestart,
+      RecoveryKind::kAdmmAbandoned,      RecoveryKind::kMttkrpRetry,
+      RecoveryKind::kFactorRollback,     RecoveryKind::kCheckpointWriteFailure,
+  };
+  std::ostringstream os;
+  os << events.size() << (events.size() == 1 ? " recovery (" : " recoveries (");
+  bool first = true;
+  for (const RecoveryKind k : kKinds) {
+    const std::size_t n = count(k);
+    if (n > 0) {
+      os << (first ? "" : ", ") << aoadmm::to_string(k) << " " << n;
+      first = false;
+    }
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace aoadmm

@@ -9,6 +9,7 @@
 #include "obs/parallel_stats.hpp"
 #include "obs/profile.hpp"
 #include "sparse/density.hpp"
+#include "testing/fault_injection.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
@@ -33,6 +34,12 @@ struct CpdMetrics {
   obs::Counter mttkrp_seconds;
   obs::Counter admm_seconds;
   obs::Counter checkpoints_written;
+  obs::Counter robust_cholesky_jitter;
+  obs::Counter robust_admm_restarts;
+  obs::Counter robust_admm_abandoned;
+  obs::Counter robust_mttkrp_retries;
+  obs::Counter robust_factor_rollbacks;
+  obs::Counter robust_checkpoint_write_failures;
   obs::Histogram iteration_seconds;
   obs::Histogram admm_inner_iterations;
   obs::Histogram admm_primal_residual;
@@ -49,6 +56,13 @@ struct CpdMetrics {
       out.mttkrp_seconds = reg.counter("cpd/mttkrp_seconds");
       out.admm_seconds = reg.counter("cpd/admm_seconds");
       out.checkpoints_written = reg.counter("cpd/checkpoints_written");
+      out.robust_cholesky_jitter = reg.counter("robust/cholesky_jitter");
+      out.robust_admm_restarts = reg.counter("robust/admm_restarts");
+      out.robust_admm_abandoned = reg.counter("robust/admm_abandoned");
+      out.robust_mttkrp_retries = reg.counter("robust/mttkrp_retries");
+      out.robust_factor_rollbacks = reg.counter("robust/factor_rollbacks");
+      out.robust_checkpoint_write_failures =
+          reg.counter("robust/checkpoint_write_failures");
       out.iteration_seconds = reg.histogram("cpd/iteration_seconds");
       out.admm_inner_iterations = reg.histogram("admm/inner_iterations");
       out.admm_primal_residual = reg.histogram("admm/primal_residual");
@@ -194,6 +208,7 @@ CpdResult CpdSolver::run(unsigned start_outer, real_t prev_error,
                          CpdResult result) {
   const std::size_t order = csf_.order();
   const CpdOptions& opts = config_.options;
+  const RobustnessOptions& rb = opts.admm.robustness;
   const CpdMetrics& metrics = CpdMetrics::get();
   metrics.runs.add(1);
 
@@ -232,41 +247,70 @@ CpdResult CpdSolver::run(unsigned start_outer, real_t prev_error,
         AOADMM_PROFILE_SCOPE("cpd/gram_product");
         detail::gram_product_excluding(ws_.grams, m, ws_.gram_prod);
       }
+      testing::maybe_corrupt_gram(ws_.gram_prod);
 
       // MTTKRP, optionally with a compressed leaf factor. The leaf mode of
       // this tree is the factor read once per non-zero — the only one worth
-      // compressing (paper §IV.C).
+      // compressing (paper §IV.C). Wrapped in a lambda so the non-finite
+      // sentinel below can re-run the kernel (a transient corruption — an
+      // injected fault, a flipped bit — does not recur on recompute).
       ++result.mttkrp_count;
       metrics.mttkrp_calls.add(1);
       const double mttkrp_seconds_before = timers.mttkrp.seconds();
-      bool used_sparse = false;
-      // Sparse-leaf kernels exist for root-mode trees only (ALLMODE); a
-      // one-tree set serves non-root modes through the atomic dispatcher.
-      if (opts.leaf_format != LeafFormat::kDense &&
-          tree.level_mode(0) == m) {
-        const std::size_t leaf_mode = tree.level_mode(order - 1);
-        SparseFactorCache::Mirror mirror;
-        {
-          const ScopedTimer t(timers.other);
-          AOADMM_PROFILE_SCOPE("cpd/sparse_mirror");
-          mirror = sparse_cache_.refresh(leaf_mode, factors_[leaf_mode],
-                                         opts.leaf_format,
-                                         opts.sparsity_threshold);
+      const auto compute_mttkrp = [&]() -> bool {
+        bool used_sparse = false;
+        // Sparse-leaf kernels exist for root-mode trees only (ALLMODE); a
+        // one-tree set serves non-root modes through the atomic dispatcher.
+        if (opts.leaf_format != LeafFormat::kDense &&
+            tree.level_mode(0) == m) {
+          const std::size_t leaf_mode = tree.level_mode(order - 1);
+          SparseFactorCache::Mirror mirror;
+          {
+            const ScopedTimer t(timers.other);
+            AOADMM_PROFILE_SCOPE("cpd/sparse_mirror");
+            mirror = sparse_cache_.refresh(leaf_mode, factors_[leaf_mode],
+                                           opts.leaf_format,
+                                           opts.sparsity_threshold);
+          }
+          if (mirror.csr != nullptr) {
+            const ScopedTimer t(timers.mttkrp);
+            mttkrp_csf_csr(tree, factors_, *mirror.csr, ws_.mttkrp_out);
+            used_sparse = true;
+          } else if (mirror.hybrid != nullptr) {
+            const ScopedTimer t(timers.mttkrp);
+            mttkrp_csf_hybrid(tree, factors_, *mirror.hybrid, ws_.mttkrp_out);
+            used_sparse = true;
+          }
         }
-        if (mirror.csr != nullptr) {
+        if (!used_sparse) {
           const ScopedTimer t(timers.mttkrp);
-          mttkrp_csf_csr(tree, factors_, *mirror.csr, ws_.mttkrp_out);
-          used_sparse = true;
-        } else if (mirror.hybrid != nullptr) {
-          const ScopedTimer t(timers.mttkrp);
-          mttkrp_csf_hybrid(tree, factors_, *mirror.hybrid, ws_.mttkrp_out);
-          used_sparse = true;
+          mttkrp_dispatch(tree, factors_, m, ws_.mttkrp_out);
+        }
+        testing::maybe_inject_nan(ws_.mttkrp_out);
+        return used_sparse;
+      };
+      bool used_sparse = compute_mttkrp();
+      if (rb.enabled && rb.check_finite && !all_finite(ws_.mttkrp_out)) {
+        unsigned attempts = 0;
+        while (attempts < rb.max_recoveries &&
+               !all_finite(ws_.mttkrp_out)) {
+          ++attempts;
+          used_sparse = compute_mttkrp();
+        }
+        result.recovery.add({RecoveryKind::kMttkrpRetry, outer, m, attempts,
+                             0, std::string()});
+        metrics.robust_mttkrp_retries.add(1);
+        AOADMM_LOG_WARN << "outer " << outer << " mode " << m
+                        << ": non-finite MTTKRP output, recomputed ("
+                        << attempts << " retries)";
+        if (!all_finite(ws_.mttkrp_out)) {
+          throw NumericalError(
+              "MTTKRP output for mode " + std::to_string(m) +
+              " is non-finite even after " + std::to_string(attempts) +
+              " recomputes");
         }
       }
-      if (!used_sparse) {
-        const ScopedTimer t(timers.mttkrp);
-        mttkrp_dispatch(tree, factors_, m, ws_.mttkrp_out);
-      } else {
+      if (used_sparse) {
         ++result.sparse_mttkrp_count;
         metrics.sparse_mttkrp_calls.add(1);
       }
@@ -294,6 +338,58 @@ CpdResult CpdSolver::run(unsigned start_outer, real_t prev_error,
             static_cast<double>(ar.primal_residual));
         metrics.admm_dual_residual.observe(
             static_cast<double>(ar.dual_residual));
+
+        if (rb.enabled) {
+          if (ar.cholesky_attempts > 0) {
+            result.recovery.add({RecoveryKind::kCholeskyJitter, outer, m,
+                                 ar.cholesky_attempts,
+                                 static_cast<double>(ar.cholesky_jitter),
+                                 std::string()});
+            metrics.robust_cholesky_jitter.add(1);
+            AOADMM_LOG_WARN << "outer " << outer << " mode " << m
+                            << ": Cholesky needed a diagonal ridge of "
+                            << ar.cholesky_jitter << " ("
+                            << ar.cholesky_attempts << " jitter attempts)";
+          }
+          if (ar.restarts > 0) {
+            result.recovery.add({RecoveryKind::kAdmmRestart, outer, m,
+                                 ar.restarts, static_cast<double>(ar.rho),
+                                 std::string()});
+            metrics.robust_admm_restarts.add(ar.restarts);
+            AOADMM_LOG_WARN << "outer " << outer << " mode " << m
+                            << ": divergent inner solve restarted "
+                            << ar.restarts << "x (final rho " << ar.rho
+                            << ")";
+          }
+          if (ar.abandoned) {
+            result.recovery.add({RecoveryKind::kAdmmAbandoned, outer, m,
+                                 ar.restarts, static_cast<double>(ar.rho),
+                                 std::string()});
+            metrics.robust_admm_abandoned.add(1);
+            AOADMM_LOG_WARN << "outer " << outer << " mode " << m
+                            << ": inner solve abandoned after "
+                            << ar.restarts
+                            << " restarts; keeping previous iterate";
+          }
+          // Factor sentinel: a contaminated update would poison the Gram
+          // matrices and, through them, every other mode. Roll back to the
+          // entry iterate the ADMM scratch snapshotted for this mode.
+          if (rb.check_finite && !all_finite(factors_[m])) {
+            if (!all_finite(ws_.admm.h_entry)) {
+              throw NumericalError(
+                  "factor " + std::to_string(m) +
+                  " is non-finite and so is its pre-update iterate; "
+                  "cannot recover");
+            }
+            factors_[m] = ws_.admm.h_entry;
+            duals_[m].zero();
+            result.recovery.add({RecoveryKind::kFactorRollback, outer, m, 1,
+                                 0, std::string()});
+            metrics.robust_factor_rollbacks.add(1);
+            AOADMM_LOG_WARN << "outer " << outer << " mode " << m
+                            << ": non-finite factor update rolled back";
+          }
+        }
       }
 
       {
@@ -369,8 +465,23 @@ CpdResult CpdSolver::run(unsigned start_outer, real_t prev_error,
       ck.factors = factors_;
       ck.duals = duals_;
       ck.trace = result.trace;
-      write_checkpoint_file(ck, config_.checkpoint_path);
-      metrics.checkpoints_written.add(1);
+      try {
+        write_checkpoint_file(ck, config_.checkpoint_path);
+        metrics.checkpoints_written.add(1);
+      } catch (const CheckpointError& e) {
+        // The writer guarantees the previous checkpoint is untouched, so
+        // under robustness a failed write is survivable: record it and
+        // keep iterating. Without robustness, fail fast as before.
+        if (!rb.enabled) {
+          throw;
+        }
+        result.recovery.add({RecoveryKind::kCheckpointWriteFailure, outer, 0,
+                             0, 0, e.what()});
+        metrics.robust_checkpoint_write_failures.add(1);
+        AOADMM_LOG_WARN << "outer " << outer
+                        << ": checkpoint write failed (continuing): "
+                        << e.what();
+      }
     }
 
     if (converged_now) {

@@ -7,21 +7,19 @@
 
 namespace aoadmm {
 
-void Cholesky::factor(const Matrix& spd) {
-  AOADMM_CHECK_MSG(spd.rows() == spd.cols(), "Cholesky requires square input");
+std::size_t Cholesky::try_factor(const Matrix& spd, real_t jitter) noexcept {
   const std::size_t n = spd.rows();
   l_.resize(n, n);  // no-op reallocation-wise when the size is unchanged
 
   // Left-looking scalar Cholesky: fine for the small F x F systems AO-ADMM
   // produces (F is the CPD rank, 10..200).
   for (std::size_t j = 0; j < n; ++j) {
-    real_t diag = spd(j, j);
+    real_t diag = spd(j, j) + jitter;
     for (std::size_t k = 0; k < j; ++k) {
       diag -= l_(j, k) * l_(j, k);
     }
     if (!(diag > real_t{0})) {
-      throw NumericalError("Cholesky: matrix is not positive definite at pivot " +
-                           std::to_string(j));
+      return j;
     }
     const real_t ljj = std::sqrt(diag);
     l_(j, j) = ljj;
@@ -36,6 +34,64 @@ void Cholesky::factor(const Matrix& spd) {
       l_(i, j) = v * inv;
     }
   }
+  return kFactorOk;
+}
+
+void Cholesky::factor(const Matrix& spd) {
+  AOADMM_CHECK_MSG(spd.rows() == spd.cols(), "Cholesky requires square input");
+  const std::size_t pivot = try_factor(spd, 0);
+  if (pivot != kFactorOk) {
+    throw NumericalError("Cholesky: matrix is not positive definite at pivot " +
+                         std::to_string(pivot));
+  }
+}
+
+CholeskyReport Cholesky::factor_guarded(const Matrix& spd,
+                                        const CholeskyGuard& guard) {
+  AOADMM_CHECK_MSG(spd.rows() == spd.cols(), "Cholesky requires square input");
+  CholeskyReport report;
+  std::size_t pivot = try_factor(spd, 0);
+  if (pivot == kFactorOk) {
+    return report;
+  }
+
+  // Scale the jitter to the matrix so the guard is unit-free: a ridge of
+  // initial_jitter * max|diag| is negligible relative to the spectrum, and
+  // the geometric escalation reaches O(max|diag|) within a handful of
+  // attempts — enough to overwhelm any negative eigenvalue a corrupted or
+  // indefinite input can hide (|λmin| <= n·max|A_ij| <= n·max|diag| for a
+  // symmetric matrix with a dominant diagonal; the escalation overshoots
+  // far past that anyway).
+  const std::size_t n = spd.rows();
+  real_t scale = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const real_t d = std::abs(spd(i, i));
+    if (std::isfinite(d) && d > scale) {
+      scale = d;
+    }
+  }
+  if (!(scale > real_t{0})) {
+    scale = 1;
+  }
+
+  real_t jitter = guard.initial_jitter * scale;
+  for (unsigned attempt = 1; attempt <= guard.max_attempts;
+       ++attempt, jitter *= guard.growth) {
+    if (!std::isfinite(jitter)) {
+      break;
+    }
+    pivot = try_factor(spd, jitter);
+    if (pivot == kFactorOk) {
+      report.attempts = attempt;
+      report.jitter = jitter;
+      return report;
+    }
+  }
+  throw NumericalError(
+      "Cholesky: matrix is not positive definite at pivot " +
+      std::to_string(pivot) + " even after " +
+      std::to_string(guard.max_attempts) + " jitter attempts (final ridge " +
+      std::to_string(jitter) + "); input is likely NaN-contaminated");
 }
 
 void Cholesky::solve_inplace(span<real_t> b) const noexcept {
@@ -77,6 +133,18 @@ void solve_normal_equations(const Matrix& gram_matrix, Matrix& rhs_inout) {
   parallel_for(0, rhs_inout.rows(), [&](std::size_t i) {
     chol.solve_inplace(rhs_inout.row(i));
   });
+}
+
+CholeskyReport solve_normal_equations_guarded(const Matrix& gram_matrix,
+                                              Matrix& rhs_inout,
+                                              const CholeskyGuard& guard) {
+  AOADMM_CHECK(gram_matrix.rows() == rhs_inout.cols());
+  Cholesky chol;
+  const CholeskyReport report = chol.factor_guarded(gram_matrix, guard);
+  parallel_for(0, rhs_inout.rows(), [&](std::size_t i) {
+    chol.solve_inplace(rhs_inout.row(i));
+  });
+  return report;
 }
 
 }  // namespace aoadmm

@@ -1,6 +1,32 @@
 #include "la/matrix.hpp"
 
+#include <cmath>
+
 namespace aoadmm {
+
+bool all_finite(cspan<real_t> v) noexcept {
+  const real_t* __restrict p = v.data();
+  const std::size_t n = v.size();
+  std::size_t i = 0;
+  // x * 0 is exactly 0 for every finite x and NaN for NaN/±Inf, so a chunk
+  // is clean iff its multiply-by-zero sum compares equal to zero. This
+  // keeps the sweep branch-free and vectorizable per chunk.
+  for (; i + 16 <= n; i += 16) {
+    real_t acc = 0;
+    for (std::size_t k = 0; k < 16; ++k) {
+      acc += p[i + k] * real_t{0};
+    }
+    if (!(acc == real_t{0})) {
+      return false;
+    }
+  }
+  for (; i < n; ++i) {
+    if (!std::isfinite(p[i])) {
+      return false;
+    }
+  }
+  return true;
+}
 
 Matrix Matrix::random_uniform(std::size_t rows, std::size_t cols, Rng& rng,
                               real_t lo, real_t hi) {

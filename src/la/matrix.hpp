@@ -87,4 +87,10 @@ class Matrix {
   std::vector<real_t, AlignedAllocator<real_t>> data_;
 };
 
+/// True when every entry is finite (no NaN/Inf). The common clean case is a
+/// vectorizable multiply-by-zero sweep, cheap enough to run as a sentinel
+/// on every MTTKRP output and factor update.
+bool all_finite(cspan<real_t> v) noexcept;
+inline bool all_finite(const Matrix& a) noexcept { return all_finite(a.flat()); }
+
 }  // namespace aoadmm

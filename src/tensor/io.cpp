@@ -1,9 +1,14 @@
 #include "tensor/io.hpp"
 
+#include <algorithm>
 #include <array>
+#include <charconv>
+#include <cmath>
 #include <cstring>
 #include <fstream>
-#include <sstream>
+#include <limits>
+#include <numeric>
+#include <string_view>
 #include <vector>
 
 #include "util/error.hpp"
@@ -13,19 +18,81 @@ namespace {
 
 constexpr char kBinaryMagic[8] = {'A', 'O', 'T', 'N', 'S', '1', 0, 0};
 
-struct RawNonzero {
-  std::vector<index_t> coord;
-  real_t value;
-};
+[[noreturn]] void parse_fail(std::size_t lineno, std::string_view token,
+                             const std::string& why) {
+  throw ParseError("tns line " + std::to_string(lineno) + ": " + why +
+                   " (offending token: \"" + std::string(token) + "\")");
+}
+
+/// Split on blanks/tabs/CR into `tokens` (views into `line`).
+void split_fields(const std::string& line,
+                  std::vector<std::string_view>& tokens) {
+  const std::string_view sv(line);
+  std::size_t pos = 0;
+  while (pos < sv.size()) {
+    const std::size_t start = sv.find_first_not_of(" \t\r", pos);
+    if (start == std::string_view::npos) {
+      break;
+    }
+    std::size_t end = sv.find_first_of(" \t\r", start);
+    if (end == std::string_view::npos) {
+      end = sv.size();
+    }
+    tokens.push_back(sv.substr(start, end - start));
+    pos = end;
+  }
+}
+
+/// 1-based coordinate: a full-token positive integer that fits index_t.
+index_t parse_index(std::string_view token, std::size_t lineno,
+                    std::size_t mode) {
+  std::uint64_t value = 0;
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [p, ec] = std::from_chars(begin, end, value);
+  const std::string where = "index in mode " + std::to_string(mode);
+  if (ec == std::errc::result_out_of_range ||
+      (ec == std::errc{} && value > std::numeric_limits<index_t>::max())) {
+    parse_fail(lineno, token,
+               where + " overflows the " +
+                   std::to_string(8 * sizeof(index_t)) + "-bit index type");
+  }
+  if (ec != std::errc{} || p != end) {
+    parse_fail(lineno, token, where + " is not a positive integer");
+  }
+  if (value == 0) {
+    parse_fail(lineno, token, where + " must be >= 1 (.tns is 1-indexed)");
+  }
+  return static_cast<index_t>(value);
+}
+
+/// Non-zero value: a full-token finite real. NaN/Inf would silently poison
+/// every downstream kernel, so they are rejected at the door.
+real_t parse_value(std::string_view token, std::size_t lineno) {
+  double value = 0;
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [p, ec] = std::from_chars(begin, end, value);
+  if (ec == std::errc::result_out_of_range ||
+      (ec == std::errc{} && p == end && !std::isfinite(value))) {
+    parse_fail(lineno, token, "value is not finite (NaN/Inf rejected)");
+  }
+  if (ec != std::errc{} || p != end) {
+    parse_fail(lineno, token, "value is not a number");
+  }
+  return static_cast<real_t>(value);
+}
 
 }  // namespace
 
-CooTensor read_tns(std::istream& in) {
+CooTensor read_tns(std::istream& in, DuplicatePolicy policy) {
   std::string line;
   std::size_t order = 0;
-  std::vector<std::vector<index_t>> coords;
+  std::vector<std::vector<index_t>> coords;  // 0-based, per mode
   std::vector<real_t> values;
+  std::vector<std::size_t> linenos;  // source line of each non-zero
   std::size_t lineno = 0;
+  std::vector<std::string_view> tokens;
 
   while (std::getline(in, line)) {
     ++lineno;
@@ -34,40 +101,88 @@ CooTensor read_tns(std::istream& in) {
     if (hash != std::string::npos) {
       line.resize(hash);
     }
-    std::istringstream ls(line);
-    std::vector<double> fields;
-    double v;
-    while (ls >> v) {
-      fields.push_back(v);
-    }
-    if (fields.empty()) {
+    tokens.clear();
+    split_fields(line, tokens);
+    if (tokens.empty()) {
       continue;
     }
     if (order == 0) {
-      if (fields.size() < 2) {
+      if (tokens.size() < 2) {
         throw ParseError("tns line " + std::to_string(lineno) +
-                         ": expected at least 2 fields");
+                         ": expected at least 2 fields (indices... value)");
       }
-      order = fields.size() - 1;
+      order = tokens.size() - 1;
       coords.resize(order);
-    } else if (fields.size() != order + 1) {
+    } else if (tokens.size() != order + 1) {
       throw ParseError("tns line " + std::to_string(lineno) +
                        ": inconsistent arity (expected " +
-                       std::to_string(order + 1) + " fields)");
+                       std::to_string(order + 1) + " fields, got " +
+                       std::to_string(tokens.size()) + ")");
     }
     for (std::size_t m = 0; m < order; ++m) {
-      const double idx = fields[m];
-      if (idx < 1 || idx != static_cast<double>(static_cast<index_t>(idx))) {
-        throw ParseError("tns line " + std::to_string(lineno) +
-                         ": bad index in mode " + std::to_string(m));
-      }
-      coords[m].push_back(static_cast<index_t>(idx) - 1);  // 1-indexed file
+      coords[m].push_back(parse_index(tokens[m], lineno, m) - 1);
     }
-    values.push_back(static_cast<real_t>(fields[order]));
+    values.push_back(parse_value(tokens[order], lineno));
+    linenos.push_back(lineno);
   }
 
   if (order == 0) {
     throw ParseError("tns input contains no non-zeros");
+  }
+
+  // Duplicate coordinates: detect via a sorted permutation (the input order
+  // of the surviving entries is preserved). kSum folds later occurrences
+  // into the first; kError reports the first collision's two lines.
+  const std::size_t n = values.size();
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+    for (std::size_t m = 0; m < order; ++m) {
+      if (coords[m][a] != coords[m][b]) {
+        return coords[m][a] < coords[m][b];
+      }
+    }
+    return a < b;  // stable within a coordinate group: earliest line first
+  });
+  const auto same_coord = [&](std::size_t a, std::size_t b) {
+    for (std::size_t m = 0; m < order; ++m) {
+      if (coords[m][a] != coords[m][b]) {
+        return false;
+      }
+    }
+    return true;
+  };
+  std::vector<bool> dead(n, false);
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t prev = perm[i - 1];
+    const std::size_t cur = perm[i];
+    if (!same_coord(prev, cur)) {
+      continue;
+    }
+    if (policy == DuplicatePolicy::kError) {
+      std::string coord_str;
+      for (std::size_t m = 0; m < order; ++m) {
+        coord_str += (m ? " " : "") + std::to_string(coords[m][cur] + 1);
+      }
+      // `prev` may itself be a duplicate of an earlier keeper; walk back to
+      // the group head so the message names the first occurrence.
+      std::size_t head = i - 1;
+      while (head > 0 && same_coord(perm[head - 1], cur)) {
+        --head;
+      }
+      throw ParseError("tns line " + std::to_string(linenos[cur]) +
+                       ": duplicate coordinate (" + coord_str +
+                       ") first seen at line " +
+                       std::to_string(linenos[perm[head]]) +
+                       "; pass DuplicatePolicy::kSum to merge duplicates");
+    }
+    // kSum: fold into the group head (earliest line, kept alive).
+    std::size_t head = i - 1;
+    while (dead[perm[head]]) {
+      --head;
+    }
+    values[perm[head]] += values[cur];
+    dead[cur] = true;
   }
 
   std::vector<index_t> dims(order, 0);
@@ -78,23 +193,30 @@ CooTensor read_tns(std::istream& in) {
   }
 
   CooTensor out(dims);
-  out.reserve(values.size());
+  out.reserve(n);
   std::vector<index_t> c(order);
-  for (std::size_t n = 0; n < values.size(); ++n) {
-    for (std::size_t m = 0; m < order; ++m) {
-      c[m] = coords[m][n];
+  for (std::size_t k = 0; k < n; ++k) {
+    if (dead[k]) {
+      continue;
     }
-    out.add(c, values[n]);
+    for (std::size_t m = 0; m < order; ++m) {
+      c[m] = coords[m][k];
+    }
+    out.add(c, values[k]);
   }
   return out;
 }
 
-CooTensor read_tns_file(const std::string& path) {
+CooTensor read_tns_file(const std::string& path, DuplicatePolicy policy) {
   std::ifstream in(path);
   if (!in) {
     throw InvalidArgument("cannot open tensor file: " + path);
   }
-  return read_tns(in);
+  try {
+    return read_tns(in, policy);
+  } catch (const ParseError& e) {
+    throw ParseError(path + ": " + e.what());
+  }
 }
 
 void write_tns(const CooTensor& x, std::ostream& out) {

@@ -14,13 +14,27 @@
 
 namespace aoadmm {
 
-/// Parse a FROSTT .tns stream. Mode lengths are inferred as the maximum
-/// index seen per mode. Throws ParseError on malformed input.
-CooTensor read_tns(std::istream& in);
+/// What to do when a .tns file lists the same coordinate more than once.
+enum class DuplicatePolicy {
+  /// Merge duplicates by summing their values (FROSTT convention; the
+  /// default). The entry keeps the position of the first occurrence.
+  kSum,
+  /// Reject the file with a ParseError naming both offending lines.
+  kError,
+};
 
-/// Load a .tns file from disk. Throws ParseError (bad content) or
-/// InvalidArgument (unreadable path).
-CooTensor read_tns_file(const std::string& path);
+/// Parse a FROSTT .tns stream. Mode lengths are inferred as the maximum
+/// index seen per mode. Throws ParseError on malformed input: short or
+/// inconsistent-arity lines, non-integer / zero / overflowing indices, and
+/// non-finite values are all rejected with the line number and offending
+/// token.
+CooTensor read_tns(std::istream& in,
+                   DuplicatePolicy policy = DuplicatePolicy::kSum);
+
+/// Load a .tns file from disk. Throws ParseError (bad content, prefixed
+/// with the path) or InvalidArgument (unreadable path).
+CooTensor read_tns_file(const std::string& path,
+                        DuplicatePolicy policy = DuplicatePolicy::kSum);
 
 /// Write a tensor as .tns (1-indexed).
 void write_tns(const CooTensor& x, std::ostream& out);

@@ -1,0 +1,195 @@
+#include "testing/fault_injection.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <mutex>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace aoadmm::testing {
+namespace {
+
+/// All mutable injection state behind one mutex. Hooks sit at serial driver
+/// points, so the lock is uncontended; it exists so that concurrent solver
+/// sessions in tests cannot race the RNG.
+struct FaultState {
+  std::mutex mu;
+  FaultConfig config;
+  FaultCounts counts;
+  Rng rng{1};
+};
+
+FaultState& state() {
+  static FaultState s;
+  return s;
+}
+
+/// Fast-path gate: a single relaxed load when nothing is armed.
+std::atomic<bool>& armed_flag() {
+  static std::atomic<bool> armed{false};
+  return armed;
+}
+
+/// Decide whether the site fires this visit. Caller holds the lock.
+bool roll(FaultState& s, FaultSite site) {
+  const std::size_t i = static_cast<std::size_t>(site);
+  ++s.counts.visits[i];
+  const FaultSpec& spec = s.config.site[i];
+  if (!(spec.rate > 0) || s.counts.fires[i] >= spec.max_fires) {
+    return false;
+  }
+  if (s.rng.uniform(0.0, 1.0) >= spec.rate) {
+    return false;
+  }
+  ++s.counts.fires[i];
+  return true;
+}
+
+}  // namespace
+
+void arm_faults(const FaultConfig& cfg) {
+  FaultState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.config = cfg;
+  s.counts = FaultCounts{};
+  s.rng = Rng(cfg.seed);
+  armed_flag().store(cfg.any(), std::memory_order_release);
+}
+
+void disarm_faults() {
+  FaultState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.config = FaultConfig{};
+  s.counts = FaultCounts{};
+  armed_flag().store(false, std::memory_order_release);
+}
+
+FaultSpec parse_fault_spec(const char* text, const char* what) {
+  const auto fail = [&](const char* why) {
+    throw InvalidArgument(std::string(what) + ": " + why + " (got \"" +
+                          text + "\"; expected \"rate\" or "
+                          "\"rate:max_fires\", e.g. \"0.5:2\")");
+  };
+  const char* colon = std::strchr(text, ':');
+  const std::string rate_part(text, colon ? colon - text : std::strlen(text));
+
+  errno = 0;
+  char* end = nullptr;
+  const double rate = std::strtod(rate_part.c_str(), &end);
+  if (end == rate_part.c_str() || *end != '\0' || errno == ERANGE) {
+    fail("rate is not a number");
+  }
+  if (!std::isfinite(rate) || rate < 0 || rate > 1) {
+    fail("rate must lie in [0, 1]");
+  }
+
+  FaultSpec spec;
+  spec.rate = rate;
+  if (colon) {
+    const char* mstart = colon + 1;
+    const char* mend = mstart + std::strlen(mstart);
+    std::uint64_t max_fires = 0;
+    const auto [p, ec] = std::from_chars(mstart, mend, max_fires);
+    if (ec != std::errc{} || p != mend) {
+      fail("max_fires is not a non-negative integer");
+    }
+    spec.max_fires = max_fires;
+  }
+  return spec;
+}
+
+bool arm_faults_from_env() {
+  FaultConfig cfg;
+  if (const char* seed = std::getenv("AOADMM_FAULT_SEED")) {
+    const char* end = seed + std::strlen(seed);
+    std::uint64_t value = 0;
+    const auto [p, ec] = std::from_chars(seed, end, value);
+    if (ec != std::errc{} || p != end) {
+      throw InvalidArgument(std::string("AOADMM_FAULT_SEED: not a "
+                                        "non-negative integer (got \"") +
+                            seed + "\")");
+    }
+    cfg.seed = value;
+  }
+  struct {
+    const char* var;
+    FaultSite site;
+  } const vars[] = {
+      {"AOADMM_FAULT_GRAM_NONPD", FaultSite::kGramNonPd},
+      {"AOADMM_FAULT_MTTKRP_NAN", FaultSite::kMttkrpNaN},
+      {"AOADMM_FAULT_CHECKPOINT_WRITE", FaultSite::kCheckpointWrite},
+  };
+  for (const auto& v : vars) {
+    const char* text = std::getenv(v.var);
+    if (text != nullptr && *text != '\0') {
+      cfg.at(v.site) = parse_fault_spec(text, v.var);
+    }
+  }
+  if (!cfg.any()) {
+    return false;
+  }
+  arm_faults(cfg);
+  return true;
+}
+
+FaultCounts fault_counts() {
+  FaultState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.counts;
+}
+
+bool maybe_corrupt_gram(Matrix& g) {
+  if (!armed_flag().load(std::memory_order_acquire)) {
+    return false;
+  }
+  FaultState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!roll(s, FaultSite::kGramNonPd)) {
+    return false;
+  }
+  // A negative leading entry of magnitude > 10·tr/F defeats the ρ = tr(G)/F
+  // ridge the ADMM system adds, so the unguarded Cholesky must reject it.
+  const std::size_t f = g.rows();
+  real_t trace = 0;
+  for (std::size_t i = 0; i < f; ++i) {
+    trace += g(i, i);
+  }
+  const real_t scale = std::abs(trace) / static_cast<real_t>(f > 0 ? f : 1);
+  g(0, 0) = -(real_t{10} * scale + real_t{1});
+  return true;
+}
+
+bool maybe_inject_nan(Matrix& k) {
+  if (!armed_flag().load(std::memory_order_acquire)) {
+    return false;
+  }
+  FaultState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!roll(s, FaultSite::kMttkrpNaN) || k.empty()) {
+    return false;
+  }
+  const real_t nan = std::numeric_limits<real_t>::quiet_NaN();
+  const span<real_t> flat = k.flat();
+  flat[0] = nan;
+  flat[flat.size() / 2] = nan;
+  flat[flat.size() - 1] = nan;
+  return true;
+}
+
+bool maybe_fail_checkpoint_write() {
+  if (!armed_flag().load(std::memory_order_acquire)) {
+    return false;
+  }
+  FaultState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return roll(s, FaultSite::kCheckpointWrite);
+}
+
+}  // namespace aoadmm::testing

@@ -32,6 +32,14 @@ class NumericalError : public Error {
   explicit NumericalError(const std::string& what) : Error(what) {}
 };
 
+/// Raised when writing or reading solver checkpoints fails (short write,
+/// failed close/rename, corrupt payload). A failed write never disturbs a
+/// previously written checkpoint at the same path.
+class CheckpointError : public Error {
+ public:
+  explicit CheckpointError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 
 [[noreturn]] inline void throw_check_failure(const char* expr, const char* file,

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <string>
 
+#include "testing/fault_injection.hpp"
 #include "testing/helpers.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -118,6 +119,60 @@ TEST(Checkpoint, RejectsCorruptPayloadViaChecksum) {
   bytes[bytes.size() / 2] ^= 0x01;  // flip one payload bit
   std::stringstream corrupt(bytes, std::ios::in | std::ios::binary);
   EXPECT_THROW(read_checkpoint(corrupt), ParseError);
+}
+
+TEST(Checkpoint, InjectedWriteFailureThrowsAndPreservesPrevious) {
+  const std::string path = ::testing::TempDir() + "aoadmm_ckpt_fault.ckpt";
+  CpdCheckpoint ck = sample_checkpoint();
+  write_checkpoint_file(ck, path);  // a good checkpoint exists
+
+  testing::FaultConfig faults;
+  faults.at(testing::FaultSite::kCheckpointWrite) = {1.0, 1};
+  testing::arm_faults(faults);
+  ck.outer_iteration = 99;
+  EXPECT_THROW(write_checkpoint_file(ck, path), CheckpointError);
+  testing::disarm_faults();
+
+  {
+    std::ifstream tmp(path + ".tmp");
+    EXPECT_FALSE(tmp.good()) << "failed write must remove its temp file";
+  }
+  // The previous checkpoint is untouched and still readable.
+  const CpdCheckpoint back = read_checkpoint_file(path);
+  EXPECT_EQ(back.outer_iteration, 12u);
+  expect_matrices_identical(back.factors, sample_checkpoint().factors);
+
+  // With the fault budget spent, the next write goes through.
+  write_checkpoint_file(ck, path);
+  EXPECT_EQ(read_checkpoint_file(path).outer_iteration, 99u);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, InjectedWriteFailureLeavesNothingWhenNoPrevious) {
+  const std::string path = ::testing::TempDir() + "aoadmm_ckpt_fault2.ckpt";
+  std::remove(path.c_str());
+
+  testing::FaultConfig faults;
+  faults.at(testing::FaultSite::kCheckpointWrite) = {1.0, 1};
+  testing::arm_faults(faults);
+  EXPECT_THROW(write_checkpoint_file(sample_checkpoint(), path),
+               CheckpointError);
+  testing::disarm_faults();
+
+  std::ifstream target(path);
+  EXPECT_FALSE(target.good()) << "no checkpoint may appear on failure";
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+}
+
+TEST(Checkpoint, CheckpointErrorIsAnAoadmmError) {
+  // Callers that catch the library root still see write failures.
+  testing::FaultConfig faults;
+  faults.at(testing::FaultSite::kCheckpointWrite) = {1.0, 1};
+  testing::arm_faults(faults);
+  const std::string path = ::testing::TempDir() + "aoadmm_ckpt_fault3.ckpt";
+  EXPECT_THROW(write_checkpoint_file(sample_checkpoint(), path), Error);
+  testing::disarm_faults();
 }
 
 TEST(KruskalSerialization, RoundTripIsExact) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "la/blas.hpp"
 #include "util/error.hpp"
@@ -264,6 +265,114 @@ TEST(ProxFactory, RejectsBadParameters) {
   EXPECT_THROW(make_prox({ConstraintKind::kRidge, -0.1}), InvalidArgument);
   EXPECT_THROW(make_prox({ConstraintKind::kBox, 0, 2.0, 1.0}),
                InvalidArgument);
+}
+
+// --- Edge cases the guard rails rely on ----------------------------------
+
+TEST(ProxEdge, AllZeroRowsSurviveEveryOperator) {
+  const ConstraintSpec specs[] = {
+      {ConstraintKind::kNone},
+      {ConstraintKind::kNonNegative},
+      {ConstraintKind::kL1, 0.3},
+      {ConstraintKind::kNonNegativeL1, 0.3},
+      {ConstraintKind::kRidge, 0.5},
+      {ConstraintKind::kSimplex},
+      {ConstraintKind::kBox, 0, -1.0, 1.0},
+      {ConstraintKind::kL2Ball, 0, 0, 2.0},
+  };
+  for (const ConstraintSpec& spec : specs) {
+    Matrix h(8, 5);  // all-zero
+    make_prox(spec)->apply(h, 0, h.rows(), 1.0);
+    for (const real_t v : h.flat()) {
+      EXPECT_TRUE(std::isfinite(v)) << "operator " << to_string(spec.kind);
+    }
+  }
+  // The simplex in particular must map 0 to a feasible point, not 0/0.
+  Matrix h(3, 4);
+  make_prox({ConstraintKind::kSimplex})->apply(h, 0, h.rows(), 1.0);
+  for (std::size_t i = 0; i < h.rows(); ++i) {
+    real_t sum = 0;
+    for (std::size_t k = 0; k < h.cols(); ++k) {
+      EXPECT_GE(h(i, k), 0.0);
+      sum += h(i, k);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(ProxEdge, L1SurvivesExtremeRho) {
+  // rho enters as lambda/rho: denormal-small and huge penalties must not
+  // produce NaN (0*inf style) anywhere.
+  for (const real_t rho : {1e-300, 1.0, 1e300}) {
+    Matrix h = test_input(41);
+    make_prox({ConstraintKind::kL1, 0.5})->apply(h, 0, h.rows(), rho);
+    for (const real_t v : h.flat()) {
+      EXPECT_TRUE(std::isfinite(v)) << "rho=" << rho;
+    }
+  }
+  // Tiny rho means a huge threshold: everything shrinks to exactly zero.
+  Matrix h = test_input(42);
+  make_prox({ConstraintKind::kL1, 0.5})->apply(h, 0, h.rows(), 1e-300);
+  for (const real_t v : h.flat()) {
+    EXPECT_EQ(v, 0.0);
+  }
+}
+
+TEST(ProxEdge, RidgeSurvivesExtremeRho) {
+  for (const real_t rho : {1e-300, 1e300}) {
+    Matrix h = test_input(43);
+    make_prox({ConstraintKind::kRidge, 1.0})->apply(h, 0, h.rows(), rho);
+    for (const real_t v : h.flat()) {
+      EXPECT_TRUE(std::isfinite(v)) << "rho=" << rho;
+    }
+  }
+}
+
+TEST(ProxEdge, SimplexSanitizesNonFiniteInput) {
+  // A NaN-contaminated iterate (the divergence path feeds the prox before
+  // the sentinel can see the factor) must still land on the simplex.
+  Matrix h = test_input(44);
+  h(0, 1) = std::numeric_limits<real_t>::quiet_NaN();
+  h(2, 0) = std::numeric_limits<real_t>::infinity();
+  h(5, 3) = -std::numeric_limits<real_t>::infinity();
+  make_prox({ConstraintKind::kSimplex})->apply(h, 0, h.rows(), 1.0);
+  for (std::size_t i = 0; i < h.rows(); ++i) {
+    real_t sum = 0;
+    for (std::size_t k = 0; k < h.cols(); ++k) {
+      ASSERT_TRUE(std::isfinite(h(i, k))) << "row " << i << " col " << k;
+      EXPECT_GE(h(i, k), 0.0);
+      sum += h(i, k);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "row " << i;
+  }
+}
+
+TEST(ProxEdge, L2BallSanitizesNonFiniteInput) {
+  Matrix h = test_input(45);
+  h(1, 2) = std::numeric_limits<real_t>::infinity();
+  h(4, 4) = std::numeric_limits<real_t>::quiet_NaN();
+  make_prox({ConstraintKind::kL2Ball, 0, 0, 1.5})->apply(h, 0, h.rows(), 1.0);
+  for (std::size_t i = 0; i < h.rows(); ++i) {
+    real_t norm_sq = 0;
+    for (std::size_t k = 0; k < h.cols(); ++k) {
+      ASSERT_TRUE(std::isfinite(h(i, k)));
+      norm_sq += h(i, k) * h(i, k);
+    }
+    EXPECT_LE(norm_sq, 1.5 * 1.5 + 1e-9);
+  }
+}
+
+TEST(ProxEdge, L2BallZeroColumnsAndRowsStayInside) {
+  // Zero rows (norm 0) must not divide by zero.
+  Matrix h(6, 4);
+  h(0, 0) = 100.0;  // one huge row among zero rows
+  make_prox({ConstraintKind::kL2Ball, 0, 0, 2.0})->apply(h, 0, h.rows(), 1.0);
+  EXPECT_NEAR(h(0, 0), 2.0, 1e-12);
+  for (std::size_t i = 1; i < h.rows(); ++i) {
+    for (std::size_t k = 0; k < h.cols(); ++k) {
+      EXPECT_EQ(h(i, k), 0.0);
+    }
+  }
 }
 
 }  // namespace

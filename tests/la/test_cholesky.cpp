@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include "la/blas.hpp"
 #include "util/error.hpp"
@@ -129,6 +131,91 @@ TEST(SolveNormalEquations, SolvesAllRows) {
   Matrix rhs = matmul(x_true, g);
   solve_normal_equations(g, rhs);
   EXPECT_LT(max_abs_diff(rhs, x_true), 1e-8);
+}
+
+TEST(GuardedCholesky, CleanMatrixNeedsNoJitter) {
+  const Matrix spd = random_spd(6, 11);
+  Cholesky chol;
+  const CholeskyReport r = chol.factor_guarded(spd);
+  EXPECT_EQ(r.attempts, 0u);
+  EXPECT_EQ(r.jitter, 0.0);
+  // And the factorization is the plain one.
+  const Matrix llt = matmul(chol.lower(), transpose(chol.lower()));
+  EXPECT_LT(max_abs_diff(llt, spd), 1e-10);
+}
+
+TEST(GuardedCholesky, RecoversFromRankDeficientGram) {
+  // The all-ones matrix is the Gram of a single repeated column: rank one,
+  // and its second Cholesky pivot is exactly 0, so the plain factorization
+  // rejects it deterministically.
+  Matrix g(3, 3);
+  for (real_t& v : g.flat()) {
+    v = 1.0;
+  }
+  EXPECT_THROW(Cholesky{g}, NumericalError);
+
+  Cholesky chol;
+  const CholeskyReport r = chol.factor_guarded(g);
+  EXPECT_GT(r.attempts, 0u);
+  EXPECT_GT(r.jitter, 0.0);
+  // The ridge-stabilized system solves to something finite.
+  std::vector<real_t> b(3, 1.0);
+  chol.solve_inplace({b.data(), b.size()});
+  for (const real_t v : b) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(GuardedCholesky, RecoversFromNegativeDiagonal) {
+  Matrix m = Matrix::identity(4);
+  m(1, 1) = -5;  // indefinite: the plain factorization throws
+  EXPECT_THROW(Cholesky{m}, NumericalError);
+  Cholesky chol;
+  const CholeskyReport r = chol.factor_guarded(m);
+  EXPECT_GT(r.attempts, 0u);
+  // The jitter had to outgrow the negative eigenvalue.
+  EXPECT_GT(r.jitter, 5.0);
+}
+
+TEST(GuardedCholesky, NanInputStillThrows) {
+  Matrix m = Matrix::identity(3);
+  m(1, 1) = std::numeric_limits<real_t>::quiet_NaN();
+  Cholesky chol;
+  EXPECT_THROW(chol.factor_guarded(m), NumericalError);
+}
+
+TEST(GuardedCholesky, RespectsAttemptBudget) {
+  Matrix m = Matrix::identity(3);
+  m(2, 2) = -1e6;
+  Cholesky chol;
+  // One attempt at a jitter far smaller than the defect cannot succeed.
+  CholeskyGuard guard;
+  guard.max_attempts = 1;
+  guard.initial_jitter = 1e-12;
+  guard.growth = 2;
+  EXPECT_THROW(chol.factor_guarded(m, guard), NumericalError);
+}
+
+TEST(GuardedCholesky, SolveNormalEquationsGuardedOnSingularSystem) {
+  // Exactly rank-deficient normal equations (rank-one Gram with an exact
+  // zero pivot): the unguarded entry point throws, the guarded one returns
+  // a finite least-squares-ish solution.
+  Rng rng(13);
+  // All-4s: l11 = 2 and l21 = 2 are exact in binary, so the second pivot
+  // is exactly 0 and the plain factorization rejects it deterministically.
+  Matrix g(4, 4);
+  for (real_t& v : g.flat()) {
+    v = 4.0;
+  }
+  Matrix rhs = Matrix::random_normal(10, 4, rng);
+  Matrix rhs_copy = rhs;
+  EXPECT_THROW(solve_normal_equations(g, rhs_copy), NumericalError);
+
+  const CholeskyReport r = solve_normal_equations_guarded(g, rhs);
+  EXPECT_GT(r.attempts, 0u);
+  for (const real_t v : rhs.flat()) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
 }
 
 }  // namespace

@@ -121,6 +121,95 @@ TEST(TnsIo, MissingFileThrows) {
   EXPECT_THROW(read_tns_file("/nonexistent/path/t.tns"), InvalidArgument);
 }
 
+// Error reporting carries the 1-based line number and the offending token,
+// so a bad row in a multi-gigabyte FROSTT file is findable.
+void expect_parse_error(const std::string& text,
+                        const std::vector<std::string>& needles,
+                        DuplicatePolicy policy = DuplicatePolicy::kSum) {
+  std::istringstream in(text);
+  try {
+    read_tns(in, policy);
+    FAIL() << "expected ParseError for: " << text;
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    for (const std::string& needle : needles) {
+      EXPECT_NE(what.find(needle), std::string::npos)
+          << "missing \"" << needle << "\" in: " << what;
+    }
+  }
+}
+
+TEST(TnsIo, RejectsNanValueWithLineNumber) {
+  expect_parse_error("1 1 1 1.0\n2 1 1 nan\n", {"line 2", "not finite"});
+}
+
+TEST(TnsIo, RejectsInfValueWithLineNumber) {
+  expect_parse_error("1 1 1 inf\n", {"line 1", "not finite", "inf"});
+}
+
+TEST(TnsIo, RejectsOverflowingLiteralValue) {
+  // 1e999 overflows double -> infinity; must be rejected, not stored.
+  expect_parse_error("1 1 1 1e999\n", {"line 1", "not finite"});
+}
+
+TEST(TnsIo, RejectsNonNumericValue) {
+  expect_parse_error("1 1 1 abc\n", {"line 1", "not a number", "abc"});
+}
+
+TEST(TnsIo, RejectsIndexOverflowingIndexType) {
+  // 2^32 does not fit index_t (uint32); the token must be named.
+  expect_parse_error("4294967296 1 1 1.0\n",
+                     {"line 1", "overflows", "4294967296"});
+}
+
+TEST(TnsIo, RejectsFractionalIndex) {
+  expect_parse_error("1.5 2 3 1.0\n", {"line 1", "1.5"});
+}
+
+TEST(TnsIo, RejectsZeroIndexWithToken) {
+  expect_parse_error("1 0 1 1.0\n", {"line 1", "1-indexed"});
+}
+
+TEST(TnsIo, DuplicatesSumByDefault) {
+  // FROSTT convention: duplicate coordinates accumulate. The entry keeps
+  // its first-occurrence position in the nnz ordering.
+  std::istringstream in("2 2 2 1.25\n1 1 1 10.0\n2 2 2 2.5\n");
+  const CooTensor x = read_tns(in);
+  EXPECT_EQ(x.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(x.value(0), 3.75);  // 1.25 + 2.5, at its original slot
+  EXPECT_DOUBLE_EQ(x.value(1), 10.0);
+  EXPECT_EQ(x.index(0, 0), 1u);
+}
+
+TEST(TnsIo, DuplicatePolicyErrorNamesBothLines) {
+  expect_parse_error("1 1 1 1.0\n2 2 2 2.0\n1 1 1 3.0\n",
+                     {"line 3", "duplicate coordinate", "first seen at line 1"},
+                     DuplicatePolicy::kError);
+}
+
+TEST(TnsIo, DuplicatePolicyErrorAcceptsDistinctCoordinates) {
+  std::istringstream in("1 1 1 1.0\n2 2 2 2.0\n1 1 2 3.0\n");
+  const CooTensor x = read_tns(in, DuplicatePolicy::kError);
+  EXPECT_EQ(x.nnz(), 3u);
+}
+
+TEST(TnsIo, FileErrorsArePrefixedWithPath) {
+  const TempDir dir;
+  const std::string path = dir.file("bad.tns");
+  {
+    std::ofstream out(path);
+    out << "1 1 1 1.0\n1 1 1 nan\n";
+  }
+  try {
+    read_tns_file(path);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bad.tns"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  }
+}
+
 TEST(BinaryIo, ExactRoundTrip) {
   const TempDir dir;
   const CooTensor x = testing::random_coo({12, 4, 9}, 100, 23);
