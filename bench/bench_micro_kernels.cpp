@@ -4,12 +4,15 @@
 // isolation.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "common.hpp"
 
 #include "core/admm.hpp"
 #include "la/blas.hpp"
 #include "la/cholesky.hpp"
 #include "mttkrp/mttkrp.hpp"
+#include "parallel/runtime.hpp"
 #include "tensor/synthetic.hpp"
 #include "util/rng.hpp"
 
@@ -213,6 +216,93 @@ BENCHMARK(BM_MttkrpMemoryBoundTiled)
     ->Arg(0)
     ->Arg(8192)
     ->Arg(32768)
+    ->Unit(benchmark::kMillisecond);
+
+// -----------------------------------------------------------------------
+// Non-root scatter strategies (the atomic-free MTTKRP work): one power-law
+// order-3 tensor, one tree rooted at mode 0, target mode 1, and the three
+// scatter policies head to head. AOADMM_BENCH_NONROOT_NNZ scales the
+// tensor (default 1M non-zeros; the committed speedup numbers use 5M).
+// -----------------------------------------------------------------------
+
+struct NonRootSetup {
+  CooTensor coo;
+  CsfTensor csf;
+  std::vector<Matrix> factors;
+
+  NonRootSetup() {
+    SyntheticSpec spec;
+    spec.dims = {3000, 40000, 5000};
+    spec.nnz = 1000000;
+    if (const char* env = std::getenv("AOADMM_BENCH_NONROOT_NNZ")) {
+      spec.nnz = static_cast<offset_t>(std::strtoull(env, nullptr, 10));
+    }
+    spec.zipf_alpha = {1.1};  // power-law slice sizes: the imbalanced case
+    spec.true_rank = 4;
+    spec.seed = 1234;
+    coo = make_synthetic(spec);
+    csf = CsfTensor::build_for_mode(coo, 0);
+    Rng rng(55);
+    for (const index_t d : coo.dims()) {
+      factors.push_back(Matrix::random_uniform(d, 32, rng, 0.1, 1.0));
+    }
+  }
+
+  static const NonRootSetup& instance() {
+    static const NonRootSetup s;
+    return s;
+  }
+};
+
+void run_nonroot(benchmark::State& state, MttkrpSchedule schedule) {
+  const auto& s = NonRootSetup::instance();
+  const int threads = static_cast<int>(state.range(0));
+  const int saved = max_threads();
+  set_num_threads(threads);
+  Matrix out;
+  for (auto _ : state) {
+    mttkrp_csf_nonroot(s.csf, s.factors, 1, out, schedule);
+    benchmark::DoNotOptimize(out.data());
+  }
+  set_num_threads(saved);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.coo.nnz()));
+}
+
+void BM_MttkrpNonRootAtomic(benchmark::State& state) {
+  run_nonroot(state, MttkrpSchedule::kDynamic);
+}
+BENCHMARK(BM_MttkrpNonRootAtomic)->Arg(1)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MttkrpNonRootPrivatized(benchmark::State& state) {
+  run_nonroot(state, MttkrpSchedule::kWeighted);
+}
+BENCHMARK(BM_MttkrpNonRootPrivatized)->Arg(1)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MttkrpNonRootOwner(benchmark::State& state) {
+  run_nonroot(state, MttkrpSchedule::kOwner);
+}
+BENCHMARK(BM_MttkrpNonRootOwner)->Arg(1)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Root kernel: weighted static chunks vs. the legacy dynamic loop on the
+// same power-law tensor (the nnz-weighted scheduling half of the work).
+void BM_MttkrpRootSchedule(benchmark::State& state) {
+  const auto& s = NonRootSetup::instance();
+  const auto schedule = static_cast<MttkrpSchedule>(state.range(0));
+  Matrix out;
+  for (auto _ : state) {
+    mttkrp_csf(s.csf, s.factors, out, /*accumulate=*/false, schedule);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.coo.nnz()));
+}
+BENCHMARK(BM_MttkrpRootSchedule)
+    ->Arg(static_cast<int>(MttkrpSchedule::kDynamic))
+    ->Arg(static_cast<int>(MttkrpSchedule::kWeighted))
     ->Unit(benchmark::kMillisecond);
 
 void BM_CsrConstruction(benchmark::State& state) {

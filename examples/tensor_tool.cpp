@@ -7,6 +7,9 @@
 //   convert   in.tns out.bin            text <-> binary (by extension)
 //   cpd       t.tns [--rank 16] [--constraint nonneg] [--lambda 0.1]
 //             [--variant blocked|base] [--format dense|csr|csr-h]
+//             [--mttkrp-kernel auto|allmode|onetree|tiled]
+//             [--mttkrp-schedule auto|dynamic|weighted|owner]
+//             [--tile-rows N]
 //             [--max-outer 50] [--tol 1e-5] [--block 50] [--trace out.csv]
 //             [--threads N] [--save-factors prefix]
 //             [--objective ls|observed] [--ridge 1e-6]
@@ -14,6 +17,14 @@
 //             [--resume run.ckpt]
 //             [--robust] [--max-recoveries 3]
 //             [--progress] [--metrics-json m.json] [--chrome-trace t.json]
+//
+// MTTKRP (cpd): --mttkrp-kernel picks the driver (auto follows the CSF
+// compilation; onetree compiles a single tree and serves the other modes
+// through the scatter kernels, 1/order the memory; tiled blocks the leaf
+// mode in --tile-rows chunks for cache residency). --mttkrp-schedule picks
+// the scatter/scheduling policy (auto; weighted = nnz-weighted static
+// chunks + privatized reduction; owner = owner-computes partitioning;
+// dynamic = the legacy atomic baseline, for ablations).
 //
 // Robustness (cpd): --robust enables the numerical guard rails (guarded
 // Cholesky, ADMM divergence recovery, NaN/Inf sentinels — see
@@ -161,6 +172,9 @@ std::string cli_flag_for(const std::string& field) {
   if (field == "tolerance") return "--tol";
   if (field == "admm.block_size") return "--block";
   if (field == "leaf_format") return "--format";
+  if (field == "mttkrp_kernel") return "--mttkrp-kernel";
+  if (field == "mttkrp_schedule") return "--mttkrp-schedule";
+  if (field == "mttkrp_tile_rows") return "--tile-rows";
   if (field == "checkpoint_path") return "--checkpoint";
   if (field == "checkpoint_every") return "--checkpoint-every";
   if (field == "robustness.max_recoveries") return "--max-recoveries";
@@ -177,11 +191,54 @@ int cmd_cpd(const Options& opts) {
     set_num_threads(threads);
   }
   const CooTensor x = load_any(opts.positional()[1]);
-  std::printf("loaded %llu non-zeros; compiling CSF...\n",
-              static_cast<unsigned long long>(x.nnz()));
-  const CsfSet csf(x);
+
+  const std::string kernel_str = opts.get_string("mttkrp-kernel", "auto");
+  MttkrpKernel kernel = MttkrpKernel::kAuto;
+  if (kernel_str == "allmode") {
+    kernel = MttkrpKernel::kAllMode;
+  } else if (kernel_str == "onetree") {
+    kernel = MttkrpKernel::kOneTree;
+  } else if (kernel_str == "tiled") {
+    kernel = MttkrpKernel::kTiled;
+  } else {
+    AOADMM_CHECK_MSG(kernel_str == "auto",
+                     "--mttkrp-kernel must be auto|allmode|onetree|tiled");
+  }
+
+  const std::string sched_str = opts.get_string("mttkrp-schedule", "auto");
+  MttkrpSchedule schedule = MttkrpSchedule::kAuto;
+  if (sched_str == "dynamic") {
+    schedule = MttkrpSchedule::kDynamic;
+  } else if (sched_str == "weighted") {
+    schedule = MttkrpSchedule::kWeighted;
+  } else if (sched_str == "owner") {
+    schedule = MttkrpSchedule::kOwner;
+  } else {
+    AOADMM_CHECK_MSG(sched_str == "auto",
+                     "--mttkrp-schedule must be auto|dynamic|weighted|owner");
+  }
+
+  const auto tile_rows =
+      static_cast<index_t>(opts.get_int("tile-rows", 0));
+  const CsfStrategy strategy = kernel == MttkrpKernel::kOneTree
+                                   ? CsfStrategy::kOneMode
+                                   : CsfStrategy::kAllMode;
+  // --tile-rows implies the tiled kernel unless the user forced another one
+  // (validate() warns about that combination below).
+  const index_t build_tile_rows =
+      (kernel == MttkrpKernel::kTiled || kernel == MttkrpKernel::kAuto)
+          ? tile_rows
+          : 0;
+
+  std::printf("loaded %llu non-zeros; compiling CSF (%s%s)...\n",
+              static_cast<unsigned long long>(x.nnz()), to_string(strategy),
+              build_tile_rows > 0 ? ", tiled" : "");
+  const CsfSet csf(x, strategy, build_tile_rows);
 
   CpdOptions cpd_opts;
+  cpd_opts.mttkrp_kernel = kernel;
+  cpd_opts.mttkrp_schedule = schedule;
+  cpd_opts.mttkrp_tile_rows = tile_rows;
   cpd_opts.rank = static_cast<rank_t>(opts.get_int("rank", 16));
   cpd_opts.max_outer_iterations =
       static_cast<unsigned>(opts.get_int("max-outer", 50));
@@ -284,6 +341,8 @@ int cmd_cpd(const Options& opts) {
   // (missing = unknown) via cpd_wopt.
   const std::string objective = opts.get_string("objective", "ls");
   if (objective == "observed") {
+    AOADMM_CHECK_MSG(!csf.tiled(),
+                     "--objective observed does not support --tile-rows");
     WcpdOptions wopts;
     wopts.rank = cpd_opts.rank;
     wopts.max_outer_iterations = cpd_opts.max_outer_iterations;
@@ -348,6 +407,9 @@ int cmd_cpd(const Options& opts) {
 
   std::printf("\nvariant         : %s / %s leaf\n", to_string(cpd_opts.variant),
               to_string(cpd_opts.leaf_format));
+  std::printf("mttkrp          : kernel %s / schedule %s%s\n",
+              to_string(kernel), to_string(schedule),
+              csf.tiled() ? " / tiled" : "");
   std::printf("outer iterations: %u (%s)\n", r.outer_iterations,
               r.converged ? "converged" : "iteration cap");
   std::printf("relative error  : %.6f\n",

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON run against a committed baseline.
+
+Usage:
+    check_bench_regression.py --baseline BENCH_baseline.json \
+        --current bench_out.json [--threshold 1.25] [--update]
+
+For every benchmark present in both files, computes
+
+    ratio = current_time / baseline_time
+
+after normalizing both sides to nanoseconds and, when a benchmark was run
+with repetitions, taking the *median* aggregate (falling back to the raw
+entry when no aggregates exist). Exits non-zero when any ratio exceeds the
+threshold (default 1.25, i.e. a >25% per-kernel slowdown).
+
+Benchmarks present in only one file are reported as warnings, never
+failures: a freshly added kernel must not fail CI for lacking history, and
+a renamed kernel should fail review, not the build. --update rewrites the
+baseline from the current run (commit the result deliberately).
+
+Absolute wall-clock times on shared CI runners are noisy; a *ratio* of two
+runs taken minutes apart on the same machine is far more stable, which is
+why the harness compares same-machine pairs instead of pinning absolute
+numbers. Do not run this under sanitizers — instrumentation skews kernels
+unevenly and the ratios stop meaning anything.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_times(path):
+    """Map benchmark name -> representative real_time in nanoseconds."""
+    with open(path) as f:
+        data = json.load(f)
+    raw = {}
+    medians = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate" and b.get("aggregate_name") != "median":
+            continue
+        unit = TIME_UNIT_NS.get(b.get("time_unit", "ns"))
+        if unit is None:
+            print(f"warning: {path}: unknown time_unit in {b.get('name')}; "
+                  "skipped", file=sys.stderr)
+            continue
+        time_ns = float(b["real_time"]) * unit
+        if b.get("run_type") == "aggregate":
+            medians[b["run_name"]] = time_ns
+        else:
+            raw[b["name"]] = time_ns
+    # Median aggregates (from --benchmark_repetitions) win over raw entries.
+    raw.update(medians)
+    return raw
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--threshold", type=float, default=1.25,
+                    help="fail when current/baseline exceeds this "
+                         "(default: 1.25)")
+    ap.add_argument("--update", action="store_true",
+                    help="overwrite the baseline with the current run")
+    args = ap.parse_args()
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated from {args.current}")
+        return 0
+
+    baseline = load_times(args.baseline)
+    current = load_times(args.current)
+
+    for name in sorted(set(baseline) - set(current)):
+        print(f"warning: '{name}' is in the baseline but was not run",
+              file=sys.stderr)
+    for name in sorted(set(current) - set(baseline)):
+        print(f"warning: '{name}' has no baseline entry (new benchmark?); "
+              "re-baseline with --update", file=sys.stderr)
+
+    common = sorted(set(baseline) & set(current))
+    if not common:
+        print("error: no benchmarks in common between baseline and current",
+              file=sys.stderr)
+        return 2
+
+    regressions = []
+    width = max(len(n) for n in common)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  ratio")
+    for name in common:
+        base_ns, cur_ns = baseline[name], current[name]
+        ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
+        flag = "  <-- REGRESSION" if ratio > args.threshold else ""
+        print(f"{name:<{width}}  {base_ns:>10.0f}ns  {cur_ns:>10.0f}ns  "
+              f"{ratio:5.2f}x{flag}")
+        if ratio > args.threshold:
+            regressions.append((name, ratio))
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed beyond "
+              f"{args.threshold:.2f}x:", file=sys.stderr)
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    print(f"\nall {len(common)} benchmarks within {args.threshold:.2f}x "
+          "of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,9 @@ CpdResult cpd_als(const CsfSet& csf, const CpdOptions& opts, real_t ridge) {
   const std::size_t order = csf.order();
   AOADMM_CHECK(order >= 2);
   AOADMM_CHECK(ridge >= 0);
+  AOADMM_CHECK_MSG(!csf.tiled(),
+                   "cpd_als expects an untiled CsfSet (tiling is a CpdSolver "
+                   "feature); build the set with tile_rows = 0");
 
   const AlsMetrics& metrics = AlsMetrics::get();
   metrics.runs.add(1);
@@ -52,7 +55,7 @@ CpdResult cpd_als(const CsfSet& csf, const CpdOptions& opts, real_t ridge) {
   Timer solve_timer;
 
   CpdResult result;
-  const real_t x_norm_sq = detail::tensor_norm_sq(csf.for_mode(0));
+  const real_t x_norm_sq = csf.norm_sq();
   {
     AOADMM_PROFILE_SCOPE("cpd/init");
     result.factors =
@@ -93,7 +96,8 @@ CpdResult cpd_als(const CsfSet& csf, const CpdOptions& opts, real_t ridge) {
         const double before = mttkrp_timer.seconds();
         ++result.mttkrp_count;
         metrics.mttkrp_calls.add(1);
-        mttkrp_dispatch(csf.for_mode(m), result.factors, m, ws.mttkrp_out);
+        mttkrp_dispatch(csf.for_mode(m), result.factors, m, ws.mttkrp_out,
+                        opts.mttkrp_schedule);
         mode_mttkrp_seconds[m] = mttkrp_timer.seconds() - before;
       }
       {
@@ -132,7 +136,7 @@ CpdResult cpd_als(const CsfSet& csf, const CpdOptions& opts, real_t ridge) {
       // mttkrp_out was overwritten by the solve; recompute the final-mode
       // MTTKRP for an exact fit. (ALS is a baseline; simplicity wins.)
       mttkrp_dispatch(csf.for_mode(order - 1), result.factors, order - 1,
-                      ws.mttkrp_out);
+                      ws.mttkrp_out, opts.mttkrp_schedule);
       err = detail::fit_relative_error(x_norm_sq, ws.mttkrp_out,
                                        result.factors[order - 1], ws.grams);
     }

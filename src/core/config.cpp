@@ -235,6 +235,41 @@ ValidationReport CpdConfig::validate(std::size_t order) const {
     }
   }
 
+  // MTTKRP driver knobs. The tiled kernel only exists for the dense leaf
+  // path (tiles re-bucket the raw non-zeros, not a compressed leaf factor),
+  // and tiling only happens when the CsfSet was built with tile_rows > 0.
+  if (options.mttkrp_kernel == MttkrpKernel::kTiled &&
+      options.leaf_format != LeafFormat::kDense) {
+    add(Severity::kError, "mttkrp_kernel",
+        std::string("the tiled MTTKRP kernel supports only the DENSE leaf "
+                    "format, but leaf_format is ") +
+            to_string(options.leaf_format));
+  }
+  if (options.mttkrp_tile_rows > 0 &&
+      options.mttkrp_kernel != MttkrpKernel::kTiled &&
+      options.mttkrp_kernel != MttkrpKernel::kAuto) {
+    add(Severity::kWarning, "mttkrp_tile_rows",
+        std::string("mttkrp_tile_rows is set but mttkrp_kernel=") +
+            to_string(options.mttkrp_kernel) +
+            " never runs the tiled kernel; the tiled compilation would be "
+            "built and ignored");
+  }
+  if (options.mttkrp_kernel == MttkrpKernel::kTiled &&
+      options.mttkrp_tile_rows == 0) {
+    add(Severity::kWarning, "mttkrp_kernel",
+        "mttkrp_kernel=tiled with mttkrp_tile_rows=0 degenerates to a "
+        "single tile per mode (correct, but pays the tiled bookkeeping for "
+        "no cache benefit); set mttkrp_tile_rows to the intended tile "
+        "height");
+  }
+  if (options.mttkrp_kernel == MttkrpKernel::kOneTree &&
+      options.mttkrp_schedule == MttkrpSchedule::kDynamic) {
+    add(Severity::kWarning, "mttkrp_schedule",
+        "mttkrp_schedule=dynamic puts the one-tree kernel back on the "
+        "per-element atomic scatter path (the ablation baseline); use "
+        "auto/weighted/owner for the atomic-free kernels");
+  }
+
   if (checkpoint_every > 0 && checkpoint_path.empty()) {
     add(Severity::kError, "checkpoint_path",
         "checkpoint_every is set but checkpoint_path is empty; give a file "

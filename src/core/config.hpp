@@ -119,6 +119,18 @@ struct CpdConfig {
     options.leaf_format = f;
     return *this;
   }
+  CpdConfig& with_mttkrp_kernel(MttkrpKernel k) {
+    options.mttkrp_kernel = k;
+    return *this;
+  }
+  CpdConfig& with_mttkrp_schedule(MttkrpSchedule s) {
+    options.mttkrp_schedule = s;
+    return *this;
+  }
+  CpdConfig& with_mttkrp_tile_rows(index_t rows) {
+    options.mttkrp_tile_rows = rows;
+    return *this;
+  }
   CpdConfig& with_sparsity_threshold(real_t t) {
     options.sparsity_threshold = t;
     return *this;

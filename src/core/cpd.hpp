@@ -48,6 +48,19 @@ struct CpdOptions {
   AdmmVariant variant = AdmmVariant::kBlocked;
   /// Leaf-factor storage during MTTKRP (Table II: DENSE / CSR / CSR-H).
   LeafFormat leaf_format = LeafFormat::kDense;
+  /// Which MTTKRP driver the solver runs (kAuto follows the CsfSet: tiled
+  /// compilations run kTiled, otherwise the strategy's ALLMODE/ONEMODE
+  /// kernels).
+  MttkrpKernel mttkrp_kernel = MttkrpKernel::kAuto;
+  /// Scatter/scheduling policy inside the MTTKRP kernels (see
+  /// mttkrp/mttkrp.hpp; kDynamic is the legacy atomic ablation baseline).
+  MttkrpSchedule mttkrp_schedule = MttkrpSchedule::kAuto;
+  /// Leaf-mode tile height intended for the CsfSet compilation (0 = no
+  /// tiling). The tiling itself happens when the CsfSet is built — this
+  /// field exists so validate() can cross-check it against mttkrp_kernel
+  /// and leaf_format, and so drivers like tensor_tool have one place to
+  /// read it from.
+  index_t mttkrp_tile_rows = 0;
   /// Exploit factor sparsity only below this density (paper: 20%).
   real_t sparsity_threshold = 0.20;
   std::uint64_t seed = 123;

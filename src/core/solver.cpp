@@ -95,7 +95,43 @@ CpdSolver::CpdSolver(const CsfSet& csf, CpdConfig config)
     prox_[m] = make_prox(config_.constraints.for_mode(m));
   }
 
-  x_norm_sq_ = detail::tensor_norm_sq(csf_.for_mode(0));
+  // Kernel knob vs. the compilation actually handed in. validate() can only
+  // see the config; the CsfSet is ground truth for what kernels can run.
+  const MttkrpKernel kernel = config_.options.mttkrp_kernel;
+  if (csf_.tiled()) {
+    if (kernel != MttkrpKernel::kAuto && kernel != MttkrpKernel::kTiled) {
+      throw InvalidArgument(
+          std::string("CsfSet holds tiled compilations but mttkrp_kernel=") +
+          to_string(kernel) + "; use kTiled or kAuto (or build the CsfSet "
+          "with tile_rows = 0)");
+    }
+    if (config_.options.leaf_format != LeafFormat::kDense) {
+      throw InvalidArgument(
+          "tiled MTTKRP supports only the DENSE leaf format; rebuild the "
+          "CsfSet untiled to use compressed leaf factors");
+    }
+  } else {
+    if (kernel == MttkrpKernel::kTiled) {
+      throw InvalidArgument(
+          "mttkrp_kernel=tiled but the CsfSet was built without tiling; "
+          "construct it with tile_rows > 0");
+    }
+    if (kernel == MttkrpKernel::kAllMode &&
+        csf_.strategy() != CsfStrategy::kAllMode) {
+      throw InvalidArgument(
+          "mttkrp_kernel=allmode but the CsfSet was compiled with the "
+          "one-mode strategy; rebuild it with CsfStrategy::kAllMode");
+    }
+    if (kernel == MttkrpKernel::kOneTree &&
+        csf_.strategy() == CsfStrategy::kAllMode) {
+      throw InvalidArgument(
+          "mttkrp_kernel=onetree but the CsfSet holds one tree per mode; "
+          "rebuild it with CsfStrategy::kOneMode to exercise the non-root "
+          "kernels");
+    }
+  }
+
+  x_norm_sq_ = csf_.norm_sq();
 }
 
 void CpdSolver::zero_duals() {
@@ -230,6 +266,7 @@ CpdResult CpdSolver::run(unsigned start_outer, real_t prev_error,
     AOADMM_PROFILE_SCOPE("cpd/outer");
     const double iter_start_seconds = wall.seconds();
     const obs::ParallelTotals parallel_before = obs::parallel_totals();
+    const obs::ParallelTotals mttkrp_before = obs::mttkrp_totals();
     const double admm_seconds_before = timers.admm.seconds();
     std::fill(mode_mttkrp_seconds_.begin(), mode_mttkrp_seconds_.end(), 0.0);
     std::uint64_t iter_inner_iterations = 0;
@@ -240,7 +277,9 @@ CpdResult CpdSolver::run(unsigned start_outer, real_t prev_error,
 
     for (std::size_t m = 0; m < order; ++m) {
       AOADMM_PROFILE_SCOPE("cpd/mode");
-      const CsfTensor& tree = csf_.for_mode(m);
+      // A tiled set has no single tree per mode; the tiled kernel takes the
+      // whole TiledCsf below and everything tree-specific is skipped.
+      const CsfTensor* tree = csf_.tiled() ? nullptr : &csf_.for_mode(m);
 
       {
         const ScopedTimer t(timers.other);
@@ -260,10 +299,10 @@ CpdResult CpdSolver::run(unsigned start_outer, real_t prev_error,
       const auto compute_mttkrp = [&]() -> bool {
         bool used_sparse = false;
         // Sparse-leaf kernels exist for root-mode trees only (ALLMODE); a
-        // one-tree set serves non-root modes through the atomic dispatcher.
-        if (opts.leaf_format != LeafFormat::kDense &&
-            tree.level_mode(0) == m) {
-          const std::size_t leaf_mode = tree.level_mode(order - 1);
+        // one-tree set serves non-root modes through the scatter kernels.
+        if (tree != nullptr && opts.leaf_format != LeafFormat::kDense &&
+            tree->level_mode(0) == m) {
+          const std::size_t leaf_mode = tree->level_mode(order - 1);
           SparseFactorCache::Mirror mirror;
           {
             const ScopedTimer t(timers.other);
@@ -274,17 +313,25 @@ CpdResult CpdSolver::run(unsigned start_outer, real_t prev_error,
           }
           if (mirror.csr != nullptr) {
             const ScopedTimer t(timers.mttkrp);
-            mttkrp_csf_csr(tree, factors_, *mirror.csr, ws_.mttkrp_out);
+            mttkrp_csf_csr(*tree, factors_, *mirror.csr, ws_.mttkrp_out,
+                           opts.mttkrp_schedule);
             used_sparse = true;
           } else if (mirror.hybrid != nullptr) {
             const ScopedTimer t(timers.mttkrp);
-            mttkrp_csf_hybrid(tree, factors_, *mirror.hybrid, ws_.mttkrp_out);
+            mttkrp_csf_hybrid(*tree, factors_, *mirror.hybrid,
+                              ws_.mttkrp_out, opts.mttkrp_schedule);
             used_sparse = true;
           }
         }
         if (!used_sparse) {
           const ScopedTimer t(timers.mttkrp);
-          mttkrp_dispatch(tree, factors_, m, ws_.mttkrp_out);
+          if (tree == nullptr) {
+            mttkrp_tiled(csf_.tiled_for_mode(m), factors_, ws_.mttkrp_out,
+                         opts.mttkrp_schedule);
+          } else {
+            mttkrp_dispatch(*tree, factors_, m, ws_.mttkrp_out,
+                            opts.mttkrp_schedule);
+          }
         }
         testing::maybe_inject_nan(ws_.mttkrp_out);
         return used_sparse;
@@ -434,6 +481,14 @@ CpdResult CpdSolver::run(unsigned start_outer, real_t prev_error,
       snap.worst_dual_residual = worst_dual;
       snap.mean_dual_residual = sum_dual / static_cast<real_t>(order);
       snap.thread_imbalance = obs::imbalance_since(parallel_before);
+      snap.mttkrp_imbalance = obs::mttkrp_imbalance_since(mttkrp_before);
+      {
+        const obs::ParallelTotals mttkrp_now = obs::mttkrp_totals();
+        snap.mttkrp_max_busy_seconds =
+            mttkrp_now.max_busy_seconds - mttkrp_before.max_busy_seconds;
+        snap.mttkrp_mean_busy_seconds =
+            mttkrp_now.mean_busy_seconds - mttkrp_before.mean_busy_seconds;
+      }
       snap.factor_density.reserve(order);
       for (std::size_t m = 0; m < order; ++m) {
         snap.factor_density.push_back(measure_density(factors_[m]).density);

@@ -5,11 +5,14 @@
 //  * mttkrp_csf        — CSF tensor, dense factors (Algorithm 3, any order).
 //  * mttkrp_csf_csr    — leaf-level factor compressed to CSR (paper §IV.C).
 //  * mttkrp_csf_hybrid — leaf factor in hybrid dense+CSR with prefetch.
+//  * mttkrp_csf_nonroot— non-root target over a single tree (one-tree mode).
+//  * mttkrp_tiled      — root kernel over a leaf-tiled compilation.
 //  * mttkrp_coo        — serial COO reference used as the test oracle.
 //
-// All CSF kernels compute the MTTKRP for the CSF's ROOT mode and parallelize
-// over root slices (race-free). `factors` is indexed by ORIGINAL mode id and
-// all matrices must share the same rank F.
+// The root-mode CSF kernels parallelize over root slices (race-free);
+// `factors` is indexed by ORIGINAL mode id and all matrices must share the
+// same rank F. Every parallel kernel takes an MttkrpSchedule policy
+// controlling how work maps to threads (see below and docs/performance.md).
 #pragma once
 
 #include "la/matrix.hpp"
@@ -33,6 +36,65 @@ enum class LeafFormat {
 
 const char* to_string(LeafFormat f) noexcept;
 
+/// How MTTKRP work maps to threads.
+///  * kDynamic  — the legacy policy: uniform schedule(dynamic, 16) loops;
+///    non-root targets scatter with per-element atomics. Kept as an explicit
+///    fallback/ablation baseline only.
+///  * kWeighted — precomputed nnz-weighted static root chunks (cached on the
+///    CsfTensor); non-root targets use a privatized reduction (per-thread
+///    dense output copies + partitioned parallel reduction).
+///  * kOwner    — weighted root chunks with owner-computes non-root scatter:
+///    rows touched by one chunk are written directly, rows shared between
+///    chunks go through compact per-thread slot buffers plus a fixup pass.
+///    Root-mode targets behave like kWeighted (they are owner-computes by
+///    construction).
+///  * kAuto     — cost model: kWeighted while the per-thread output copy is
+///    small, kOwner for large target modes. The default.
+enum class MttkrpSchedule {
+  kAuto,
+  kDynamic,
+  kWeighted,
+  kOwner,
+};
+
+const char* to_string(MttkrpSchedule s) noexcept;
+
+/// Which MTTKRP compilation/kernel family the CPD driver uses:
+///  * kAllMode — one tree per mode, root kernel everywhere (needs an
+///    ALLMODE CsfSet).
+///  * kOneTree — a single tree; non-root modes go through
+///    mttkrp_csf_nonroot (needs a ONEMODE CsfSet).
+///  * kTiled   — leaf-tiled root kernel per mode (needs a tiled CsfSet).
+///  * kAuto    — follow whatever the CsfSet was built as. The default.
+enum class MttkrpKernel {
+  kAuto,
+  kAllMode,
+  kOneTree,
+  kTiled,
+};
+
+const char* to_string(MttkrpKernel k) noexcept;
+
+namespace detail {
+
+/// Per-thread bytes below which the privatized (dense-copy) non-root
+/// reduction beats owner-computes in the kAuto cost model: the copy costs a
+/// zero + reduce sweep of out_rows*F doubles per thread per call, which is
+/// noise while it fits comfortably in cache but dominates for long modes.
+inline constexpr std::size_t kPrivatizeMaxBytes = std::size_t{8} << 20;
+
+/// Resolve kAuto for a non-root target of `out_rows` rows at rank `rank`
+/// with `nthreads` planned threads. Never returns kAuto.
+MttkrpSchedule resolve_nonroot_schedule(MttkrpSchedule s, index_t out_rows,
+                                        std::size_t rank,
+                                        int nthreads) noexcept;
+
+/// Resolve the policy for a root-mode (race-free) kernel: kAuto and kOwner
+/// collapse to kWeighted; kDynamic stays dynamic. Never returns kAuto.
+MttkrpSchedule resolve_root_schedule(MttkrpSchedule s) noexcept;
+
+}  // namespace detail
+
 /// Heuristic structure selection from a factor's measured pattern
 /// (paper §VI, "automatically select the best data structure"):
 ///  * density >= threshold            → kDense (compression can't pay)
@@ -50,57 +112,43 @@ LeafFormat auto_select_leaf_format(offset_t nnz, std::size_t rows,
 /// resized to (I_m, F) and overwritten (or accumulated into when
 /// `accumulate` is set — used by the tiled driver below).
 void mttkrp_csf(const CsfTensor& csf, cspan<const Matrix> factors,
-                Matrix& out, bool accumulate = false);
+                Matrix& out, bool accumulate = false,
+                MttkrpSchedule schedule = MttkrpSchedule::kAuto);
 
-/// Leaf-mode cache tiling for the root-mode kernel (the blocking SPLATT
-/// applies when the per-non-zero factor exceeds cache): non-zeros are
-/// bucketed by leaf index range so each pass touches only `tile_rows` rows
-/// of the leaf factor, which then stay cache resident for the whole pass.
-class TiledCsf {
- public:
-  /// Compile `coo` for root-mode MTTKRP of `root`, tiling the leaf mode in
-  /// chunks of `tile_rows` (0 = one tile, i.e. no tiling). Empty tiles are
-  /// dropped.
-  TiledCsf(const CooTensor& coo, std::size_t root, index_t tile_rows);
-
-  std::size_t num_tiles() const noexcept { return tiles_.size(); }
-  const CsfTensor& tile(std::size_t t) const { return tiles_.at(t); }
-  std::size_t root_mode() const noexcept { return root_; }
-  index_t tile_rows() const noexcept { return tile_rows_; }
-  offset_t nnz() const noexcept;
-  std::size_t storage_bytes() const noexcept;
-
- private:
-  std::size_t root_ = 0;
-  index_t tile_rows_ = 0;
-  std::vector<CsfTensor> tiles_;
-};
-
-/// Root-mode MTTKRP over a tiled compilation: tiles are processed in
-/// sequence (each root-parallel internally), accumulating into `out`.
+/// Root-mode MTTKRP over a tiled compilation (see TiledCsf in tensor/csf.hpp):
+/// tiles are processed in sequence inside ONE parallel region (order 3; the
+/// generic path re-enters per tile), accumulating into `out`. Per-tile wall
+/// times land in the "mttkrp/tiled/tile_seconds" histogram.
 void mttkrp_tiled(const TiledCsf& tiled, cspan<const Matrix> factors,
-                  Matrix& out);
+                  Matrix& out,
+                  MttkrpSchedule schedule = MttkrpSchedule::kAuto);
 
 /// Leaf factor (original mode csf.level_mode(order-1)) read from `leaf`
 /// instead of `factors`; the other factors stay dense (paper: only C — the
 /// per-non-zero factor — is worth compressing).
 void mttkrp_csf_csr(const CsfTensor& csf, cspan<const Matrix> factors,
-                    const CsrMatrix& leaf, Matrix& out);
+                    const CsrMatrix& leaf, Matrix& out,
+                    MttkrpSchedule schedule = MttkrpSchedule::kAuto);
 
 void mttkrp_csf_hybrid(const CsfTensor& csf, cspan<const Matrix> factors,
-                       const HybridMatrix& leaf, Matrix& out);
+                       const HybridMatrix& leaf, Matrix& out,
+                       MttkrpSchedule schedule = MttkrpSchedule::kAuto);
 
 /// MTTKRP for a mode that is NOT the CSF root — the memory-efficient
-/// one-tree strategy (SPLATT keeps a single CSF instead of one per mode and
-/// pays atomic scatter into the output rows). Works for any order and any
-/// internal/leaf target level.
+/// one-tree strategy. Works for any order and any internal/leaf target
+/// level. The scatter into shared output rows is atomic-free under the
+/// kWeighted (privatized reduction) and kOwner (owner-computes + fixup)
+/// policies; the per-element-atomic legacy kernel survives only behind the
+/// explicit kDynamic policy.
 void mttkrp_csf_nonroot(const CsfTensor& csf, cspan<const Matrix> factors,
-                        std::size_t target_mode, Matrix& out);
+                        std::size_t target_mode, Matrix& out,
+                        MttkrpSchedule schedule = MttkrpSchedule::kAuto);
 
 /// Dispatch on the tree: root-mode targets take the race-free root kernel,
-/// anything else the atomic non-root kernel.
+/// anything else the non-root reduction kernel.
 void mttkrp_dispatch(const CsfTensor& csf, cspan<const Matrix> factors,
-                     std::size_t target_mode, Matrix& out);
+                     std::size_t target_mode, Matrix& out,
+                     MttkrpSchedule schedule = MttkrpSchedule::kAuto);
 
 /// Serial reference implementation straight from the definition.
 void mttkrp_coo(const CooTensor& coo, cspan<const Matrix> factors,

@@ -1,64 +1,15 @@
 #include <vector>
 
+#include "mttkrp/microkernels.hpp"
 #include "mttkrp/mttkrp.hpp"
 #include "mttkrp/mttkrp_impl.hpp"
 #include "mttkrp/mttkrp_obs.hpp"
 #include "mttkrp/thread_scratch.hpp"
+#include "parallel/runtime.hpp"
 #include "util/aligned.hpp"
 #include "util/error.hpp"
 
 namespace aoadmm {
-namespace {
-
-/// Hand-specialized three-mode kernel (Algorithm 3): the common case, with
-/// the inner loops written flat so the compiler vectorizes over the rank.
-void mttkrp_csf3_dense(const CsfTensor& csf, const Matrix& b_mid,
-                       const Matrix& c_leaf, Matrix& out) {
-  const std::size_t f = c_leaf.cols();
-  const auto root_fids = csf.fids(0);
-  const auto mid_fids = csf.fids(1);
-  const auto leaf_fids = csf.fids(2);
-  const auto fptr0 = csf.fptr(0);
-  const auto fptr1 = csf.fptr(1);
-  const auto vals = csf.vals();
-  const auto nroots = static_cast<std::ptrdiff_t>(root_fids.size());
-
-#if defined(AOADMM_HAVE_OPENMP)
-#pragma omp parallel
-#endif
-  {
-    real_t* __restrict z = detail::mttkrp_thread_scratch(f);
-
-#if defined(AOADMM_HAVE_OPENMP)
-#pragma omp for schedule(dynamic, 16)
-#endif
-    for (std::ptrdiff_t r = 0; r < nroots; ++r) {
-      const auto rr = static_cast<std::size_t>(r);
-      real_t* __restrict krow =
-          out.data() + static_cast<std::size_t>(root_fids[rr]) * f;
-      for (offset_t jn = fptr0[rr]; jn < fptr0[rr + 1]; ++jn) {
-        for (std::size_t k = 0; k < f; ++k) {
-          z[k] = 0;
-        }
-        for (offset_t c = fptr1[jn]; c < fptr1[jn + 1]; ++c) {
-          const real_t v = vals[c];
-          const real_t* __restrict crow =
-              c_leaf.data() + static_cast<std::size_t>(leaf_fids[c]) * f;
-          for (std::size_t k = 0; k < f; ++k) {
-            z[k] += v * crow[k];
-          }
-        }
-        const real_t* __restrict brow =
-            b_mid.data() + static_cast<std::size_t>(mid_fids[jn]) * f;
-        for (std::size_t k = 0; k < f; ++k) {
-          krow[k] += z[k] * brow[k];
-        }
-      }
-    }
-  }
-}
-
-}  // namespace
 
 const char* to_string(LeafFormat fmt) noexcept {
   switch (fmt) {
@@ -74,38 +25,93 @@ const char* to_string(LeafFormat fmt) noexcept {
   return "?";
 }
 
+const char* to_string(MttkrpSchedule s) noexcept {
+  switch (s) {
+    case MttkrpSchedule::kAuto:
+      return "auto";
+    case MttkrpSchedule::kDynamic:
+      return "dynamic";
+    case MttkrpSchedule::kWeighted:
+      return "weighted";
+    case MttkrpSchedule::kOwner:
+      return "owner";
+  }
+  return "?";
+}
+
+const char* to_string(MttkrpKernel k) noexcept {
+  switch (k) {
+    case MttkrpKernel::kAuto:
+      return "auto";
+    case MttkrpKernel::kAllMode:
+      return "allmode";
+    case MttkrpKernel::kOneTree:
+      return "onetree";
+    case MttkrpKernel::kTiled:
+      return "tiled";
+  }
+  return "?";
+}
+
+namespace detail {
+
+MttkrpSchedule resolve_nonroot_schedule(MttkrpSchedule s, index_t out_rows,
+                                        std::size_t rank,
+                                        int nthreads) noexcept {
+  if (s != MttkrpSchedule::kAuto) {
+    return s;
+  }
+  if (nthreads <= 1) {
+    // A single thread scatters directly; the privatized kernel degenerates
+    // to exactly that (its "copy" is the output itself).
+    return MttkrpSchedule::kWeighted;
+  }
+  const std::size_t copy_bytes =
+      static_cast<std::size_t>(out_rows) * rank * sizeof(real_t);
+  return copy_bytes <= kPrivatizeMaxBytes ? MttkrpSchedule::kWeighted
+                                          : MttkrpSchedule::kOwner;
+}
+
+MttkrpSchedule resolve_root_schedule(MttkrpSchedule s) noexcept {
+  // The root kernel is owner-computes by construction (each output row is
+  // written by exactly one root iteration), so kOwner and kAuto both mean
+  // "weighted static chunks"; only kDynamic opts out.
+  return s == MttkrpSchedule::kDynamic ? MttkrpSchedule::kDynamic
+                                       : MttkrpSchedule::kWeighted;
+}
+
+}  // namespace detail
+
 void mttkrp_csf(const CsfTensor& csf, cspan<const Matrix> factors,
-                Matrix& out, bool accumulate) {
+                Matrix& out, bool accumulate, MttkrpSchedule schedule) {
   AOADMM_CHECK(factors.size() == csf.order());
-  const std::size_t f = factors[csf.level_mode(csf.order() - 1)].cols();
+  const Matrix& leaf = factors[csf.level_mode(csf.order() - 1)];
+  const std::size_t f = leaf.cols();
+
+  const auto run = [&] {
+    detail::rank_dispatch(f, [&](auto rc) {
+      constexpr int R = decltype(rc)::value;
+      detail::mttkrp_csf_skeleton<R>(
+          csf, factors, f,
+          [&leaf](index_t idx, real_t v, real_t* __restrict z,
+                  std::size_t ff) {
+            const real_t* __restrict row =
+                leaf.data() + static_cast<std::size_t>(idx) * ff;
+            detail::RowOps<R>::axpy(z, v, row, ff);
+          },
+          out, accumulate, schedule);
+    });
+  };
 
   if (csf.order() == 3) {
-    const Matrix& b = factors[csf.level_mode(1)];
-    const Matrix& c = factors[csf.level_mode(2)];
-    AOADMM_CHECK(b.cols() == f);
-    const index_t out_rows = csf.level_dim(0);
-    if (out.rows() != out_rows || out.cols() != f) {
-      out.resize(out_rows, f);  // resize zero-initializes
-    } else if (!accumulate) {
-      out.zero();
-    }
+    // Keep the historical kernel label: the skeleton's flat three-mode fast
+    // path with the dense leaf op inlined IS the specialized kernel.
     AOADMM_MTTKRP_OBS("csf3_dense");
-    mttkrp_csf3_dense(csf, b, c, out);
-    return;
+    run();
+  } else {
+    AOADMM_MTTKRP_OBS("csf_dense");
+    run();
   }
-
-  AOADMM_MTTKRP_OBS("csf_dense");
-  const Matrix& leaf = factors[csf.level_mode(csf.order() - 1)];
-  detail::mttkrp_csf_skeleton(
-      csf, factors, f,
-      [&leaf](index_t idx, real_t v, real_t* __restrict z, std::size_t ff) {
-        const real_t* __restrict row =
-            leaf.data() + static_cast<std::size_t>(idx) * ff;
-        for (std::size_t k = 0; k < ff; ++k) {
-          z[k] += v * row[k];
-        }
-      },
-      out, accumulate);
 }
 
 }  // namespace aoadmm

@@ -1,3 +1,4 @@
+#include "mttkrp/microkernels.hpp"
 #include "mttkrp/mttkrp.hpp"
 #include "mttkrp/mttkrp_impl.hpp"
 #include "mttkrp/mttkrp_obs.hpp"
@@ -6,7 +7,8 @@
 namespace aoadmm {
 
 void mttkrp_csf_csr(const CsfTensor& csf, cspan<const Matrix> factors,
-                    const CsrMatrix& leaf, Matrix& out) {
+                    const CsrMatrix& leaf, Matrix& out,
+                    MttkrpSchedule schedule) {
   AOADMM_MTTKRP_OBS("csf_csr");
   AOADMM_CHECK(factors.size() == csf.order());
   const std::size_t leaf_mode = csf.level_mode(csf.order() - 1);
@@ -21,16 +23,22 @@ void mttkrp_csf_csr(const CsfTensor& csf, cspan<const Matrix> factors,
     }
   }
 
-  detail::mttkrp_csf_skeleton(
-      csf, factors, f,
-      [&leaf](index_t idx, real_t v, real_t* __restrict z, std::size_t) {
-        const auto [cols, vals] = leaf.row(idx);
-        const std::size_t n = cols.size();
-        for (std::size_t k = 0; k < n; ++k) {
-          z[cols[k]] += v * vals[k];
-        }
-      },
-      out);
+  // The leaf op itself stays runtime-length (it walks the row's sparse
+  // column list); the fixed-rank dispatch still pays off in the skeleton's
+  // Hadamard/accumulate loops.
+  detail::rank_dispatch(f, [&](auto rc) {
+    constexpr int R = decltype(rc)::value;
+    detail::mttkrp_csf_skeleton<R>(
+        csf, factors, f,
+        [&leaf](index_t idx, real_t v, real_t* __restrict z, std::size_t) {
+          const auto [cols, vals] = leaf.row(idx);
+          const std::size_t n = cols.size();
+          for (std::size_t k = 0; k < n; ++k) {
+            z[cols[k]] += v * vals[k];
+          }
+        },
+        out, /*accumulate=*/false, schedule);
+  });
 }
 
 }  // namespace aoadmm

@@ -17,6 +17,11 @@ std::atomic<double> g_max_busy{0};
 std::atomic<double> g_mean_busy{0};
 std::atomic<std::uint64_t> g_regions{0};
 
+// Dedicated MTTKRP-domain channel (in addition to the totals above).
+std::atomic<double> g_mttkrp_max_busy{0};
+std::atomic<double> g_mttkrp_mean_busy{0};
+std::atomic<std::uint64_t> g_mttkrp_regions{0};
+
 void atomic_add(std::atomic<double>& a, double v) noexcept {
   double cur = a.load(std::memory_order_relaxed);
   while (!a.compare_exchange_weak(cur, cur + v,
@@ -40,8 +45,18 @@ void reset_parallel_totals() noexcept {
   g_regions.store(0, std::memory_order_relaxed);
 }
 
-double imbalance_since(const ParallelTotals& before) noexcept {
-  const ParallelTotals now = parallel_totals();
+ParallelTotals mttkrp_totals() noexcept {
+  ParallelTotals t;
+  t.max_busy_seconds = g_mttkrp_max_busy.load(std::memory_order_relaxed);
+  t.mean_busy_seconds = g_mttkrp_mean_busy.load(std::memory_order_relaxed);
+  t.regions = g_mttkrp_regions.load(std::memory_order_relaxed);
+  return t;
+}
+
+namespace {
+
+double imbalance_delta(const ParallelTotals& before,
+                       const ParallelTotals& now) noexcept {
   const double dmax = now.max_busy_seconds - before.max_busy_seconds;
   const double dmean = now.mean_busy_seconds - before.mean_busy_seconds;
   if (dmax <= 0) {
@@ -50,7 +65,18 @@ double imbalance_since(const ParallelTotals& before) noexcept {
   return std::clamp(1.0 - dmean / dmax, 0.0, 1.0);
 }
 
-void record_parallel_region(const double* busy_seconds, int nthreads) {
+}  // namespace
+
+double imbalance_since(const ParallelTotals& before) noexcept {
+  return imbalance_delta(before, parallel_totals());
+}
+
+double mttkrp_imbalance_since(const ParallelTotals& before) noexcept {
+  return imbalance_delta(before, mttkrp_totals());
+}
+
+void record_parallel_region(const double* busy_seconds, int nthreads,
+                            RegionDomain domain) {
   if (nthreads <= 0) {
     return;
   }
@@ -68,12 +94,40 @@ void record_parallel_region(const double* busy_seconds, int nthreads) {
   atomic_add(g_mean_busy, mean);
   g_regions.fetch_add(1, std::memory_order_relaxed);
 
+  const double imbalance = 1.0 - mean / mx;
   static const Histogram h =
       MetricsRegistry::global().histogram("parallel/region_imbalance");
-  h.observe(1.0 - mean / mx);
+  h.observe(imbalance);
+
+  if (domain == RegionDomain::kMttkrp) {
+    atomic_add(g_mttkrp_max_busy, mx);
+    atomic_add(g_mttkrp_mean_busy, mean);
+    g_mttkrp_regions.fetch_add(1, std::memory_order_relaxed);
+
+    struct MttkrpChannel {
+      Histogram imbalance_hist;
+      Gauge last_imbalance;
+      Gauge last_max_busy;
+      Gauge last_mean_busy;
+    };
+    static const MttkrpChannel ch = [] {
+      auto& reg = MetricsRegistry::global();
+      MttkrpChannel c;
+      c.imbalance_hist = reg.histogram("mttkrp/region_imbalance");
+      c.last_imbalance = reg.gauge("mttkrp/last_imbalance");
+      c.last_max_busy = reg.gauge("mttkrp/last_max_busy_seconds");
+      c.last_mean_busy = reg.gauge("mttkrp/last_mean_busy_seconds");
+      return c;
+    }();
+    ch.imbalance_hist.observe(imbalance);
+    ch.last_imbalance.set(imbalance);
+    ch.last_max_busy.set(mx);
+    ch.last_mean_busy.set(mean);
+  }
 }
 
-BusyTimes::BusyTimes(int nthreads) : nthreads_(nthreads) {
+BusyTimes::BusyTimes(int nthreads, RegionDomain domain)
+    : nthreads_(nthreads), domain_(domain) {
   if (nthreads_ > kInlineThreads) {
     cells_ = new Cell[static_cast<std::size_t>(nthreads_)];
   }
@@ -88,7 +142,7 @@ BusyTimes::~BusyTimes() {
   for (int t = 0; t < nthreads_; ++t) {
     busy[t] = cells_[t].v;
   }
-  record_parallel_region(busy, nthreads_);
+  record_parallel_region(busy, nthreads_, domain_);
   if (busy != stack) {
     delete[] busy;
   }

@@ -36,14 +36,33 @@ struct ParallelTotals {
 ParallelTotals parallel_totals() noexcept;
 void reset_parallel_totals() noexcept;
 
+/// Which accounting channel a region reports into. Every region feeds the
+/// process-wide totals; kMttkrp regions additionally feed a dedicated
+/// MTTKRP channel (mttkrp_totals) plus per-invocation gauges
+/// ("mttkrp/last_imbalance", "mttkrp/last_max_busy_seconds",
+/// "mttkrp/last_mean_busy_seconds") and the "mttkrp/region_imbalance"
+/// histogram, so scaling runs can see where the kernel's remaining
+/// imbalance lives without it being diluted by the other regions.
+enum class RegionDomain {
+  kGeneral,
+  kMttkrp,
+};
+
+/// Cumulative totals over the MTTKRP-domain regions only.
+ParallelTotals mttkrp_totals() noexcept;
+
 /// Imbalance of the regions that ran since `before` was captured —
 /// clamped to [0, 1]; 0 when nothing ran.
 double imbalance_since(const ParallelTotals& before) noexcept;
 
+/// Same, for the MTTKRP channel (`before` from mttkrp_totals()).
+double mttkrp_imbalance_since(const ParallelTotals& before) noexcept;
+
 /// Feed one region's per-thread busy seconds (array of `nthreads` entries;
 /// threads that did no work contribute their 0). Also observes the
 /// region's imbalance into the "parallel/region_imbalance" histogram.
-void record_parallel_region(const double* busy_seconds, int nthreads);
+void record_parallel_region(const double* busy_seconds, int nthreads,
+                            RegionDomain domain = RegionDomain::kGeneral);
 
 /// Stack helper collecting per-thread busy times for one region without
 /// false sharing; reports to record_parallel_region() on destruction.
@@ -53,7 +72,8 @@ void record_parallel_region(const double* busy_seconds, int nthreads);
 ///     { auto t0 = ...; work(); busy.add(thread_id(), elapsed(t0)); } }
 class BusyTimes {
  public:
-  explicit BusyTimes(int nthreads);
+  explicit BusyTimes(int nthreads,
+                     RegionDomain domain = RegionDomain::kGeneral);
   ~BusyTimes();
   BusyTimes(const BusyTimes&) = delete;
   BusyTimes& operator=(const BusyTimes&) = delete;
@@ -72,6 +92,7 @@ class BusyTimes {
   Cell inline_cells_[kInlineThreads];
   Cell* cells_ = inline_cells_;
   int nthreads_ = 0;
+  RegionDomain domain_ = RegionDomain::kGeneral;
 };
 
 }  // namespace aoadmm::obs

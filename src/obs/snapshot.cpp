@@ -34,6 +34,9 @@ void MetricsSnapshot::write_json(std::ostream& out) const {
   num("worst_dual_residual", static_cast<double>(worst_dual_residual));
   num("mean_dual_residual", static_cast<double>(mean_dual_residual));
   num("thread_imbalance", thread_imbalance);
+  num("mttkrp_imbalance", mttkrp_imbalance);
+  num("mttkrp_max_busy_seconds", mttkrp_max_busy_seconds);
+  num("mttkrp_mean_busy_seconds", mttkrp_mean_busy_seconds);
   out << "\"factor_density\": [";
   for (std::size_t m = 0; m < factor_density.size(); ++m) {
     if (m > 0) {

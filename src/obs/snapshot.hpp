@@ -37,6 +37,14 @@ struct MetricsSnapshot {
   /// iteration: 1 - mean/max in [0, 1]; 0 = perfectly balanced or serial.
   double thread_imbalance = 0;
 
+  /// Same imbalance measure restricted to the MTTKRP kernels' parallel
+  /// regions this iteration (the load-balance signal the nnz-weighted
+  /// schedules exist to drive down), plus the raw busy-time extremes
+  /// behind it.
+  double mttkrp_imbalance = 0;
+  double mttkrp_max_busy_seconds = 0;
+  double mttkrp_mean_busy_seconds = 0;
+
   /// Factor density (nnz / (I*F)) per mode at the end of this iteration.
   std::vector<real_t> factor_density;
 

@@ -45,6 +45,14 @@ int thread_id() noexcept {
 #endif
 }
 
+int team_size() noexcept {
+#if defined(AOADMM_HAVE_OPENMP)
+  return omp_get_num_threads();
+#else
+  return 1;
+#endif
+}
+
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body,
                   Schedule schedule, std::size_t chunk) {

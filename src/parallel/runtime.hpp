@@ -18,6 +18,12 @@ void set_num_threads(int n) noexcept;
 /// Calling thread's id inside a parallel region (0 outside / without OpenMP).
 int thread_id() noexcept;
 
+/// Size of the current team when called inside a parallel region (1 outside
+/// or without OpenMP). May be smaller than max_threads() was when the
+/// region started — schedulers planned against max_threads() must tolerate
+/// that (see mttkrp_root_loop's chunk striding).
+int team_size() noexcept;
+
 /// True when compiled with OpenMP support.
 constexpr bool have_openmp() noexcept {
 #if defined(AOADMM_HAVE_OPENMP)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "parallel/partition.hpp"
 #include "util/error.hpp"
 
 namespace aoadmm {
@@ -144,6 +145,85 @@ std::vector<offset_t> CsfTensor::root_weights() const {
   return weights;
 }
 
+const std::vector<std::size_t>& CsfTensor::root_partition(
+    std::size_t parts) const {
+  parts = std::max<std::size_t>(parts, 1);
+  std::lock_guard<std::mutex> lock(plans_->mu);
+  auto it = plans_->root_partitions.find(parts);
+  if (it == plans_->root_partitions.end()) {
+    const std::vector<offset_t> weights = root_weights();
+    it = plans_->root_partitions
+             .emplace(parts, weighted_partition(weights, parts))
+             .first;
+  }
+  return it->second;
+}
+
+const MttkrpOwnerPlan& CsfTensor::owner_plan(std::size_t level,
+                                             std::size_t parts) const {
+  AOADMM_CHECK(level > 0 && level < order());
+  parts = std::max<std::size_t>(parts, 1);
+  std::lock_guard<std::mutex> lock(plans_->mu);
+  const auto key = std::make_pair(level, parts);
+  auto it = plans_->owner_plans.find(key);
+  if (it != plans_->owner_plans.end()) {
+    return it->second;
+  }
+
+  MttkrpOwnerPlan plan;
+  plan.level = level;
+  plan.parts = parts;
+  {
+    // Same weighted root partition the other kernels use (compute inline:
+    // root_partition() would deadlock on the non-recursive mutex).
+    auto pit = plans_->root_partitions.find(parts);
+    if (pit == plans_->root_partitions.end()) {
+      const std::vector<offset_t> weights = root_weights();
+      pit = plans_->root_partitions
+                .emplace(parts, weighted_partition(weights, parts))
+                .first;
+    }
+    plan.root_bounds = pit->second;
+  }
+
+  // Chunk boundaries at the target level: compose the (monotone) fptr maps
+  // from the root boundaries down to `level`.
+  plan.node_bounds.resize(parts + 1);
+  for (std::size_t b = 0; b <= parts; ++b) {
+    offset_t node = plan.root_bounds[b];
+    for (std::size_t l = 0; l < level; ++l) {
+      node = fptr_[l][node];
+    }
+    plan.node_bounds[b] = node;
+  }
+
+  // Classify each target-mode row: owned by exactly one chunk (written
+  // directly, single writer) or shared across chunks (slot-buffered).
+  const index_t rows = dims_[mode_perm_[level]];
+  std::vector<std::int32_t> owner(rows, -1);  // chunk id, or -2 = shared
+  const auto level_fids = fids_[level];
+  for (std::size_t c = 0; c < parts; ++c) {
+    const auto chunk = static_cast<std::int32_t>(c);
+    for (offset_t n = plan.node_bounds[c]; n < plan.node_bounds[c + 1]; ++n) {
+      std::int32_t& o = owner[level_fids[n]];
+      if (o == -1) {
+        o = chunk;
+      } else if (o != chunk) {
+        o = -2;
+      }
+    }
+  }
+  plan.row_slot.assign(rows, -1);
+  for (index_t r = 0; r < rows; ++r) {
+    if (owner[r] == -2) {
+      plan.row_slot[r] = static_cast<std::int32_t>(plan.shared_rows.size());
+      plan.shared_rows.push_back(r);
+    }
+  }
+
+  return plans_->owner_plans.emplace(key, std::move(plan)).first->second;
+}
+
 std::size_t CsfTensor::storage_bytes() const noexcept {
   std::size_t bytes = vals_.size() * sizeof(real_t);
   for (const auto& f : fids_) {
@@ -165,8 +245,26 @@ const char* to_string(CsfStrategy s) noexcept {
   return "?";
 }
 
-CsfSet::CsfSet(const CooTensor& coo, CsfStrategy strategy)
-    : order_(coo.order()), strategy_(strategy) {
+CsfSet::CsfSet(const CooTensor& coo, CsfStrategy strategy, index_t tile_rows)
+    : order_(coo.order()),
+      strategy_(strategy),
+      tile_rows_(tile_rows),
+      dims_(coo.dims()),
+      nnz_(coo.nnz()) {
+  for (const real_t v : coo.values()) {
+    norm_sq_ += v * v;
+  }
+  if (tile_rows_ > 0) {
+    // Tiling exists for the root-mode kernel only, so every mode needs a
+    // tree rooted at itself (validated as an error in CpdConfig too).
+    AOADMM_CHECK_MSG(strategy_ == CsfStrategy::kAllMode,
+                     "tiled CsfSet requires the ALLMODE strategy");
+    tiled_.reserve(order_);
+    for (std::size_t m = 0; m < order_; ++m) {
+      tiled_.emplace_back(coo, m, tile_rows_);
+    }
+    return;
+  }
   if (strategy_ == CsfStrategy::kAllMode) {
     tensors_.reserve(coo.order());
     for (std::size_t m = 0; m < coo.order(); ++m) {
@@ -185,9 +283,24 @@ CsfSet::CsfSet(const CooTensor& coo, CsfStrategy strategy)
   }
 }
 
+const CsfTensor& CsfSet::for_mode(std::size_t mode) const {
+  AOADMM_CHECK_MSG(!tiled(),
+                   "CsfSet holds tiled compilations; use tiled_for_mode()");
+  return strategy_ == CsfStrategy::kAllMode ? tensors_.at(mode)
+                                            : tensors_.at(0);
+}
+
+const TiledCsf& CsfSet::tiled_for_mode(std::size_t mode) const {
+  AOADMM_CHECK_MSG(tiled(), "CsfSet was not built with tile_rows > 0");
+  return tiled_.at(mode);
+}
+
 std::size_t CsfSet::storage_bytes() const noexcept {
   std::size_t bytes = 0;
   for (const CsfTensor& t : tensors_) {
+    bytes += t.storage_bytes();
+  }
+  for (const TiledCsf& t : tiled_) {
     bytes += t.storage_bytes();
   }
   return bytes;

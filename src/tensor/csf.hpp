@@ -10,13 +10,37 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "tensor/coo.hpp"
 #include "util/types.hpp"
 
 namespace aoadmm {
+
+/// Precomputed plan for the owner-computes non-root MTTKRP (one entry per
+/// (target level, thread count), cached on the CsfTensor). Chunk c owns the
+/// contiguous root range [root_bounds[c], root_bounds[c+1]) and, through the
+/// monotone fptr composition, the target-level node range
+/// [node_bounds[c], node_bounds[c+1]). A target-mode row touched by exactly
+/// one chunk is written directly (no synchronization: one owner); a row
+/// touched by >= 2 chunks gets a compact slot id and is accumulated in
+/// per-thread slot buffers, reduced by a parallel fixup pass.
+struct MttkrpOwnerPlan {
+  std::size_t level = 0;                  // target CSF level
+  std::size_t parts = 0;                  // chunks the plan was built for
+  std::vector<std::size_t> root_bounds;   // parts+1 root boundaries
+  std::vector<offset_t> node_bounds;      // parts+1 target-level node bounds
+  /// Per target-mode row: -1 = private to one chunk (or untouched),
+  /// otherwise the row's slot id in [0, shared_rows.size()).
+  std::vector<std::int32_t> row_slot;
+  /// Slot id -> target-mode row, for the fixup pass.
+  std::vector<index_t> shared_rows;
+};
 
 class CsfTensor {
  public:
@@ -61,22 +85,72 @@ class CsfTensor {
   /// root-parallel MTTKRP.
   std::vector<offset_t> root_weights() const;
 
+  /// nnz-weighted static partition of the root nodes into `parts` contiguous
+  /// chunks (parts+1 boundaries; see parallel/partition.hpp). Computed once
+  /// per (tensor, parts) and cached: with power-law slice costs the uniform
+  /// schedule(dynamic, 16) loops leave threads idle, while a weighted static
+  /// chunk costs nothing per call. The reference stays valid for the
+  /// tensor's lifetime (copies share the cache). Thread-safe.
+  const std::vector<std::size_t>& root_partition(std::size_t parts) const;
+
+  /// Owner-computes plan for a non-root target at CSF `level`, partitioned
+  /// into `parts` chunks. Cached per (level, parts); thread-safe. Requires
+  /// 0 < level < order().
+  const MttkrpOwnerPlan& owner_plan(std::size_t level,
+                                    std::size_t parts) const;
+
   /// Total bytes of the compressed structure (for reporting).
   std::size_t storage_bytes() const noexcept;
 
  private:
+  /// Lazily built scheduling plans, keyed by the partition geometry. Shared
+  /// (not copied) between copies of the tensor: plans depend only on the
+  /// immutable fids/fptr structure.
+  struct PlanCache {
+    std::mutex mu;
+    std::map<std::size_t, std::vector<std::size_t>> root_partitions;
+    std::map<std::pair<std::size_t, std::size_t>, MttkrpOwnerPlan>
+        owner_plans;
+  };
+
   std::vector<std::size_t> mode_perm_;
   std::vector<index_t> dims_;               // original mode lengths
   std::vector<std::vector<index_t>> fids_;  // per level
   std::vector<std::vector<offset_t>> fptr_; // per level (order-1 entries)
   std::vector<real_t> vals_;
+  std::shared_ptr<PlanCache> plans_ = std::make_shared<PlanCache>();
+};
+
+/// Leaf-mode cache tiling for the root-mode kernel (the blocking SPLATT
+/// applies when the per-non-zero factor exceeds cache): non-zeros are
+/// bucketed by leaf index range so each pass touches only `tile_rows` rows
+/// of the leaf factor, which then stay cache resident for the whole pass.
+class TiledCsf {
+ public:
+  /// Compile `coo` for root-mode MTTKRP of `root`, tiling the leaf mode in
+  /// chunks of `tile_rows` (0 = one tile, i.e. no tiling). Empty tiles are
+  /// dropped.
+  TiledCsf(const CooTensor& coo, std::size_t root, index_t tile_rows);
+
+  std::size_t num_tiles() const noexcept { return tiles_.size(); }
+  const CsfTensor& tile(std::size_t t) const { return tiles_.at(t); }
+  std::size_t root_mode() const noexcept { return root_; }
+  index_t tile_rows() const noexcept { return tile_rows_; }
+  offset_t nnz() const noexcept;
+  std::size_t storage_bytes() const noexcept;
+
+ private:
+  std::size_t root_ = 0;
+  index_t tile_rows_ = 0;
+  std::vector<CsfTensor> tiles_;
 };
 
 /// Memory/compute trade-off for the CSF compilation (SPLATT's -t flag):
 ///  * kAllMode — one tree per mode; every MTTKRP is root-parallel and
 ///    race-free. order() copies of the tensor. The paper's configuration.
 ///  * kOneMode — a single tree rooted at the shortest mode; non-root
-///    MTTKRPs scatter with atomics. 1/order() the memory, slower kernels.
+///    MTTKRPs scatter through a privatized/owner-computes reduction (or
+///    atomics under the explicit dynamic policy). 1/order() the memory.
 enum class CsfStrategy {
   kAllMode,
   kOneMode,
@@ -87,19 +161,31 @@ const char* to_string(CsfStrategy s) noexcept;
 /// The compiled tensor handed to the CPD driver. for_mode(m) returns the
 /// tree MTTKRP for mode m should use; with kOneMode that tree's root may
 /// differ from m and callers must dispatch accordingly (mttkrp_dispatch).
+/// With tile_rows > 0 (requires kAllMode) each mode is compiled as a
+/// TiledCsf instead and callers go through tiled_for_mode()/mttkrp_tiled.
 class CsfSet {
  public:
   explicit CsfSet(const CooTensor& coo,
-                  CsfStrategy strategy = CsfStrategy::kAllMode);
+                  CsfStrategy strategy = CsfStrategy::kAllMode,
+                  index_t tile_rows = 0);
 
   std::size_t order() const noexcept { return order_; }
   CsfStrategy strategy() const noexcept { return strategy_; }
-  const CsfTensor& for_mode(std::size_t mode) const {
-    return strategy_ == CsfStrategy::kAllMode ? tensors_.at(mode)
-                                              : tensors_.at(0);
-  }
-  offset_t nnz() const { return tensors_.empty() ? 0 : tensors_[0].nnz(); }
-  const std::vector<index_t>& dims() const { return tensors_.at(0).dims(); }
+
+  /// True when the set holds tiled compilations (tile_rows > 0); use
+  /// tiled_for_mode() instead of for_mode() then.
+  bool tiled() const noexcept { return !tiled_.empty(); }
+  index_t tile_rows() const noexcept { return tile_rows_; }
+
+  const CsfTensor& for_mode(std::size_t mode) const;
+  const TiledCsf& tiled_for_mode(std::size_t mode) const;
+
+  offset_t nnz() const noexcept { return nnz_; }
+  const std::vector<index_t>& dims() const noexcept { return dims_; }
+
+  /// Sum of squared non-zero values, ||X||_F^2 — precomputed at build time
+  /// so the fit denominator does not depend on which compilation is held.
+  real_t norm_sq() const noexcept { return norm_sq_; }
 
   /// Total bytes across all trees (the quantity kOneMode shrinks).
   std::size_t storage_bytes() const noexcept;
@@ -107,7 +193,12 @@ class CsfSet {
  private:
   std::size_t order_ = 0;
   CsfStrategy strategy_ = CsfStrategy::kAllMode;
+  index_t tile_rows_ = 0;
+  std::vector<index_t> dims_;
+  offset_t nnz_ = 0;
+  real_t norm_sq_ = 0;
   std::vector<CsfTensor> tensors_;
+  std::vector<TiledCsf> tiled_;
 };
 
 }  // namespace aoadmm
