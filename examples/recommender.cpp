@@ -14,6 +14,7 @@
 
 #include "core/cpd.hpp"
 #include "core/eval.hpp"
+#include "core/kruskal.hpp"
 #include "core/wcpd.hpp"
 #include "tensor/coo.hpp"
 #include "tensor/transform.hpp"
@@ -73,11 +74,8 @@ Workload make_ratings(index_t users, index_t items, index_t contexts,
 
 real_t predict(cspan<const Matrix> factors, index_t u, index_t i,
                index_t c) {
-  real_t score = 0;
-  for (std::size_t f = 0; f < factors[0].cols(); ++f) {
-    score += factors[0](u, f) * factors[1](i, f) * factors[2](c, f);
-  }
-  return score;
+  const index_t coord[3] = {u, i, c};
+  return kruskal_value_at(factors, {coord, 3});
 }
 
 }  // namespace

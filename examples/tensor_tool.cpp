@@ -5,6 +5,11 @@
 //             [--rank 4] [--noise 0.1] [--seed 42] [--binary]
 //   stats     t.tns                     print dims/nnz/density/slice skew
 //   convert   in.tns out.bin            text <-> binary (by extension)
+//   stream-replay t.tns [--batches 8] [--time-mode M] [--window W]
+//             [--churn 0.25] [--queries 100] [--rank 16] [--constraint ...]
+//             [--lambda 0.1] [--max-outer 50] [--tol 1e-5] [--seed 123]
+//             [--threads N] [--metrics-json m.json]
+//             (also spelled `tensor_tool --stream-replay t.tns [...]`)
 //   cpd       t.tns [--rank 16] [--constraint nonneg] [--lambda 0.1]
 //             [--variant blocked|base] [--format dense|csr|csr-h]
 //             [--mttkrp-kernel auto|allmode|onetree|tiled]
@@ -40,6 +45,14 @@
 // solve starts; every problem is reported with its flag and severity, and
 // errors abort with exit code 2.
 //
+// Streaming (stream-replay): replays the tensor as timestamp-ordered event
+// batches on the time mode (default: the last mode) against the live
+// streaming stack — ingest into a StreamingTensor (optionally windowed with
+// --window), warm re-factorize after each batch, publish each model to a
+// ModelServer, and issue --queries random single-entry predictions per
+// refresh. --metrics-json writes the per-refresh reports plus the global
+// registry (stream/* counters, swap counts, query p50/p99 gauges).
+//
 // Observability (cpd): --progress prints one line per outer iteration;
 // --metrics-json writes per-iteration snapshots plus the process-wide
 // metric registry; --chrome-trace writes a chrome://tracing / Perfetto
@@ -61,6 +74,7 @@
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "parallel/runtime.hpp"
+#include "stream/replay.hpp"
 #include "tensor/io.hpp"
 #include "tensor/synthetic.hpp"
 #include "testing/fault_injection.hpp"
@@ -444,9 +458,99 @@ int cmd_cpd(const Options& opts) {
   return 0;
 }
 
+int cmd_stream_replay(const Options& opts, const std::string& input) {
+  const int threads = static_cast<int>(opts.get_int("threads", 0));
+  if (threads > 0) {
+    set_num_threads(threads);
+  }
+  const CooTensor events = load_any(input);
+
+  ReplayConfig cfg;
+  cfg.batches = static_cast<std::size_t>(opts.get_int("batches", 8));
+  cfg.stream.time_mode = static_cast<std::size_t>(opts.get_int(
+      "time-mode", static_cast<long long>(events.order() - 1)));
+  cfg.stream.window = static_cast<index_t>(opts.get_int("window", 0));
+  cfg.stream.churn_threshold = opts.get_double("churn", 0.25);
+  cfg.queries_per_refresh =
+      static_cast<std::size_t>(opts.get_int("queries", 100));
+  cfg.query_seed = static_cast<std::uint64_t>(opts.get_int("seed", 123));
+
+  CpdOptions cpd_opts;
+  cpd_opts.rank = static_cast<rank_t>(opts.get_int("rank", 16));
+  cpd_opts.max_outer_iterations =
+      static_cast<unsigned>(opts.get_int("max-outer", 50));
+  cpd_opts.tolerance = static_cast<real_t>(opts.get_double("tol", 1e-5));
+  cpd_opts.seed = static_cast<std::uint64_t>(opts.get_int("seed", 123));
+  ConstraintSpec constraint;
+  constraint.kind =
+      parse_constraint_kind(opts.get_string("constraint", "nonneg"));
+  constraint.lambda = static_cast<real_t>(opts.get_double("lambda", 0.1));
+  cfg.cpd = CpdConfig(cpd_opts);
+  cfg.cpd.with_constraints(ModeConstraints::broadcast(constraint));
+
+  std::printf("replaying %llu events in up to %zu batches (time mode %zu%s, "
+              "%zu queries/refresh)...\n",
+              static_cast<unsigned long long>(events.nnz()), cfg.batches,
+              cfg.stream.time_mode,
+              cfg.stream.window > 0 ? ", windowed" : "",
+              cfg.queries_per_refresh);
+
+  const ReplayResult r = replay_stream(events, cfg);
+
+  for (const RefreshReport& ref : r.refreshes) {
+    std::printf("refresh %3llu  %s  outer %3u  err %.6f  grown %zu  "
+                "compile %.3fs  solve %.3fs  epoch %llu\n",
+                static_cast<unsigned long long>(ref.refresh),
+                ref.warm ? "warm" : "cold", ref.outer_iterations,
+                static_cast<double>(ref.relative_error), ref.grown_rows,
+                ref.compile_seconds, ref.solve_seconds,
+                static_cast<unsigned long long>(ref.epoch));
+  }
+  std::printf("\ningest : %llu appended, %llu overwritten, %llu evicted, "
+              "%llu late-dropped\n",
+              static_cast<unsigned long long>(r.ingest.appended),
+              static_cast<unsigned long long>(r.ingest.overwritten),
+              static_cast<unsigned long long>(r.ingest.evicted),
+              static_cast<unsigned long long>(r.ingest.late_dropped));
+  std::printf("compile: %llu full rebuilds, %llu value patches, %llu cached\n",
+              static_cast<unsigned long long>(r.ingest.full_rebuilds),
+              static_cast<unsigned long long>(r.ingest.value_patches),
+              static_cast<unsigned long long>(r.ingest.cached_compiles));
+  std::printf("serve  : %llu snapshots published, %llu queries\n",
+              static_cast<unsigned long long>(r.final_epoch),
+              static_cast<unsigned long long>(r.queries));
+  std::printf("total  : %.3f s, final nnz %llu\n", r.total_seconds,
+              static_cast<unsigned long long>(r.final_nnz));
+
+  if (const auto metrics_path = opts.get("metrics-json")) {
+    std::ofstream out(*metrics_path);
+    AOADMM_CHECK_MSG(static_cast<bool>(out),
+                     "cannot write metrics to " + *metrics_path);
+    out << "{\n  \"refreshes\": [";
+    for (std::size_t i = 0; i < r.refreshes.size(); ++i) {
+      const RefreshReport& ref = r.refreshes[i];
+      out << (i == 0 ? "\n    " : ",\n    ") << "{\"refresh\": " << ref.refresh
+          << ", \"warm\": " << (ref.warm ? "true" : "false")
+          << ", \"grown_rows\": " << ref.grown_rows
+          << ", \"outer_iterations\": " << ref.outer_iterations
+          << ", \"relative_error\": " << ref.relative_error
+          << ", \"converged\": " << (ref.converged ? "true" : "false")
+          << ", \"compile_seconds\": " << ref.compile_seconds
+          << ", \"solve_seconds\": " << ref.solve_seconds
+          << ", \"epoch\": " << ref.epoch << "}";
+    }
+    out << (r.refreshes.empty() ? "]" : "\n  ]") << ",\n  \"registry\": ";
+    obs::MetricsRegistry::global().write_json(out);
+    out << "\n}\n";
+    std::printf("metrics written to %s\n", metrics_path->c_str());
+  }
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
-               "usage: tensor_tool <generate|stats|convert|cpd> [args]\n"
+               "usage: tensor_tool <generate|stats|convert|cpd|stream-replay>"
+               " [args]\n"
                "see the header comment of examples/tensor_tool.cpp\n");
 }
 
@@ -464,6 +568,11 @@ int main(int argc, char** argv) {
                    "armed\n");
     }
     const Options opts(argc, argv);
+    // Flag spelling: `tensor_tool --stream-replay t.tns [...]` (the flag
+    // consumes the input path as its value).
+    if (opts.has("stream-replay")) {
+      return cmd_stream_replay(opts, opts.get_string("stream-replay", ""));
+    }
     if (opts.positional().empty()) {
       usage();
       return 2;
@@ -480,6 +589,11 @@ int main(int argc, char** argv) {
     }
     if (cmd == "cpd") {
       return cmd_cpd(opts);
+    }
+    if (cmd == "stream-replay") {
+      AOADMM_CHECK_MSG(opts.positional().size() >= 2,
+                       "usage: tensor_tool stream-replay <file> [options]");
+      return cmd_stream_replay(opts, opts.positional()[1]);
     }
     usage();
     return 2;

@@ -1,11 +1,19 @@
 #!/usr/bin/env python3
-"""Compare a google-benchmark JSON run against a committed baseline.
+"""Compare google-benchmark JSON runs against committed baselines.
 
 Usage:
     check_bench_regression.py --baseline BENCH_baseline.json \
         --current bench_out.json [--threshold 1.25] [--update]
 
-For every benchmark present in both files, computes
+--baseline/--current may be repeated to gate several suites in one
+invocation (pairs match positionally; benchmark names are merged across
+files, so suites must not share benchmark names):
+
+    check_bench_regression.py \
+        --baseline BENCH_baseline.json --current /tmp/micro.json \
+        --baseline BENCH_stream_baseline.json --current /tmp/stream.json
+
+For every benchmark present in both sides, computes
 
     ratio = current_time / baseline_time
 
@@ -58,24 +66,47 @@ def load_times(path):
     return raw
 
 
+def merge_times(paths):
+    """Merged name -> time map across several files; duplicates are errors
+    (two suites gating the same name would silently shadow each other)."""
+    merged = {}
+    for path in paths:
+        times = load_times(path)
+        for name in set(times) & set(merged):
+            print(f"error: benchmark '{name}' appears in more than one file "
+                  f"(last: {path})", file=sys.stderr)
+            sys.exit(2)
+        merged.update(times)
+    return merged
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--baseline", required=True)
-    ap.add_argument("--current", required=True)
+    ap.add_argument("--baseline", required=True, action="append",
+                    help="committed baseline JSON; repeatable, pairs "
+                         "positionally with --current")
+    ap.add_argument("--current", required=True, action="append",
+                    help="fresh benchmark JSON; repeatable")
     ap.add_argument("--threshold", type=float, default=1.25,
                     help="fail when current/baseline exceeds this "
                          "(default: 1.25)")
     ap.add_argument("--update", action="store_true",
-                    help="overwrite the baseline with the current run")
+                    help="overwrite each baseline with its current run")
     args = ap.parse_args()
 
+    if len(args.baseline) != len(args.current):
+        print("error: --baseline and --current must be given the same "
+              "number of times", file=sys.stderr)
+        return 2
+
     if args.update:
-        shutil.copyfile(args.current, args.baseline)
-        print(f"baseline updated from {args.current}")
+        for base_path, cur_path in zip(args.baseline, args.current):
+            shutil.copyfile(cur_path, base_path)
+            print(f"baseline {base_path} updated from {cur_path}")
         return 0
 
-    baseline = load_times(args.baseline)
-    current = load_times(args.current)
+    baseline = merge_times(args.baseline)
+    current = merge_times(args.current)
 
     for name in sorted(set(baseline) - set(current)):
         print(f"warning: '{name}' is in the baseline but was not run",

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/kruskal.hpp"
 #include "parallel/runtime.hpp"
 #include "util/error.hpp"
 
@@ -25,28 +26,15 @@ PredictionMetrics evaluate_predictions(const CooTensor& observed,
 
   const double sq_sum = parallel_reduce_sum(
       0, observed.nnz(), [&](std::size_t n) {
-        real_t model = 0;
-        for (std::size_t c = 0; c < f; ++c) {
-          real_t prod = 1;
-          for (std::size_t m = 0; m < order; ++m) {
-            prod *= factors[m](observed.index(m, n), c);
-          }
-          model += prod;
-        }
-        const real_t d = observed.value(n) - model;
+        const real_t d =
+            observed.value(n) - kruskal_value_at(factors, {}, observed, n);
         return static_cast<double>(d * d);
       });
   const double abs_sum = parallel_reduce_sum(
       0, observed.nnz(), [&](std::size_t n) {
-        real_t model = 0;
-        for (std::size_t c = 0; c < f; ++c) {
-          real_t prod = 1;
-          for (std::size_t m = 0; m < order; ++m) {
-            prod *= factors[m](observed.index(m, n), c);
-          }
-          model += prod;
-        }
-        return static_cast<double>(std::abs(observed.value(n) - model));
+        const real_t d =
+            observed.value(n) - kruskal_value_at(factors, {}, observed, n);
+        return static_cast<double>(std::abs(d));
       });
   double value_sum = 0;
   for (const real_t v : observed.values()) {

@@ -72,15 +72,7 @@ void KruskalTensor::sort_components() {
 
 real_t KruskalTensor::value_at(cspan<index_t> coord) const {
   AOADMM_CHECK_MSG(coord.size() == order(), "coordinate arity mismatch");
-  real_t value = 0;
-  for (rank_t f = 0; f < rank_; ++f) {
-    real_t prod = lambda_[f];
-    for (std::size_t m = 0; m < order(); ++m) {
-      prod *= factors_[m](coord[m], f);
-    }
-    value += prod;
-  }
-  return value;
+  return kruskal_value_at(factors_, lambda_, coord);
 }
 
 real_t KruskalTensor::norm_sq() const {

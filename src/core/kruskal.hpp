@@ -9,9 +9,54 @@
 #include <vector>
 
 #include "la/matrix.hpp"
+#include "tensor/coo.hpp"
 #include "util/types.hpp"
 
 namespace aoadmm {
+
+/// Single-entry Kruskal reconstruction, Σ_f λ_f ∏_m A_m(i_m, f) — the one
+/// inner loop shared by model evaluation (core/eval.cpp), the examples, and
+/// the live model server. Header-inline because callers run it once per
+/// non-zero / per query. `lambda` may be empty (treated as all-ones).
+inline real_t kruskal_value_at(cspan<const Matrix> factors,
+                               cspan<real_t> lambda,
+                               cspan<index_t> coord) noexcept {
+  const std::size_t order = factors.size();
+  const std::size_t rank = order > 0 ? factors[0].cols() : 0;
+  real_t value = 0;
+  for (std::size_t f = 0; f < rank; ++f) {
+    real_t prod = lambda.empty() ? real_t{1} : lambda[f];
+    for (std::size_t m = 0; m < order; ++m) {
+      prod *= factors[m](coord[m], f);
+    }
+    value += prod;
+  }
+  return value;
+}
+
+/// Unweighted overload (λ = 1), the common case for raw CpdResult factors.
+inline real_t kruskal_value_at(cspan<const Matrix> factors,
+                               cspan<index_t> coord) noexcept {
+  return kruskal_value_at(factors, {}, coord);
+}
+
+/// Reconstruction at the coordinate of non-zero `n` of a COO tensor —
+/// avoids materializing a coordinate array per element in evaluation loops.
+inline real_t kruskal_value_at(cspan<const Matrix> factors,
+                               cspan<real_t> lambda, const CooTensor& x,
+                               offset_t n) noexcept {
+  const std::size_t order = factors.size();
+  const std::size_t rank = order > 0 ? factors[0].cols() : 0;
+  real_t value = 0;
+  for (std::size_t f = 0; f < rank; ++f) {
+    real_t prod = lambda.empty() ? real_t{1} : lambda[f];
+    for (std::size_t m = 0; m < order; ++m) {
+      prod *= factors[m](x.index(m, n), f);
+    }
+    value += prod;
+  }
+  return value;
+}
 
 class KruskalTensor {
  public:

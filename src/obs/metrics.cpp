@@ -236,6 +236,42 @@ double histogram_bucket_upper(std::size_t b) noexcept {
   return std::ldexp(1.0, exp);
 }
 
+double histogram_quantile(const HistogramSnapshot& h, double q) noexcept {
+  if (h.count == 0) {
+    return 0;
+  }
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double target = q * static_cast<double>(h.count);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (h.buckets[b] == 0) {
+      continue;
+    }
+    const double prev = static_cast<double>(cum);
+    cum += h.buckets[b];
+    if (static_cast<double>(cum) < target) {
+      continue;
+    }
+    // The q-th observation lands in bucket b. Interpolate linearly between
+    // the bucket bounds, clamping the open-ended ones to the observed
+    // extremes.
+    const double lo =
+        b == 0 ? h.min
+               : std::max(h.min, b == 1 ? 0.0 : histogram_bucket_upper(b - 1));
+    const double hi = std::min(
+        h.max, b == kHistogramBuckets - 1
+                   ? std::numeric_limits<double>::infinity()
+                   : histogram_bucket_upper(b));
+    if (!(hi > lo)) {
+      return lo;
+    }
+    const double frac =
+        (target - prev) / static_cast<double>(h.buckets[b]);
+    return lo + frac * (hi - lo);
+  }
+  return h.max;
+}
+
 MetricsRegistry& MetricsRegistry::global() {
   // Leaked: worker threads may record metrics during their (post-main)
   // teardown, so the registry must never be destroyed.

@@ -72,6 +72,14 @@ struct HistogramSnapshot {
   }
 };
 
+/// Approximate quantile (q in [0, 1]) of the observations behind a
+/// histogram snapshot: locates the bucket holding the q-th ranked
+/// observation and interpolates linearly inside it, clamped to the observed
+/// [min, max]. Resolution is the base-2 bucket width (within 2x of the true
+/// value), which is plenty for latency p50/p99 reporting. Returns 0 for an
+/// empty histogram.
+double histogram_quantile(const HistogramSnapshot& h, double q) noexcept;
+
 /// Cheap copyable handle to a registered counter. add() is lock-free; a
 /// default-constructed handle drops updates. Handles must not outlive their
 /// registry (the global registry lives forever).

@@ -1,0 +1,178 @@
+#include "stream/model_server.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace aoadmm {
+namespace {
+
+struct ServeMetrics {
+  obs::Counter queries;
+  obs::Counter swaps;
+  obs::Counter reader_refreshes;
+  obs::Histogram query_seconds;
+  obs::Gauge snapshot_epoch;
+
+  static const ServeMetrics& get() {
+    static const ServeMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::global();
+      ServeMetrics out;
+      out.queries = reg.counter("stream/queries");
+      out.swaps = reg.counter("stream/snapshot_swaps");
+      out.reader_refreshes = reg.counter("stream/reader_refreshes");
+      out.query_seconds = reg.histogram("stream/query_seconds");
+      out.snapshot_epoch = reg.gauge("stream/snapshot_epoch");
+      return out;
+    }();
+    return m;
+  }
+};
+
+std::int64_t steady_now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ModelServer::ModelServer() { ServeMetrics::get(); }
+
+std::uint64_t ModelServer::publish(KruskalTensor model) {
+  AOADMM_CHECK_MSG(model.order() >= 1 && model.rank() > 0,
+                   "cannot publish an empty model");
+  auto snap = std::make_shared<KruskalSnapshot>();
+  snap->model = std::move(model);
+
+  std::uint64_t new_epoch;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    new_epoch = epoch_.load(std::memory_order_relaxed) + 1;
+    snap->epoch = new_epoch;
+    current_ = std::move(snap);
+    // Release-publish AFTER installing the snapshot: a reader that sees the
+    // new epoch is guaranteed to find (at least) this snapshot under mu_.
+    epoch_.store(new_epoch, std::memory_order_release);
+  }
+  publish_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+
+  const ServeMetrics& metrics = ServeMetrics::get();
+  metrics.swaps.add(1);
+  metrics.snapshot_epoch.set(static_cast<double>(new_epoch));
+  return new_epoch;
+}
+
+double ModelServer::staleness_seconds() const noexcept {
+  const std::int64_t at = publish_ns_.load(std::memory_order_relaxed);
+  if (at < 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(steady_now_ns() - at) * 1e-9;
+}
+
+std::shared_ptr<const KruskalSnapshot> ModelServer::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+void ModelServer::export_latency_gauges() {
+  auto& reg = obs::MetricsRegistry::global();
+  const obs::HistogramSnapshot h =
+      reg.histogram_snapshot("stream/query_seconds");
+  reg.gauge("stream/query_p50_seconds")
+      .set(obs::histogram_quantile(h, 0.50));
+  reg.gauge("stream/query_p99_seconds")
+      .set(obs::histogram_quantile(h, 0.99));
+}
+
+const KruskalSnapshot& ModelServer::Reader::acquire() {
+  // Fast path: one acquire-load of the epoch counter. While the model is
+  // unchanged this is the whole synchronization cost of a query.
+  const std::uint64_t e = server_->epoch_.load(std::memory_order_acquire);
+  if (cached_ != nullptr && e == cached_epoch_) {
+    return *cached_;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(server_->mu_);
+    cached_ = server_->current_;
+  }
+  AOADMM_CHECK_MSG(cached_ != nullptr,
+                   "ModelServer has no published snapshot yet");
+  // Record the snapshot's own epoch, not `e`: a publish may have landed
+  // between the load and the lock, and the snapshot we took is the newer one.
+  cached_epoch_ = cached_->epoch;
+  ServeMetrics::get().reader_refreshes.add(1);
+  return *cached_;
+}
+
+real_t ModelServer::Reader::predict(cspan<index_t> coord) {
+  const ServeMetrics& metrics = ServeMetrics::get();
+  const std::int64_t t0 = steady_now_ns();
+  const KruskalSnapshot& snap = acquire();
+  const real_t value =
+      kruskal_value_at(snap.model.factors(), snap.model.lambda(), coord);
+  metrics.query_seconds.observe(static_cast<double>(steady_now_ns() - t0) *
+                                1e-9);
+  metrics.queries.add(1);
+  return value;
+}
+
+std::vector<ScoredIndex> ModelServer::Reader::top_k(std::size_t anchor_mode,
+                                                    index_t row,
+                                                    std::size_t target_mode,
+                                                    std::size_t k) {
+  const ServeMetrics& metrics = ServeMetrics::get();
+  const std::int64_t t0 = steady_now_ns();
+  const KruskalSnapshot& snap = acquire();
+  const std::vector<Matrix>& factors = snap.model.factors();
+  AOADMM_CHECK_MSG(anchor_mode < factors.size() &&
+                       target_mode < factors.size() &&
+                       anchor_mode != target_mode,
+                   "top_k modes must be two distinct modes of the model");
+  const Matrix& anchor = factors[anchor_mode];
+  const Matrix& target = factors[target_mode];
+  AOADMM_CHECK_MSG(row < anchor.rows(), "top_k anchor row out of range");
+
+  // Pre-fold λ into the anchor row once: score(j) = Σ_f w_f · T(j, f).
+  const std::size_t rank = snap.rank();
+  const std::vector<real_t>& lambda = snap.model.lambda();
+  std::vector<real_t> w(rank);
+  for (std::size_t f = 0; f < rank; ++f) {
+    w[f] = (lambda.empty() ? real_t{1} : lambda[f]) * anchor(row, f);
+  }
+
+  k = std::min<std::size_t>(k, target.rows());
+  // Bounded insertion into a sorted best-first window: O(rows · (rank + k)),
+  // and k is small (a serving page) so this beats a full sort + truncate.
+  std::vector<ScoredIndex> best;
+  best.reserve(k);
+  for (std::size_t j = 0; j < target.rows(); ++j) {
+    real_t score = 0;
+    for (std::size_t f = 0; f < rank; ++f) {
+      score += w[f] * target(j, f);
+    }
+    if (best.size() == k && score <= best.back().score) {
+      continue;
+    }
+    const ScoredIndex entry{static_cast<index_t>(j), score};
+    auto it = std::upper_bound(best.begin(), best.end(), entry,
+                               [](const ScoredIndex& a, const ScoredIndex& b) {
+                                 return a.score > b.score;
+                               });
+    best.insert(it, entry);
+    if (best.size() > k) {
+      best.pop_back();
+    }
+  }
+
+  metrics.query_seconds.observe(static_cast<double>(steady_now_ns() - t0) *
+                                1e-9);
+  metrics.queries.add(1);
+  return best;
+}
+
+}  // namespace aoadmm

@@ -1,0 +1,122 @@
+// Serve half of the streaming subsystem: a live Kruskal model behind
+// epoch-published immutable snapshots.
+//
+// Publication protocol (RCU-flavoured):
+//  * publish() wraps the model in an immutable KruskalSnapshot, installs it
+//    under the server mutex, then advances the epoch counter with release
+//    ordering. Snapshots are never mutated after publication.
+//  * Readers hold a Reader handle that caches a shared_ptr to the snapshot
+//    it last saw plus that snapshot's epoch. The steady-state query path is
+//    ONE relaxed-free atomic load (the epoch counter) compared against the
+//    cached epoch — no lock, no shared_ptr refcount traffic, no contended
+//    cache line. Only when the epoch moved does the reader take the mutex
+//    to re-acquire the current snapshot.
+//  * Old snapshots die when the last reader's cached shared_ptr drops them;
+//    a refresh thread can therefore publish at any rate without
+//    coordinating with queries.
+//
+// Each Reader is single-threaded (one handle per querying thread); the
+// ModelServer itself may be shared freely between one publisher and any
+// number of reader threads.
+//
+// Query latency and volume flow into the obs registry: stream/queries,
+// stream/query_seconds (histogram, p50/p99 via histogram_quantile),
+// stream/snapshot_swaps, stream/snapshot_epoch, stream/reader_refreshes.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/kruskal.hpp"
+#include "util/types.hpp"
+
+namespace aoadmm {
+
+/// One published model version. Immutable after construction.
+struct KruskalSnapshot {
+  std::uint64_t epoch = 0;
+  KruskalTensor model;
+
+  std::size_t order() const noexcept { return model.order(); }
+  rank_t rank() const noexcept { return model.rank(); }
+};
+
+/// A scored index returned by top-k queries, best first.
+struct ScoredIndex {
+  index_t index = 0;
+  real_t score = 0;
+};
+
+class ModelServer {
+ public:
+  ModelServer();
+
+  /// Atomically replace the served model. Safe to call concurrently with
+  /// any number of readers; readers observe either the old or the new
+  /// snapshot, never a mixture. Returns the new epoch.
+  std::uint64_t publish(KruskalTensor model);
+
+  /// Epoch of the latest published snapshot (0 = nothing published yet).
+  std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Seconds since the last publish (infinity before the first).
+  double staleness_seconds() const noexcept;
+
+  /// The current snapshot, or nullptr before the first publish. Takes the
+  /// server mutex — readers on the query path should go through a Reader.
+  std::shared_ptr<const KruskalSnapshot> snapshot() const;
+
+  /// Recompute the stream/query_p50_seconds and stream/query_p99_seconds
+  /// gauges from the query-latency histogram. Scrapes the registry, so call
+  /// it per refresh/report, not per query.
+  static void export_latency_gauges();
+
+  /// Per-thread query handle. Create one per reader thread via reader().
+  class Reader {
+   public:
+    /// The snapshot this reader currently sees, re-acquired from the server
+    /// iff the epoch moved since the last call. Requires a published model.
+    const KruskalSnapshot& acquire();
+
+    /// Single-entry reconstruction Σ_f λ_f ∏_m A_m(coord_m, f) against the
+    /// current snapshot. `coord` must have order() entries in range.
+    real_t predict(cspan<index_t> coord);
+
+    /// Top-k indices of mode `target_mode` scored against row `row` of mode
+    /// `anchor_mode` by the pairwise interaction
+    ///   score(j) = Σ_f λ_f A_anchor(row, f) A_target(j, f)
+    /// (remaining modes marginalized out of the score). Results are sorted
+    /// best-first; k is clamped to the target mode length.
+    std::vector<ScoredIndex> top_k(std::size_t anchor_mode, index_t row,
+                                   std::size_t target_mode, std::size_t k);
+
+    /// Epoch of the snapshot this reader last acquired.
+    std::uint64_t cached_epoch() const noexcept { return cached_epoch_; }
+
+   private:
+    friend class ModelServer;
+    explicit Reader(const ModelServer& server) : server_(&server) {}
+
+    const ModelServer* server_;
+    std::shared_ptr<const KruskalSnapshot> cached_;
+    std::uint64_t cached_epoch_ = 0;
+  };
+
+  Reader reader() const { return Reader(*this); }
+
+ private:
+  friend class Reader;
+
+  mutable std::mutex mu_;
+  std::shared_ptr<const KruskalSnapshot> current_;  // guarded by mu_
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::int64_t> publish_ns_{-1};  // steady-clock ns of last publish
+};
+
+}  // namespace aoadmm

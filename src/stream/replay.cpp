@@ -1,0 +1,103 @@
+#include "stream/replay.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "stream/model_server.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace aoadmm {
+
+std::vector<CooTensor> make_replay_batches(const CooTensor& events,
+                                           std::size_t time_mode,
+                                           std::size_t batches) {
+  AOADMM_CHECK_MSG(time_mode < events.order(),
+                   "replay time_mode must name a mode of the tensor");
+  AOADMM_CHECK_MSG(batches > 0, "replay needs at least one batch");
+
+  const offset_t n = events.nnz();
+  std::vector<offset_t> order_idx(n);
+  std::iota(order_idx.begin(), order_idx.end(), offset_t{0});
+  std::stable_sort(order_idx.begin(), order_idx.end(),
+                   [&](offset_t a, offset_t b) {
+                     return events.index(time_mode, a) <
+                            events.index(time_mode, b);
+                   });
+
+  std::vector<CooTensor> out;
+  std::vector<index_t> coord(events.order());
+  const offset_t per_batch = (n + batches - 1) / batches;
+  offset_t p = 0;
+  while (p < n) {
+    offset_t end = std::min<offset_t>(p + per_batch, n);
+    // A time tick is the atomic unit of arrival: extend the batch so the
+    // boundary tick does not straddle two batches.
+    while (end < n && events.index(time_mode, order_idx[end]) ==
+                          events.index(time_mode, order_idx[end - 1])) {
+      ++end;
+    }
+    CooTensor batch(events.dims());
+    batch.reserve(end - p);
+    for (; p < end; ++p) {
+      const offset_t src = order_idx[p];
+      for (std::size_t m = 0; m < events.order(); ++m) {
+        coord[m] = events.index(m, src);
+      }
+      batch.add(coord, events.value(src));
+    }
+    out.push_back(std::move(batch));
+  }
+  return out;
+}
+
+ReplayResult replay_stream(const CooTensor& events, const ReplayConfig& cfg) {
+  AOADMM_CHECK_MSG(events.nnz() > 0, "replay needs a non-empty tensor");
+  Timer timer;
+  timer.start();
+
+  StreamingOptions sopts = cfg.stream;
+  if (sopts.time_mode == StreamingOptions::kLastMode) {
+    sopts.time_mode = events.order() - 1;
+  }
+  const std::vector<CooTensor> batches =
+      make_replay_batches(events, sopts.time_mode, cfg.batches);
+
+  // Start from length-1 modes: replay exercises the growth path the same
+  // way a live deployment would (every index is new when it first arrives).
+  StreamingTensor tensor(std::vector<index_t>(events.order(), 1), sopts);
+  ModelServer server;
+  StreamingSolver solver(tensor, cfg.cpd, &server);
+
+  ReplayResult result;
+  Rng rng(cfg.query_seed);
+  std::vector<index_t> coord(events.order());
+  for (const CooTensor& batch : batches) {
+    tensor.apply(batch);
+    if (tensor.nnz() == 0) {
+      continue;  // everything in this batch was already behind the window
+    }
+    result.refreshes.push_back(solver.refresh());
+
+    ModelServer::Reader reader = server.reader();
+    for (std::size_t q = 0; q < cfg.queries_per_refresh; ++q) {
+      for (std::size_t m = 0; m < events.order(); ++m) {
+        coord[m] = static_cast<index_t>(rng.uniform_index(tensor.dims()[m]));
+      }
+      (void)reader.predict(coord);
+      ++result.queries;
+    }
+  }
+  ModelServer::export_latency_gauges();
+
+  result.ingest = tensor.stats();
+  result.final_dims = tensor.dims();
+  result.final_nnz = tensor.nnz();
+  result.final_epoch = server.epoch();
+  timer.stop();
+  result.total_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace aoadmm

@@ -1,0 +1,56 @@
+// Replay driver: feed a static COO tensor through the streaming stack as a
+// sequence of timestamp-ordered event batches, refreshing and serving after
+// each one. This is both the `tensor_tool stream-replay` backend and the
+// harness the streaming tests and benchmarks drive.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "stream/streaming_solver.hpp"
+#include "stream/streaming_tensor.hpp"
+#include "tensor/coo.hpp"
+
+namespace aoadmm {
+
+/// Split `events` into at most `batches` COO batches ordered by the time
+/// mode: entries are sorted by time index and chunked near-evenly, with
+/// chunk boundaries pushed forward so no time tick spans two batches (a
+/// tick is the atomic unit of arrival). Fewer batches come back when the
+/// tensor has fewer distinct ticks. Batches concatenate to a permutation of
+/// `events`.
+std::vector<CooTensor> make_replay_batches(const CooTensor& events,
+                                           std::size_t time_mode,
+                                           std::size_t batches);
+
+struct ReplayConfig {
+  /// Batching and windowing.
+  std::size_t batches = 8;
+  StreamingOptions stream;
+
+  /// Solve configuration for every refresh.
+  CpdConfig cpd;
+
+  /// Random single-entry queries issued against the live server after each
+  /// refresh (coordinates drawn uniformly within the current mode lengths).
+  std::size_t queries_per_refresh = 0;
+  std::uint64_t query_seed = 0x5eedULL;
+};
+
+struct ReplayResult {
+  std::vector<RefreshReport> refreshes;
+  StreamingStats ingest;
+  std::vector<index_t> final_dims;
+  offset_t final_nnz = 0;
+  std::uint64_t final_epoch = 0;
+  std::uint64_t queries = 0;
+  double total_seconds = 0;
+};
+
+/// Run the full ingest -> refresh -> publish -> query lifecycle over
+/// `events` and return what happened. Metrics accumulate in the global obs
+/// registry under stream/* (including query p50/p99 gauges).
+ReplayResult replay_stream(const CooTensor& events, const ReplayConfig& cfg);
+
+}  // namespace aoadmm

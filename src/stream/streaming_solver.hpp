@@ -1,0 +1,79 @@
+// Refresh driver of the streaming subsystem: turns StreamingTensor churn
+// into published model versions.
+//
+// Each refresh():
+//  1. compiles the current tensor (StreamingTensor::csf — cached, value-
+//     patched, or rebuilt; the amortization is the ingest side's business),
+//  2. grows the previous model to the current mode lengths when appends
+//     introduced new indices — new factor rows are seeded from the running
+//     column means of the existing rows, a neutral starting point that
+//     keeps the warm start informative for the rows that DID exist before,
+//  3. re-factorizes with CpdSolver::solve_warm from the grown model (cold
+//     solve() on the first refresh, or when growth is impossible, e.g. a
+//     rank change), and
+//  4. publishes the result to the attached ModelServer (if any) and reports
+//     per-refresh convergence and latency.
+//
+// A fresh CpdSolver is constructed per refresh on purpose: the session
+// caches the tensor norm at construction, so a session cannot outlive a
+// data change. The warm start — which is what actually buys convergence
+// speed — lives in the model, not the session.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/kruskal.hpp"
+#include "stream/model_server.hpp"
+#include "stream/streaming_tensor.hpp"
+
+namespace aoadmm {
+
+/// What one refresh() did, for logging and the replay driver.
+struct RefreshReport {
+  std::uint64_t refresh = 0;  // 1-based refresh ordinal
+  bool warm = false;          // seeded from the previous model
+  std::size_t grown_rows = 0; // new factor rows seeded across all modes
+  unsigned outer_iterations = 0;
+  real_t relative_error = 1;
+  bool converged = false;
+  double compile_seconds = 0;  // CSF compile share (0 when cached)
+  double solve_seconds = 0;
+  std::uint64_t epoch = 0;     // published epoch; 0 when no server attached
+};
+
+class StreamingSolver {
+ public:
+  /// Binds the ingest tensor and the solve configuration; `server` (may be
+  /// null) receives a published snapshot after every refresh. Both
+  /// references must outlive the solver.
+  StreamingSolver(StreamingTensor& tensor, CpdConfig config,
+                  ModelServer* server = nullptr);
+
+  /// Re-factorize the tensor's current contents and publish. Requires
+  /// tensor.nnz() > 0.
+  RefreshReport refresh();
+
+  bool has_model() const noexcept { return has_model_; }
+  /// The latest refreshed model (valid once has_model()).
+  const KruskalTensor& model() const noexcept { return model_; }
+  const std::vector<RefreshReport>& reports() const noexcept {
+    return reports_;
+  }
+
+ private:
+  /// Grow `model_` to the tensor's current mode lengths, seeding each new
+  /// row with the column means of the pre-existing rows. Returns the number
+  /// of rows added.
+  std::size_t grow_model();
+
+  StreamingTensor& tensor_;
+  CpdConfig config_;
+  ModelServer* server_;
+  KruskalTensor model_;
+  bool has_model_ = false;
+  std::vector<RefreshReport> reports_;
+};
+
+}  // namespace aoadmm

@@ -1,0 +1,283 @@
+#include "stream/streaming_tensor.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace aoadmm {
+namespace {
+
+/// Ingest-side registry handles, registered once per process (shared by
+/// every StreamingTensor; per-instance numbers live in StreamingStats).
+struct IngestMetrics {
+  obs::Counter batches;
+  obs::Counter ingest_nnz;
+  obs::Counter ingest_seconds;
+  obs::Counter appends;
+  obs::Counter overwrites;
+  obs::Counter evictions;
+  obs::Counter late_drops;
+  obs::Counter full_rebuilds;
+  obs::Counter value_patches;
+  obs::Counter compile_seconds;
+  obs::Gauge nnz;
+  obs::Gauge watermark;
+  obs::Gauge ingest_nnz_per_sec;
+
+  static const IngestMetrics& get() {
+    static const IngestMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::global();
+      IngestMetrics out;
+      out.batches = reg.counter("stream/ingest_batches");
+      out.ingest_nnz = reg.counter("stream/ingest_nnz");
+      out.ingest_seconds = reg.counter("stream/ingest_seconds");
+      out.appends = reg.counter("stream/appends");
+      out.overwrites = reg.counter("stream/overwrites");
+      out.evictions = reg.counter("stream/evictions");
+      out.late_drops = reg.counter("stream/late_drops");
+      out.full_rebuilds = reg.counter("stream/csf_full_rebuilds");
+      out.value_patches = reg.counter("stream/csf_value_patches");
+      out.compile_seconds = reg.counter("stream/compile_seconds");
+      out.nnz = reg.gauge("stream/nnz");
+      out.watermark = reg.gauge("stream/watermark");
+      out.ingest_nnz_per_sec = reg.gauge("stream/ingest_nnz_per_sec");
+      return out;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+StreamingTensor::StreamingTensor(std::vector<index_t> initial_dims,
+                                 StreamingOptions opts)
+    : opts_(opts), coo_(std::move(initial_dims)) {
+  AOADMM_CHECK_MSG(coo_.order() >= 2, "streaming tensor order must be >= 2");
+  if (opts_.time_mode == StreamingOptions::kLastMode) {
+    opts_.time_mode = coo_.order() - 1;
+  }
+  AOADMM_CHECK_MSG(opts_.time_mode < coo_.order(),
+                   "time_mode must name a mode of the tensor");
+  AOADMM_CHECK_MSG(opts_.churn_threshold > 0,
+                   "churn_threshold must be positive");
+}
+
+std::uint64_t StreamingTensor::hash_coord(const CooTensor& t,
+                                          offset_t n) const {
+  // FNV-1a over the coordinate tuple, 4 bytes per mode.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t m = 0; m < t.order(); ++m) {
+    std::uint32_t idx = t.index(m, n);
+    for (int b = 0; b < 4; ++b) {
+      h ^= (idx >> (8 * b)) & 0xffU;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+bool StreamingTensor::same_coord(offset_t a, const CooTensor& batch,
+                                 offset_t b) const {
+  for (std::size_t m = 0; m < coo_.order(); ++m) {
+    if (coo_.index(m, a) != batch.index(m, b)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool StreamingTensor::dead(offset_t n) const {
+  return opts_.window > 0 &&
+         coo_.index(opts_.time_mode, n) < evict_cutoff_;
+}
+
+offset_t StreamingTensor::apply(const CooTensor& batch) {
+  AOADMM_CHECK_MSG(batch.order() == order(),
+                   "batch order does not match the streaming tensor");
+  const IngestMetrics& metrics = IngestMetrics::get();
+  Timer timer;
+  timer.start();
+
+  const std::size_t tm = opts_.time_mode;
+
+  // Advance the watermark over the whole batch first so eviction and
+  // late-arrival drops see one consistent cutoff for the batch.
+  for (offset_t n = 0; n < batch.nnz(); ++n) {
+    watermark_ = std::max(watermark_, batch.index(tm, n));
+  }
+  if (opts_.window > 0 && watermark_ >= opts_.window) {
+    const index_t cutoff = watermark_ - opts_.window + 1;
+    if (cutoff > evict_cutoff_) {
+      offset_t newly_dead = 0;
+      const std::size_t hi =
+          std::min<std::size_t>(cutoff, live_per_tick_.size());
+      for (std::size_t t = evict_cutoff_; t < hi; ++t) {
+        newly_dead += live_per_tick_[t];
+        live_per_tick_[t] = 0;
+      }
+      evict_cutoff_ = cutoff;
+      if (newly_dead > 0) {
+        dead_ += newly_dead;
+        structural_dirty_ = true;
+        stats_.evicted += newly_dead;
+        metrics.evictions.add(static_cast<double>(newly_dead));
+      }
+    }
+  }
+
+  offset_t appended = 0;
+  std::vector<index_t> coord(order());
+  for (offset_t n = 0; n < batch.nnz(); ++n) {
+    const index_t t = batch.index(tm, n);
+    if (opts_.window > 0 && t < evict_cutoff_) {
+      ++stats_.late_dropped;
+      metrics.late_drops.add(1);
+      continue;
+    }
+
+    const std::uint64_t h = hash_coord(batch, n);
+    std::vector<offset_t>& bucket = coord_map_[h];
+    offset_t pos = coo_.nnz();  // sentinel: not found
+    for (const offset_t p : bucket) {
+      if (same_coord(p, batch, n)) {
+        pos = p;
+        break;
+      }
+    }
+
+    if (pos != coo_.nnz()) {
+      // Overwrite-duplicate: a value-only change the compiled CSF can
+      // absorb without a rebuild.
+      if (coo_.value(pos) != batch.value(n)) {
+        coo_.value(pos) = batch.value(n);
+        if (!is_dirty_[pos]) {
+          is_dirty_[pos] = 1;
+          value_dirty_.push_back(pos);
+        }
+        ++stats_.overwritten;
+        metrics.overwrites.add(1);
+      }
+      continue;
+    }
+
+    // Append: grow every mode to fit (overflow-checked) and store.
+    for (std::size_t m = 0; m < order(); ++m) {
+      coord[m] = batch.index(m, n);
+      coo_.grow_to_fit(m, coord[m]);
+    }
+    coo_.add(coord, batch.value(n));
+    bucket.push_back(pos);
+    is_dirty_.push_back(0);
+    if (live_per_tick_.size() <= t) {
+      live_per_tick_.resize(static_cast<std::size_t>(t) + 1, 0);
+    }
+    ++live_per_tick_[t];
+    structural_dirty_ = true;
+    ++appended;
+    ++stats_.appended;
+    metrics.appends.add(1);
+  }
+
+  // Bound the structural garbage: past the churn threshold the deferred
+  // eviction sweep stops being an amortization and starts being bloat.
+  if (dead_ > 0 && nnz() > 0 &&
+      static_cast<double>(dead_) >
+          opts_.churn_threshold * static_cast<double>(nnz())) {
+    compact();
+  }
+
+  ++stats_.batches;
+  timer.stop();
+  metrics.batches.add(1);
+  metrics.ingest_nnz.add(static_cast<double>(batch.nnz()));
+  metrics.ingest_seconds.add(timer.seconds());
+  metrics.nnz.set(static_cast<double>(nnz()));
+  metrics.watermark.set(static_cast<double>(watermark_));
+  if (timer.seconds() > 0) {
+    metrics.ingest_nnz_per_sec.set(static_cast<double>(batch.nnz()) /
+                                   timer.seconds());
+  }
+  return appended;
+}
+
+void StreamingTensor::compact() {
+  if (dead_ == 0) {
+    return;
+  }
+  CooTensor kept(coo_.dims());
+  kept.reserve(nnz());
+  std::vector<index_t> coord(order());
+  for (offset_t n = 0; n < coo_.nnz(); ++n) {
+    if (dead(n)) {
+      continue;
+    }
+    for (std::size_t m = 0; m < order(); ++m) {
+      coord[m] = coo_.index(m, n);
+    }
+    kept.add(coord, coo_.value(n));
+  }
+  coo_ = std::move(kept);
+  dead_ = 0;
+
+  // Positions moved: rebuild the coordinate map and drop stale dirty
+  // tracking (the pending structural rebuild recompiles from coo_ anyway).
+  coord_map_.clear();
+  for (offset_t n = 0; n < coo_.nnz(); ++n) {
+    coord_map_[hash_coord(coo_, n)].push_back(n);
+  }
+  value_dirty_.clear();
+  is_dirty_.assign(coo_.nnz(), 0);
+  structural_dirty_ = true;
+  ++stats_.compactions;
+}
+
+const CooTensor& StreamingTensor::coo() {
+  compact();
+  return coo_;
+}
+
+const CsfSet& StreamingTensor::csf() {
+  AOADMM_CHECK_MSG(nnz() > 0, "cannot compile an empty streaming tensor");
+  const IngestMetrics& metrics = IngestMetrics::get();
+
+  if (compiled_ != nullptr && !structural_dirty_ && dead_ == 0 &&
+      value_dirty_.empty()) {
+    ++stats_.cached_compiles;
+    return *compiled_;
+  }
+
+  Timer timer;
+  timer.start();
+  if (value_patch_ready()) {
+    // Value-only churn: patch the compiled leaves through the build-time
+    // leaf maps. No tree is rebuilt.
+    compiled_->patch_values(coo_, value_dirty_);
+    for (const offset_t p : value_dirty_) {
+      is_dirty_[p] = 0;
+    }
+    value_dirty_.clear();
+    ++stats_.value_patches;
+    metrics.value_patches.add(1);
+  } else {
+    compact();
+    compiled_ = std::make_unique<CsfSet>(coo_, opts_.strategy, /*tile_rows=*/0,
+                                         /*track_value_patching=*/true);
+    structural_dirty_ = false;
+    for (const offset_t p : value_dirty_) {
+      is_dirty_[p] = 0;
+    }
+    value_dirty_.clear();
+    ++stats_.full_rebuilds;
+    metrics.full_rebuilds.add(1);
+  }
+  timer.stop();
+  stats_.last_compile_seconds = timer.seconds();
+  metrics.compile_seconds.add(timer.seconds());
+  return *compiled_;
+}
+
+}  // namespace aoadmm

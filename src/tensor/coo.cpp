@@ -1,7 +1,9 @@
 #include "tensor/coo.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
+#include <string>
 
 #include "parallel/runtime.hpp"
 
@@ -31,6 +33,35 @@ void CooTensor::add(cspan<index_t> coord, real_t value) {
   vals_.push_back(value);
 }
 
+void CooTensor::grow_to_fit(std::size_t mode, index_t idx) {
+  AOADMM_CHECK(mode < order());
+  if (idx < dims_[mode]) {
+    return;
+  }
+  if (idx == std::numeric_limits<index_t>::max()) {
+    throw OverflowError("mode " + std::to_string(mode) + " cannot address " +
+                        "index " + std::to_string(idx) +
+                        ": the slice count would overflow index_t");
+  }
+  dims_[mode] = idx + 1;
+}
+
+void CooTensor::append_all(const CooTensor& other) {
+  AOADMM_CHECK_MSG(other.order() == order(), "append_all: order mismatch");
+  const offset_t extra = other.nnz();
+  if (nnz() > std::numeric_limits<offset_t>::max() - extra) {
+    throw OverflowError("append_all: combined non-zero count " +
+                        std::to_string(nnz()) + " + " +
+                        std::to_string(extra) + " overflows offset_t");
+  }
+  for (std::size_t m = 0; m < order(); ++m) {
+    dims_[m] = std::max(dims_[m], other.dim(m));
+    inds_[m].insert(inds_[m].end(), other.inds_[m].begin(),
+                    other.inds_[m].end());
+  }
+  vals_.insert(vals_.end(), other.vals_.begin(), other.vals_.end());
+}
+
 void CooTensor::apply_permutation(const std::vector<offset_t>& perm) {
   const offset_t n = nnz();
   std::vector<real_t> new_vals(n);
@@ -47,7 +78,8 @@ void CooTensor::apply_permutation(const std::vector<offset_t>& perm) {
   }
 }
 
-void CooTensor::sort_by(cspan<std::size_t> perm) {
+void CooTensor::sort_by(cspan<std::size_t> perm,
+                        std::vector<offset_t>* placement) {
   AOADMM_CHECK_MSG(perm.size() == order(), "sort permutation arity mismatch");
   {
     std::vector<std::size_t> check(perm.begin(), perm.end());
@@ -104,6 +136,12 @@ void CooTensor::sort_by(cspan<std::size_t> perm) {
                 }
                 return false;
               });
+  }
+  if (placement != nullptr) {
+    placement->resize(n);
+    for (offset_t i = 0; i < n; ++i) {
+      (*placement)[order_idx[i]] = i;
+    }
   }
   apply_permutation(order_idx);
 }

@@ -30,6 +30,18 @@ class CooTensor {
   /// corresponding mode length.
   void add(cspan<index_t> coord, real_t value);
 
+  /// Grow `mode` so that index `idx` is addressable (no-op when it already
+  /// is). Throws OverflowError when idx is the index_t maximum — the slice
+  /// count idx+1 would wrap — leaving the tensor unchanged. This is the
+  /// checked growth path streaming appends go through.
+  void grow_to_fit(std::size_t mode, index_t idx);
+
+  /// Append every non-zero of `other` (same order), growing mode lengths to
+  /// cover it. Throws OverflowError when the combined non-zero count would
+  /// exceed the offset_t range or a mode length would wrap; the tensor is
+  /// unchanged on throw.
+  void append_all(const CooTensor& other);
+
   /// Index of non-zero `n` along `mode`.
   index_t index(std::size_t mode, offset_t n) const noexcept {
     return inds_[mode][n];
@@ -45,7 +57,11 @@ class CooTensor {
 
   /// Lexicographically sort non-zeros by the given mode permutation
   /// (perm[0] most significant). perm must be a permutation of 0..order-1.
-  void sort_by(cspan<std::size_t> perm);
+  /// When `placement` is non-null it receives the position mapping:
+  /// placement[p] = sorted position of the non-zero that was at p (used by
+  /// CSF construction to remember where each non-zero's leaf landed).
+  void sort_by(cspan<std::size_t> perm,
+               std::vector<offset_t>* placement = nullptr);
 
   /// Sort with `mode` most significant and the remaining modes in
   /// increasing order — the ordering CSF construction wants.

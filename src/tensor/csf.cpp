@@ -9,7 +9,8 @@
 namespace aoadmm {
 
 CsfTensor CsfTensor::build(const CooTensor& coo,
-                           std::vector<std::size_t> mode_perm) {
+                           std::vector<std::size_t> mode_perm,
+                           std::vector<offset_t>* leaf_of_coo) {
   const std::size_t order = coo.order();
   AOADMM_CHECK_MSG(mode_perm.size() == order, "CSF mode permutation arity");
   {
@@ -22,7 +23,8 @@ CsfTensor CsfTensor::build(const CooTensor& coo,
   AOADMM_CHECK_MSG(order >= 2, "CSF requires order >= 2");
 
   CooTensor sorted = coo;
-  sorted.sort_by(mode_perm);
+  // The sort placement IS the leaf mapping: leaves sit in sorted order.
+  sorted.sort_by(mode_perm, leaf_of_coo);
 
   CsfTensor out;
   out.mode_perm_ = std::move(mode_perm);
@@ -108,7 +110,8 @@ CsfTensor CsfTensor::build(const CooTensor& coo,
   return out;
 }
 
-CsfTensor CsfTensor::build_for_mode(const CooTensor& coo, std::size_t root) {
+CsfTensor CsfTensor::build_for_mode(const CooTensor& coo, std::size_t root,
+                                    std::vector<offset_t>* leaf_of_coo) {
   AOADMM_CHECK(root < coo.order());
   std::vector<std::size_t> perm;
   perm.push_back(root);
@@ -123,7 +126,7 @@ CsfTensor CsfTensor::build_for_mode(const CooTensor& coo, std::size_t root) {
     return coo.dim(a) < coo.dim(b);
   });
   perm.insert(perm.end(), rest.begin(), rest.end());
-  return build(coo, std::move(perm));
+  return build(coo, std::move(perm), leaf_of_coo);
 }
 
 std::vector<offset_t> CsfTensor::root_weights() const {
@@ -245,7 +248,8 @@ const char* to_string(CsfStrategy s) noexcept {
   return "?";
 }
 
-CsfSet::CsfSet(const CooTensor& coo, CsfStrategy strategy, index_t tile_rows)
+CsfSet::CsfSet(const CooTensor& coo, CsfStrategy strategy, index_t tile_rows,
+               bool track_value_patching)
     : order_(coo.order()),
       strategy_(strategy),
       tile_rows_(tile_rows),
@@ -259,16 +263,25 @@ CsfSet::CsfSet(const CooTensor& coo, CsfStrategy strategy, index_t tile_rows)
     // tree rooted at itself (validated as an error in CpdConfig too).
     AOADMM_CHECK_MSG(strategy_ == CsfStrategy::kAllMode,
                      "tiled CsfSet requires the ALLMODE strategy");
+    AOADMM_CHECK_MSG(!track_value_patching,
+                     "value patching is not supported for tiled CsfSets");
     tiled_.reserve(order_);
     for (std::size_t m = 0; m < order_; ++m) {
       tiled_.emplace_back(coo, m, tile_rows_);
     }
     return;
   }
+  const auto perm_slot = [&](std::size_t tree) -> std::vector<offset_t>* {
+    if (!track_value_patching) {
+      return nullptr;
+    }
+    leaf_of_coo_.resize(tree + 1);
+    return &leaf_of_coo_[tree];
+  };
   if (strategy_ == CsfStrategy::kAllMode) {
     tensors_.reserve(coo.order());
     for (std::size_t m = 0; m < coo.order(); ++m) {
-      tensors_.push_back(CsfTensor::build_for_mode(coo, m));
+      tensors_.push_back(CsfTensor::build_for_mode(coo, m, perm_slot(m)));
     }
   } else {
     // Root at the shortest mode: best compression near the root, and the
@@ -279,8 +292,30 @@ CsfSet::CsfSet(const CooTensor& coo, CsfStrategy strategy, index_t tile_rows)
         root = m;
       }
     }
-    tensors_.push_back(CsfTensor::build_for_mode(coo, root));
+    tensors_.push_back(CsfTensor::build_for_mode(coo, root, perm_slot(0)));
   }
+}
+
+void CsfSet::patch_values(const CooTensor& coo, cspan<offset_t> dirty) {
+  AOADMM_CHECK_MSG(value_patchable(),
+                   "CsfSet was not built with track_value_patching");
+  AOADMM_CHECK_MSG(coo.nnz() == nnz_,
+                   "patch_values: non-zero count changed; the structure is "
+                   "stale — rebuild instead");
+  for (std::size_t t = 0; t < tensors_.size(); ++t) {
+    CsfTensor& tree = tensors_[t];
+    const std::vector<offset_t>& leaf_of = leaf_of_coo_[t];
+    if (dirty.empty()) {
+      for (offset_t n = 0; n < nnz_; ++n) {
+        tree.patch_value(leaf_of[n], coo.value(n));
+      }
+    } else {
+      for (const offset_t n : dirty) {
+        tree.patch_value(leaf_of[n], coo.value(n));
+      }
+    }
+  }
+  norm_sq_ = coo.norm_sq();
 }
 
 const CsfTensor& CsfSet::for_mode(std::size_t mode) const {

@@ -46,12 +46,16 @@ class CsfTensor {
  public:
   /// Compile `coo` into CSF with modes ordered by `mode_perm` (root first).
   /// mode_perm must be a permutation of 0..order-1. The COO tensor is
-  /// copied/sorted internally and not retained.
-  static CsfTensor build(const CooTensor& coo, std::vector<std::size_t> mode_perm);
+  /// copied/sorted internally and not retained. When `leaf_of_coo` is
+  /// non-null it receives, per COO position, the leaf slot that non-zero's
+  /// value landed in — the mapping value patching (patch_value) needs.
+  static CsfTensor build(const CooTensor& coo, std::vector<std::size_t> mode_perm,
+                         std::vector<offset_t>* leaf_of_coo = nullptr);
 
   /// Convenience: mode `root` first, remaining modes sorted by increasing
   /// length (short modes near the root compress best — SPLATT's heuristic).
-  static CsfTensor build_for_mode(const CooTensor& coo, std::size_t root);
+  static CsfTensor build_for_mode(const CooTensor& coo, std::size_t root,
+                                  std::vector<offset_t>* leaf_of_coo = nullptr);
 
   std::size_t order() const noexcept { return mode_perm_.size(); }
   offset_t nnz() const noexcept { return vals_.size(); }
@@ -80,6 +84,12 @@ class CsfTensor {
 
   /// Non-zero values (leaf payloads), aligned with fids(order-1).
   cspan<real_t> vals() const noexcept { return vals_; }
+
+  /// Overwrite the value in leaf slot `leaf` (from a build-time leaf_of_coo
+  /// mapping). Values only — the fiber structure stays immutable, so this
+  /// is valid exactly when the non-zero pattern is unchanged. Not safe
+  /// concurrently with kernels reading vals().
+  void patch_value(offset_t leaf, real_t value) { vals_[leaf] = value; }
 
   /// Number of non-zeros under each root node — the weights used to balance
   /// root-parallel MTTKRP.
@@ -165,9 +175,15 @@ const char* to_string(CsfStrategy s) noexcept;
 /// TiledCsf instead and callers go through tiled_for_mode()/mttkrp_tiled.
 class CsfSet {
  public:
+  /// Compile every tree the strategy calls for. `track_value_patching`
+  /// additionally records, per tree, where each COO non-zero's value landed
+  /// (order x nnz offsets of extra memory) so later value-only updates can
+  /// be patched into the compiled leaves via patch_values() instead of
+  /// re-sorting and rebuilding — the streaming fast path. Unsupported for
+  /// tiled compilations.
   explicit CsfSet(const CooTensor& coo,
                   CsfStrategy strategy = CsfStrategy::kAllMode,
-                  index_t tile_rows = 0);
+                  index_t tile_rows = 0, bool track_value_patching = false);
 
   std::size_t order() const noexcept { return order_; }
   CsfStrategy strategy() const noexcept { return strategy_; }
@@ -190,6 +206,19 @@ class CsfSet {
   /// Total bytes across all trees (the quantity kOneMode shrinks).
   std::size_t storage_bytes() const noexcept;
 
+  /// True when the set was built with track_value_patching and can accept
+  /// patch_values().
+  bool value_patchable() const noexcept { return !leaf_of_coo_.empty(); }
+
+  /// Re-scatter values from `coo` (which must have the same non-zero
+  /// pattern, in the same COO order, as the tensor this set was built from)
+  /// into every tree's leaves, and refresh the cached norm. When `dirty` is
+  /// non-empty only those COO positions are patched — O(|dirty| * order)
+  /// instead of a full rebuild's sort. Structure (fids/fptr, cached
+  /// scheduling plans) is untouched, which is exactly why this is only
+  /// legal for value-only churn.
+  void patch_values(const CooTensor& coo, cspan<offset_t> dirty = {});
+
  private:
   std::size_t order_ = 0;
   CsfStrategy strategy_ = CsfStrategy::kAllMode;
@@ -199,6 +228,9 @@ class CsfSet {
   real_t norm_sq_ = 0;
   std::vector<CsfTensor> tensors_;
   std::vector<TiledCsf> tiled_;
+  /// One entry per tree when value patching is tracked: COO position ->
+  /// leaf slot in that tree.
+  std::vector<std::vector<offset_t>> leaf_of_coo_;
 };
 
 }  // namespace aoadmm

@@ -40,6 +40,14 @@ class CheckpointError : public Error {
   explicit CheckpointError(const std::string& what) : Error(what) {}
 };
 
+/// Raised when a growth path would overflow an index or count type (e.g. a
+/// streaming append pushing a mode length past the index_t range). The
+/// operation that would have overflowed leaves the container unchanged.
+class OverflowError : public Error {
+ public:
+  explicit OverflowError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 
 [[noreturn]] inline void throw_check_failure(const char* expr, const char* file,

@@ -35,6 +35,43 @@ TEST(Kruskal, RejectsRankMismatch) {
   EXPECT_THROW(KruskalTensor{std::move(factors)}, InvalidArgument);
 }
 
+TEST(Kruskal, ValueAtHelperMatchesNaiveSum) {
+  const KruskalTensor k = sample_model(9);
+  const index_t coord[3] = {3, 1, 5};
+  real_t naive = 0;
+  for (rank_t f = 0; f < k.rank(); ++f) {
+    real_t prod = k.lambda()[f];
+    for (std::size_t m = 0; m < k.order(); ++m) {
+      prod *= k.factors()[m](coord[m], f);
+    }
+    naive += prod;
+  }
+  EXPECT_DOUBLE_EQ(kruskal_value_at(k.factors(), k.lambda(), {coord, 3}),
+                   naive);
+  EXPECT_DOUBLE_EQ(k.value_at({coord, 3}), naive);
+}
+
+TEST(Kruskal, ValueAtHelperTreatsEmptyLambdaAsOnes) {
+  const KruskalTensor k = sample_model(9);  // lambda defaults to all-ones
+  const index_t coord[3] = {7, 5, 6};
+  EXPECT_DOUBLE_EQ(kruskal_value_at(k.factors(), {coord, 3}),
+                   kruskal_value_at(k.factors(), k.lambda(), {coord, 3}));
+}
+
+TEST(Kruskal, ValueAtHelperCooOverloadMatchesCoordOverload) {
+  const KruskalTensor k = sample_model(9);
+  CooTensor x({8, 6, 7});
+  const index_t c0[3] = {0, 0, 0};
+  const index_t c1[3] = {7, 5, 6};
+  x.add({c0, 3}, 1.0);
+  x.add({c1, 3}, 2.0);
+  for (offset_t n = 0; n < x.nnz(); ++n) {
+    const index_t coord[3] = {x.index(0, n), x.index(1, n), x.index(2, n)};
+    EXPECT_DOUBLE_EQ(kruskal_value_at(k.factors(), k.lambda(), x, n),
+                     kruskal_value_at(k.factors(), k.lambda(), {coord, 3}));
+  }
+}
+
 TEST(Kruskal, NormalizePreservesModelValues) {
   KruskalTensor k = sample_model(5);
   const index_t coord[3] = {2, 3, 4};

@@ -1,0 +1,187 @@
+#include "stream/model_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "testing/helpers.hpp"
+#include "util/error.hpp"
+
+namespace aoadmm {
+namespace {
+
+KruskalTensor tagged_model(const std::vector<index_t>& dims, rank_t rank,
+                           real_t tag) {
+  std::vector<Matrix> factors;
+  for (const index_t d : dims) {
+    Matrix m(d, rank);
+    m.fill(tag);
+    factors.push_back(std::move(m));
+  }
+  return KruskalTensor(std::move(factors));
+}
+
+TEST(StreamServer, PredictMatchesDirectReconstruction) {
+  const std::vector<index_t> dims{6, 5, 4};
+  KruskalTensor model(testing::random_factors(dims, 3, 17, 0.1, 1.0));
+  ModelServer server;
+  server.publish(model);
+
+  ModelServer::Reader reader = server.reader();
+  const index_t coord[3] = {5, 0, 3};
+  EXPECT_DOUBLE_EQ(reader.predict({coord, 3}),
+                   kruskal_value_at(model.factors(), model.lambda(),
+                                    {coord, 3}));
+}
+
+TEST(StreamServer, EpochAdvancesAndReadersFollow) {
+  ModelServer server;
+  EXPECT_EQ(server.epoch(), 0u);
+  EXPECT_TRUE(std::isinf(server.staleness_seconds()));
+
+  server.publish(tagged_model({4, 4, 4}, 2, 1.0));
+  EXPECT_EQ(server.epoch(), 1u);
+  EXPECT_LT(server.staleness_seconds(), 60.0);
+
+  ModelServer::Reader reader = server.reader();
+  const index_t coord[3] = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(reader.predict({coord, 3}), 2.0);  // 2 components of 1³
+  EXPECT_EQ(reader.cached_epoch(), 1u);
+
+  server.publish(tagged_model({4, 4, 4}, 2, 2.0));
+  EXPECT_EQ(server.epoch(), 2u);
+  EXPECT_DOUBLE_EQ(reader.predict({coord, 3}), 16.0);  // 2 · 2³
+  EXPECT_EQ(reader.cached_epoch(), 2u);
+}
+
+TEST(StreamServer, ReaderBeforeFirstPublishThrows) {
+  ModelServer server;
+  ModelServer::Reader reader = server.reader();
+  const index_t coord[3] = {0, 0, 0};
+  EXPECT_THROW(reader.predict({coord, 3}), InvalidArgument);
+}
+
+TEST(StreamServer, TopKMatchesBruteForce) {
+  const std::vector<index_t> dims{7, 9, 3};
+  KruskalTensor model(testing::random_factors(dims, 4, 29, 0.1, 1.0));
+  ModelServer server;
+  server.publish(model);
+  ModelServer::Reader reader = server.reader();
+
+  const index_t row = 2;
+  const std::size_t k = 4;
+  const auto best = reader.top_k(0, row, 1, k);
+  ASSERT_EQ(best.size(), k);
+
+  // Brute-force the pairwise scores and check the returned prefix.
+  const Matrix& a = model.factors()[0];
+  const Matrix& t = model.factors()[1];
+  std::vector<ScoredIndex> all;
+  for (index_t j = 0; j < dims[1]; ++j) {
+    real_t s = 0;
+    for (rank_t f = 0; f < model.rank(); ++f) {
+      s += model.lambda()[f] * a(row, f) * t(j, f);
+    }
+    all.push_back({j, s});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const ScoredIndex& x, const ScoredIndex& y) {
+              return x.score > y.score;
+            });
+  for (std::size_t i = 0; i < k; ++i) {
+    EXPECT_EQ(best[i].index, all[i].index) << "rank " << i;
+    EXPECT_DOUBLE_EQ(best[i].score, all[i].score);
+  }
+  // And it is sorted best-first.
+  for (std::size_t i = 1; i < best.size(); ++i) {
+    EXPECT_GE(best[i - 1].score, best[i].score);
+  }
+}
+
+TEST(StreamServer, TopKClampsAndValidates) {
+  ModelServer server;
+  server.publish(tagged_model({3, 2, 2}, 2, 1.0));
+  ModelServer::Reader reader = server.reader();
+  EXPECT_EQ(reader.top_k(0, 0, 1, 100).size(), 2u);  // clamped to mode len
+  EXPECT_THROW(reader.top_k(0, 0, 0, 1), InvalidArgument);  // same mode
+  EXPECT_THROW(reader.top_k(0, 5, 1, 1), InvalidArgument);  // row range
+}
+
+// The reader/swap stress the TSan CI job runs: one publisher continuously
+// swapping snapshots whose every factor entry equals the publication tag,
+// N reader threads querying lock-free the whole time. Each reader asserts
+// it always sees an internally consistent snapshot — same rank everywhere,
+// every entry across every factor equal to the same tag (a torn or
+// half-swapped model would mix tags or shapes).
+TEST(StreamServer, ConcurrentReadersSeeConsistentSnapshotsUnderSwaps) {
+  const std::vector<index_t> dims{16, 12, 8};
+  constexpr rank_t kRank = 3;
+  constexpr int kReaders = 4;
+  constexpr int kPublishes = 200;
+  constexpr int kReadsPerReader = 4000;
+
+  ModelServer server;
+  server.publish(tagged_model(dims, kRank, 1.0));
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+
+  std::thread publisher([&] {
+    for (int e = 2; e <= kPublishes; ++e) {
+      server.publish(tagged_model(dims, kRank, static_cast<real_t>(e)));
+      std::this_thread::yield();
+    }
+    stop.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      ModelServer::Reader reader = server.reader();
+      for (int i = 0; i < kReadsPerReader; ++i) {
+        const KruskalSnapshot& snap = reader.acquire();
+        if (snap.rank() != kRank || snap.order() != dims.size()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        const real_t tag = snap.model.factors()[0](0, 0);
+        bool consistent = static_cast<double>(snap.epoch) == tag;
+        for (const Matrix& f : snap.model.factors()) {
+          if (f.cols() != kRank) {
+            consistent = false;
+            break;
+          }
+          for (const real_t v : f.flat()) {
+            if (v != tag) {
+              consistent = false;
+              break;
+            }
+          }
+          if (!consistent) {
+            break;
+          }
+        }
+        if (!consistent) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (stop.load(std::memory_order_acquire) && i > kReadsPerReader / 2) {
+          break;  // publisher done and plenty of reads in: finish early
+        }
+      }
+    });
+  }
+
+  publisher.join();
+  for (std::thread& t : readers) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.epoch(), static_cast<std::uint64_t>(kPublishes));
+}
+
+}  // namespace
+}  // namespace aoadmm

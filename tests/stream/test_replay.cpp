@@ -1,0 +1,107 @@
+#include "stream/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "testing/helpers.hpp"
+#include "util/error.hpp"
+
+namespace aoadmm {
+namespace {
+
+using Key = std::tuple<index_t, index_t, index_t>;
+
+std::map<Key, real_t> entry_map(const CooTensor& x) {
+  std::map<Key, real_t> out;
+  for (offset_t n = 0; n < x.nnz(); ++n) {
+    out[{x.index(0, n), x.index(1, n), x.index(2, n)}] = x.value(n);
+  }
+  return out;
+}
+
+TEST(StreamReplay, BatchesPartitionEventsByTime) {
+  const CooTensor events = testing::random_coo({20, 15, 10}, 400, 3);
+  const auto batches = make_replay_batches(events, 2, 5);
+  ASSERT_GE(batches.size(), 1u);
+  ASSERT_LE(batches.size(), 5u);
+
+  offset_t total = 0;
+  std::map<Key, real_t> seen;
+  index_t prev_max_tick = 0;
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    ASSERT_GT(batches[b].nnz(), 0u);
+    index_t lo = batches[b].index(2, 0);
+    index_t hi = lo;
+    for (offset_t n = 0; n < batches[b].nnz(); ++n) {
+      lo = std::min(lo, batches[b].index(2, n));
+      hi = std::max(hi, batches[b].index(2, n));
+    }
+    if (b > 0) {
+      // Timestamp-ordered and tick-atomic: a batch starts strictly after
+      // the previous batch's last tick.
+      EXPECT_GT(lo, prev_max_tick) << "batch " << b;
+    }
+    prev_max_tick = hi;
+    total += batches[b].nnz();
+    for (const auto& [key, value] : entry_map(batches[b])) {
+      seen[key] = value;
+    }
+  }
+  EXPECT_EQ(total, events.nnz());
+  EXPECT_EQ(seen, entry_map(events));  // a permutation: same entry multiset
+}
+
+TEST(StreamReplay, SingleBatchHoldsEverything) {
+  const CooTensor events = testing::random_coo({8, 8, 4}, 60, 5);
+  const auto batches = make_replay_batches(events, 2, 1);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].nnz(), events.nnz());
+}
+
+TEST(StreamReplay, ValidatesArguments) {
+  const CooTensor events = testing::random_coo({4, 4, 4}, 10, 9);
+  EXPECT_THROW(make_replay_batches(events, 7, 2), InvalidArgument);
+  EXPECT_THROW(make_replay_batches(events, 2, 0), InvalidArgument);
+}
+
+TEST(StreamReplay, RunsFullLifecycle) {
+  const CooTensor events = testing::dense_lowrank_tensor({8, 7, 6}, 2, 0.05);
+
+  ReplayConfig cfg;
+  cfg.batches = 4;
+  cfg.queries_per_refresh = 10;
+  cfg.cpd.with_rank(2).with_max_outer(20).with_tolerance(1e-3).with_seed(5);
+
+  const ReplayResult r = replay_stream(events, cfg);
+  ASSERT_GE(r.refreshes.size(), 2u);
+  EXPECT_FALSE(r.refreshes.front().warm);
+  for (std::size_t i = 1; i < r.refreshes.size(); ++i) {
+    EXPECT_TRUE(r.refreshes[i].warm);
+  }
+  EXPECT_EQ(r.final_nnz, events.nnz());
+  EXPECT_EQ(r.final_dims, events.dims());
+  EXPECT_EQ(r.final_epoch, r.refreshes.size());
+  EXPECT_EQ(r.queries, r.refreshes.size() * cfg.queries_per_refresh);
+  EXPECT_EQ(r.ingest.appended, events.nnz());
+  EXPECT_GT(r.total_seconds, 0.0);
+}
+
+TEST(StreamReplay, WindowedReplayEvicts) {
+  const CooTensor events = testing::dense_lowrank_tensor({6, 5, 8}, 2, 0.05);
+
+  ReplayConfig cfg;
+  cfg.batches = 4;
+  cfg.stream.window = 2;  // keep only the two newest ticks
+  cfg.cpd.with_rank(2).with_max_outer(10).with_tolerance(1e-3).with_seed(5);
+
+  const ReplayResult r = replay_stream(events, cfg);
+  EXPECT_GT(r.ingest.evicted, 0u);
+  EXPECT_LT(r.final_nnz, events.nnz());
+}
+
+}  // namespace
+}  // namespace aoadmm

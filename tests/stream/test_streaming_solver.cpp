@@ -1,0 +1,138 @@
+#include "stream/streaming_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "testing/helpers.hpp"
+#include "util/error.hpp"
+
+namespace aoadmm {
+namespace {
+
+CpdConfig stream_config() {
+  CpdConfig cfg;
+  cfg.with_rank(3).with_max_outer(200).with_tolerance(1e-4).with_seed(5);
+  return cfg;
+}
+
+/// Split a fully observed tensor into "history" (all coordinates strictly
+/// inside dims-1 on every mode) and "update" (everything touching the last
+/// index of at least one mode) — so applying the update introduces exactly
+/// one brand-new index per mode.
+void split_last_indices(const CooTensor& x, CooTensor* history,
+                        CooTensor* update) {
+  std::vector<index_t> coord(x.order());
+  for (offset_t n = 0; n < x.nnz(); ++n) {
+    bool boundary = false;
+    for (std::size_t m = 0; m < x.order(); ++m) {
+      coord[m] = x.index(m, n);
+      boundary |= coord[m] + 1 == x.dim(m);
+    }
+    (boundary ? update : history)->add(coord, x.value(n));
+  }
+}
+
+TEST(StreamSolver, FirstRefreshIsColdAndPublishes) {
+  const CooTensor events = testing::dense_lowrank_tensor({8, 7, 6}, 3, 0.01);
+  StreamingTensor tensor({1, 1, 1}, StreamingOptions{});
+  tensor.apply(events);
+
+  ModelServer server;
+  StreamingSolver solver(tensor, stream_config(), &server);
+  const RefreshReport report = solver.refresh();
+
+  EXPECT_FALSE(report.warm);
+  EXPECT_EQ(report.refresh, 1u);
+  EXPECT_EQ(report.grown_rows, 0u);
+  EXPECT_GT(report.outer_iterations, 0u);
+  EXPECT_EQ(report.epoch, 1u);
+  EXPECT_EQ(server.epoch(), 1u);
+  ASSERT_TRUE(solver.has_model());
+  EXPECT_EQ(solver.model().order(), 3u);
+  EXPECT_EQ(solver.model().rank(), 3u);
+
+  // The published snapshot is the refreshed model.
+  const auto snap = server.snapshot();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->rank(), 3u);
+  EXPECT_EQ(snap->model.factors()[0].rows(), 8u);
+}
+
+// Satellite acceptance: after appending a batch that adds one new index per
+// mode, the warm-grown streaming refresh must reach tolerance in strictly
+// fewer outer iterations than a cold solve of the same updated tensor.
+TEST(StreamSolver, WarmGrowRefreshBeatsColdSolve) {
+  const CooTensor events = testing::dense_lowrank_tensor({9, 8, 7}, 3, 0.01);
+  CooTensor history(events.dims());
+  CooTensor update(events.dims());
+  split_last_indices(events, &history, &update);
+  ASSERT_GT(history.nnz(), 0u);
+  ASSERT_GT(update.nnz(), 0u);
+
+  // Streaming path: solve the history, append the update (growing every
+  // mode by one index), refresh warm.
+  StreamingTensor tensor({1, 1, 1}, StreamingOptions{});
+  tensor.apply(history);
+  ASSERT_EQ(tensor.dims(), (std::vector<index_t>{8, 7, 6}));
+  StreamingSolver solver(tensor, stream_config(), nullptr);
+  solver.refresh();
+
+  tensor.apply(update);
+  ASSERT_EQ(tensor.dims(), events.dims());
+  const RefreshReport warm = solver.refresh();
+  EXPECT_TRUE(warm.warm);
+  EXPECT_EQ(warm.grown_rows, 3u);  // one new row per mode
+  EXPECT_TRUE(warm.converged);
+
+  // Cold path: the same updated tensor, first (cold) refresh, same config.
+  StreamingTensor cold_tensor({1, 1, 1}, StreamingOptions{});
+  cold_tensor.apply(history);
+  cold_tensor.apply(update);
+  StreamingSolver cold_solver(cold_tensor, stream_config(), nullptr);
+  const RefreshReport cold = cold_solver.refresh();
+  EXPECT_FALSE(cold.warm);
+  EXPECT_TRUE(cold.converged);
+
+  EXPECT_LT(warm.outer_iterations, cold.outer_iterations)
+      << "warm-grown refresh must converge in strictly fewer outer "
+         "iterations than a cold solve (warm="
+      << warm.outer_iterations << ", cold=" << cold.outer_iterations << ")";
+}
+
+TEST(StreamSolver, GrownRowsAreSeededFromColumnMeans) {
+  const CooTensor events = testing::dense_lowrank_tensor({6, 5, 4}, 2, 0.05);
+  StreamingTensor tensor({1, 1, 1}, StreamingOptions{});
+  tensor.apply(events);
+  StreamingSolver solver(tensor, stream_config(), nullptr);
+  solver.refresh();
+
+  // Appending an entry with a new mode-0 index grows that factor by one
+  // row; the refresh report records the growth.
+  CooTensor one(std::vector<index_t>{7, 5, 4});
+  const index_t coord[3] = {6, 0, 0};
+  one.add({coord, 3}, 0.5);
+  tensor.apply(one);
+  const RefreshReport report = solver.refresh();
+  EXPECT_TRUE(report.warm);
+  EXPECT_EQ(report.grown_rows, 1u);
+  EXPECT_EQ(solver.model().factors()[0].rows(), 7u);
+}
+
+TEST(StreamSolver, RefreshReportsAccumulate) {
+  const CooTensor events = testing::dense_lowrank_tensor({6, 5, 4}, 2, 0.05);
+  StreamingTensor tensor({1, 1, 1}, StreamingOptions{});
+  tensor.apply(events);
+  StreamingSolver solver(tensor, stream_config(), nullptr);
+  solver.refresh();
+  solver.refresh();
+  ASSERT_EQ(solver.reports().size(), 2u);
+  EXPECT_EQ(solver.reports()[0].refresh, 1u);
+  EXPECT_EQ(solver.reports()[1].refresh, 2u);
+  // Second refresh had zero churn: the compilation was cached.
+  EXPECT_EQ(tensor.stats().cached_compiles, 1u);
+  EXPECT_DOUBLE_EQ(solver.reports()[1].compile_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace aoadmm

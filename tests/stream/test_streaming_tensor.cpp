@@ -1,0 +1,169 @@
+#include "stream/streaming_tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "testing/helpers.hpp"
+#include "util/error.hpp"
+
+namespace aoadmm {
+namespace {
+
+CooTensor one_entry(const std::vector<index_t>& dims, index_t i, index_t j,
+                    index_t t, real_t v) {
+  CooTensor b(dims);
+  const index_t coord[3] = {i, j, t};
+  b.add({coord, 3}, v);
+  return b;
+}
+
+/// A batch builder whose dims track the largest coordinate added — apply()
+/// ignores batch dims, so batches only need to be self-consistent.
+CooTensor batch_of(std::vector<std::array<index_t, 3>> coords,
+                   std::vector<real_t> vals) {
+  std::vector<index_t> dims(3, 1);
+  for (const auto& c : coords) {
+    for (std::size_t m = 0; m < 3; ++m) {
+      dims[m] = std::max<index_t>(dims[m], c[m] + 1);
+    }
+  }
+  CooTensor b(dims);
+  for (std::size_t n = 0; n < coords.size(); ++n) {
+    b.add({coords[n].data(), 3}, vals[n]);
+  }
+  return b;
+}
+
+TEST(StreamTensor, AppendGrowsDimsAndCounts) {
+  StreamingTensor st({1, 1, 1}, StreamingOptions{});
+  const offset_t appended =
+      st.apply(batch_of({{4, 2, 0}, {1, 7, 1}}, {1.0, 2.0}));
+  EXPECT_EQ(appended, 2u);
+  EXPECT_EQ(st.nnz(), 2u);
+  EXPECT_EQ(st.dims(), (std::vector<index_t>{5, 8, 2}));
+  EXPECT_EQ(st.watermark(), 1u);
+  EXPECT_EQ(st.stats().appended, 2u);
+  EXPECT_EQ(st.stats().batches, 1u);
+}
+
+TEST(StreamTensor, DuplicateCoordinateOverwritesInPlace) {
+  StreamingTensor st({1, 1, 1}, StreamingOptions{});
+  st.apply(one_entry({3, 3, 3}, 1, 2, 0, 1.0));
+  const offset_t appended = st.apply(one_entry({3, 3, 3}, 1, 2, 0, 9.0));
+  EXPECT_EQ(appended, 0u);
+  EXPECT_EQ(st.nnz(), 1u);
+  EXPECT_EQ(st.stats().overwritten, 1u);
+  EXPECT_DOUBLE_EQ(st.coo().value(0), 9.0);
+}
+
+TEST(StreamTensor, SlidingWindowEvictsAndDropsLateArrivals) {
+  StreamingOptions opts;
+  opts.window = 2;
+  StreamingTensor st({1, 1, 1}, opts);
+  st.apply(batch_of({{0, 0, 0}, {1, 1, 1}}, {1.0, 2.0}));
+  EXPECT_EQ(st.nnz(), 2u);
+
+  // Watermark 3 -> window covers ticks {2, 3}; ticks 0 and 1 are evicted.
+  st.apply(one_entry({2, 2, 4}, 0, 1, 3, 3.0));
+  EXPECT_EQ(st.stats().evicted, 2u);
+  EXPECT_EQ(st.nnz(), 1u);
+
+  // An arrival behind the window is dropped, not stored.
+  const offset_t appended = st.apply(one_entry({2, 2, 4}, 1, 0, 0, 4.0));
+  EXPECT_EQ(appended, 0u);
+  EXPECT_EQ(st.stats().late_dropped, 1u);
+  EXPECT_EQ(st.nnz(), 1u);
+
+  // The compacted COO holds exactly the in-window entry.
+  const CooTensor& coo = st.coo();
+  ASSERT_EQ(coo.nnz(), 1u);
+  EXPECT_EQ(coo.index(2, 0), 3u);
+  EXPECT_DOUBLE_EQ(coo.value(0), 3.0);
+}
+
+TEST(StreamTensor, CsfIsCachedUntilChurn) {
+  StreamingTensor st({1, 1, 1}, StreamingOptions{});
+  st.apply(batch_of({{0, 0, 0}, {1, 1, 1}, {2, 0, 1}}, {1.0, 2.0, 3.0}));
+  st.csf();
+  EXPECT_EQ(st.stats().full_rebuilds, 1u);
+  st.csf();
+  st.csf();
+  EXPECT_EQ(st.stats().cached_compiles, 2u);
+  EXPECT_EQ(st.stats().full_rebuilds, 1u);
+
+  // Structural churn (an append) forces a rebuild.
+  st.apply(one_entry({3, 2, 2}, 0, 1, 1, 4.0));
+  st.csf();
+  EXPECT_EQ(st.stats().full_rebuilds, 2u);
+}
+
+TEST(StreamTensor, ValueOnlyChurnTakesPatchPathAndMatchesFreshCompile) {
+  const CooTensor events = testing::random_coo({12, 10, 8}, 150, 21);
+  StreamingTensor st({1, 1, 1}, StreamingOptions{});
+  st.apply(events);
+  st.csf();
+  ASSERT_TRUE(st.value_patch_ready());
+
+  // Overwrite a subset of the values (same coordinates, new payloads).
+  CooTensor churn(events.dims());
+  std::vector<index_t> coord(3);
+  for (offset_t n = 0; n < events.nnz(); n += 3) {
+    for (std::size_t m = 0; m < 3; ++m) {
+      coord[m] = events.index(m, n);
+    }
+    churn.add(coord, events.value(n) * 2 + 1);
+  }
+  st.apply(churn);
+  EXPECT_EQ(st.stats().overwritten, churn.nnz());
+
+  const CsfSet& patched = st.csf();
+  EXPECT_EQ(st.stats().value_patches, 1u);
+  EXPECT_EQ(st.stats().full_rebuilds, 1u);
+
+  // The patched compilation must be leaf-for-leaf identical to compiling
+  // the updated COO from scratch.
+  const CsfSet fresh(st.coo(), CsfStrategy::kAllMode);
+  ASSERT_EQ(patched.nnz(), fresh.nnz());
+  EXPECT_DOUBLE_EQ(patched.norm_sq(), fresh.norm_sq());
+  for (std::size_t m = 0; m < 3; ++m) {
+    const auto pv = patched.for_mode(m).vals();
+    const auto fv = fresh.for_mode(m).vals();
+    ASSERT_EQ(pv.size(), fv.size());
+    for (std::size_t i = 0; i < pv.size(); ++i) {
+      ASSERT_DOUBLE_EQ(pv[i], fv[i]) << "mode " << m << " leaf " << i;
+    }
+  }
+}
+
+TEST(StreamTensor, EagerCompactionPastChurnThreshold) {
+  StreamingOptions opts;
+  opts.window = 1;             // every new tick evicts everything older
+  opts.churn_threshold = 0.5;  // compact when dead > half the live entries
+  StreamingTensor st({1, 1, 1}, opts);
+  st.apply(batch_of({{0, 0, 0}, {1, 1, 0}, {2, 2, 0}}, {1.0, 2.0, 3.0}));
+  st.apply(one_entry({3, 3, 2}, 0, 1, 1, 4.0));  // 3 dead vs 1 live
+  EXPECT_GE(st.stats().compactions, 1u);
+  EXPECT_EQ(st.nnz(), 1u);
+  EXPECT_EQ(st.stats().evicted, 3u);
+}
+
+TEST(StreamTensor, RejectsBadOptions) {
+  StreamingOptions bad_mode;
+  bad_mode.time_mode = 5;
+  EXPECT_THROW(StreamingTensor({2, 2, 2}, bad_mode), InvalidArgument);
+  StreamingOptions bad_churn;
+  bad_churn.churn_threshold = 0;
+  EXPECT_THROW(StreamingTensor({2, 2, 2}, bad_churn), InvalidArgument);
+  EXPECT_THROW(StreamingTensor({4}, StreamingOptions{}), InvalidArgument);
+}
+
+TEST(StreamTensor, EmptyCompileRejected) {
+  StreamingTensor st({1, 1, 1}, StreamingOptions{});
+  EXPECT_THROW(st.csf(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aoadmm

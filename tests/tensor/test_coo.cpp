@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "testing/helpers.hpp"
@@ -169,6 +170,44 @@ TEST(Coo, SortIsStableForEqualKeys) {
   EXPECT_DOUBLE_EQ(x.value(0), 3.0);
   EXPECT_DOUBLE_EQ(x.value(1), 1.0);  // first (1,1) kept before second
   EXPECT_DOUBLE_EQ(x.value(2), 2.0);
+}
+
+TEST(Coo, GrowToFitExtendsModeLengths) {
+  CooTensor x({2, 3});
+  x.grow_to_fit(0, 5);
+  EXPECT_EQ(x.dim(0), 6u);
+  x.grow_to_fit(0, 3);  // already addressable: no-op
+  EXPECT_EQ(x.dim(0), 6u);
+  const index_t c[2] = {5, 2};
+  x.add({c, 2}, 1.0);  // the grown index is now addressable
+  EXPECT_EQ(x.nnz(), 1u);
+}
+
+TEST(Coo, GrowToFitRefusesIndexOverflow) {
+  CooTensor x({2, 3});
+  constexpr index_t kMax = std::numeric_limits<index_t>::max();
+  EXPECT_THROW(x.grow_to_fit(1, kMax), OverflowError);
+  // The failed growth left the tensor unchanged.
+  EXPECT_EQ(x.dim(1), 3u);
+}
+
+TEST(Coo, AppendAllMergesAndGrows) {
+  CooTensor a({2, 2});
+  const index_t c0[2] = {1, 0};
+  a.add({c0, 2}, 1.0);
+  CooTensor b({4, 3});
+  const index_t c1[2] = {3, 2};
+  b.add({c1, 2}, 2.0);
+
+  a.append_all(b);
+  EXPECT_EQ(a.nnz(), 2u);
+  EXPECT_EQ(a.dim(0), 4u);
+  EXPECT_EQ(a.dim(1), 3u);
+  EXPECT_DOUBLE_EQ(a.value(1), 2.0);
+  EXPECT_EQ(a.index(0, 1), 3u);
+
+  CooTensor wrong_order({2, 2, 2});
+  EXPECT_THROW(a.append_all(wrong_order), InvalidArgument);
 }
 
 TEST(Coo, RandomHelperIsDeterministic) {
