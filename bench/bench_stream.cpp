@@ -9,11 +9,14 @@
 
 #include <array>
 #include <atomic>
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include "common.hpp"
 
+#include "obs/telemetry/exposition.hpp"
+#include "obs/telemetry/window_quantiles.hpp"
 #include "stream/model_server.hpp"
 #include "stream/replay.hpp"
 #include "stream/streaming_tensor.hpp"
@@ -209,6 +212,90 @@ void BM_StreamQueryUnderRefresh(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_StreamQueryUnderRefresh);
+
+/// Telemetry overhead: the same predict loop with the windowed-quantile
+/// recording gated off (arg 0) and on (arg 1). The acceptance bar for the
+/// telemetry plane is <5% between the two.
+void BM_StreamQueryTelemetry(benchmark::State& state) {
+  const bool enabled = state.range(0) != 0;
+  obs::set_telemetry_enabled(enabled);
+  ModelServer server;
+  server.publish(serving_model(16));
+  ModelServer::Reader reader = server.reader();
+
+  Rng rng(23);
+  const auto& dims = stream_events().dims();
+  std::vector<std::array<index_t, 3>> coords(1024);
+  for (auto& c : coords) {
+    for (std::size_t m = 0; m < 3; ++m) {
+      c[m] = static_cast<index_t>(rng.uniform_index(dims[m]));
+    }
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& c = coords[i++ & 1023];
+    benchmark::DoNotOptimize(reader.predict({c.data(), 3}));
+  }
+  obs::set_telemetry_enabled(true);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StreamQueryTelemetry)->Arg(0)->Arg(1);
+
+/// Top-k with telemetry off/on — the longer query, same <5% bar.
+void BM_StreamTopKTelemetry(benchmark::State& state) {
+  const bool enabled = state.range(0) != 0;
+  obs::set_telemetry_enabled(enabled);
+  ModelServer server;
+  server.publish(serving_model(16));
+  ModelServer::Reader reader = server.reader();
+
+  Rng rng(23);
+  const auto& dims = stream_events().dims();
+  std::size_t i = 0;
+  std::vector<index_t> rows(256);
+  for (auto& r : rows) {
+    r = static_cast<index_t>(rng.uniform_index(dims[0]));
+  }
+  for (auto _ : state) {
+    const auto best = reader.top_k(0, rows[i++ & 255], 1, 16);
+    benchmark::DoNotOptimize(best.data());
+  }
+  obs::set_telemetry_enabled(true);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StreamTopKTelemetry)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+/// Scrape under load: a background thread hammers queries while this
+/// thread renders the full Prometheus exposition — the cost a scraper
+/// imposes, and proof that rendering never blocks the hot path.
+void BM_StreamScrapeUnderLoad(benchmark::State& state) {
+  ModelServer server;
+  server.publish(serving_model(16));
+
+  std::atomic<bool> stop{false};
+  std::thread querier([&] {
+    ModelServer::Reader reader = server.reader();
+    Rng rng(31);
+    const auto& dims = stream_events().dims();
+    std::array<index_t, 3> c{};
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (std::size_t m = 0; m < 3; ++m) {
+        c[m] = static_cast<index_t>(rng.uniform_index(dims[m]));
+      }
+      benchmark::DoNotOptimize(reader.predict({c.data(), 3}));
+    }
+  });
+
+  for (auto _ : state) {
+    std::ostringstream out;
+    obs::write_prometheus(out);
+    benchmark::DoNotOptimize(out.str().size());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  querier.join();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StreamScrapeUnderLoad)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace aoadmm

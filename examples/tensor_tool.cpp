@@ -9,6 +9,9 @@
 //             [--churn 0.25] [--queries 100] [--rank 16] [--constraint ...]
 //             [--lambda 0.1] [--max-outer 50] [--tol 1e-5] [--seed 123]
 //             [--threads N] [--metrics-json m.json]
+//             [--telemetry-port P] [--telemetry-file f.prom]
+//             [--telemetry-period 1.0] [--event-log events.jsonl]
+//             [--serve-seconds S] [--stale-after S] [--slo-p99 S]
 //             (also spelled `tensor_tool --stream-replay t.tns [...]`)
 //   cpd       t.tns [--rank 16] [--constraint nonneg] [--lambda 0.1]
 //             [--variant blocked|base] [--format dense|csr|csr-h]
@@ -22,6 +25,7 @@
 //             [--resume run.ckpt]
 //             [--robust] [--max-recoveries 3]
 //             [--progress] [--metrics-json m.json] [--chrome-trace t.json]
+//             [--event-log events.jsonl]
 //
 // MTTKRP (cpd): --mttkrp-kernel picks the driver (auto follows the CSF
 // compilation; onetree compiles a single tree and serves the other modes
@@ -50,8 +54,21 @@
 // streaming stack — ingest into a StreamingTensor (optionally windowed with
 // --window), warm re-factorize after each batch, publish each model to a
 // ModelServer, and issue --queries random single-entry predictions per
-// refresh. --metrics-json writes the per-refresh reports plus the global
-// registry (stream/* counters, swap counts, query p50/p99 gauges).
+// refresh. --metrics-json writes the per-refresh reports (each stamped
+// with its trace context) plus the global registry (stream/* counters and
+// histograms with interpolated p50/p95/p99/p999 fields).
+//
+// Telemetry (stream-replay): --telemetry-port serves live Prometheus text
+// on GET /metrics and a health JSON on GET /healthz at 127.0.0.1:<port>
+// (port 0 = ephemeral; the bound port is printed). --telemetry-file
+// rewrites <file> (Prometheus) and <file>.health (JSON) every
+// --telemetry-period seconds instead of serving sockets. --event-log
+// appends one JSON line per lifecycle event (batch ingested, refresh
+// started/finished, snapshot published, recovery, checkpoint) with trace
+// context. --serve-seconds keeps the endpoint and background queries
+// alive after the replay so external scrapers see a live process;
+// --stale-after and --slo-p99 feed the healthz staleness check and the
+// query-latency SLO breach counter. See docs/observability.md.
 //
 // Observability (cpd): --progress prints one line per outer iteration;
 // --metrics-json writes per-iteration snapshots plus the process-wide
@@ -62,6 +79,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -73,6 +91,7 @@
 #include "la/matrix_io.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "obs/telemetry/event_journal.hpp"
 #include "parallel/runtime.hpp"
 #include "stream/replay.hpp"
 #include "tensor/io.hpp"
@@ -293,6 +312,13 @@ int cmd_cpd(const Options& opts) {
   const bool progress = opts.has("progress");
   const auto metrics_path = opts.get("metrics-json");
   const auto chrome_path = opts.get("chrome-trace");
+  // --event-log: structured lifecycle journal (recoveries, checkpoints)
+  // for this solve. Installed process-globally for the command's lifetime.
+  std::unique_ptr<obs::EventJournal> journal;
+  if (const auto event_log = opts.get("event-log")) {
+    journal = std::make_unique<obs::EventJournal>(*event_log);
+    obs::EventJournal::install_global(journal.get());
+  }
   if (chrome_path) {
     if (!obs::profiling_compiled()) {
       std::printf("note: spans not compiled in (build with "
@@ -475,6 +501,26 @@ int cmd_stream_replay(const Options& opts, const std::string& input) {
       static_cast<std::size_t>(opts.get_int("queries", 100));
   cfg.query_seed = static_cast<std::uint64_t>(opts.get_int("seed", 123));
 
+  // Telemetry plane: live endpoint, file mode, event journal.
+  if (opts.has("telemetry-port")) {
+    cfg.telemetry.port = static_cast<int>(opts.get_int("telemetry-port", 0));
+    AOADMM_CHECK_MSG(cfg.telemetry.port >= 0 && cfg.telemetry.port <= 65535,
+                     "--telemetry-port must be in [0, 65535]");
+    // Announce the bound port on stdout so a scraper driving this process
+    // (CI) can discover an ephemeral binding.
+    cfg.telemetry.on_ready = [](std::uint16_t port) {
+      std::printf("telemetry: listening on 127.0.0.1:%u\n",
+                  static_cast<unsigned>(port));
+      std::fflush(stdout);
+    };
+  }
+  cfg.telemetry.file = opts.get_string("telemetry-file", "");
+  cfg.telemetry.file_period_seconds = opts.get_double("telemetry-period", 1.0);
+  cfg.telemetry.event_log = opts.get_string("event-log", "");
+  cfg.telemetry.serve_seconds = opts.get_double("serve-seconds", 0.0);
+  cfg.telemetry.stale_after_seconds = opts.get_double("stale-after", 0.0);
+  cfg.telemetry.slo_query_p99_seconds = opts.get_double("slo-p99", 0.0);
+
   CpdOptions cpd_opts;
   cpd_opts.rank = static_cast<rank_t>(opts.get_int("rank", 16));
   cpd_opts.max_outer_iterations =
@@ -499,12 +545,13 @@ int cmd_stream_replay(const Options& opts, const std::string& input) {
 
   for (const RefreshReport& ref : r.refreshes) {
     std::printf("refresh %3llu  %s  outer %3u  err %.6f  grown %zu  "
-                "compile %.3fs  solve %.3fs  epoch %llu\n",
+                "compile %.3fs  solve %.3fs  epoch %llu  [%s]\n",
                 static_cast<unsigned long long>(ref.refresh),
                 ref.warm ? "warm" : "cold", ref.outer_iterations,
                 static_cast<double>(ref.relative_error), ref.grown_rows,
                 ref.compile_seconds, ref.solve_seconds,
-                static_cast<unsigned long long>(ref.epoch));
+                static_cast<unsigned long long>(ref.epoch),
+                obs::to_string(ref.trace).c_str());
   }
   std::printf("\ningest : %llu appended, %llu overwritten, %llu evicted, "
               "%llu late-dropped\n",
@@ -521,6 +568,15 @@ int cmd_stream_replay(const Options& opts, const std::string& input) {
               static_cast<unsigned long long>(r.queries));
   std::printf("total  : %.3f s, final nnz %llu\n", r.total_seconds,
               static_cast<unsigned long long>(r.final_nnz));
+  if (!cfg.telemetry.event_log.empty()) {
+    std::printf("journal: %llu events written to %s\n",
+                static_cast<unsigned long long>(r.journal_events),
+                cfg.telemetry.event_log.c_str());
+  }
+  if (!cfg.telemetry.file.empty()) {
+    std::printf("telemetry file: %s (+.health)\n",
+                cfg.telemetry.file.c_str());
+  }
 
   if (const auto metrics_path = opts.get("metrics-json")) {
     std::ofstream out(*metrics_path);
@@ -537,7 +593,9 @@ int cmd_stream_replay(const Options& opts, const std::string& input) {
           << ", \"converged\": " << (ref.converged ? "true" : "false")
           << ", \"compile_seconds\": " << ref.compile_seconds
           << ", \"solve_seconds\": " << ref.solve_seconds
-          << ", \"epoch\": " << ref.epoch << "}";
+          << ", \"epoch\": " << ref.epoch << ", ";
+      obs::write_trace_json_fields(out, ref.trace);
+      out << "}";
     }
     out << (r.refreshes.empty() ? "]" : "\n  ]") << ",\n  \"registry\": ";
     obs::MetricsRegistry::global().write_json(out);

@@ -117,7 +117,7 @@ CpdResult cpd_als(const CsfSet& csf, const CpdOptions& opts, real_t ridge) {
           if (cr.attempts > 0) {
             result.recovery.add({RecoveryKind::kCholeskyJitter, outer, m,
                                  cr.attempts, static_cast<double>(cr.jitter),
-                                 std::string()});
+                                 std::string(), {}});
           }
         } else {
           solve_normal_equations(ws.gram_prod, ws.mttkrp_out);

@@ -2,6 +2,10 @@
 
 #include <array>
 #include <sstream>
+#include <utility>
+
+#include "obs/profile.hpp"
+#include "obs/telemetry/event_journal.hpp"
 
 namespace aoadmm {
 
@@ -21,6 +25,22 @@ const char* to_string(RecoveryKind k) noexcept {
       return "checkpoint_write_failure";
   }
   return "?";
+}
+
+void RecoveryReport::add(RecoveryEvent e) {
+  e.trace = obs::current_trace();
+  obs::profile_instant("robust/recovery");
+  obs::journal_event(obs::EventKind::kRecovery, e.trace,
+                     obs::EventJournal::Fields{}
+                         .str("kind", aoadmm::to_string(e.kind))
+                         .num("outer_iteration",
+                              static_cast<std::uint64_t>(e.outer_iteration))
+                         .num("mode", static_cast<std::uint64_t>(e.mode))
+                         .num("attempts",
+                              static_cast<std::uint64_t>(e.attempts))
+                         .num("magnitude", e.magnitude)
+                         .str("detail", e.detail));
+  events.push_back(std::move(e));
 }
 
 std::size_t RecoveryReport::count(RecoveryKind k) const noexcept {

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/telemetry/trace_context.hpp"
 #include "util/types.hpp"
 
 namespace aoadmm {
@@ -99,6 +100,11 @@ struct RecoveryEvent {
   double magnitude = 0;
   /// Free-form context for logs ("short write", ...).
   std::string detail;
+  /// Trace context active when the event fired (stamped by
+  /// RecoveryReport::add from the thread-local context): links the event
+  /// to the refresh solve / ingest batch it happened under. All-zero for
+  /// solves run outside any traced scope.
+  obs::TraceContext trace;
 };
 
 /// Structured log of every recovery performed during a solve, surfaced on
@@ -110,7 +116,11 @@ struct RecoveryReport {
   std::size_t size() const noexcept { return events.size(); }
   /// Number of events of one kind.
   std::size_t count(RecoveryKind k) const noexcept;
-  void add(RecoveryEvent e) { events.push_back(std::move(e)); }
+  /// Record one event. Stamps the thread's current trace context on it,
+  /// appends a `recovery` line to the installed event journal (if any),
+  /// and drops a profiler instant marker — one choke point for every
+  /// guard-rail call site.
+  void add(RecoveryEvent e);
   /// One "outer I mode M: kind attempts=N magnitude=X" line per event.
   std::string to_string() const;
   /// Compact single-line summary, e.g. "3 recoveries (cholesky_jitter 2,

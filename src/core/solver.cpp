@@ -8,6 +8,8 @@
 #include "obs/metrics.hpp"
 #include "obs/parallel_stats.hpp"
 #include "obs/profile.hpp"
+#include "obs/telemetry/event_journal.hpp"
+#include "obs/telemetry/trace_context.hpp"
 #include "sparse/density.hpp"
 #include "testing/fault_injection.hpp"
 #include "util/error.hpp"
@@ -345,7 +347,7 @@ CpdResult CpdSolver::run(unsigned start_outer, real_t prev_error,
           used_sparse = compute_mttkrp();
         }
         result.recovery.add({RecoveryKind::kMttkrpRetry, outer, m, attempts,
-                             0, std::string()});
+                             0, std::string(), {}});
         metrics.robust_mttkrp_retries.add(1);
         AOADMM_LOG_WARN << "outer " << outer << " mode " << m
                         << ": non-finite MTTKRP output, recomputed ("
@@ -391,7 +393,7 @@ CpdResult CpdSolver::run(unsigned start_outer, real_t prev_error,
             result.recovery.add({RecoveryKind::kCholeskyJitter, outer, m,
                                  ar.cholesky_attempts,
                                  static_cast<double>(ar.cholesky_jitter),
-                                 std::string()});
+                                 std::string(), {}});
             metrics.robust_cholesky_jitter.add(1);
             AOADMM_LOG_WARN << "outer " << outer << " mode " << m
                             << ": Cholesky needed a diagonal ridge of "
@@ -401,7 +403,7 @@ CpdResult CpdSolver::run(unsigned start_outer, real_t prev_error,
           if (ar.restarts > 0) {
             result.recovery.add({RecoveryKind::kAdmmRestart, outer, m,
                                  ar.restarts, static_cast<double>(ar.rho),
-                                 std::string()});
+                                 std::string(), {}});
             metrics.robust_admm_restarts.add(ar.restarts);
             AOADMM_LOG_WARN << "outer " << outer << " mode " << m
                             << ": divergent inner solve restarted "
@@ -411,7 +413,7 @@ CpdResult CpdSolver::run(unsigned start_outer, real_t prev_error,
           if (ar.abandoned) {
             result.recovery.add({RecoveryKind::kAdmmAbandoned, outer, m,
                                  ar.restarts, static_cast<double>(ar.rho),
-                                 std::string()});
+                                 std::string(), {}});
             metrics.robust_admm_abandoned.add(1);
             AOADMM_LOG_WARN << "outer " << outer << " mode " << m
                             << ": inner solve abandoned after "
@@ -431,7 +433,7 @@ CpdResult CpdSolver::run(unsigned start_outer, real_t prev_error,
             factors_[m] = ws_.admm.h_entry;
             duals_[m].zero();
             result.recovery.add({RecoveryKind::kFactorRollback, outer, m, 1,
-                                 0, std::string()});
+                                 0, std::string(), {}});
             metrics.robust_factor_rollbacks.add(1);
             AOADMM_LOG_WARN << "outer " << outer << " mode " << m
                             << ": non-finite factor update rolled back";
@@ -523,6 +525,11 @@ CpdResult CpdSolver::run(unsigned start_outer, real_t prev_error,
       try {
         write_checkpoint_file(ck, config_.checkpoint_path);
         metrics.checkpoints_written.add(1);
+        obs::journal_event(
+            obs::EventKind::kCheckpointWritten, obs::current_trace(),
+            obs::EventJournal::Fields{}
+                .num("outer_iteration", static_cast<std::uint64_t>(outer))
+                .str("path", config_.checkpoint_path));
       } catch (const CheckpointError& e) {
         // The writer guarantees the previous checkpoint is untouched, so
         // under robustness a failed write is survivable: record it and
@@ -531,7 +538,7 @@ CpdResult CpdSolver::run(unsigned start_outer, real_t prev_error,
           throw;
         }
         result.recovery.add({RecoveryKind::kCheckpointWriteFailure, outer, 0,
-                             0, 0, e.what()});
+                             0, 0, e.what(), {}});
         metrics.robust_checkpoint_write_failures.add(1);
         AOADMM_LOG_WARN << "outer " << outer
                         << ": checkpoint write failed (continuing): "

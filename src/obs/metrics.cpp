@@ -272,6 +272,15 @@ double histogram_quantile(const HistogramSnapshot& h, double q) noexcept {
   return h.max;
 }
 
+HistogramQuantiles histogram_quantiles(const HistogramSnapshot& h) noexcept {
+  HistogramQuantiles q;
+  q.p50 = histogram_quantile(h, 0.50);
+  q.p95 = histogram_quantile(h, 0.95);
+  q.p99 = histogram_quantile(h, 0.99);
+  q.p999 = histogram_quantile(h, 0.999);
+  return q;
+}
+
 MetricsRegistry& MetricsRegistry::global() {
   // Leaked: worker threads may record metrics during their (post-main)
   // teardown, so the registry must never be destroyed.
@@ -408,6 +417,56 @@ std::vector<std::string> MetricsRegistry::names(MetricKind kind) const {
   return out;
 }
 
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  RegistrySnapshot out;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (const auto& [name, meta] : impl_->byname) {
+      const std::uint32_t slot = meta.second;
+      switch (meta.first) {
+        case MetricKind::kCounter: {
+          double total = 0;
+          for (const auto& shard : impl_->shards) {
+            total += shard->counters[slot].v.load(std::memory_order_relaxed);
+          }
+          out.counters.emplace_back(name, total);
+          break;
+        }
+        case MetricKind::kGauge:
+          out.gauges.emplace_back(
+              name, impl_->gauges[slot].v.load(std::memory_order_relaxed));
+          break;
+        case MetricKind::kHistogram: {
+          HistogramSnapshot h;
+          double mn = std::numeric_limits<double>::infinity();
+          double mx = -std::numeric_limits<double>::infinity();
+          for (const auto& shard : impl_->shards) {
+            const detail::HistCell& cell = shard->hists[slot];
+            for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+              h.buckets[b] += cell.buckets[b].load(std::memory_order_relaxed);
+            }
+            h.count += cell.count.load(std::memory_order_relaxed);
+            h.sum += cell.sum.load(std::memory_order_relaxed);
+            mn = std::min(mn, cell.min.load(std::memory_order_relaxed));
+            mx = std::max(mx, cell.max.load(std::memory_order_relaxed));
+          }
+          h.min = std::isinf(mn) && mn > 0 ? 0 : mn;
+          h.max = std::isinf(mx) && mx < 0 ? 0 : mx;
+          out.histograms.emplace_back(name, h);
+          break;
+        }
+      }
+    }
+  }
+  const auto byname = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  std::sort(out.counters.begin(), out.counters.end(), byname);
+  std::sort(out.gauges.begin(), out.gauges.end(), byname);
+  std::sort(out.histograms.begin(), out.histograms.end(), byname);
+  return out;
+}
+
 void MetricsRegistry::reset() {
   const std::lock_guard<std::mutex> lock(impl_->mutex);
   for (const auto& shard : impl_->shards) {
@@ -421,26 +480,29 @@ void MetricsRegistry::reset() {
 void MetricsRegistry::write_json(std::ostream& out) const {
   using detail::json_escape;
   using detail::json_number;
+  // Snapshot under one lock acquisition; everything below formats from the
+  // copy, so stream back-pressure cannot hold the registry mutex.
+  const RegistrySnapshot snap = snapshot();
   out << "{\n  \"counters\": {";
   bool first = true;
-  for (const std::string& name : names(MetricKind::kCounter)) {
+  for (const auto& [name, value] : snap.counters) {
     out << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
         << "\": ";
-    json_number(out, counter_value(name));
+    json_number(out, value);
     first = false;
   }
   out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
   first = true;
-  for (const std::string& name : names(MetricKind::kGauge)) {
+  for (const auto& [name, value] : snap.gauges) {
     out << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
         << "\": ";
-    json_number(out, gauge_value(name));
+    json_number(out, value);
     first = false;
   }
   out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
   first = true;
-  for (const std::string& name : names(MetricKind::kHistogram)) {
-    const HistogramSnapshot h = histogram_snapshot(name);
+  for (const auto& [name, h] : snap.histograms) {
+    const HistogramQuantiles q = histogram_quantiles(h);
     out << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
         << "\": {\"count\": " << h.count << ", \"sum\": ";
     json_number(out, h.sum);
@@ -450,6 +512,14 @@ void MetricsRegistry::write_json(std::ostream& out) const {
     json_number(out, h.max);
     out << ", \"mean\": ";
     json_number(out, h.mean());
+    out << ", \"p50\": ";
+    json_number(out, q.p50);
+    out << ", \"p95\": ";
+    json_number(out, q.p95);
+    out << ", \"p99\": ";
+    json_number(out, q.p99);
+    out << ", \"p999\": ";
+    json_number(out, q.p999);
     out << ", \"buckets\": [";
     bool bfirst = true;
     for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
@@ -468,18 +538,19 @@ void MetricsRegistry::write_json(std::ostream& out) const {
 }
 
 void MetricsRegistry::write_csv(std::ostream& out) const {
+  const RegistrySnapshot snap = snapshot();
   out << "kind,name,field,value\n";
   char buf[64];
-  for (const std::string& name : names(MetricKind::kCounter)) {
-    std::snprintf(buf, sizeof(buf), "%.17g", counter_value(name));
+  for (const auto& [name, value] : snap.counters) {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
     out << "counter," << name << ",value," << buf << '\n';
   }
-  for (const std::string& name : names(MetricKind::kGauge)) {
-    std::snprintf(buf, sizeof(buf), "%.17g", gauge_value(name));
+  for (const auto& [name, value] : snap.gauges) {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
     out << "gauge," << name << ",value," << buf << '\n';
   }
-  for (const std::string& name : names(MetricKind::kHistogram)) {
-    const HistogramSnapshot h = histogram_snapshot(name);
+  for (const auto& [name, h] : snap.histograms) {
+    const HistogramQuantiles q = histogram_quantiles(h);
     out << "histogram," << name << ",count," << h.count << '\n';
     std::snprintf(buf, sizeof(buf), "%.17g", h.sum);
     out << "histogram," << name << ",sum," << buf << '\n';
@@ -487,6 +558,12 @@ void MetricsRegistry::write_csv(std::ostream& out) const {
     out << "histogram," << name << ",min," << buf << '\n';
     std::snprintf(buf, sizeof(buf), "%.17g", h.max);
     out << "histogram," << name << ",max," << buf << '\n';
+    const std::pair<const char*, double> quants[] = {
+        {"p50", q.p50}, {"p95", q.p95}, {"p99", q.p99}, {"p999", q.p999}};
+    for (const auto& [field, value] : quants) {
+      std::snprintf(buf, sizeof(buf), "%.17g", value);
+      out << "histogram," << name << ',' << field << ',' << buf << '\n';
+    }
     for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
       if (h.buckets[b] == 0) {
         continue;

@@ -5,10 +5,12 @@
 //  * Each thread writes to its own shard — a flat array of cells indexed by
 //    metric slot. A cell has exactly one writer (its thread), so updates are
 //    relaxed atomic load/store pairs: no locks, no contended cache lines.
-//  * Scrapes (value queries, exporters) take the registry mutex, walk every
-//    shard ever created, and merge. Scraping is rare and may race benignly
-//    with in-flight updates (a scrape sees a slightly stale value, never a
-//    torn one).
+//  * Scrapes (value queries, exporters) take the registry mutex only for
+//    the O(metrics) copy into a RegistrySnapshot — formatting always
+//    happens outside the lock, so a slow scrape consumer never blocks
+//    registration. Scraping may race benignly with in-flight updates (a
+//    scrape sees a slightly stale value, never a torn one), and hot-path
+//    writers are lock-free regardless.
 //  * Shards are recycled through a free list when threads exit, so thread
 //    churn does not grow memory and no accumulated value is ever lost.
 //  * Registration (MetricsRegistry::counter("name")) takes the mutex once;
@@ -27,6 +29,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace aoadmm::obs {
@@ -79,6 +82,29 @@ struct HistogramSnapshot {
 /// value), which is plenty for latency p50/p99 reporting. Returns 0 for an
 /// empty histogram.
 double histogram_quantile(const HistogramSnapshot& h, double q) noexcept;
+
+/// The standard latency quantile set, interpolated in one bucket walk.
+/// This is the shared estimator behind every exporter (JSON, CSV,
+/// Prometheus, /healthz) — compute it from a snapshot instead of plumbing
+/// per-quantile gauges.
+struct HistogramQuantiles {
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double p999 = 0;
+};
+
+HistogramQuantiles histogram_quantiles(const HistogramSnapshot& h) noexcept;
+
+/// Point-in-time copy of every registered metric, taken under ONE registry
+/// lock acquisition. Exporters snapshot first and format outside the lock,
+/// so a slow consumer (a network scrape, a large JSON dump) can never
+/// stall registration or shard recycling.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, double>> counters;    // sorted by name
+  std::vector<std::pair<std::string, double>> gauges;      // sorted by name
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;  // sorted
+};
 
 /// Cheap copyable handle to a registered counter. add() is lock-free; a
 /// default-constructed handle drops updates. Handles must not outlive their
@@ -168,6 +194,12 @@ class MetricsRegistry {
 
   /// Registered names of one kind, sorted.
   std::vector<std::string> names(MetricKind kind) const;
+
+  /// Copy every metric's merged value in a single lock acquisition. This
+  /// is what the exporters (and any scrape endpoint) should use: hot-path
+  /// writers stay lock-free throughout, and the registry mutex is held
+  /// only for the O(metrics) copy, never while formatting.
+  RegistrySnapshot snapshot() const;
 
   /// Zero every cell (all shards, all kinds). Intended for tests and
   /// between-run isolation; not safe concurrently with hot-path writers.

@@ -9,6 +9,7 @@
 #include <ostream>
 
 #include "obs/json_util.hpp"
+#include "obs/telemetry/trace_context.hpp"
 
 namespace aoadmm::obs {
 namespace detail {
@@ -25,12 +26,17 @@ namespace {
 
 using clock = std::chrono::steady_clock;
 
-/// A finished span, buffered for the Chrome exporter.
+/// A finished span (or, with dur_us < 0, an instant marker), buffered for
+/// the Chrome exporter. Instant markers carry the trace context that was
+/// current when they fired.
 struct Event {
   const char* name;
   double ts_us;
   double dur_us;
   int tid;
+  std::uint64_t solve_id = 0;
+  std::uint64_t batch_id = 0;
+  std::uint64_t epoch = 0;
 };
 
 constexpr std::size_t kMaxEventsPerThread = 1 << 20;
@@ -117,6 +123,20 @@ void profile_end(ProfNode* node, clock::time_point start) noexcept {
 }
 
 }  // namespace detail
+
+void profile_instant(const char* name) noexcept {
+  if (!profiling_active()) {
+    return;
+  }
+  detail::ThreadProfile& tp = detail::thread_profile();
+  if (tp.events.size() >= detail::kMaxEventsPerThread) {
+    return;
+  }
+  const TraceContext& ctx = current_trace();
+  tp.events.push_back(
+      {name, detail::to_us(detail::clock::now() - detail::process_epoch()),
+       -1.0, tp.tid, ctx.solve_id, ctx.batch_id, ctx.epoch});
+}
 
 void profiling_start() noexcept {
   if (profiling_compiled()) {
@@ -229,12 +249,23 @@ void write_chrome_trace(std::ostream& out) {
     for (const detail::ThreadProfile* tp : detail::profiles()) {
       for (const auto& e : tp->events) {
         out << (first ? "\n" : ",\n") << "  {\"name\": \""
-            << detail::json_escape(e.name)
-            << "\", \"cat\": \"aoadmm\", \"ph\": \"X\", \"ts\": ";
-        detail::json_number(out, e.ts_us);
-        out << ", \"dur\": ";
-        detail::json_number(out, e.dur_us);
-        out << ", \"pid\": 0, \"tid\": " << e.tid << "}";
+            << detail::json_escape(e.name) << "\", \"cat\": \"aoadmm\", ";
+        if (e.dur_us < 0) {
+          // Instant marker ("s":"g" = global scope line in the viewer),
+          // annotated with the trace context it fired under.
+          out << "\"ph\": \"i\", \"s\": \"g\", \"ts\": ";
+          detail::json_number(out, e.ts_us);
+          out << ", \"pid\": 0, \"tid\": " << e.tid
+              << ", \"args\": {\"solve_id\": " << e.solve_id
+              << ", \"batch_id\": " << e.batch_id
+              << ", \"epoch\": " << e.epoch << "}}";
+        } else {
+          out << "\"ph\": \"X\", \"ts\": ";
+          detail::json_number(out, e.ts_us);
+          out << ", \"dur\": ";
+          detail::json_number(out, e.dur_us);
+          out << ", \"pid\": 0, \"tid\": " << e.tid << "}";
+        }
         first = false;
       }
     }

@@ -73,6 +73,13 @@ void write_profile_report(std::ostream& out);
 /// configuration; events are present only when compiled + started.
 void write_chrome_trace(std::ostream& out);
 
+/// Record a point-in-time marker (Chrome "instant" event, ph:"i") stamped
+/// with the calling thread's current TraceContext — used for snapshot
+/// publishes, recovery firings, checkpoint writes. No-op unless profiling
+/// is compiled in and active. `name` must be a string literal (it is
+/// stored, not copied).
+void profile_instant(const char* name) noexcept;
+
 namespace detail {
 struct ProfNode;
 ProfNode* profile_begin(const char* name) noexcept;

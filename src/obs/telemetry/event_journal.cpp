@@ -1,0 +1,202 @@
+#include "obs/telemetry/event_journal.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <utility>
+
+#include "obs/json_util.hpp"
+#include "util/error.hpp"
+
+namespace aoadmm::obs {
+namespace {
+
+std::atomic<EventJournal*> g_journal{nullptr};
+std::atomic<std::uint64_t> g_seq{1};
+
+double wall_seconds_now() noexcept {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* to_string(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kBatchIngested:
+      return "batch_ingested";
+    case EventKind::kRefreshStarted:
+      return "refresh_started";
+    case EventKind::kRefreshFinished:
+      return "refresh_finished";
+    case EventKind::kSnapshotPublished:
+      return "snapshot_published";
+    case EventKind::kRecovery:
+      return "recovery";
+    case EventKind::kCheckpointWritten:
+      return "checkpoint_written";
+  }
+  return "?";
+}
+
+EventJournal::Fields& EventJournal::Fields::num(const char* key, double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      v > -1e15 && v < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  rendered_ += ", \"";
+  rendered_ += detail::json_escape(key);
+  rendered_ += "\": ";
+  // JSON has no inf/nan literals; quote them like json_number does.
+  if (std::isnan(v)) {
+    rendered_ += "\"nan\"";
+  } else if (std::isinf(v)) {
+    rendered_ += v > 0 ? "\"inf\"" : "\"-inf\"";
+  } else {
+    rendered_ += buf;
+  }
+  return *this;
+}
+
+EventJournal::Fields& EventJournal::Fields::num(const char* key,
+                                                std::uint64_t v) {
+  rendered_ += ", \"";
+  rendered_ += detail::json_escape(key);
+  rendered_ += "\": ";
+  rendered_ += std::to_string(v);
+  return *this;
+}
+
+EventJournal::Fields& EventJournal::Fields::str(const char* key,
+                                                const std::string& v) {
+  rendered_ += ", \"";
+  rendered_ += detail::json_escape(key);
+  rendered_ += "\": \"";
+  rendered_ += detail::json_escape(v);
+  rendered_ += "\"";
+  return *this;
+}
+
+EventJournal::Fields& EventJournal::Fields::boolean(const char* key, bool v) {
+  rendered_ += ", \"";
+  rendered_ += detail::json_escape(key);
+  rendered_ += "\": ";
+  rendered_ += v ? "true" : "false";
+  return *this;
+}
+
+struct EventJournal::Impl {
+  std::mutex mutex;
+  std::ofstream out;
+  std::uint64_t bytes = 0;
+  std::uint64_t events = 0;
+  std::uint64_t rotations = 0;
+};
+
+EventJournal::EventJournal(std::string path)
+    : EventJournal(std::move(path), Options{}) {}
+
+EventJournal::EventJournal(std::string path, Options opts)
+    : path_(std::move(path)), opts_(opts), impl_(new Impl()) {
+  impl_->out.open(path_, std::ios::out | std::ios::app);
+  AOADMM_CHECK_MSG(static_cast<bool>(impl_->out),
+                   "event journal: cannot open " + path_);
+  const auto pos = impl_->out.tellp();
+  impl_->bytes = pos > 0 ? static_cast<std::uint64_t>(pos) : 0;
+}
+
+EventJournal::~EventJournal() {
+  // Detach first so a concurrent emit cannot race the teardown.
+  if (global() == this) {
+    install_global(nullptr);
+  }
+  delete impl_;
+}
+
+std::uint64_t EventJournal::events_written() const noexcept {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->events;
+}
+
+std::uint64_t EventJournal::rotations() const noexcept {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->rotations;
+}
+
+void EventJournal::rotate_locked() {
+  impl_->out.close();
+  if (opts_.max_files == 0) {
+    // No rotated generations: truncate in place.
+    impl_->out.open(path_, std::ios::out | std::ios::trunc);
+  } else {
+    // Shift <path>.(N-1) -> <path>.N, ..., <path> -> <path>.1. Failures
+    // (e.g. a generation that never existed) are benign.
+    std::remove((path_ + "." + std::to_string(opts_.max_files)).c_str());
+    for (unsigned g = opts_.max_files; g > 1; --g) {
+      std::rename((path_ + "." + std::to_string(g - 1)).c_str(),
+                  (path_ + "." + std::to_string(g)).c_str());
+    }
+    std::rename(path_.c_str(), (path_ + ".1").c_str());
+    impl_->out.open(path_, std::ios::out | std::ios::trunc);
+  }
+  impl_->bytes = 0;
+  ++impl_->rotations;
+}
+
+void EventJournal::emit(EventKind kind, const TraceContext& ctx,
+                        const Fields& fields) {
+  std::string line;
+  line.reserve(128 + fields.rendered_.size());
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", wall_seconds_now());
+  line += "{\"seq\": ";
+  line += std::to_string(g_seq.fetch_add(1, std::memory_order_relaxed));
+  line += ", \"ts\": ";
+  line += buf;
+  line += ", \"event\": \"";
+  line += to_string(kind);
+  line += "\", \"solve_id\": ";
+  line += std::to_string(ctx.solve_id);
+  line += ", \"batch_id\": ";
+  line += std::to_string(ctx.batch_id);
+  line += ", \"epoch\": ";
+  line += std::to_string(ctx.epoch);
+  line += fields.rendered_;
+  line += "}\n";
+
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (!impl_->out) {
+    return;  // a previous rotation failed; drop rather than throw mid-solve
+  }
+  if (impl_->bytes > 0 && impl_->bytes + line.size() > opts_.max_bytes) {
+    rotate_locked();
+  }
+  impl_->out << line;
+  impl_->out.flush();
+  impl_->bytes += line.size();
+  ++impl_->events;
+}
+
+EventJournal* EventJournal::global() noexcept {
+  return g_journal.load(std::memory_order_acquire);
+}
+
+void EventJournal::install_global(EventJournal* journal) noexcept {
+  g_journal.store(journal, std::memory_order_release);
+}
+
+void journal_event(EventKind kind, const TraceContext& ctx,
+                   const EventJournal::Fields& fields) {
+  EventJournal* j = EventJournal::global();
+  if (j != nullptr) {
+    j->emit(kind, ctx, fields);
+  }
+}
+
+}  // namespace aoadmm::obs

@@ -1,0 +1,106 @@
+// Structured lifecycle event journal: an append-only, size-bounded,
+// rotating JSONL sink for the streaming stack's lifecycle events.
+//
+// One line per event:
+//
+//   {"seq": 12, "ts": 1723180000.123456, "event": "refresh_finished",
+//    "solve_id": 3, "batch_id": 7, "epoch": 3,
+//    "outer_iterations": 14, "converged": true, ...}
+//
+// `seq` is a process-wide monotonic ordinal (survives rotation, so a
+// consumer can detect gaps), `ts` is wall-clock seconds since the Unix
+// epoch, and the three trace fields carry the event's TraceContext (zero
+// when a stage has no linkage — e.g. batch_ingested has no solve yet).
+// Event-specific fields follow, built with the Fields fluent helper.
+//
+// Rotation: when the active file would exceed max_bytes, it is renamed to
+// <path>.1 (shifting older generations up, dropping the one past
+// max_files) and a fresh file is opened. Appends are serialized by a
+// mutex — events are per-batch/per-refresh, not per-query, so the journal
+// is nowhere near any hot path.
+//
+// Wiring: the library emits through the process-global sink when one is
+// installed (install_global); with none installed every emit is a single
+// relaxed atomic load. Tools own the journal object and install/uninstall
+// it around their run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/telemetry/trace_context.hpp"
+
+namespace aoadmm::obs {
+
+enum class EventKind {
+  kBatchIngested,
+  kRefreshStarted,
+  kRefreshFinished,
+  kSnapshotPublished,
+  kRecovery,
+  kCheckpointWritten,
+};
+
+const char* to_string(EventKind k) noexcept;
+
+class EventJournal {
+ public:
+  struct Options {
+    /// Rotate the active file before an append would push it past this.
+    std::uint64_t max_bytes = 8u << 20;
+    /// Rotated generations kept (<path>.1 .. <path>.N). 0 = no rotation:
+    /// the active file is truncated and restarted when full.
+    unsigned max_files = 2;
+  };
+
+  /// Extra key/value payload of one event, pre-rendered as JSON fragments.
+  class Fields {
+   public:
+    Fields& num(const char* key, double v);
+    Fields& num(const char* key, std::uint64_t v);
+    Fields& str(const char* key, const std::string& v);
+    Fields& boolean(const char* key, bool v);
+
+   private:
+    friend class EventJournal;
+    std::string rendered_;  // ', "key": value' repeated
+  };
+
+  /// Opens `path` for appending (created if missing). Throws IoError when
+  /// the file cannot be opened. (Two overloads rather than a default
+  /// argument: GCC cannot brace-default a nested NSDMI class in-class.)
+  explicit EventJournal(std::string path);
+  EventJournal(std::string path, Options opts);
+  ~EventJournal();
+  EventJournal(const EventJournal&) = delete;
+  EventJournal& operator=(const EventJournal&) = delete;
+
+  /// Append one event line (thread-safe).
+  void emit(EventKind kind, const TraceContext& ctx,
+            const Fields& fields = {});
+
+  const std::string& path() const noexcept { return path_; }
+  std::uint64_t events_written() const noexcept;
+  std::uint64_t rotations() const noexcept;
+
+  /// Process-global sink. install_global does NOT take ownership; pass
+  /// nullptr to detach. The installer must keep the journal alive until
+  /// detached.
+  static EventJournal* global() noexcept;
+  static void install_global(EventJournal* journal) noexcept;
+
+ private:
+  void rotate_locked();
+
+  std::string path_;
+  Options opts_;
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Emit through the global sink iff one is installed (the library's
+/// fire-and-forget entry point).
+void journal_event(EventKind kind, const TraceContext& ctx,
+                   const EventJournal::Fields& fields = {});
+
+}  // namespace aoadmm::obs

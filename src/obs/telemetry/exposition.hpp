@@ -1,0 +1,116 @@
+// Runtime exposition endpoint: a dependency-free embedded HTTP server (and
+// an equivalent periodic file writer for socketless environments) serving
+// the process's metrics in Prometheus text format plus a /healthz JSON
+// view.
+//
+// Routes:
+//   GET /metrics  -> Prometheus text exposition (version 0.0.4): every
+//                    registry counter (`aoadmm_<name>_total`), gauge, and
+//                    histogram (`_bucket{le=}`/`_sum`/`_count` plus
+//                    interpolated p50/p95/p99/p999 gauges), and every
+//                    windowed histogram as a summary with quantile labels
+//                    (`aoadmm_window_<name>{quantile="0.99"}`) over its
+//                    trailing window.
+//   GET /healthz  -> one JSON object: model staleness, last-refresh
+//                    convergence, recovery counts, SLO breach counters.
+//                    HTTP 200 while healthy, 503 once the model is staler
+//                    than `stale_after_seconds`.
+//
+// The server binds loopback only, handles one request per connection on a
+// single background thread, and reads the registry exclusively through
+// RegistrySnapshot — a slow or hostile scraper can never block hot-path
+// writers. Scrapes are counted under telemetry/scrapes.
+//
+// `--telemetry-file` mode (TelemetryFileWriter) rewrites <path> with the
+// same Prometheus text and <path>.health with the same healthz JSON every
+// period, atomically (write to <path>.tmp, rename).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace aoadmm::obs {
+
+struct ExpositionOptions {
+  /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read it
+  /// back with ExpositionServer::port()).
+  std::uint16_t port = 0;
+
+  /// healthz reports "degraded" (and HTTP 503) when the served model is
+  /// staler than this many seconds. 0 disables the check.
+  double stale_after_seconds = 0;
+
+  /// SLO target for the windowed query p99. When > 0, every scrape that
+  /// observes a trailing-window p99 above it bumps the
+  /// telemetry/slo_query_p99_breaches counter. 0 disables.
+  double slo_query_p99_seconds = 0;
+
+  /// Invoked before rendering each scrape or file rewrite — the hook the
+  /// embedder uses to refresh gauges that must be read live (e.g. copy
+  /// ModelServer::staleness_seconds into stream/staleness_seconds).
+  std::function<void()> pre_scrape;
+};
+
+/// Render the full Prometheus exposition (registry + windowed summaries)
+/// to `out`. Also usable standalone (tests, file mode).
+void write_prometheus(std::ostream& out);
+
+/// Render the healthz JSON object. Returns true when healthy per `opts`.
+bool write_healthz(std::ostream& out, const ExpositionOptions& opts);
+
+/// Sanitize a registry metric name into a Prometheus metric name:
+/// `stream/query_seconds` -> `aoadmm_stream_query_seconds` (with `prefix`
+/// prepended; every non-[a-zA-Z0-9_] byte becomes '_').
+std::string prometheus_name(const std::string& name,
+                            const char* prefix = "aoadmm_");
+
+class ExpositionServer {
+ public:
+  explicit ExpositionServer(ExpositionOptions opts = {});
+  ~ExpositionServer();  // stops and joins
+  ExpositionServer(const ExpositionServer&) = delete;
+  ExpositionServer& operator=(const ExpositionServer&) = delete;
+
+  /// Bind, listen, and spawn the serving thread. Throws on bind failure.
+  void start();
+  /// Stop serving and join the thread. Idempotent.
+  void stop();
+
+  bool running() const noexcept;
+  /// The actually bound port (resolves port 0); valid after start().
+  std::uint16_t port() const noexcept;
+  /// Requests answered so far (any route).
+  std::uint64_t requests() const noexcept;
+
+ private:
+  void serve_loop();
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Socketless twin of the server: a background thread that rewrites
+/// `path` (Prometheus text) and `path + ".health"` (healthz JSON) every
+/// `period_seconds`, atomically via a .tmp + rename. One final rewrite
+/// happens on stop, so short runs always leave fresh files behind.
+class TelemetryFileWriter {
+ public:
+  TelemetryFileWriter(std::string path, double period_seconds,
+                      ExpositionOptions opts = {});
+  ~TelemetryFileWriter();
+  TelemetryFileWriter(const TelemetryFileWriter&) = delete;
+  TelemetryFileWriter& operator=(const TelemetryFileWriter&) = delete;
+
+  void start();
+  void stop();
+  /// Rewrite both files once, immediately (also what the thread calls).
+  void write_now();
+  const std::string& path() const noexcept;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace aoadmm::obs

@@ -1,0 +1,51 @@
+#include "obs/telemetry/trace_context.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <ostream>
+
+namespace aoadmm::obs {
+namespace {
+
+std::atomic<std::uint64_t> g_next_solve{1};
+std::atomic<std::uint64_t> g_next_batch{1};
+
+TraceContext& thread_trace() noexcept {
+  thread_local TraceContext ctx;
+  return ctx;
+}
+
+}  // namespace
+
+std::uint64_t next_solve_id() noexcept {
+  return g_next_solve.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t next_batch_id() noexcept {
+  return g_next_batch.fetch_add(1, std::memory_order_relaxed);
+}
+
+const TraceContext& current_trace() noexcept { return thread_trace(); }
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx) noexcept
+    : saved_(thread_trace()) {
+  thread_trace() = ctx;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { thread_trace() = saved_; }
+
+void write_trace_json_fields(std::ostream& out, const TraceContext& ctx) {
+  out << "\"solve_id\": " << ctx.solve_id << ", \"batch_id\": " << ctx.batch_id
+      << ", \"epoch\": " << ctx.epoch;
+}
+
+std::string to_string(const TraceContext& ctx) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "solve=%llu batch=%llu epoch=%llu",
+                static_cast<unsigned long long>(ctx.solve_id),
+                static_cast<unsigned long long>(ctx.batch_id),
+                static_cast<unsigned long long>(ctx.epoch));
+  return buf;
+}
+
+}  // namespace aoadmm::obs

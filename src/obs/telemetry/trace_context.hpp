@@ -1,0 +1,65 @@
+// Solve-scoped trace contexts for the live telemetry plane.
+//
+// A TraceContext causally links the three stages of the streaming
+// lifecycle: the ingest batch that changed the tensor (batch_id, minted by
+// StreamingTensor::apply), the refresh solve that consumed it (solve_id,
+// minted by StreamingSolver::refresh), and the published model version a
+// query is answered from (epoch, assigned by ModelServer::publish). The
+// context is stamped on every RefreshReport, KruskalSnapshot,
+// RecoveryEvent, and event-journal line, so "which ingest batch produced
+// the model this query hit?" is answerable from the journal alone.
+//
+// Propagation is thread-local: StreamingSolver::refresh installs its
+// context with a ScopedTraceContext before running the solver, and
+// anything recorded underneath (recovery events, journal lines) picks it
+// up via current_trace(). Code running outside any scope sees the
+// all-zero (invalid) context and its records simply carry no linkage.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace aoadmm::obs {
+
+struct TraceContext {
+  /// Refresh/solve that produced (or is producing) the model. 0 = none.
+  std::uint64_t solve_id = 0;
+  /// Last ingest batch applied before the solve started. 0 = none.
+  std::uint64_t batch_id = 0;
+  /// Published model version the solve resulted in. 0 = not published.
+  std::uint64_t epoch = 0;
+
+  bool valid() const noexcept {
+    return solve_id != 0 || batch_id != 0 || epoch != 0;
+  }
+};
+
+/// Process-wide monotonic id mints (first returned value is 1). Lock-free.
+std::uint64_t next_solve_id() noexcept;
+std::uint64_t next_batch_id() noexcept;
+
+/// The calling thread's active context (all-zero outside any scope).
+const TraceContext& current_trace() noexcept;
+
+/// RAII installer for the thread-local context; restores the previous
+/// context on destruction, so scopes nest.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx) noexcept;
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+/// Append `"solve_id": N, "batch_id": N, "epoch": N` (no braces, no
+/// leading/trailing comma) — the shared spelling every exporter uses.
+void write_trace_json_fields(std::ostream& out, const TraceContext& ctx);
+
+/// `solve=N batch=N epoch=N` for logs.
+std::string to_string(const TraceContext& ctx);
+
+}  // namespace aoadmm::obs

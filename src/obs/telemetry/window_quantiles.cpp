@@ -1,0 +1,167 @@
+#include "obs/telemetry/window_quantiles.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "util/error.hpp"
+
+namespace aoadmm::obs {
+namespace {
+
+std::atomic<bool> g_telemetry_enabled{true};
+
+std::int64_t steady_now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Representative value of one bucket for the derived sum: the geometric
+/// midpoint of its bounds, degrading gracefully at the open ends.
+double bucket_midpoint(std::size_t b) noexcept {
+  if (b == 0) {
+    return 0;  // <= 0 observations contribute nothing to the sum
+  }
+  const double hi = histogram_bucket_upper(b);
+  if (b == 1) {
+    return hi / 2;
+  }
+  const double lo = histogram_bucket_upper(b - 1);
+  if (b >= kHistogramBuckets - 1) {
+    return lo;  // overflow: clamp to the finite lower bound
+  }
+  return lo * 1.5;  // midpoint of [lo, 2*lo)
+}
+
+}  // namespace
+
+void set_telemetry_enabled(bool enabled) noexcept {
+  g_telemetry_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool telemetry_enabled() noexcept {
+  return g_telemetry_enabled.load(std::memory_order_relaxed);
+}
+
+WindowedHistogram::WindowedHistogram(double window_seconds)
+    : window_seconds_(window_seconds) {
+  AOADMM_CHECK_MSG(window_seconds > 0,
+                   "windowed histogram needs a positive window");
+  slice_ns_ = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(window_seconds * 1e9 /
+                                   static_cast<double>(kSlices)));
+}
+
+void WindowedHistogram::observe(double v) noexcept {
+  if (!telemetry_enabled()) {
+    return;
+  }
+  observe_at(v, steady_now_ns());
+}
+
+void WindowedHistogram::observe_at(double v, std::int64_t now_ns) noexcept {
+  if (!telemetry_enabled()) {
+    return;
+  }
+  const auto tick = static_cast<std::uint64_t>(now_ns / slice_ns_);
+  Slice& s = slices_[tick % kSlices];
+  std::uint64_t tag = s.tag.load(std::memory_order_relaxed);
+  if (tag != tick) {
+    // The slice still holds data from kSlices ticks ago (or is virgin).
+    // One writer re-tags it and zeroes the counters; stragglers from the
+    // dying tick may smear a few counts into the new one — acceptable for
+    // monitoring, and the price of a lock-free hot path.
+    if (s.tag.compare_exchange_strong(tag, tick, std::memory_order_relaxed)) {
+      for (auto& b : s.buckets) {
+        b.store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+  s.buckets[histogram_bucket(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot WindowedHistogram::snapshot() const {
+  return snapshot_at(steady_now_ns());
+}
+
+HistogramSnapshot WindowedHistogram::snapshot_at(std::int64_t now_ns) const {
+  HistogramSnapshot out;
+  const auto tick = static_cast<std::uint64_t>(now_ns / slice_ns_);
+  const std::uint64_t oldest = tick >= kSlices - 1 ? tick - (kSlices - 1) : 0;
+  for (const Slice& s : slices_) {
+    const std::uint64_t tag = s.tag.load(std::memory_order_relaxed);
+    if (tag == ~std::uint64_t{0} || tag < oldest || tag > tick) {
+      continue;  // never written, expired, or (clock skew) future
+    }
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      out.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  // Derive the scalar fields from the buckets: the hot path writes exactly
+  // one counter, so count/sum/min/max are reconstructions at bucket
+  // resolution, which is all the quantile math needs.
+  double min = 0;
+  double max = 0;
+  bool any = false;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (out.buckets[b] == 0) {
+      continue;
+    }
+    out.count += out.buckets[b];
+    out.sum += static_cast<double>(out.buckets[b]) * bucket_midpoint(b);
+    if (!any) {
+      min = b <= 1 ? 0 : histogram_bucket_upper(b - 1);
+      any = true;
+    }
+    max = b >= kHistogramBuckets - 1 ? histogram_bucket_upper(b - 1)
+                                     : histogram_bucket_upper(b);
+  }
+  out.min = min;
+  out.max = max;
+  return out;
+}
+
+namespace {
+
+struct WindowRegistry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<WindowedHistogram>> byname;
+};
+
+WindowRegistry& window_registry() {
+  // Leaked for the same reason as MetricsRegistry::global(): worker
+  // threads may observe during post-main teardown.
+  static auto* r = new WindowRegistry();
+  return *r;
+}
+
+}  // namespace
+
+WindowedHistogram& windowed_histogram(const std::string& name,
+                                      double window_seconds) {
+  WindowRegistry& reg = window_registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.byname.find(name);
+  if (it == reg.byname.end()) {
+    it = reg.byname
+             .emplace(name, std::make_unique<WindowedHistogram>(window_seconds))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<std::pair<std::string, WindowedHistogram*>> windowed_list() {
+  WindowRegistry& reg = window_registry();
+  std::vector<std::pair<std::string, WindowedHistogram*>> out;
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  out.reserve(reg.byname.size());
+  for (const auto& [name, hist] : reg.byname) {
+    out.emplace_back(name, hist.get());
+  }
+  return out;
+}
+
+}  // namespace aoadmm::obs

@@ -1,0 +1,95 @@
+// Sliding-window latency quantiles for the live telemetry plane.
+//
+// The static registry histograms (obs/metrics.hpp) accumulate forever —
+// right for run totals, wrong for "what is query p99 RIGHT NOW" on a
+// long-running serve process. A WindowedHistogram is a ring of time
+// slices, each holding the familiar base-2 log bucket array; observations
+// land in the slice covering the current wall of time, stale slices are
+// lazily re-tagged and zeroed as the window slides past them, and a
+// snapshot merges only the slices inside the trailing window.
+//
+// Hot path: locate the time slice (integer divide on a caller-supplied or
+// freshly read steady-clock timestamp), then ONE relaxed fetch_add on the
+// value's log2 bucket. No locks, no CAS in steady state; the only extra
+// work is on the first observation of a new time slice, where the writer
+// that notices the stale tag re-tags and zeroes it (racing writers from
+// the dying slice can smear a handful of counts — monitoring-grade
+// accuracy, deliberately traded for the one-atomic hot path).
+//
+// Count, sum, min, and max in snapshots are derived from the buckets
+// (geometric-midpoint sum, bucket-bound extremes), so quantiles keep the
+// same within-one-binade resolution as the static histograms.
+//
+// set_telemetry_enabled(false) turns every observe into a single relaxed
+// load + branch, for measuring the plane's own overhead.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace aoadmm::obs {
+
+/// Process-wide gate over windowed recording (default on). Reads are a
+/// relaxed atomic load on the observe path.
+void set_telemetry_enabled(bool enabled) noexcept;
+bool telemetry_enabled() noexcept;
+
+class WindowedHistogram {
+ public:
+  static constexpr std::size_t kSlices = 16;
+
+  /// Observations older than `window_seconds` fall out of snapshots. The
+  /// window is divided into kSlices rotation slices, so expiry granularity
+  /// is window_seconds / kSlices.
+  explicit WindowedHistogram(double window_seconds = 60.0);
+
+  double window_seconds() const noexcept { return window_seconds_; }
+
+  /// Record `v` now. Honors the telemetry_enabled gate.
+  void observe(double v) noexcept;
+
+  /// Record `v` at an explicit steady-clock timestamp — the hot-path entry
+  /// when the caller already read the clock (latency measurement code
+  /// has), and the deterministic entry for tests.
+  void observe_at(double v, std::int64_t now_ns) noexcept;
+
+  /// Merge the slices inside the trailing window ending now.
+  HistogramSnapshot snapshot() const;
+  /// Same, with an explicit "now" (tests).
+  HistogramSnapshot snapshot_at(std::int64_t now_ns) const;
+
+ private:
+  struct Slice {
+    /// Which time slice (now_ns / slice_ns) this data belongs to; ~0 when
+    /// never written.
+    std::atomic<std::uint64_t> tag{~std::uint64_t{0}};
+    std::atomic<std::uint64_t> buckets[kHistogramBuckets]{};
+  };
+
+  double window_seconds_;
+  std::int64_t slice_ns_;
+  Slice slices_[kSlices];
+};
+
+/// The process-wide named windowed-histogram registry (leaked, like the
+/// metrics registry, so handles stay valid forever). Registration is
+/// idempotent per name; the first registration fixes the window length.
+/// Call sites cache the returned reference in a static.
+WindowedHistogram& windowed_histogram(const std::string& name,
+                                      double window_seconds = 60.0);
+
+/// All registered windowed histograms, sorted by name (for exporters).
+std::vector<std::pair<std::string, WindowedHistogram*>> windowed_list();
+
+/// Canonical windowed metric names recorded by the streaming stack.
+inline constexpr const char* kWindowQuerySeconds = "stream/query_seconds";
+inline constexpr const char* kWindowRefreshSeconds = "stream/refresh_seconds";
+inline constexpr const char* kWindowIngestBatchSize =
+    "stream/ingest_batch_size";
+
+}  // namespace aoadmm::obs

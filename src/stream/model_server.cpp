@@ -5,6 +5,9 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/telemetry/event_journal.hpp"
+#include "obs/telemetry/window_quantiles.hpp"
 #include "util/error.hpp"
 
 namespace aoadmm {
@@ -38,11 +41,21 @@ std::int64_t steady_now_ns() noexcept {
       .count();
 }
 
+/// Windowed query-latency histogram behind /metrics summaries and
+/// /healthz. One relaxed fetch_add per query, reusing the timestamp the
+/// latency measurement already took.
+obs::WindowedHistogram& query_window() {
+  static obs::WindowedHistogram& w =
+      obs::windowed_histogram(obs::kWindowQuerySeconds);
+  return w;
+}
+
 }  // namespace
 
 ModelServer::ModelServer() { ServeMetrics::get(); }
 
-std::uint64_t ModelServer::publish(KruskalTensor model) {
+std::uint64_t ModelServer::publish(KruskalTensor model,
+                                   obs::TraceContext origin) {
   AOADMM_CHECK_MSG(model.order() >= 1 && model.rank() > 0,
                    "cannot publish an empty model");
   auto snap = std::make_shared<KruskalSnapshot>();
@@ -53,6 +66,8 @@ std::uint64_t ModelServer::publish(KruskalTensor model) {
     const std::lock_guard<std::mutex> lock(mu_);
     new_epoch = epoch_.load(std::memory_order_relaxed) + 1;
     snap->epoch = new_epoch;
+    origin.epoch = new_epoch;
+    snap->origin = origin;
     current_ = std::move(snap);
     // Release-publish AFTER installing the snapshot: a reader that sees the
     // new epoch is guaranteed to find (at least) this snapshot under mu_.
@@ -63,6 +78,14 @@ std::uint64_t ModelServer::publish(KruskalTensor model) {
   const ServeMetrics& metrics = ServeMetrics::get();
   metrics.swaps.add(1);
   metrics.snapshot_epoch.set(static_cast<double>(new_epoch));
+  {
+    // Stamp the instant marker with the snapshot's full context (including
+    // the epoch minted above), not whatever the thread happened to carry.
+    const obs::ScopedTraceContext scoped(origin);
+    obs::profile_instant("stream/snapshot_published");
+  }
+  obs::journal_event(obs::EventKind::kSnapshotPublished, origin,
+                     obs::EventJournal::Fields{});
   return new_epoch;
 }
 
@@ -77,16 +100,6 @@ double ModelServer::staleness_seconds() const noexcept {
 std::shared_ptr<const KruskalSnapshot> ModelServer::snapshot() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return current_;
-}
-
-void ModelServer::export_latency_gauges() {
-  auto& reg = obs::MetricsRegistry::global();
-  const obs::HistogramSnapshot h =
-      reg.histogram_snapshot("stream/query_seconds");
-  reg.gauge("stream/query_p50_seconds")
-      .set(obs::histogram_quantile(h, 0.50));
-  reg.gauge("stream/query_p99_seconds")
-      .set(obs::histogram_quantile(h, 0.99));
 }
 
 const KruskalSnapshot& ModelServer::Reader::acquire() {
@@ -115,8 +128,9 @@ real_t ModelServer::Reader::predict(cspan<index_t> coord) {
   const KruskalSnapshot& snap = acquire();
   const real_t value =
       kruskal_value_at(snap.model.factors(), snap.model.lambda(), coord);
-  metrics.query_seconds.observe(static_cast<double>(steady_now_ns() - t0) *
-                                1e-9);
+  const std::int64_t t1 = steady_now_ns();
+  metrics.query_seconds.observe(static_cast<double>(t1 - t0) * 1e-9);
+  query_window().observe_at(static_cast<double>(t1 - t0) * 1e-9, t1);
   metrics.queries.add(1);
   return value;
 }
@@ -169,8 +183,9 @@ std::vector<ScoredIndex> ModelServer::Reader::top_k(std::size_t anchor_mode,
     }
   }
 
-  metrics.query_seconds.observe(static_cast<double>(steady_now_ns() - t0) *
-                                1e-9);
+  const std::int64_t t1 = steady_now_ns();
+  metrics.query_seconds.observe(static_cast<double>(t1 - t0) * 1e-9);
+  query_window().observe_at(static_cast<double>(t1 - t0) * 1e-9, t1);
   metrics.queries.add(1);
   return best;
 }

@@ -20,8 +20,12 @@
 // number of reader threads.
 //
 // Query latency and volume flow into the obs registry: stream/queries,
-// stream/query_seconds (histogram, p50/p99 via histogram_quantile),
+// stream/query_seconds (histogram — exporters derive p50/p95/p99/p999 via
+// histogram_quantiles), the stream/query_seconds windowed histogram
+// (trailing-window quantiles for /metrics summaries and /healthz),
 // stream/snapshot_swaps, stream/snapshot_epoch, stream/reader_refreshes.
+// Each publish stamps the snapshot with the TraceContext it came from,
+// journals a snapshot_published event, and drops a profiler instant marker.
 #pragma once
 
 #include <atomic>
@@ -32,6 +36,7 @@
 #include <vector>
 
 #include "core/kruskal.hpp"
+#include "obs/telemetry/trace_context.hpp"
 #include "util/types.hpp"
 
 namespace aoadmm {
@@ -39,6 +44,10 @@ namespace aoadmm {
 /// One published model version. Immutable after construction.
 struct KruskalSnapshot {
   std::uint64_t epoch = 0;
+  /// Trace context of the solve that produced this model: origin.solve_id
+  /// links the snapshot to its refresh, origin.batch_id to the last ingest
+  /// batch folded in. origin.epoch always equals `epoch`.
+  obs::TraceContext origin;
   KruskalTensor model;
 
   std::size_t order() const noexcept { return model.order(); }
@@ -57,8 +66,10 @@ class ModelServer {
 
   /// Atomically replace the served model. Safe to call concurrently with
   /// any number of readers; readers observe either the old or the new
-  /// snapshot, never a mixture. Returns the new epoch.
-  std::uint64_t publish(KruskalTensor model);
+  /// snapshot, never a mixture. `origin` is the trace context of the solve
+  /// that produced the model (its .epoch is overwritten with the new
+  /// epoch). Returns the new epoch.
+  std::uint64_t publish(KruskalTensor model, obs::TraceContext origin = {});
 
   /// Epoch of the latest published snapshot (0 = nothing published yet).
   std::uint64_t epoch() const noexcept {
@@ -71,11 +82,6 @@ class ModelServer {
   /// The current snapshot, or nullptr before the first publish. Takes the
   /// server mutex — readers on the query path should go through a Reader.
   std::shared_ptr<const KruskalSnapshot> snapshot() const;
-
-  /// Recompute the stream/query_p50_seconds and stream/query_p99_seconds
-  /// gauges from the query-latency histogram. Scrapes the registry, so call
-  /// it per refresh/report, not per query.
-  static void export_latency_gauges();
 
   /// Per-thread query handle. Create one per reader thread via reader().
   class Reader {

@@ -1,8 +1,14 @@
 #include "stream/replay.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <memory>
 #include <numeric>
+#include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/telemetry/event_journal.hpp"
+#include "obs/telemetry/exposition.hpp"
 #include "stream/model_server.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -64,6 +70,13 @@ ReplayResult replay_stream(const CooTensor& events, const ReplayConfig& cfg) {
   const std::vector<CooTensor> batches =
       make_replay_batches(events, sopts.time_mode, cfg.batches);
 
+  // The journal outlives everything below that can emit into it.
+  std::unique_ptr<obs::EventJournal> journal;
+  if (!cfg.telemetry.event_log.empty()) {
+    journal = std::make_unique<obs::EventJournal>(cfg.telemetry.event_log);
+    obs::EventJournal::install_global(journal.get());
+  }
+
   // Start from length-1 modes: replay exercises the growth path the same
   // way a live deployment would (every index is new when it first arrives).
   StreamingTensor tensor(std::vector<index_t>(events.order(), 1), sopts);
@@ -71,25 +84,77 @@ ReplayResult replay_stream(const CooTensor& events, const ReplayConfig& cfg) {
   StreamingSolver solver(tensor, cfg.cpd, &server);
 
   ReplayResult result;
+
+  // Exposition plane. Declared after `server` so it stops scraping before
+  // the server dies; pre_scrape copies the live staleness into a gauge the
+  // healthz/exposition layer (which cannot depend on stream/) can read.
+  obs::ExpositionOptions eopts;
+  eopts.stale_after_seconds = cfg.telemetry.stale_after_seconds;
+  eopts.slo_query_p99_seconds = cfg.telemetry.slo_query_p99_seconds;
+  eopts.pre_scrape = [&server,
+                      staleness = obs::MetricsRegistry::global().gauge(
+                          "stream/staleness_seconds")] {
+    staleness.set(server.staleness_seconds());
+  };
+  std::unique_ptr<obs::ExpositionServer> endpoint;
+  std::unique_ptr<obs::TelemetryFileWriter> file_writer;
+  if (cfg.telemetry.port >= 0) {
+    eopts.port = static_cast<std::uint16_t>(cfg.telemetry.port);
+    endpoint = std::make_unique<obs::ExpositionServer>(eopts);
+    endpoint->start();
+    result.telemetry_port = endpoint->port();
+    if (cfg.telemetry.on_ready) {
+      cfg.telemetry.on_ready(endpoint->port());
+    }
+  }
+  if (!cfg.telemetry.file.empty()) {
+    file_writer = std::make_unique<obs::TelemetryFileWriter>(
+        cfg.telemetry.file, cfg.telemetry.file_period_seconds, eopts);
+    file_writer->start();
+  }
+
   Rng rng(cfg.query_seed);
   std::vector<index_t> coord(events.order());
-  for (const CooTensor& batch : batches) {
-    tensor.apply(batch);
-    if (tensor.nnz() == 0) {
-      continue;  // everything in this batch was already behind the window
-    }
-    result.refreshes.push_back(solver.refresh());
-
+  const auto run_queries = [&](std::size_t count) {
     ModelServer::Reader reader = server.reader();
-    for (std::size_t q = 0; q < cfg.queries_per_refresh; ++q) {
+    for (std::size_t q = 0; q < count; ++q) {
       for (std::size_t m = 0; m < events.order(); ++m) {
         coord[m] = static_cast<index_t>(rng.uniform_index(tensor.dims()[m]));
       }
       (void)reader.predict(coord);
       ++result.queries;
     }
+  };
+  for (const CooTensor& batch : batches) {
+    tensor.apply(batch);
+    if (tensor.nnz() == 0) {
+      continue;  // everything in this batch was already behind the window
+    }
+    result.refreshes.push_back(solver.refresh());
+    run_queries(cfg.queries_per_refresh);
   }
-  ModelServer::export_latency_gauges();
+
+  // Keep the endpoint live (queries still flowing) so an external scraper
+  // can observe a running process, not a post-mortem.
+  if (cfg.telemetry.serve_seconds > 0) {
+    Timer serve_timer;
+    serve_timer.start();
+    do {
+      run_queries(std::max<std::size_t>(cfg.queries_per_refresh, 16));
+      // Trickle, don't spin: scrapers want a live process, not a hot loop.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    } while (serve_timer.seconds() < cfg.telemetry.serve_seconds);
+  }
+
+  if (file_writer != nullptr) {
+    file_writer->stop();
+  }
+  if (endpoint != nullptr) {
+    endpoint->stop();
+  }
+  if (journal != nullptr) {
+    result.journal_events = journal->events_written();
+  }
 
   result.ingest = tensor.stats();
   result.final_dims = tensor.dims();

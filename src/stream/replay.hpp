@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "core/config.hpp"
@@ -24,6 +26,36 @@ std::vector<CooTensor> make_replay_batches(const CooTensor& events,
                                            std::size_t time_mode,
                                            std::size_t batches);
 
+/// Live-telemetry wiring for a replay run. Everything is off by default;
+/// the replay then behaves exactly as before.
+struct ReplayTelemetry {
+  /// >= 0: serve /metrics and /healthz on 127.0.0.1:<port> for the whole
+  /// run (0 picks an ephemeral port; read it via on_ready or the result).
+  int port = -1;
+
+  /// Non-empty: periodically rewrite this file with the Prometheus text
+  /// (and <file>.health with the healthz JSON) every file_period_seconds.
+  std::string file;
+  double file_period_seconds = 1.0;
+
+  /// Non-empty: install a structured event journal (JSONL) at this path
+  /// for the duration of the replay.
+  std::string event_log;
+
+  /// Keep the endpoint up (serving live scrapes while background queries
+  /// keep flowing) this many seconds after the last batch — how CI scrapes
+  /// a live process.
+  double serve_seconds = 0;
+
+  /// Forwarded to ExpositionOptions (healthz staleness threshold and the
+  /// windowed-query-p99 SLO target).
+  double stale_after_seconds = 0;
+  double slo_query_p99_seconds = 0;
+
+  /// Called once the endpoint is listening, with the bound port.
+  std::function<void(std::uint16_t)> on_ready;
+};
+
 struct ReplayConfig {
   /// Batching and windowing.
   std::size_t batches = 8;
@@ -36,6 +68,9 @@ struct ReplayConfig {
   /// refresh (coordinates drawn uniformly within the current mode lengths).
   std::size_t queries_per_refresh = 0;
   std::uint64_t query_seed = 0x5eedULL;
+
+  /// Telemetry plane (endpoint, file mode, event journal).
+  ReplayTelemetry telemetry;
 };
 
 struct ReplayResult {
@@ -46,11 +81,16 @@ struct ReplayResult {
   std::uint64_t final_epoch = 0;
   std::uint64_t queries = 0;
   double total_seconds = 0;
+  /// Port the exposition endpoint served on (0 when none was requested).
+  std::uint16_t telemetry_port = 0;
+  /// Journal lines written (0 when no event log was requested).
+  std::uint64_t journal_events = 0;
 };
 
 /// Run the full ingest -> refresh -> publish -> query lifecycle over
 /// `events` and return what happened. Metrics accumulate in the global obs
-/// registry under stream/* (including query p50/p99 gauges).
+/// registry under stream/* (exporters derive query quantiles from the
+/// stream/query_seconds histogram and its trailing window).
 ReplayResult replay_stream(const CooTensor& events, const ReplayConfig& cfg);
 
 }  // namespace aoadmm

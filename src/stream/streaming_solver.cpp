@@ -4,6 +4,8 @@
 
 #include "core/solver.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry/event_journal.hpp"
+#include "obs/telemetry/window_quantiles.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -18,6 +20,7 @@ struct RefreshMetrics {
   obs::Histogram refresh_seconds;
   obs::Gauge last_error;
   obs::Gauge last_outer;
+  obs::Gauge last_converged;
 
   static const RefreshMetrics& get() {
     static const RefreshMetrics m = [] {
@@ -30,6 +33,7 @@ struct RefreshMetrics {
       out.refresh_seconds = reg.histogram("stream/refresh_seconds");
       out.last_error = reg.gauge("stream/last_refresh_error");
       out.last_outer = reg.gauge("stream/last_refresh_outer_iterations");
+      out.last_converged = reg.gauge("stream/last_refresh_converged");
       return out;
     }();
     return m;
@@ -85,6 +89,18 @@ RefreshReport StreamingSolver::refresh() {
   RefreshReport report;
   report.refresh = reports_.size() + 1;
 
+  // Mint this refresh's trace context and install it thread-locally for the
+  // duration of the solve, so recovery events and journal lines recorded
+  // underneath carry the linkage automatically.
+  report.trace.solve_id = obs::next_solve_id();
+  report.trace.batch_id = tensor_.last_batch_id();
+  const obs::ScopedTraceContext scoped(report.trace);
+  obs::journal_event(obs::EventKind::kRefreshStarted, report.trace,
+                     obs::EventJournal::Fields{}
+                         .num("refresh", report.refresh)
+                         .num("nnz",
+                              static_cast<std::uint64_t>(tensor_.nnz())));
+
   // Compile (amortized) first; the compile share is whatever the tensor
   // spent inside this call — zero when the cached compilation was reused.
   const StreamingStats& st = tensor_.stats();
@@ -118,7 +134,8 @@ RefreshReport StreamingSolver::refresh() {
   report.converged = result.converged;
 
   if (server_ != nullptr) {
-    report.epoch = server_->publish(model_);
+    report.epoch = server_->publish(model_, report.trace);
+    report.trace.epoch = report.epoch;
   }
 
   timer.stop();
@@ -133,6 +150,24 @@ RefreshReport StreamingSolver::refresh() {
   metrics.refresh_seconds.observe(timer.seconds());
   metrics.last_error.set(static_cast<double>(report.relative_error));
   metrics.last_outer.set(static_cast<double>(report.outer_iterations));
+  metrics.last_converged.set(report.converged ? 1 : 0);
+  static obs::WindowedHistogram& refresh_window =
+      obs::windowed_histogram(obs::kWindowRefreshSeconds);
+  refresh_window.observe(timer.seconds());
+
+  obs::journal_event(
+      obs::EventKind::kRefreshFinished, report.trace,
+      obs::EventJournal::Fields{}
+          .num("refresh", report.refresh)
+          .boolean("warm", report.warm)
+          .boolean("converged", report.converged)
+          .num("outer_iterations",
+               static_cast<std::uint64_t>(report.outer_iterations))
+          .num("relative_error",
+               static_cast<double>(report.relative_error))
+          .num("recoveries",
+               static_cast<std::uint64_t>(result.recovery.events.size()))
+          .num("solve_seconds", report.solve_seconds));
 
   reports_.push_back(report);
   return report;

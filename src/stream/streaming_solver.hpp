@@ -25,6 +25,7 @@
 
 #include "core/config.hpp"
 #include "core/kruskal.hpp"
+#include "obs/telemetry/trace_context.hpp"
 #include "stream/model_server.hpp"
 #include "stream/streaming_tensor.hpp"
 
@@ -41,6 +42,9 @@ struct RefreshReport {
   double compile_seconds = 0;  // CSF compile share (0 when cached)
   double solve_seconds = 0;
   std::uint64_t epoch = 0;     // published epoch; 0 when no server attached
+  /// Trace context of this refresh: solve_id minted for it, batch_id of the
+  /// last ingested batch it folded in, epoch it published (0 if none).
+  obs::TraceContext trace;
 };
 
 class StreamingSolver {

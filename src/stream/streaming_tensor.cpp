@@ -5,6 +5,9 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/telemetry/event_journal.hpp"
+#include "obs/telemetry/trace_context.hpp"
+#include "obs/telemetry/window_quantiles.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -201,6 +204,22 @@ offset_t StreamingTensor::apply(const CooTensor& batch) {
     metrics.ingest_nnz_per_sec.set(static_cast<double>(batch.nnz()) /
                                    timer.seconds());
   }
+
+  // Telemetry plane: mint this batch's trace id, record the batch size in
+  // the trailing window, and journal the ingest.
+  last_batch_id_ = obs::next_batch_id();
+  static obs::WindowedHistogram& batch_window =
+      obs::windowed_histogram(obs::kWindowIngestBatchSize);
+  batch_window.observe(static_cast<double>(batch.nnz()));
+  obs::TraceContext ctx = obs::current_trace();
+  ctx.batch_id = last_batch_id_;
+  obs::journal_event(obs::EventKind::kBatchIngested, ctx,
+                     obs::EventJournal::Fields{}
+                         .num("nnz", static_cast<std::uint64_t>(batch.nnz()))
+                         .num("appended", static_cast<std::uint64_t>(appended))
+                         .num("watermark",
+                              static_cast<std::uint64_t>(watermark_))
+                         .num("live_nnz", static_cast<std::uint64_t>(nnz())));
   return appended;
 }
 

@@ -96,6 +96,12 @@ class StreamingTensor {
   /// data arrives.
   index_t watermark() const noexcept { return watermark_; }
 
+  /// Trace id of the most recently applied batch (minted per apply() from
+  /// the process-wide sequence); 0 before the first batch. A refresh solve
+  /// records this as TraceContext::batch_id to link the model it publishes
+  /// back to the last ingest it folded in.
+  std::uint64_t last_batch_id() const noexcept { return last_batch_id_; }
+
   /// Apply one batch of events (a COO tensor of the same order; its dims
   /// are ignored — growth follows the indices actually present). Entries
   /// behind the current window are dropped on arrival. Returns the number
@@ -131,6 +137,7 @@ class StreamingTensor {
   StreamingOptions opts_;
   CooTensor coo_;
   CoordMap coord_map_;
+  std::uint64_t last_batch_id_ = 0;
   index_t watermark_ = 0;
   index_t evict_cutoff_ = 0;  // time indices < cutoff are dead
   offset_t dead_ = 0;         // stored entries behind the cutoff

@@ -9,6 +9,7 @@
 
 #include "testing/json_check.hpp"
 #include "obs/profile.hpp"
+#include "obs/telemetry/trace_context.hpp"
 
 namespace aoadmm::obs {
 namespace {
@@ -88,6 +89,32 @@ TEST(Profile, ChromeTraceContainsRecordedEvents) {
   EXPECT_TRUE(aoadmm::testing::is_valid_json(json)) << json;
   EXPECT_NE(json.find("t/traced"), std::string::npos);
   EXPECT_NE(json.find("\"ph\""), std::string::npos);
+  profiling_reset();
+}
+
+TEST(Profile, InstantEventsCarryTraceContext) {
+  profiling_reset();
+  profiling_start();
+  {
+    TraceContext ctx;
+    ctx.solve_id = 11;
+    ctx.batch_id = 5;
+    ctx.epoch = 2;
+    const ScopedTraceContext scoped(ctx);
+    profile_instant("t/published");
+  }
+  profiling_stop();
+
+  std::ostringstream os;
+  write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(aoadmm::testing::is_valid_json(json)) << json;
+  // Instant event with the trace ids as args.
+  EXPECT_NE(json.find("t/published"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"solve_id\": 11"), std::string::npos);
+  EXPECT_NE(json.find("\"batch_id\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"epoch\": 2"), std::string::npos);
   profiling_reset();
 }
 

@@ -1,0 +1,263 @@
+// Trace-context propagation through the streaming stack: the batch_id
+// minted at ingest, the solve_id minted per refresh, and the epoch minted
+// at publish must form one consistent join — on the RefreshReport, on the
+// published snapshot, in the event journal, and on recovery events emitted
+// mid-solve after a fault-injected restart.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry/event_journal.hpp"
+#include "obs/telemetry/trace_context.hpp"
+#include "stream/model_server.hpp"
+#include "stream/replay.hpp"
+#include "stream/streaming_solver.hpp"
+#include "stream/streaming_tensor.hpp"
+#include "testing/fault_injection.hpp"
+#include "testing/helpers.hpp"
+#include "testing/json_check.hpp"
+
+namespace aoadmm {
+namespace {
+
+CpdConfig trace_config() {
+  CpdConfig cfg;
+  cfg.with_rank(3).with_max_outer(60).with_tolerance(1e-4).with_seed(5);
+  return cfg;
+}
+
+struct JournalLine {
+  std::string raw;
+  std::string event;
+  std::uint64_t solve_id = 0;
+  std::uint64_t batch_id = 0;
+  std::uint64_t epoch = 0;
+};
+
+std::uint64_t extract_u64(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) {
+    return 0;
+  }
+  return std::stoull(line.substr(pos + needle.size()));
+}
+
+std::string extract_str(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\": \"";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) {
+    return "";
+  }
+  const std::size_t start = pos + needle.size();
+  return line.substr(start, line.find('"', start) - start);
+}
+
+std::vector<JournalLine> read_journal(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<JournalLine> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    JournalLine j;
+    j.raw = line;
+    j.event = extract_str(line, "event");
+    j.solve_id = extract_u64(line, "solve_id");
+    j.batch_id = extract_u64(line, "batch_id");
+    j.epoch = extract_u64(line, "epoch");
+    out.push_back(j);
+  }
+  return out;
+}
+
+/// RAII: installs a journal at a fresh temp path, uninstalls on scope exit
+/// (the destructor detaches the global itself).
+struct ScopedJournal {
+  explicit ScopedJournal(const std::string& name)
+      : path(::testing::TempDir() + name), journal((std::remove(path.c_str()),
+                                                    path)) {
+    obs::EventJournal::install_global(&journal);
+  }
+  std::string path;
+  obs::EventJournal journal;
+};
+
+TEST(StreamTraceContext, MintsAreMonotone) {
+  const std::uint64_t s1 = obs::next_solve_id();
+  const std::uint64_t s2 = obs::next_solve_id();
+  EXPECT_GT(s2, s1);
+  const std::uint64_t b1 = obs::next_batch_id();
+  const std::uint64_t b2 = obs::next_batch_id();
+  EXPECT_GT(b2, b1);
+}
+
+TEST(StreamTraceContext, RefreshLinksBatchSolveAndEpoch) {
+  const CooTensor events = testing::dense_lowrank_tensor({8, 7, 6}, 3, 0.01);
+  StreamingTensor tensor({1, 1, 1}, StreamingOptions{});
+  tensor.apply(events);
+  const std::uint64_t batch_id = tensor.last_batch_id();
+  EXPECT_GT(batch_id, 0u);
+
+  ModelServer server;
+  StreamingSolver solver(tensor, trace_config(), &server);
+  const RefreshReport report = solver.refresh();
+
+  // The report's trace joins all three ids.
+  EXPECT_GT(report.trace.solve_id, 0u);
+  EXPECT_EQ(report.trace.batch_id, batch_id);
+  EXPECT_EQ(report.trace.epoch, report.epoch);
+  EXPECT_EQ(report.trace.epoch, server.epoch());
+
+  // The published snapshot carries the same origin trace.
+  const auto snap = server.snapshot();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->origin.solve_id, report.trace.solve_id);
+  EXPECT_EQ(snap->origin.batch_id, report.trace.batch_id);
+  EXPECT_EQ(snap->origin.epoch, report.trace.epoch);
+}
+
+TEST(StreamTraceContext, EachRefreshMintsAFreshSolveId) {
+  const CooTensor events = testing::dense_lowrank_tensor({8, 7, 6}, 3, 0.01);
+  StreamingTensor tensor({1, 1, 1}, StreamingOptions{});
+  tensor.apply(events);
+
+  StreamingSolver solver(tensor, trace_config(), nullptr);
+  const RefreshReport first = solver.refresh();
+  const RefreshReport second = solver.refresh();
+  EXPECT_GT(second.trace.solve_id, first.trace.solve_id);
+  // No new batch arrived in between: both refreshes fold the same one.
+  EXPECT_EQ(second.trace.batch_id, first.trace.batch_id);
+}
+
+// The acceptance-gate traceability query: starting from a published epoch,
+// the journal alone must answer "which ingest batch produced this model?".
+TEST(StreamTraceJournal, EpochIsTraceableToItsBatch) {
+  ScopedJournal journal("trace_epoch_to_batch.jsonl");
+
+  const CooTensor events = testing::dense_lowrank_tensor({9, 8, 7}, 3, 0.01);
+  const auto batches = make_replay_batches(events, 2, 2);
+  ASSERT_EQ(batches.size(), 2u);
+
+  StreamingTensor tensor({1, 1, 1}, StreamingOptions{});
+  ModelServer server;
+  StreamingSolver solver(tensor, trace_config(), &server);
+  for (const CooTensor& b : batches) {
+    tensor.apply(b);
+    solver.refresh();
+  }
+
+  const std::vector<JournalLine> lines = read_journal(journal.path);
+  for (const JournalLine& l : lines) {
+    EXPECT_TRUE(testing::is_valid_json(l.raw)) << l.raw;
+  }
+
+  // Walk backwards from the latest published epoch.
+  const std::uint64_t epoch = server.epoch();
+  ASSERT_EQ(epoch, 2u);
+  std::uint64_t published_solve = 0;
+  std::uint64_t published_batch = 0;
+  for (const JournalLine& l : lines) {
+    if (l.event == "snapshot_published" && l.epoch == epoch) {
+      published_solve = l.solve_id;
+      published_batch = l.batch_id;
+    }
+  }
+  ASSERT_GT(published_solve, 0u);
+  ASSERT_GT(published_batch, 0u);
+
+  // That solve's refresh_started names the same batch...
+  bool found_refresh = false;
+  for (const JournalLine& l : lines) {
+    if (l.event == "refresh_started" && l.solve_id == published_solve) {
+      EXPECT_EQ(l.batch_id, published_batch);
+      found_refresh = true;
+    }
+  }
+  EXPECT_TRUE(found_refresh);
+
+  // ...and that batch's ingest event exists (solve_id still 0 there: the
+  // batch predates the solve that consumed it).
+  bool found_ingest = false;
+  for (const JournalLine& l : lines) {
+    if (l.event == "batch_ingested" && l.batch_id == published_batch) {
+      found_ingest = true;
+    }
+  }
+  EXPECT_TRUE(found_ingest);
+
+  // And the refresh_finished bookend closes the same solve.
+  bool found_finish = false;
+  for (const JournalLine& l : lines) {
+    if (l.event == "refresh_finished" && l.solve_id == published_solve) {
+      EXPECT_EQ(l.epoch, epoch);
+      found_finish = true;
+    }
+  }
+  EXPECT_TRUE(found_finish);
+}
+
+// Satellite (d): a fault-injected divergence recovery inside the solve must
+// not break the trace — the recovery event is journaled under the SAME
+// solve_id the refresh minted, and the refresh still publishes cleanly.
+TEST(StreamTraceJournal, RecoveryEventsCarryTheRefreshTrace) {
+  ScopedJournal journal("trace_recovery.jsonl");
+
+  const CooTensor events = testing::dense_lowrank_tensor({9, 8, 7}, 3, 0.0);
+  StreamingTensor tensor({1, 1, 1}, StreamingOptions{});
+  tensor.apply(events);
+
+  ModelServer server;
+  CpdConfig cfg = trace_config();
+  cfg.with_robustness();
+  StreamingSolver solver(tensor, cfg, &server);
+
+  testing::FaultConfig faults;
+  faults.seed = 42;
+  faults.at(testing::FaultSite::kGramNonPd) = {1.0, 1};
+  testing::arm_faults(faults);
+  const RefreshReport report = solver.refresh();
+  testing::disarm_faults();
+
+  EXPECT_GT(report.trace.solve_id, 0u);
+  EXPECT_EQ(report.epoch, 1u);  // the recovery did not derail the publish
+
+  const std::vector<JournalLine> lines = read_journal(journal.path);
+  std::size_t recoveries = 0;
+  for (const JournalLine& l : lines) {
+    if (l.event != "recovery") {
+      continue;
+    }
+    ++recoveries;
+    // The restart happened mid-solve, inside the refresh's scope: its
+    // trace must name that refresh, not a zero/stale context.
+    EXPECT_EQ(l.solve_id, report.trace.solve_id) << l.raw;
+    EXPECT_EQ(l.batch_id, report.trace.batch_id) << l.raw;
+  }
+  EXPECT_GT(recoveries, 0u)
+      << "the armed Gram fault must produce at least one recovery event";
+}
+
+TEST(StreamTraceContext, ScopedContextRestoresOnExit) {
+  EXPECT_FALSE(obs::current_trace().valid());
+  {
+    obs::TraceContext ctx;
+    ctx.solve_id = 7;
+    ctx.batch_id = 3;
+    const obs::ScopedTraceContext scoped(ctx);
+    EXPECT_EQ(obs::current_trace().solve_id, 7u);
+    {
+      obs::TraceContext inner = obs::current_trace();
+      inner.epoch = 9;
+      const obs::ScopedTraceContext nested(inner);
+      EXPECT_EQ(obs::current_trace().epoch, 9u);
+      EXPECT_EQ(obs::current_trace().solve_id, 7u);
+    }
+    EXPECT_EQ(obs::current_trace().epoch, 0u);
+  }
+  EXPECT_FALSE(obs::current_trace().valid());
+}
+
+}  // namespace
+}  // namespace aoadmm
