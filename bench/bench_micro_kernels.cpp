@@ -9,6 +9,8 @@
 #include "common.hpp"
 
 #include "core/admm.hpp"
+#include "core/loss.hpp"
+#include "core/loss_solve.hpp"
 #include "la/blas.hpp"
 #include "la/cholesky.hpp"
 #include "mttkrp/mttkrp.hpp"
@@ -345,6 +347,45 @@ void BM_AdmmStep(benchmark::State& state) {
                           static_cast<std::int64_t>(rows) * 5);
 }
 BENCHMARK(BM_AdmmStep)->Arg(0)->Arg(1);  // 0=baseline, 1=blocked
+
+// The generalized per-row two-split solver (non-quadratic / masked
+// losses). Separate from BM_AdmmStep on purpose: that benchmark IS the
+// Frobenius hot path and must not move when the loss zoo changes, while
+// this one tracks the per-row machinery (row Gram assembly, one Cholesky
+// per row, elementwise loss prox) across the loss menu.
+void BM_LossRowSolve(benchmark::State& state) {
+  static const LossSpec kSpecs[] = {
+      {LossKind::kFrobenius, 1, true},  // masked Frobenius (completion)
+      {LossKind::kKL, 1, true},
+      {LossKind::kHuber, 0.5, true},
+      {LossKind::kL1, 1, true},
+  };
+  const LossSpec spec = kSpecs[state.range(0)];
+  const auto loss = make_loss(spec);
+  const auto prox = make_prox({ConstraintKind::kNonNegative});
+  const rank_t f = 16;
+  std::vector<Matrix> factors = micro_factors(f);
+  Matrix u_h(factors[0].rows(), f);
+  AdmmOptions opts;
+  opts.max_iterations = 5;
+  opts.tolerance = 0;  // run exactly 5 inner iterations per row per call
+  LossModeState split;
+  split.t.resize(micro_csf().nnz());
+  split.u_t.resize(micro_csf().nnz());
+  for (auto _ : state) {
+    loss_mode_update(micro_csf(), factors, u_h, 0, *loss, *prox, opts, {},
+                     split);
+    benchmark::DoNotOptimize(factors[0].data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(micro_csf().nnz()) * 5);
+}
+BENCHMARK(BM_LossRowSolve)
+    ->Arg(0)   // frobenius:masked
+    ->Arg(1)   // kl
+    ->Arg(2)   // huber:0.5
+    ->Arg(3)   // l1
+    ->Unit(benchmark::kMillisecond);
 
 void BM_Cholesky(benchmark::State& state) {
   const auto f = static_cast<std::size_t>(state.range(0));

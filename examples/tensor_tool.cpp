@@ -14,6 +14,10 @@
 //             [--serve-seconds S] [--stale-after S] [--slo-p99 S]
 //             (also spelled `tensor_tool --stream-replay t.tns [...]`)
 //   cpd       t.tns [--rank 16] [--constraint nonneg] [--lambda 0.1]
+//             [--loss frobenius|kl|huber|l1 spec] [--adaptive-rho]
+//             [--adaptive-ratio 10] [--adaptive-rescale 2]
+//             [--couple y.mat] [--couple-mode 0] [--couple-weight 1.0]
+//             [--couple-constraint none]
 //             [--variant blocked|base] [--format dense|csr|csr-h]
 //             [--mttkrp-kernel auto|allmode|onetree|tiled]
 //             [--mttkrp-schedule auto|dynamic|weighted|owner]
@@ -26,6 +30,28 @@
 //             [--robust] [--max-recoveries 3]
 //             [--progress] [--metrics-json m.json] [--chrome-trace t.json]
 //             [--event-log events.jsonl]
+//
+// Losses (cpd): --loss takes a spec KIND[:PARAM][:masked] parsed by
+// parse_loss_spec — e.g. `kl` (Poisson count data), `huber:0.5` (robust,
+// delta 0.5), `l1`, `frobenius:masked` (fit stored entries only). Anything
+// other than the default unmasked frobenius runs the generalized per-row
+// two-split ADMM and reports the loss objective alongside the observed
+// relative error; see docs/losses.md. --constraint likewise accepts a full
+// spec (e.g. `l1:0.05`, `box:0:1`, `simplex`); a bare kind takes its
+// strength from --lambda for backwards compatibility.
+//
+// Adaptive rho (cpd): --adaptive-rho turns on residual-balancing of the
+// ADMM penalty (rho *= rescale when the primal residual exceeds ratio x
+// dual, and symmetrically). Each rebalanced update is journaled as a
+// rho_rebalance recovery event. --adaptive-ratio / --adaptive-rescale
+// override the trigger ratio (default 10) and the scale step (default 2).
+//
+// Coupled factorization (cpd): --couple reads a side matrix (text, one row
+// per line) whose rows align with tensor mode --couple-mode, and jointly
+// factorizes  min |X - [[A]]|^2 + beta |Y - A W'|^2  with shared factor A
+// (beta = --couple-weight). --couple-constraint constrains the side factor
+// W. Prints the per-matrix and combined relative errors; --save-factors
+// also writes the side factor as <prefix>.side0.mat.
 //
 // MTTKRP (cpd): --mttkrp-kernel picks the driver (auto follows the CSF
 // compilation; onetree compiles a single tree and serves the other modes
@@ -85,7 +111,9 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/coupled.hpp"
 #include "core/cpd.hpp"
+#include "core/loss.hpp"
 #include "core/solver.hpp"
 #include "core/wcpd.hpp"
 #include "la/matrix_io.hpp"
@@ -197,6 +225,24 @@ int cmd_convert(const Options& opts) {
   return 0;
 }
 
+/// --constraint accepts a full spec (`l1:0.05`, `box:0:1`, ...) via
+/// parse_constraint_spec. Backwards compatibility: a bare kind with no
+/// inline parameter takes its strength from --lambda (historical default
+/// 0.1), and an explicit --lambda always wins.
+ConstraintSpec parse_cli_constraint(const Options& opts) {
+  const std::string spec_str = opts.get_string("constraint", "nonneg");
+  ConstraintSpec spec = parse_constraint_spec(spec_str);
+  if (opts.has("lambda") || spec_str.find(':') == std::string::npos) {
+    const bool uses_lambda = spec.kind == ConstraintKind::kL1 ||
+                             spec.kind == ConstraintKind::kNonNegativeL1 ||
+                             spec.kind == ConstraintKind::kRidge;
+    if (uses_lambda) {
+      spec.lambda = static_cast<real_t>(opts.get_double("lambda", 0.1));
+    }
+  }
+  return spec;
+}
+
 /// Map a CpdConfig::validate() field to the tensor_tool flag that sets it,
 /// so diagnostics are actionable from the command line.
 std::string cli_flag_for(const std::string& field) {
@@ -212,6 +258,10 @@ std::string cli_flag_for(const std::string& field) {
   if (field == "checkpoint_every") return "--checkpoint-every";
   if (field == "robustness.max_recoveries") return "--max-recoveries";
   if (field.rfind("robustness", 0) == 0) return "--robust";
+  if (field == "admm.adaptive.ratio") return "--adaptive-ratio";
+  if (field == "admm.adaptive.rescale") return "--adaptive-rescale";
+  if (field.rfind("admm.adaptive", 0) == 0) return "--adaptive-rho";
+  if (field == "loss" || field.rfind("loss.", 0) == 0) return "--loss";
   if (field.rfind("constraints", 0) == 0) return "--constraint/--lambda";
   return field;  // no dedicated flag; name the option itself
 }
@@ -298,10 +348,19 @@ int cmd_cpd(const Options& opts) {
                      "--format must be dense|csr|csr-h|auto");
   }
 
-  ConstraintSpec constraint;
-  constraint.kind =
-      parse_constraint_kind(opts.get_string("constraint", "nonneg"));
-  constraint.lambda = static_cast<real_t>(opts.get_double("lambda", 0.1));
+  const ConstraintSpec constraint = parse_cli_constraint(opts);
+  const LossSpec loss = parse_loss_spec(opts.get_string("loss", "frobenius"));
+  const bool generalized_loss =
+      loss.kind != LossKind::kFrobenius || loss.masked;
+
+  if (opts.has("adaptive-rho") || opts.has("adaptive-ratio") ||
+      opts.has("adaptive-rescale")) {
+    cpd_opts.admm.adaptive.enabled = true;
+    cpd_opts.admm.adaptive.ratio =
+        static_cast<real_t>(opts.get_double("adaptive-ratio", 10.0));
+    cpd_opts.admm.adaptive.rescale =
+        static_cast<real_t>(opts.get_double("adaptive-rescale", 2.0));
+  }
 
   if (opts.has("robust") || opts.has("max-recoveries")) {
     cpd_opts.admm.robustness.enabled = true;
@@ -383,6 +442,10 @@ int cmd_cpd(const Options& opts) {
   if (objective == "observed") {
     AOADMM_CHECK_MSG(!csf.tiled(),
                      "--objective observed does not support --tile-rows");
+    AOADMM_CHECK_MSG(!generalized_loss,
+                     "--objective observed is the weighted-Frobenius legacy "
+                     "path; use --loss frobenius:masked instead of combining "
+                     "the two");
     WcpdOptions wopts;
     wopts.rank = cpd_opts.rank;
     wopts.max_outer_iterations = cpd_opts.max_outer_iterations;
@@ -416,6 +479,7 @@ int cmd_cpd(const Options& opts) {
 
   CpdConfig config(cpd_opts);
   config.with_constraints(ModeConstraints::broadcast(constraint));
+  config.with_loss(loss);
   if (const auto ck_path = opts.get("checkpoint")) {
     config.with_checkpoint(
         *ck_path, static_cast<unsigned>(opts.get_int("checkpoint-every", 10)));
@@ -437,6 +501,64 @@ int cmd_cpd(const Options& opts) {
     return 2;
   }
 
+  // Writes a ConvergenceTrace as CSV, or as the fig-6-style JSON when the
+  // path ends in .json.
+  const auto write_trace = [&](const ConvergenceTrace& trace,
+                               const std::string& path) {
+    std::ofstream out(path);
+    AOADMM_CHECK_MSG(static_cast<bool>(out), "cannot write trace to " + path);
+    if (has_suffix(path, ".json")) {
+      trace.write_json(out);
+    } else {
+      trace.write_csv(out);
+    }
+    std::printf("trace written to %s\n", path.c_str());
+  };
+
+  // --couple: joint matrix-tensor factorization sharing the --couple-mode
+  // factor with the side matrix.
+  if (const auto couple_path = opts.get("couple")) {
+    AOADMM_CHECK_MSG(!opts.has("resume") && !opts.has("checkpoint"),
+                     "--couple does not support checkpoint/resume");
+    CoupledMatrix cm;
+    cm.y = read_matrix_file(*couple_path);
+    cm.mode = static_cast<std::size_t>(opts.get_int("couple-mode", 0));
+    cm.weight = static_cast<real_t>(opts.get_double("couple-weight", 1.0));
+    cm.w_constraint =
+        parse_constraint_spec(opts.get_string("couple-constraint", "none"));
+    std::printf("coupling %zux%zu side matrix to mode %zu (weight %g)\n",
+                cm.y.rows(), cm.y.cols(), cm.mode,
+                static_cast<double>(cm.weight));
+
+    const CoupledResult cr = coupled_factorize(csf, config, {cm});
+    const CpdResult& r = cr.cpd;
+    std::printf("\nouter iterations: %u (%s)\n", r.outer_iterations,
+                r.converged ? "converged" : "iteration cap");
+    std::printf("tensor error    : %.6f\n",
+                static_cast<double>(r.relative_error));
+    for (std::size_t c = 0; c < cr.matrix_relative_error.size(); ++c) {
+      std::printf("matrix %zu error  : %.6f\n", c,
+                  static_cast<double>(cr.matrix_relative_error[c]));
+    }
+    std::printf("combined error  : %.6f\n",
+                static_cast<double>(cr.combined_relative_error));
+    std::printf("time            : %.3f s\n", r.times.total_seconds);
+    if (const auto prefix = opts.get("save-factors")) {
+      write_factors(r.factors, *prefix);
+      for (std::size_t c = 0; c < cr.side_factors.size(); ++c) {
+        write_matrix_file(cr.side_factors[c],
+                          *prefix + ".side" + std::to_string(c) + ".mat");
+      }
+      std::printf("factors written to %s.mode*.mat (+.side*.mat)\n",
+                  prefix->c_str());
+    }
+    if (const auto trace_path = opts.get("trace")) {
+      write_trace(r.trace, *trace_path);
+    }
+    export_observability();
+    return 0;
+  }
+
   CpdSolver solver(csf, config);
   const auto resume_path = opts.get("resume");
   if (resume_path) {
@@ -450,10 +572,17 @@ int cmd_cpd(const Options& opts) {
   std::printf("mttkrp          : kernel %s / schedule %s%s\n",
               to_string(kernel), to_string(schedule),
               csf.tiled() ? " / tiled" : "");
+  if (generalized_loss) {
+    std::printf("loss            : %s\n", to_cli_string(config.loss).c_str());
+  }
   std::printf("outer iterations: %u (%s)\n", r.outer_iterations,
               r.converged ? "converged" : "iteration cap");
-  std::printf("relative error  : %.6f\n",
-              static_cast<double>(r.relative_error));
+  std::printf("relative error  : %.6f%s\n",
+              static_cast<double>(r.relative_error),
+              generalized_loss ? "  (over observed entries)" : "");
+  if (generalized_loss) {
+    std::printf("loss objective  : %.6e\n", r.objective_value);
+  }
   std::printf("time            : %.3f s  (MTTKRP %.0f%% / ADMM %.0f%% / "
               "other %.0f%%)\n",
               r.times.total_seconds, 100.0 * r.times.mttkrp_fraction(),
@@ -474,11 +603,7 @@ int cmd_cpd(const Options& opts) {
   }
 
   if (const auto trace_path = opts.get("trace")) {
-    std::ofstream out(*trace_path);
-    AOADMM_CHECK_MSG(static_cast<bool>(out),
-                     "cannot write trace to " + *trace_path);
-    r.trace.write_csv(out);
-    std::printf("trace written to %s\n", trace_path->c_str());
+    write_trace(r.trace, *trace_path);
   }
   export_observability();
   return 0;
@@ -527,12 +652,8 @@ int cmd_stream_replay(const Options& opts, const std::string& input) {
       static_cast<unsigned>(opts.get_int("max-outer", 50));
   cpd_opts.tolerance = static_cast<real_t>(opts.get_double("tol", 1e-5));
   cpd_opts.seed = static_cast<std::uint64_t>(opts.get_int("seed", 123));
-  ConstraintSpec constraint;
-  constraint.kind =
-      parse_constraint_kind(opts.get_string("constraint", "nonneg"));
-  constraint.lambda = static_cast<real_t>(opts.get_double("lambda", 0.1));
   cfg.cpd = CpdConfig(cpd_opts);
-  cfg.cpd.with_constraints(ModeConstraints::broadcast(constraint));
+  cfg.cpd.with_constraints(ModeConstraints::broadcast(parse_cli_constraint(opts)));
 
   std::printf("replaying %llu events in up to %zu batches (time mode %zu%s, "
               "%zu queries/refresh)...\n",

@@ -132,6 +132,31 @@ AdmmResult admm_update(Matrix& h, Matrix& u, const Matrix& k, const Matrix& g,
       if (acc.converged(opts.tolerance)) {
         break;
       }
+
+      // Residual-balancing adaptive ρ: rescale the penalty and duals when
+      // the residuals drift more than `ratio` apart, then refactor the
+      // system (it depends on ρ). Entirely skipped when disabled.
+      const AdaptiveRhoOptions& ad = opts.adaptive;
+      if (ad.enabled && result.rho_rebalances < ad.max_rescales &&
+          (iter + 1) % (ad.check_every > 0 ? ad.check_every : 1) == 0) {
+        const real_t scale = detail::rebalance_scale(acc, ad);
+        if (scale != 0) {
+          rho *= scale;
+          detail::rescale_duals(u, scale);
+          detail::regularized_gram_into(g, rho, scratch.sys);
+          if (rb.enabled) {
+            const CholeskyReport cr = scratch.chol.factor_guarded(
+                scratch.sys, detail::to_guard(rb));
+            result.cholesky_attempts += cr.attempts;
+            if (cr.jitter > result.cholesky_jitter) {
+              result.cholesky_jitter = cr.jitter;
+            }
+          } else {
+            scratch.chol.factor(scratch.sys);
+          }
+          ++result.rho_rebalances;
+        }
+      }
     }
 
     if (!diverged) {

@@ -24,6 +24,33 @@
 
 namespace aoadmm {
 
+/// Residual-balancing adaptive penalty (Boyd et al. §3.4.1, and the scheme
+/// snippet 3 of SNIPPETS.md applies): when the relative primal residual
+/// exceeds `ratio` times the dual one, the penalty is too weak — multiply
+/// ρ by `rescale` and divide the scaled duals by it; in the mirror case
+/// divide ρ and multiply the duals. Keeps the two residuals within a
+/// factor of `ratio` of each other so neither stalls the inner loop on
+/// ill-conditioned systems where the tr(G)/F default lands far off.
+///
+/// The quadratic path refactors its F x F system after every rescale (the
+/// Cholesky depends on ρ); the generalized-loss path's per-row system
+/// (BᵀB + I) is ρ-independent, so rebalancing there is free.
+struct AdaptiveRhoOptions {
+  /// Off by default: ρ stays fixed at tr(G)/F, the historical behavior.
+  bool enabled = false;
+  /// Imbalance threshold μ triggering a rescale.
+  real_t ratio = 10;
+  /// Multiplier τ applied to ρ per rescale (duals scaled by 1/τ).
+  real_t rescale = 2;
+  /// Check cadence in inner iterations. For the blocked variant this is
+  /// also the sweep length between global residual aggregations — larger
+  /// values amortize the cross-block barrier adaptivity reintroduces.
+  unsigned check_every = 1;
+  /// Rescale budget per inner solve, bounding refactorization cost and
+  /// preventing ρ oscillation.
+  unsigned max_rescales = 16;
+};
+
 struct AdmmOptions {
   /// Inner tolerance ε: stop when the relative primal AND dual residuals
   /// fall below it (Algorithm 1 line 12).
@@ -43,6 +70,9 @@ struct AdmmOptions {
   /// default: a non-PD system throws and divergence runs unchecked, exactly
   /// the historical behavior.
   RobustnessOptions robustness;
+  /// Residual-balancing adaptive ρ (see AdaptiveRhoOptions). Off by
+  /// default.
+  AdaptiveRhoOptions adaptive;
 };
 
 /// Analytical block-size model (implements the paper's future-work item:
@@ -79,8 +109,11 @@ struct AdmmResult {
   /// primal was rolled back to its entry iterate and the duals were reset,
   /// so the caller keeps a sane (if stale) factor.
   bool abandoned = false;
-  /// Final penalty in effect (== tr(G)/F unless restarts rescaled it).
+  /// Final penalty in effect (== tr(G)/F unless restarts or residual
+  /// rebalancing rescaled it).
   real_t rho = 0;
+  /// Residual-balancing ρ rescales performed (AdaptiveRhoOptions).
+  unsigned rho_rebalances = 0;
 };
 
 /// Scratch reused across ADMM calls (aux = H̃, h_old = H₀), plus the F x F

@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <chrono>
+#include <vector>
 
 #include "core/admm.hpp"
 #include "core/admm_impl.hpp"
@@ -20,9 +21,241 @@ std::size_t auto_block_size(std::size_t rank,
   return std::clamp<std::size_t>(rows, 8, 512);
 }
 
+namespace {
+
+/// The blocked variant restructured for residual-balancing adaptive ρ.
+/// Rebalancing needs a *global* residual picture and a shared refactorable
+/// system, both of which the free-running blocks of the default path never
+/// materialize mid-solve. So when adaptive ρ is on, the inner loop runs in
+/// bounded sweeps: every unfinished block iterates up to `check_every`
+/// times (cache-resident, barrier-free within the sweep), then the blocks'
+/// residuals are aggregated, ρ is rebalanced if they drifted apart, and the
+/// Cholesky is refactored. A rebalance voids prior per-block convergence
+/// verdicts (the residual scales changed), so those blocks re-enter the
+/// next sweep within their remaining iteration budget.
+AdmmResult admm_update_blocked_adaptive(Matrix& h, Matrix& u, const Matrix& k,
+                                        const Matrix& g,
+                                        const ProxOperator& prox,
+                                        const AdmmOptions& opts,
+                                        AdmmScratch& scratch) {
+  AOADMM_PROFILE_SCOPE("admm/blocked");
+  const std::size_t rows = h.rows();
+  const std::size_t f = h.cols();
+  AOADMM_CHECK(u.rows() == rows && u.cols() == f);
+  AOADMM_CHECK(k.rows() == rows && k.cols() == f);
+  AOADMM_CHECK(g.rows() == f && g.cols() == f);
+  const std::size_t block_size =
+      opts.block_size > 0 ? opts.block_size : auto_block_size(f);
+  AOADMM_CHECK_MSG(opts.relaxation > 0 && opts.relaxation < 2,
+                   "relaxation must lie in (0, 2)");
+  scratch.ensure(rows, f);
+  Matrix& aux = scratch.aux;
+  Matrix& h_old = scratch.h_old;
+
+  const RobustnessOptions& rb = opts.robustness;
+  const AdaptiveRhoOptions& ad = opts.adaptive;
+  real_t rho = detail::admm_penalty(g);
+  if (rb.enabled) {
+    scratch.h_entry = h;
+  }
+
+  const std::size_t nblocks = num_blocks(rows, block_size);
+  const unsigned sweep_len = ad.check_every > 0 ? ad.check_every : 1;
+
+  AdmmResult result;
+  unsigned restarts = 0;
+  bool abandoned = false;
+
+  const auto factor_system = [&] {
+    detail::regularized_gram_into(g, rho, scratch.sys);
+    if (rb.enabled) {
+      const CholeskyReport cr =
+          scratch.chol.factor_guarded(scratch.sys, detail::to_guard(rb));
+      result.cholesky_attempts += cr.attempts;
+      if (cr.jitter > result.cholesky_jitter) {
+        result.cholesky_jitter = cr.jitter;
+      }
+    } else {
+      scratch.chol.factor(scratch.sys);
+    }
+  };
+
+  // Per-block progress state, persistent across sweeps within one restart
+  // attempt. Heap use here is gated behind ad.enabled, so the default
+  // path's zero-allocation steady state is untouched.
+  std::vector<unsigned> iters_used(nblocks);
+  std::vector<unsigned char> block_done(nblocks);
+  std::vector<detail::ResidualAccum> block_acc(nblocks);
+
+  using clock = std::chrono::steady_clock;
+  obs::BusyTimes busy(max_threads());
+
+  /// Run block b for up to `budget` more iterations against the current
+  /// ρ/Cholesky; returns through the per-block slots (no shared writes).
+  const auto run_block = [&](std::size_t b, unsigned budget,
+                             bool& diverged_out, std::uint64_t& rows_out) {
+    AOADMM_PROFILE_SCOPE("admm/blocked/block");
+    const auto [lo, hi] = block_range(rows, block_size, b);
+    detail::DivergenceMonitor monitor;
+    detail::ResidualAccum acc;
+    unsigned ran = 0;
+    for (; ran < budget;) {
+      detail::admm_solve_rows(h, u, k, rho, scratch.chol, aux, lo, hi);
+      detail::admm_primal_prep_rows(h, u, aux, h_old, opts.relaxation, lo,
+                                    hi);
+      prox.apply(h, lo, hi, rho);
+      acc = detail::admm_dual_rows(h, u, aux, h_old, lo, hi);
+      ++ran;
+      if (rb.enabled && monitor.diverged(acc, rb.divergence_factor)) {
+        diverged_out = true;
+        break;
+      }
+      if (acc.converged(opts.tolerance)) {
+        block_done[b] = 1;
+        break;
+      }
+    }
+    iters_used[b] += ran;
+    block_acc[b] = acc;
+    rows_out += static_cast<std::uint64_t>(ran) * (hi - lo);
+  };
+
+  for (;;) {  // divergence-restart attempts (same policy as the default)
+    factor_system();
+    std::fill(iters_used.begin(), iters_used.end(), 0u);
+    std::fill(block_done.begin(), block_done.end(),
+              static_cast<unsigned char>(0));
+    std::fill(block_acc.begin(), block_acc.end(), detail::ResidualAccum{});
+    bool any_diverged = false;
+
+    for (;;) {  // sweeps
+      bool sweep_ran_any = false;
+#if defined(AOADMM_HAVE_OPENMP)
+#pragma omp parallel
+      {
+        bool local_diverged = false;
+        bool local_ran = false;
+        std::uint64_t local_rows = 0;
+        double busy_seconds = 0;
+#pragma omp for schedule(dynamic, 1) nowait
+        for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(nblocks);
+             ++b) {
+          const auto bb = static_cast<std::size_t>(b);
+          if (block_done[bb] || iters_used[bb] >= opts.max_iterations) {
+            continue;
+          }
+          const auto t0 = clock::now();
+          const unsigned budget =
+              std::min(sweep_len, opts.max_iterations - iters_used[bb]);
+          run_block(bb, budget, local_diverged, local_rows);
+          local_ran = true;
+          busy_seconds +=
+              std::chrono::duration<double>(clock::now() - t0).count();
+        }
+        busy.add(thread_id(), busy_seconds);
+#pragma omp critical(aoadmm_admm_adaptive_merge)
+        {
+          any_diverged = any_diverged || local_diverged;
+          sweep_ran_any = sweep_ran_any || local_ran;
+          result.row_iterations += local_rows;
+        }
+      }
+#else
+      {
+        const auto t0 = clock::now();
+        std::uint64_t serial_rows = 0;
+        for (std::size_t b = 0; b < nblocks; ++b) {
+          if (block_done[b] || iters_used[b] >= opts.max_iterations) {
+            continue;
+          }
+          const unsigned budget =
+              std::min(sweep_len, opts.max_iterations - iters_used[b]);
+          run_block(b, budget, any_diverged, serial_rows);
+          sweep_ran_any = true;
+        }
+        result.row_iterations += serial_rows;
+        busy.add(0, std::chrono::duration<double>(clock::now() - t0).count());
+      }
+#endif
+      if (any_diverged || !sweep_ran_any) {
+        break;
+      }
+      bool all_finished = true;
+      for (std::size_t b = 0; b < nblocks; ++b) {
+        all_finished = all_finished &&
+                       (block_done[b] || iters_used[b] >= opts.max_iterations);
+      }
+      if (all_finished) {
+        break;
+      }
+      if (result.rho_rebalances < ad.max_rescales) {
+        detail::ResidualAccum global;
+        for (const detail::ResidualAccum& a : block_acc) {
+          global.merge(a);
+        }
+        const real_t scale = detail::rebalance_scale(global, ad);
+        if (scale != 0) {
+          rho *= scale;
+          detail::rescale_duals(u, scale);
+          factor_system();
+          ++result.rho_rebalances;
+          // Convergence verdicts were issued under the old ρ; blocks with
+          // budget left get to re-check under the new one.
+          std::fill(block_done.begin(), block_done.end(),
+                    static_cast<unsigned char>(0));
+        }
+      }
+    }
+
+    unsigned max_block_iters = 0;
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      max_block_iters = std::max(max_block_iters, iters_used[b]);
+    }
+    result.iterations += max_block_iters;
+
+    if (!any_diverged) {
+      break;
+    }
+    if (restarts >= rb.max_recoveries) {
+      h = scratch.h_entry;
+      u.zero();
+      std::fill(block_acc.begin(), block_acc.end(), detail::ResidualAccum{});
+      abandoned = true;
+      break;
+    }
+    ++restarts;
+    rho *= rb.rho_rescale;
+    h = scratch.h_entry;
+    u.zero();
+  }
+
+  real_t worst_primal = 0;
+  real_t worst_dual = 0;
+  for (const detail::ResidualAccum& a : block_acc) {
+    worst_primal = std::max(worst_primal, a.primal());
+    worst_dual = std::max(worst_dual, a.dual());
+  }
+  if (abandoned) {
+    worst_primal = 0;
+    worst_dual = 0;
+  }
+
+  result.restarts = restarts;
+  result.abandoned = abandoned;
+  result.rho = rho;
+  result.primal_residual = worst_primal;
+  result.dual_residual = worst_dual;
+  return result;
+}
+
+}  // namespace
+
 AdmmResult admm_update_blocked(Matrix& h, Matrix& u, const Matrix& k,
                                const Matrix& g, const ProxOperator& prox,
                                const AdmmOptions& opts, AdmmScratch& scratch) {
+  if (opts.adaptive.enabled) {
+    return admm_update_blocked_adaptive(h, u, k, g, prox, opts, scratch);
+  }
   AOADMM_PROFILE_SCOPE("admm/blocked");
   const std::size_t rows = h.rows();
   const std::size_t f = h.cols();

@@ -112,6 +112,34 @@ struct DivergenceMonitor {
   }
 };
 
+/// Residual-balancing decision (AdaptiveRhoOptions): the factor to multiply
+/// ρ by, or 0 when the residuals are balanced (or non-finite — divergence
+/// recovery owns that case, not rebalancing).
+inline real_t rebalance_scale(const ResidualAccum& acc,
+                              const AdaptiveRhoOptions& ad) noexcept {
+  const real_t p = acc.primal();
+  const real_t d = acc.dual();
+  if (!(std::isfinite(p) && std::isfinite(d))) {
+    return 0;
+  }
+  if (p > ad.ratio * d) {
+    return ad.rescale;
+  }
+  if (d > ad.ratio * p) {
+    return real_t{1} / ad.rescale;
+  }
+  return 0;
+}
+
+/// Rescale the scaled duals after ρ ← scale·ρ: u = y/ρ, so u ← u/scale
+/// keeps the underlying multiplier y unchanged.
+inline void rescale_duals(Matrix& u, real_t scale) noexcept {
+  const real_t inv = real_t{1} / scale;
+  for (real_t& v : u.flat()) {
+    v *= inv;
+  }
+}
+
 /// Least-squares step for rows [lo, hi): aux ← (G+ρI)⁻¹(K + ρ(H + U))
 /// (Algorithm 1, line 6). Serial over the range; callers parallelize.
 inline void admm_solve_rows(const Matrix& h, const Matrix& u, const Matrix& k,

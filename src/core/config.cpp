@@ -128,6 +128,40 @@ bool induces_factor_sparsity(ConstraintKind kind) {
 
 }  // namespace
 
+CpdConfig::CpdConfig(const CpdOptions& opts) {
+  rank = opts.rank;
+  max_outer_iterations = opts.max_outer_iterations;
+  tolerance = opts.tolerance;
+  admm = opts.admm;
+  variant = opts.variant;
+  leaf_format = opts.leaf_format;
+  mttkrp_kernel = opts.mttkrp_kernel;
+  mttkrp_schedule = opts.mttkrp_schedule;
+  mttkrp_tile_rows = opts.mttkrp_tile_rows;
+  sparsity_threshold = opts.sparsity_threshold;
+  seed = opts.seed;
+  record_trace = opts.record_trace;
+  on_iteration = opts.on_iteration;
+}
+
+CpdOptions CpdConfig::legacy_options() const {
+  CpdOptions opts;
+  opts.rank = rank;
+  opts.max_outer_iterations = max_outer_iterations;
+  opts.tolerance = tolerance;
+  opts.admm = admm;
+  opts.variant = variant;
+  opts.leaf_format = leaf_format;
+  opts.mttkrp_kernel = mttkrp_kernel;
+  opts.mttkrp_schedule = mttkrp_schedule;
+  opts.mttkrp_tile_rows = mttkrp_tile_rows;
+  opts.sparsity_threshold = sparsity_threshold;
+  opts.seed = seed;
+  opts.record_trace = record_trace;
+  opts.on_iteration = on_iteration;
+  return opts;
+}
+
 ValidationReport CpdConfig::validate(std::size_t order) const {
   using Severity = ValidationIssue::Severity;
   ValidationReport report;
@@ -135,54 +169,54 @@ ValidationReport CpdConfig::validate(std::size_t order) const {
     report.issues.push_back({sev, field, std::move(msg)});
   };
 
-  if (options.rank == 0) {
+  if (rank == 0) {
     add(Severity::kError, "rank", "rank must be positive");
-  } else if (options.rank > 2048) {
+  } else if (rank > 2048) {
     add(Severity::kWarning, "rank",
         "rank > 2048: each MTTKRP output and ADMM scratch holds rank doubles "
         "per row; expect heavy memory use and slow F x F Cholesky solves");
   }
 
-  if (options.max_outer_iterations == 0) {
+  if (max_outer_iterations == 0) {
     add(Severity::kError, "max_outer_iterations",
         "max_outer_iterations must be positive");
   }
-  if (options.tolerance < 0) {
+  if (tolerance < 0) {
     add(Severity::kError, "tolerance",
         "tolerance must be >= 0 (it bounds the per-iteration error "
         "improvement)");
-  } else if (options.tolerance == 0) {
+  } else if (tolerance == 0) {
     add(Severity::kWarning, "tolerance",
         "tolerance 0 never converges early; the solver always runs all "
         "max_outer_iterations");
   }
 
-  if (options.admm.max_iterations == 0) {
+  if (admm.max_iterations == 0) {
     add(Severity::kError, "admm.max_iterations",
         "admm.max_iterations must be positive");
   }
-  if (!(options.admm.tolerance > 0)) {
+  if (!(admm.tolerance > 0)) {
     add(Severity::kError, "admm.tolerance",
         "admm.tolerance must be positive (the inner loop would never stop "
         "before its iteration cap)");
   }
-  if (!(options.admm.relaxation > 0 && options.admm.relaxation < 2)) {
+  if (!(admm.relaxation > 0 && admm.relaxation < 2)) {
     add(Severity::kError, "admm.relaxation",
         "admm.relaxation must lie in (0, 2); 1.0 disables over-relaxation");
   }
-  if (options.admm.block_size > 0 && options.admm.block_size < 4) {
+  if (admm.block_size > 0 && admm.block_size < 4) {
     add(Severity::kWarning, "admm.block_size",
         "block sizes below 4 rows pay per-block overhead on every inner "
         "iteration; the paper found ~50 optimal, 0 selects the analytical "
         "model");
   }
-  if (options.admm.block_size > 65536) {
+  if (admm.block_size > 65536) {
     add(Severity::kWarning, "admm.block_size",
         "very large blocks forfeit the cache residency and per-block "
         "convergence the blocked variant exists for; prefer <= 512");
   }
 
-  const RobustnessOptions& rb = options.admm.robustness;
+  const RobustnessOptions& rb = admm.robustness;
   if (rb.enabled) {
     if (rb.cholesky_max_attempts == 0) {
       add(Severity::kError, "robustness.cholesky_max_attempts",
@@ -214,21 +248,89 @@ ValidationReport CpdConfig::validate(std::size_t order) const {
     }
   }
 
-  if (!(options.sparsity_threshold >= 0 && options.sparsity_threshold <= 1)) {
+  const AdaptiveRhoOptions& ad = admm.adaptive;
+  if (ad.enabled) {
+    if (!(ad.ratio > 1)) {
+      add(Severity::kError, "admm.adaptive.ratio",
+          "adaptive.ratio must exceed 1 (a rebalance fires when one residual "
+          "exceeds ratio times the other; <= 1 would rescale every check)");
+    }
+    if (!(ad.rescale > 1)) {
+      add(Severity::kError, "admm.adaptive.rescale",
+          "adaptive.rescale must exceed 1 so a rebalance actually moves rho");
+    }
+    if (ad.check_every == 0) {
+      add(Severity::kError, "admm.adaptive.check_every",
+          "adaptive.check_every must be >= 1 (iterations between residual "
+          "checks; the blocked variant uses it as the sweep length)");
+    }
+    if (ad.max_rescales == 0) {
+      add(Severity::kWarning, "admm.adaptive.max_rescales",
+          "adaptive.max_rescales is 0: adaptive rho is enabled but can never "
+          "rescale; disable it or raise the budget");
+    }
+  }
+
+  // --- Loss / data-fidelity term ---
+  const bool generalized_loss =
+      loss.kind != LossKind::kFrobenius || loss.masked;
+  if (loss.kind == LossKind::kHuber && !(loss.huber_delta > 0)) {
+    add(Severity::kError, "loss.huber_delta",
+        "huber delta must be positive (it is the width of the quadratic "
+        "region; at 0 use loss=l1 instead)");
+  }
+  if (generalized_loss && leaf_format != LeafFormat::kDense) {
+    add(Severity::kError, "loss",
+        std::string("loss ") + to_cli_string(loss) +
+            " takes the generalized per-row split solve, which walks the CSF "
+            "tree directly and supports only leaf_format=dense");
+  }
+  if (generalized_loss &&
+      (mttkrp_kernel == MttkrpKernel::kTiled || mttkrp_tile_rows > 0)) {
+    add(Severity::kError, "loss",
+        std::string("loss ") + to_cli_string(loss) +
+            " takes the generalized per-row split solve and is incompatible "
+            "with the tiled MTTKRP kernel (tiles split a root's non-zeros "
+            "across buckets, so per-row systems cannot be assembled); unset "
+            "mttkrp_kernel=tiled and mttkrp_tile_rows");
+  }
+  if (loss.kind == LossKind::kKL) {
+    for (std::size_t i = 0; i < constraints.size(); ++i) {
+      const ConstraintKind k = constraints.specs()[i].kind;
+      const bool sign_safe =
+          k == ConstraintKind::kNonNegative ||
+          k == ConstraintKind::kNonNegativeL1 ||
+          k == ConstraintKind::kSimplex ||
+          (k == ConstraintKind::kBox && constraints.specs()[i].lo >= 0);
+      if (!sign_safe) {
+        std::ostringstream field;
+        field << "constraints[" << i << "]";
+        add(Severity::kWarning, field.str().c_str(),
+            std::string("KL loss assumes a nonnegative model, but constraint "
+                        "'") +
+                to_cli_string(constraints.specs()[i]) +
+                "' permits negative factor entries; the model estimate is "
+                "floored at a tiny positive value, which can stall "
+                "convergence — prefer nonneg/simplex/nnl1 constraints");
+      }
+    }
+  }
+
+  if (!(sparsity_threshold >= 0 && sparsity_threshold <= 1)) {
     add(Severity::kError, "sparsity_threshold",
         "sparsity_threshold is a density fraction and must lie in [0, 1]");
   }
 
   // Cross-field: a sparse leaf format only ever pays off when some
   // constraint can produce exact zeros in a factor.
-  if (options.leaf_format != LeafFormat::kDense) {
+  if (leaf_format != LeafFormat::kDense) {
     bool any_sparsity = false;
     for (const ConstraintSpec& spec : constraints.specs()) {
       any_sparsity = any_sparsity || induces_factor_sparsity(spec.kind);
     }
     if (!any_sparsity) {
       add(Severity::kWarning, "leaf_format",
-          std::string("leaf format ") + to_string(options.leaf_format) +
+          std::string("leaf format ") + to_string(leaf_format) +
               " requested, but no configured constraint can produce factor "
               "sparsity; the dense kernel will be used every iteration and "
               "the density measurement is pure overhead");
@@ -238,32 +340,32 @@ ValidationReport CpdConfig::validate(std::size_t order) const {
   // MTTKRP driver knobs. The tiled kernel only exists for the dense leaf
   // path (tiles re-bucket the raw non-zeros, not a compressed leaf factor),
   // and tiling only happens when the CsfSet was built with tile_rows > 0.
-  if (options.mttkrp_kernel == MttkrpKernel::kTiled &&
-      options.leaf_format != LeafFormat::kDense) {
+  if (mttkrp_kernel == MttkrpKernel::kTiled &&
+      leaf_format != LeafFormat::kDense) {
     add(Severity::kError, "mttkrp_kernel",
         std::string("the tiled MTTKRP kernel supports only the DENSE leaf "
                     "format, but leaf_format is ") +
-            to_string(options.leaf_format));
+            to_string(leaf_format));
   }
-  if (options.mttkrp_tile_rows > 0 &&
-      options.mttkrp_kernel != MttkrpKernel::kTiled &&
-      options.mttkrp_kernel != MttkrpKernel::kAuto) {
+  if (mttkrp_tile_rows > 0 &&
+      mttkrp_kernel != MttkrpKernel::kTiled &&
+      mttkrp_kernel != MttkrpKernel::kAuto) {
     add(Severity::kWarning, "mttkrp_tile_rows",
         std::string("mttkrp_tile_rows is set but mttkrp_kernel=") +
-            to_string(options.mttkrp_kernel) +
+            to_string(mttkrp_kernel) +
             " never runs the tiled kernel; the tiled compilation would be "
             "built and ignored");
   }
-  if (options.mttkrp_kernel == MttkrpKernel::kTiled &&
-      options.mttkrp_tile_rows == 0) {
+  if (mttkrp_kernel == MttkrpKernel::kTiled &&
+      mttkrp_tile_rows == 0) {
     add(Severity::kWarning, "mttkrp_kernel",
         "mttkrp_kernel=tiled with mttkrp_tile_rows=0 degenerates to a "
         "single tile per mode (correct, but pays the tiled bookkeeping for "
         "no cache benefit); set mttkrp_tile_rows to the intended tile "
         "height");
   }
-  if (options.mttkrp_kernel == MttkrpKernel::kOneTree &&
-      options.mttkrp_schedule == MttkrpSchedule::kDynamic) {
+  if (mttkrp_kernel == MttkrpKernel::kOneTree &&
+      mttkrp_schedule == MttkrpSchedule::kDynamic) {
     add(Severity::kWarning, "mttkrp_schedule",
         "mttkrp_schedule=dynamic puts the one-tree kernel back on the "
         "per-element atomic scatter path (the ablation baseline); use "

@@ -4,10 +4,15 @@
 //    convention ("one entry broadcasts, otherwise one per mode") with an
 //    explicit type that states which of the two it means and rejects
 //    mismatched counts with a clear error instead of a deep assert.
-//  * CpdConfig wraps CpdOptions + constraints + checkpoint policy behind
-//    chainable with_* setters and a validate() that returns structured
-//    diagnostics (field, severity, actionable message) rather than
-//    asserting — callers like tensor_tool print them as CLI errors.
+//  * CpdConfig is the single source of truth for every solver knob —
+//    rank, tolerances, ADMM options, loss, kernel/schedule selection,
+//    constraints, checkpoint policy — behind chainable with_* setters and
+//    a validate() that returns structured diagnostics (field, severity,
+//    actionable message) rather than asserting; callers like tensor_tool
+//    print them as CLI errors. The legacy CpdOptions struct survives only
+//    as the parameter type of the deprecated cpd_aoadmm/cpd_als free
+//    functions and converts losslessly via CpdConfig(const CpdOptions&);
+//    see docs/api.md for the deprecation path.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +20,7 @@
 #include <vector>
 
 #include "core/cpd.hpp"
+#include "core/loss.hpp"
 #include "core/prox.hpp"
 
 namespace aoadmm {
@@ -91,9 +97,29 @@ struct ValidationReport {
 ///   ValidationReport report = cfg.validate(csf.order());
 ///   if (!report.ok()) { ... print report.to_string() ... }
 struct CpdConfig {
-  /// Legacy knobs, unchanged (rank, tolerances, ADMM options, variant,
-  /// leaf format, seed, trace, on_iteration callback).
-  CpdOptions options;
+  rank_t rank = 16;
+  unsigned max_outer_iterations = 200;
+  /// Stop when the convergence measure (relative error for the Frobenius
+  /// fast path, the loss objective otherwise) improves by less than this.
+  real_t tolerance = 1e-6;
+  AdmmOptions admm;
+  AdmmVariant variant = AdmmVariant::kBlocked;
+  /// Leaf-factor storage during MTTKRP (Table II: DENSE / CSR / CSR-H).
+  LeafFormat leaf_format = LeafFormat::kDense;
+  MttkrpKernel mttkrp_kernel = MttkrpKernel::kAuto;
+  MttkrpSchedule mttkrp_schedule = MttkrpSchedule::kAuto;
+  index_t mttkrp_tile_rows = 0;
+  /// Exploit factor sparsity only below this density (paper: 20%).
+  real_t sparsity_threshold = 0.20;
+  std::uint64_t seed = 123;
+  bool record_trace = true;
+  /// Invoked at the end of every outer iteration with that iteration's
+  /// metrics (see obs/snapshot.hpp and CpdOptions::on_iteration).
+  std::function<void(const obs::MetricsSnapshot&)> on_iteration;
+  /// Data-fidelity loss (core/loss.hpp). The default — unmasked Frobenius
+  /// — runs the normal-equations fast path; everything else takes the
+  /// generalized per-row split solve.
+  LossSpec loss;
   ModeConstraints constraints;
   /// When checkpoint_every > 0, CpdSolver writes a checkpoint of the full
   /// solver state to checkpoint_path after every checkpoint_every outer
@@ -102,42 +128,53 @@ struct CpdConfig {
   unsigned checkpoint_every = 0;
 
   CpdConfig() = default;
-  explicit CpdConfig(const CpdOptions& opts) : options(opts) {}
+  /// Compatibility shim for the legacy CpdOptions entry points
+  /// (cpd_aoadmm/cpd_als): copies every overlapping field. Deprecated for
+  /// new code — construct a CpdConfig directly.
+  explicit CpdConfig(const CpdOptions& opts);
+  /// The reverse projection, for code still feeding CpdOptions consumers.
+  CpdOptions legacy_options() const;
 
-  CpdConfig& with_rank(rank_t r) { options.rank = r; return *this; }
+  CpdConfig& with_rank(rank_t r) { rank = r; return *this; }
   CpdConfig& with_max_outer(unsigned n) {
-    options.max_outer_iterations = n;
+    max_outer_iterations = n;
     return *this;
   }
-  CpdConfig& with_tolerance(real_t t) { options.tolerance = t; return *this; }
+  CpdConfig& with_tolerance(real_t t) { tolerance = t; return *this; }
   CpdConfig& with_admm(const AdmmOptions& a) {
-    options.admm = a;
+    admm = a;
     return *this;
   }
-  CpdConfig& with_variant(AdmmVariant v) { options.variant = v; return *this; }
+  CpdConfig& with_variant(AdmmVariant v) { variant = v; return *this; }
   CpdConfig& with_leaf_format(LeafFormat f) {
-    options.leaf_format = f;
+    leaf_format = f;
     return *this;
   }
   CpdConfig& with_mttkrp_kernel(MttkrpKernel k) {
-    options.mttkrp_kernel = k;
+    mttkrp_kernel = k;
     return *this;
   }
   CpdConfig& with_mttkrp_schedule(MttkrpSchedule s) {
-    options.mttkrp_schedule = s;
+    mttkrp_schedule = s;
     return *this;
   }
   CpdConfig& with_mttkrp_tile_rows(index_t rows) {
-    options.mttkrp_tile_rows = rows;
+    mttkrp_tile_rows = rows;
     return *this;
   }
   CpdConfig& with_sparsity_threshold(real_t t) {
-    options.sparsity_threshold = t;
+    sparsity_threshold = t;
     return *this;
   }
-  CpdConfig& with_seed(std::uint64_t s) { options.seed = s; return *this; }
+  CpdConfig& with_seed(std::uint64_t s) { seed = s; return *this; }
   CpdConfig& with_trace(bool record) {
-    options.record_trace = record;
+    record_trace = record;
+    return *this;
+  }
+  /// Data-fidelity loss, e.g. with_loss({LossKind::kKL}) for count data or
+  /// with_loss(parse_loss_spec("huber:0.5")). See docs/losses.md.
+  CpdConfig& with_loss(const LossSpec& l) {
+    loss = l;
     return *this;
   }
   CpdConfig& with_constraints(ModeConstraints c) {
@@ -147,16 +184,29 @@ struct CpdConfig {
   /// Numerical guard rails (guarded Cholesky, ADMM divergence recovery,
   /// NaN/Inf sentinels). See core/robustness.hpp and docs/robustness.md.
   CpdConfig& with_robustness(const RobustnessOptions& r) {
-    options.admm.robustness = r;
+    admm.robustness = r;
     return *this;
   }
   /// Shorthand: enable the guard rails with their default thresholds.
   CpdConfig& with_robustness(bool enabled = true) {
-    options.admm.robustness.enabled = enabled;
+    admm.robustness.enabled = enabled;
     return *this;
   }
   const RobustnessOptions& robustness() const noexcept {
-    return options.admm.robustness;
+    return admm.robustness;
+  }
+  /// Residual-balancing adaptive ρ (core/admm.hpp: AdaptiveRhoOptions).
+  CpdConfig& with_adaptive_rho(const AdaptiveRhoOptions& a) {
+    admm.adaptive = a;
+    return *this;
+  }
+  /// Shorthand: enable adaptive ρ with its default thresholds.
+  CpdConfig& with_adaptive_rho(bool enabled = true) {
+    admm.adaptive.enabled = enabled;
+    return *this;
+  }
+  const AdaptiveRhoOptions& adaptive_rho() const noexcept {
+    return admm.adaptive;
   }
   CpdConfig& with_checkpoint(std::string path, unsigned every) {
     checkpoint_path = std::move(path);

@@ -1,0 +1,221 @@
+#include "core/coupled.hpp"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/admm.hpp"
+#include "core/cpd_impl.hpp"
+#include "core/workspace.hpp"
+#include "la/blas.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace aoadmm {
+namespace {
+
+AdmmResult run_admm(Matrix& h, Matrix& u, const Matrix& k, const Matrix& g,
+                    const ProxOperator& prox, const CpdConfig& config,
+                    AdmmScratch& scratch) {
+  return config.variant == AdmmVariant::kBlocked
+             ? admm_update_blocked(h, u, k, g, prox, config.admm, scratch)
+             : admm_update(h, u, k, g, prox, config.admm, scratch);
+}
+
+/// ‖Y − A Wᵀ‖_F² by direct evaluation (the side matrices are dense and
+/// small next to the tensor).
+double matrix_resid_sq(const Matrix& y, const Matrix& a, const Matrix& w) {
+  const Matrix model = matmul(a, transpose(w));
+  double resid = 0;
+  const real_t* ym = y.data();
+  const real_t* mm = model.data();
+  const std::size_t n = y.rows() * y.cols();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(ym[i]) - static_cast<double>(mm[i]);
+    resid += d * d;
+  }
+  return resid;
+}
+
+}  // namespace
+
+CoupledResult coupled_factorize(const CsfSet& csf, const CpdConfig& config,
+                                const std::vector<CoupledMatrix>& couplings) {
+  const std::size_t order = csf.order();
+  const auto& dims = csf.dims();
+  AOADMM_CHECK(order >= 2);
+
+  const ValidationReport report = config.validate(order);
+  if (!report.ok()) {
+    throw InvalidArgument("invalid CpdConfig:\n" + report.to_string());
+  }
+  if (config.loss.kind != LossKind::kFrobenius || config.loss.masked) {
+    throw InvalidArgument(
+        "coupled_factorize: the coupling folds into the Frobenius normal "
+        "equations and supports only the default unmasked frobenius loss "
+        "(got " + to_cli_string(config.loss) + ")");
+  }
+  for (std::size_t c = 0; c < couplings.size(); ++c) {
+    const CoupledMatrix& cm = couplings[c];
+    if (cm.mode >= order) {
+      throw InvalidArgument("coupling " + std::to_string(c) + ": mode " +
+                            std::to_string(cm.mode) +
+                            " out of range for an order-" +
+                            std::to_string(order) + " tensor");
+    }
+    if (cm.y.rows() != static_cast<std::size_t>(dims[cm.mode])) {
+      throw InvalidArgument(
+          "coupling " + std::to_string(c) + ": side matrix has " +
+          std::to_string(cm.y.rows()) + " rows but mode " +
+          std::to_string(cm.mode) + " has dimension " +
+          std::to_string(dims[cm.mode]));
+    }
+    if (!(cm.weight > 0)) {
+      throw InvalidArgument("coupling " + std::to_string(c) +
+                            ": weight must be positive");
+    }
+  }
+
+  const std::size_t f = config.rank;
+  std::vector<std::unique_ptr<ProxOperator>> prox(order);
+  for (std::size_t m = 0; m < order; ++m) {
+    prox[m] = make_prox(config.constraints.for_mode(m));
+  }
+  std::vector<std::unique_ptr<ProxOperator>> w_prox(couplings.size());
+  for (std::size_t c = 0; c < couplings.size(); ++c) {
+    w_prox[c] = make_prox(couplings[c].w_constraint);
+  }
+
+  Timer wall;
+  wall.start();
+
+  CoupledResult result;
+  const real_t x_norm_sq = detail::tensor_norm_sq(csf.for_mode(0));
+  result.cpd.factors = detail::init_factors(csf, config.rank, config.seed,
+                                            x_norm_sq);
+  std::vector<Matrix>& factors = result.cpd.factors;
+  std::vector<Matrix> duals(order);
+  for (std::size_t m = 0; m < order; ++m) {
+    duals[m].resize(dims[m], f);
+  }
+
+  // Side factors: seeded uniform like the tensor factors, one RNG stream
+  // per coupling so adding a coupling never perturbs the others.
+  result.side_factors.resize(couplings.size());
+  std::vector<Matrix> w_duals(couplings.size());
+  double coupled_norm_sq = static_cast<double>(x_norm_sq);
+  for (std::size_t c = 0; c < couplings.size(); ++c) {
+    const std::size_t j = couplings[c].y.cols();
+    Matrix& w = result.side_factors[c];
+    w.resize(j, f);
+    Rng rng(config.seed + 0x9e3779b9u * (c + 1));
+    for (real_t& v : w.flat()) {
+      v = rng.uniform();
+    }
+    w_duals[c].resize(j, f);
+    coupled_norm_sq += static_cast<double>(couplings[c].weight) *
+                       static_cast<double>(fro_norm_sq(couplings[c].y));
+  }
+
+  CpdWorkspace ws(order);
+  AdmmScratch w_scratch;  // separate: W row counts differ from the modes'
+  Matrix k_aug;           // augmented K for coupled modes
+  Matrix g_side(f, f);    // WᵀW / AᵀA for the coupling terms
+
+  result.matrix_relative_error.assign(couplings.size(), 1);
+  real_t prev_measure = std::numeric_limits<real_t>::infinity();
+
+  for (std::size_t m = 0; m < order; ++m) {
+    gram(factors[m], ws.grams[m]);
+  }
+
+  for (unsigned outer = 1; outer <= config.max_outer_iterations; ++outer) {
+    for (std::size_t m = 0; m < order; ++m) {
+      detail::gram_product_excluding(ws.grams, m, ws.gram_prod);
+      mttkrp_dispatch(csf.for_mode(m), factors, m, ws.mttkrp_out,
+                      config.mttkrp_schedule);
+      ++result.cpd.mttkrp_count;
+
+      // Fold each coupling on this mode into the normal equations:
+      // K += β Y W, G += β WᵀW. Augment copies so ws.mttkrp_out stays the
+      // pure MTTKRP the fit evaluation below expects.
+      bool coupled_mode = false;
+      for (std::size_t c = 0; c < couplings.size(); ++c) {
+        if (couplings[c].mode != m) {
+          continue;
+        }
+        if (!coupled_mode) {
+          k_aug = ws.mttkrp_out;
+          coupled_mode = true;
+        }
+        const real_t beta = couplings[c].weight;
+        const Matrix yw = matmul(couplings[c].y, result.side_factors[c]);
+        axpy(beta, yw.flat(), k_aug.flat());
+        gram(result.side_factors[c], g_side);
+        axpy(beta, g_side.flat(), ws.gram_prod.flat());
+      }
+
+      const AdmmResult ar =
+          run_admm(factors[m], duals[m], coupled_mode ? k_aug : ws.mttkrp_out,
+                   ws.gram_prod, *prox[m], config, ws.admm);
+      result.cpd.total_inner_iterations += ar.iterations;
+      result.cpd.total_row_iterations += ar.row_iterations;
+      gram(factors[m], ws.grams[m]);
+    }
+
+    // Side-factor updates: min β‖Y − A Wᵀ‖² + r(W) — normal equations
+    // K_W = YᵀA, G_W = AᵀA (β scales both sides and cancels).
+    for (std::size_t c = 0; c < couplings.size(); ++c) {
+      const Matrix& a = factors[couplings[c].mode];
+      const Matrix kw = matmul_tn(couplings[c].y, a);
+      gram(a, g_side);
+      const AdmmResult ar =
+          run_admm(result.side_factors[c], w_duals[c], kw, g_side,
+                   *w_prox[c], config, w_scratch);
+      result.cpd.total_inner_iterations += ar.iterations;
+      result.cpd.total_row_iterations += ar.row_iterations;
+    }
+
+    // Combined fit over the tensor and every coupled matrix.
+    const real_t tensor_err = detail::fit_relative_error(
+        x_norm_sq, ws.mttkrp_out, factors[order - 1], ws.grams, ws.fit_acc);
+    double resid_sq = static_cast<double>(tensor_err) *
+                      static_cast<double>(tensor_err) *
+                      static_cast<double>(x_norm_sq);
+    for (std::size_t c = 0; c < couplings.size(); ++c) {
+      const double mr = matrix_resid_sq(couplings[c].y,
+                                        factors[couplings[c].mode],
+                                        result.side_factors[c]);
+      const double y_norm = static_cast<double>(fro_norm_sq(couplings[c].y));
+      result.matrix_relative_error[c] =
+          y_norm > 0 ? static_cast<real_t>(std::sqrt(mr / y_norm))
+                     : static_cast<real_t>(std::sqrt(mr));
+      resid_sq += static_cast<double>(couplings[c].weight) * mr;
+    }
+    const real_t combined =
+        coupled_norm_sq > 0
+            ? static_cast<real_t>(std::sqrt(resid_sq / coupled_norm_sq))
+            : static_cast<real_t>(std::sqrt(resid_sq));
+
+    result.cpd.relative_error = tensor_err;
+    result.combined_relative_error = combined;
+    result.cpd.outer_iterations = outer;
+    if (config.record_trace) {
+      result.cpd.trace.add(outer, wall.seconds(), combined);
+    }
+    if (prev_measure - combined < config.tolerance && outer > 1) {
+      result.cpd.converged = true;
+      break;
+    }
+    prev_measure = combined;
+  }
+
+  wall.stop();
+  result.cpd.times.total_seconds = wall.seconds();
+  return result;
+}
+
+}  // namespace aoadmm

@@ -96,7 +96,15 @@ struct KernelBreakdown {
 
 struct CpdResult {
   std::vector<Matrix> factors;
+  /// Observed-entry relative error ‖X − M‖_F/‖X‖_F (over all cells on the
+  /// quadratic fast path, over Ω on the generalized loss path).
   real_t relative_error = 1;
+  /// Final loss objective Σ g(x, m) (+ zero-fill term). Only set by the
+  /// generalized loss path; 0 for the Frobenius fast path.
+  double objective_value = 0;
+  /// Per-outer-iteration objective values, same length as the trace.
+  /// Empty on the Frobenius fast path.
+  std::vector<double> objective_trace;
   unsigned outer_iterations = 0;
   bool converged = false;
   ConvergenceTrace trace;

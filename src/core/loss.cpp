@@ -1,0 +1,233 @@
+#include "core/loss.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace aoadmm {
+
+void Loss::check_datum(real_t) const {}
+
+namespace {
+
+/// ½(t − x)² over observed entries only — the masked Frobenius loss. The
+/// unmasked case never reaches a Loss subclass (quadratic fast path).
+class FrobeniusLoss final : public Loss {
+ public:
+  explicit FrobeniusLoss(bool masked) : masked_(masked) {}
+
+  bool quadratic() const override { return !masked_; }
+  bool masked() const override { return masked_; }
+
+  real_t prox(real_t x, real_t v, real_t rho) const override {
+    // argmin_t ½(t−x)² + ρ/2 (t−v)²
+    return (rho * v + x) / (rho + real_t{1});
+  }
+
+  real_t value(real_t x, real_t t) const override {
+    const real_t d = t - x;
+    return real_t{0.5} * d * d;
+  }
+
+  std::string name() const override {
+    return masked_ ? "frobenius(masked)" : "frobenius";
+  }
+
+ private:
+  bool masked_;
+};
+
+class KLLoss final : public Loss {
+ public:
+  explicit KLLoss(bool masked) : masked_(masked) {}
+
+  bool masked() const override { return masked_; }
+  real_t zero_fill_slope() const override { return 1; }
+
+  real_t prox(real_t x, real_t v, real_t rho) const override {
+    // argmin_t (t − x log t) + ρ/2 (t−v)²:  ρt² + (1 − ρv)t − x = 0, keep
+    // the positive root. x = 0 degenerates to the linear loss t, whose prox
+    // is a downward shift clipped at the domain boundary.
+    if (x <= 0) {
+      const real_t t = v - real_t{1} / rho;
+      return t > 0 ? t : 0;
+    }
+    const real_t b = rho * v - real_t{1};
+    return (b + std::sqrt(b * b + 4 * rho * x)) / (2 * rho);
+  }
+
+  real_t value(real_t x, real_t t) const override {
+    // Clamp the model into the domain: a transient negative model value
+    // (possible under sign-free constraints) reports as if at the boundary
+    // instead of producing NaN. The x·log x − x constant is dropped, so
+    // value(x, x) != 0 — only differences across iterates are meaningful.
+    const real_t tc = t > kDomainFloor ? t : kDomainFloor;
+    return x > 0 ? tc - x * std::log(tc) : tc;
+  }
+
+  void check_datum(real_t x) const override {
+    if (x < 0) {
+      throw InvalidArgument(
+          "KL loss requires non-negative data, found value " +
+          std::to_string(x));
+    }
+  }
+
+  std::string name() const override {
+    return masked_ ? "kl(masked)" : "kl";
+  }
+
+ private:
+  static constexpr real_t kDomainFloor = 1e-12;
+  bool masked_;
+};
+
+class HuberLoss final : public Loss {
+ public:
+  explicit HuberLoss(real_t delta) : delta_(delta) {}
+
+  real_t prox(real_t x, real_t v, real_t rho) const override {
+    // Quadratic region: matches the Frobenius prox; beyond it the loss is
+    // linear with slope ±δ, a constant shift of v. The region boundary
+    // |v − x| ≤ δ(1+ρ)/ρ is exactly where the two branches meet.
+    const real_t w = v - x;
+    const real_t bound = delta_ * (real_t{1} + rho) / rho;
+    if (std::abs(w) <= bound) {
+      return x + rho * w / (real_t{1} + rho);
+    }
+    return v - (delta_ / rho) * (w > 0 ? real_t{1} : real_t{-1});
+  }
+
+  real_t value(real_t x, real_t t) const override {
+    const real_t d = std::abs(t - x);
+    return d <= delta_ ? real_t{0.5} * d * d
+                       : delta_ * (d - real_t{0.5} * delta_);
+  }
+
+  std::string name() const override {
+    return "huber(" + std::to_string(delta_) + ")";
+  }
+
+ private:
+  real_t delta_;
+};
+
+class L1Loss final : public Loss {
+ public:
+  real_t prox(real_t x, real_t v, real_t rho) const override {
+    // Soft threshold of v − x by 1/ρ, re-centered at x.
+    const real_t w = v - x;
+    const real_t th = real_t{1} / rho;
+    if (w > th) return v - th;
+    if (w < -th) return v + th;
+    return x;
+  }
+
+  real_t value(real_t x, real_t t) const override { return std::abs(t - x); }
+
+  std::string name() const override { return "l1"; }
+};
+
+}  // namespace
+
+LossKind parse_loss_kind(const std::string& s) {
+  if (s == "frobenius" || s == "fro" || s == "ls") return LossKind::kFrobenius;
+  if (s == "kl" || s == "poisson") return LossKind::kKL;
+  if (s == "huber") return LossKind::kHuber;
+  if (s == "l1") return LossKind::kL1;
+  throw InvalidArgument("unknown loss kind: " + s +
+                        " (expected frobenius|kl|huber|l1)");
+}
+
+const char* to_string(LossKind k) noexcept {
+  switch (k) {
+    case LossKind::kFrobenius:
+      return "frobenius";
+    case LossKind::kKL:
+      return "kl";
+    case LossKind::kHuber:
+      return "huber";
+    case LossKind::kL1:
+      return "l1";
+  }
+  return "?";
+}
+
+LossSpec parse_loss_spec(const std::string& s) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t colon = s.find(':', start);
+    parts.push_back(s.substr(start, colon - start));
+    if (colon == std::string::npos) {
+      break;
+    }
+    start = colon + 1;
+  }
+
+  LossSpec spec;
+  spec.kind = parse_loss_kind(parts[0]);
+  std::size_t next = 1;
+  if (next < parts.size() && parts[next] != "masked") {
+    if (spec.kind != LossKind::kHuber) {
+      throw InvalidArgument("loss spec \"" + s + "\": only huber takes a " +
+                            "numeric parameter (the delta)");
+    }
+    try {
+      std::size_t consumed = 0;
+      spec.huber_delta =
+          static_cast<real_t>(std::stod(parts[next], &consumed));
+      if (consumed != parts[next].size()) {
+        throw std::invalid_argument(parts[next]);
+      }
+    } catch (const std::exception&) {
+      throw InvalidArgument("loss spec \"" + s + "\": cannot parse \"" +
+                            parts[next] + "\" as the huber delta");
+    }
+    ++next;
+  }
+  if (next < parts.size()) {
+    if (parts[next] != "masked") {
+      throw InvalidArgument("loss spec \"" + s + "\": unexpected token \"" +
+                            parts[next] + "\" (only \"masked\" is valid "
+                            "here)");
+    }
+    spec.masked = true;
+    ++next;
+  }
+  if (next != parts.size()) {
+    throw InvalidArgument("loss spec \"" + s + "\": trailing tokens");
+  }
+  return spec;
+}
+
+std::string to_cli_string(const LossSpec& spec) {
+  std::ostringstream os;
+  os << to_string(spec.kind);
+  if (spec.kind == LossKind::kHuber) {
+    os << ':' << spec.huber_delta;
+  }
+  if (spec.masked) {
+    os << ":masked";
+  }
+  return os.str();
+}
+
+std::unique_ptr<Loss> make_loss(const LossSpec& spec) {
+  switch (spec.kind) {
+    case LossKind::kFrobenius:
+      return std::make_unique<FrobeniusLoss>(spec.masked);
+    case LossKind::kKL:
+      return std::make_unique<KLLoss>(spec.masked);
+    case LossKind::kHuber:
+      AOADMM_CHECK_MSG(spec.huber_delta > 0, "huber delta must be positive");
+      return std::make_unique<HuberLoss>(spec.huber_delta);
+    case LossKind::kL1:
+      return std::make_unique<L1Loss>();
+  }
+  throw InvalidArgument("unhandled loss kind");
+}
+
+}  // namespace aoadmm

@@ -1,0 +1,106 @@
+// Pluggable data-fidelity losses for the generalized AO-ADMM of the
+// framework paper (Huang/Sidiropoulos/Liavas, PAPERS.md): the factorization
+// objective is  Σ_j g(x_j, m_j) + Σ_m r_m(A_m)  where g is any scalar loss
+// with a cheap proximal operator. The classical Frobenius CPD is the
+// special case g(x, t) = ½(t − x)² over ALL cells, which the solver serves
+// through the normal-equations fast path (MTTKRP + one Cholesky per mode,
+// Algorithm 1). Every other loss — and Frobenius restricted to the observed
+// entries (the missing-value mask) — takes the extra ADMM split t = Bh of
+// the framework paper: the row subproblem solves a ρ-independent system
+// (BᵀB + I) once and applies g's prox elementwise per iteration
+// (core/loss_solve.cpp).
+//
+// Unobserved (implicit-zero) cells: Frobenius counts them quadratically
+// (fast path). KL counts them exactly through a linear term — for x = 0 the
+// loss t − x·log t degenerates to t, so the unobserved part of the
+// objective is slope·Σ_unobs m, handled in closed form from factor column
+// sums (zero_fill_slope). Huber and ℓ1 are defined over the observed
+// entries only (they exist to absorb outliers in the data you actually
+// have; an implicit zero is not an observation).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace aoadmm {
+
+/// The loss menu. Mirrors the framework paper's examples (§ "losses other
+/// than least squares"): least squares, Kullback–Leibler divergence for
+/// count data, Huber and ℓ1 for outlier-contaminated data.
+enum class LossKind {
+  kFrobenius,
+  /// Generalized KL divergence g(x, t) = t − x·log t (+ const), the Poisson
+  /// maximum-likelihood loss for count tensors. Requires x ≥ 0, t ≥ 0.
+  kKL,
+  /// Huber: quadratic within δ of the data, linear beyond — robust to
+  /// outliers while staying smooth.
+  kHuber,
+  /// ℓ1: g(x, t) = |t − x|, maximally outlier-robust.
+  kL1,
+};
+
+/// Parse "frobenius" | "kl" | "huber" | "l1" (throws InvalidArgument
+/// otherwise).
+LossKind parse_loss_kind(const std::string& s);
+const char* to_string(LossKind k) noexcept;
+
+struct LossSpec {
+  LossKind kind = LossKind::kFrobenius;
+  /// Transition point of the Huber loss (ignored by the other kinds).
+  real_t huber_delta = 1;
+  /// Missing-value mask: restrict the data-fidelity term to the stored
+  /// non-zeros, treating absent cells as unobserved rather than zero.
+  /// Frobenius/KL honor it; Huber and ℓ1 are observed-only by definition
+  /// (see make_loss).
+  bool masked = false;
+};
+
+/// Parse a full CLI loss spelling: KIND[:PARAM][:masked], e.g. "frobenius",
+/// "kl:masked", "huber:0.5", "l1". PARAM is huber_delta and only valid for
+/// huber. Round-trips with to_cli_string. Throws InvalidArgument on any
+/// other spelling.
+LossSpec parse_loss_spec(const std::string& s);
+/// Canonical spelling of `spec`, parseable by parse_loss_spec.
+std::string to_cli_string(const LossSpec& spec);
+
+/// One scalar data-fidelity term g(x, ·). Stateless and shared across
+/// threads; all methods must be safe to call concurrently.
+class Loss {
+ public:
+  virtual ~Loss() = default;
+
+  /// True when the objective is ½‖X − M‖² over every cell of the tensor:
+  /// the solver then runs the Frobenius normal-equations fast path and none
+  /// of the other methods are consulted on the hot path.
+  virtual bool quadratic() const { return false; }
+
+  /// True when unobserved cells contribute nothing to the objective.
+  virtual bool masked() const { return true; }
+
+  /// Slope of g(0, t) in t when the loss is linear there — the coefficient
+  /// of the closed-form unobserved-cell term (KL: 1). Only consulted when
+  /// !masked().
+  virtual real_t zero_fill_slope() const { return 0; }
+
+  /// prox_{g(x,·)/ρ}(v) = argmin_t g(x, t) + ρ/2 (t − v)².
+  virtual real_t prox(real_t x, real_t v, real_t rho) const = 0;
+
+  /// g(x, t), for objective reporting. Implementations clamp t into the
+  /// loss's domain (KL: t ≥ 0) so a transient infeasible model value cannot
+  /// poison the report with NaN.
+  virtual real_t value(real_t x, real_t t) const = 0;
+
+  /// Throws InvalidArgument when a data value is outside the loss's domain
+  /// (KL: negative counts).
+  virtual void check_datum(real_t x) const;
+
+  virtual std::string name() const = 0;
+};
+
+/// Factory. Enforces per-kind parameter validity (huber_delta > 0) and the
+/// observed-only semantics of Huber/ℓ1 (their masked flag is forced on).
+std::unique_ptr<Loss> make_loss(const LossSpec& spec);
+
+}  // namespace aoadmm

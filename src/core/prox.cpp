@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <sstream>
 #include <vector>
 
 #include "util/error.hpp"
@@ -12,9 +14,25 @@ real_t ProxOperator::penalty(const Matrix&) const { return 0; }
 
 namespace {
 
+/// Uniform non-finite sanitization: a NaN/Inf input has no meaningful prox
+/// image and would propagate through the dual update into every later
+/// iterate, so all operators map it to 0 (the same policy simplex/l2ball
+/// have always applied) before their own projection.
+inline real_t sanitize(real_t v) noexcept {
+  return std::isfinite(v) ? v : real_t{0};
+}
+
 class NoConstraint final : public ProxOperator {
  public:
-  void apply(Matrix&, std::size_t, std::size_t, real_t) const override {}
+  void apply(Matrix& h, std::size_t row_begin, std::size_t row_end,
+             real_t) const override {
+    const std::size_t f = h.cols();
+    real_t* __restrict p = h.data() + row_begin * f;
+    const std::size_t n = (row_end - row_begin) * f;
+    for (std::size_t k = 0; k < n; ++k) {
+      p[k] = sanitize(p[k]);
+    }
+  }
   std::string name() const override { return "none"; }
 };
 
@@ -26,7 +44,8 @@ class NonNegative final : public ProxOperator {
     real_t* __restrict p = h.data() + row_begin * f;
     const std::size_t n = (row_end - row_begin) * f;
     for (std::size_t k = 0; k < n; ++k) {
-      p[k] = p[k] > 0 ? p[k] : 0;
+      const real_t v = sanitize(p[k]);
+      p[k] = v > 0 ? v : 0;
     }
   }
   std::string name() const override { return "nonneg"; }
@@ -45,7 +64,7 @@ class L1 final : public ProxOperator {
     real_t* __restrict p = h.data() + row_begin * f;
     const std::size_t n = (row_end - row_begin) * f;
     for (std::size_t k = 0; k < n; ++k) {
-      const real_t v = p[k];
+      const real_t v = sanitize(p[k]);
       p[k] = v > t ? v - t : (v < -t ? v + t : 0);
     }
   }
@@ -79,7 +98,7 @@ class NonNegativeL1 final : public ProxOperator {
     real_t* __restrict p = h.data() + row_begin * f;
     const std::size_t n = (row_end - row_begin) * f;
     for (std::size_t k = 0; k < n; ++k) {
-      const real_t v = p[k] - t;
+      const real_t v = sanitize(p[k]) - t;
       p[k] = v > 0 ? v : 0;
     }
   }
@@ -113,7 +132,7 @@ class Ridge final : public ProxOperator {
     real_t* __restrict p = h.data() + row_begin * f;
     const std::size_t n = (row_end - row_begin) * f;
     for (std::size_t k = 0; k < n; ++k) {
-      p[k] *= scale;
+      p[k] = sanitize(p[k]) * scale;
     }
   }
 
@@ -223,7 +242,8 @@ class Box final : public ProxOperator {
     real_t* __restrict p = h.data() + row_begin * f;
     const std::size_t n = (row_end - row_begin) * f;
     for (std::size_t k = 0; k < n; ++k) {
-      p[k] = std::clamp(p[k], lo_, hi_);
+      // clamp propagates NaN (comparisons are false), so sanitize first.
+      p[k] = std::clamp(sanitize(p[k]), lo_, hi_);
     }
   }
 
@@ -271,6 +291,111 @@ const char* to_string(ConstraintKind k) noexcept {
       return "l2ball";
   }
   return "?";
+}
+
+namespace {
+
+std::vector<std::string> split_colons(const std::string& s) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t colon = s.find(':', start);
+    parts.push_back(s.substr(start, colon - start));
+    if (colon == std::string::npos) {
+      break;
+    }
+    start = colon + 1;
+  }
+  return parts;
+}
+
+real_t parse_real(const std::string& token, const std::string& spec,
+                  const char* what) {
+  try {
+    std::size_t consumed = 0;
+    const real_t v = static_cast<real_t>(std::stod(token, &consumed));
+    if (consumed != token.size()) {
+      throw std::invalid_argument(token);
+    }
+    return v;
+  } catch (const std::exception&) {
+    throw InvalidArgument("constraint spec \"" + spec + "\": cannot parse \"" +
+                          token + "\" as the " + what);
+  }
+}
+
+}  // namespace
+
+ConstraintSpec parse_constraint_spec(const std::string& s) {
+  const std::vector<std::string> parts = split_colons(s);
+  ConstraintSpec spec;
+  spec.kind = parse_constraint_kind(parts[0]);
+  const std::size_t nparams = parts.size() - 1;
+
+  switch (spec.kind) {
+    case ConstraintKind::kNone:
+    case ConstraintKind::kNonNegative:
+    case ConstraintKind::kSimplex:
+      if (nparams != 0) {
+        throw InvalidArgument("constraint spec \"" + s + "\": " + parts[0] +
+                              " takes no parameters");
+      }
+      break;
+    case ConstraintKind::kL1:
+    case ConstraintKind::kNonNegativeL1:
+    case ConstraintKind::kRidge:
+      if (nparams > 1) {
+        throw InvalidArgument("constraint spec \"" + s + "\": " + parts[0] +
+                              " takes at most one parameter (the lambda)");
+      }
+      if (nparams == 1) {
+        spec.lambda = parse_real(parts[1], s, "lambda");
+      }
+      break;
+    case ConstraintKind::kBox:
+      if (nparams != 0 && nparams != 2) {
+        throw InvalidArgument("constraint spec \"" + s +
+                              "\": box takes LO:HI or nothing");
+      }
+      if (nparams == 2) {
+        spec.lo = parse_real(parts[1], s, "box lower bound");
+        spec.hi = parse_real(parts[2], s, "box upper bound");
+      }
+      break;
+    case ConstraintKind::kL2Ball:
+      if (nparams > 1) {
+        throw InvalidArgument("constraint spec \"" + s +
+                              "\": l2ball takes at most one parameter (the "
+                              "radius)");
+      }
+      if (nparams == 1) {
+        spec.hi = parse_real(parts[1], s, "l2ball radius");
+      }
+      break;
+  }
+  return spec;
+}
+
+std::string to_cli_string(const ConstraintSpec& spec) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<real_t>::max_digits10);
+  os << to_string(spec.kind);
+  switch (spec.kind) {
+    case ConstraintKind::kL1:
+    case ConstraintKind::kNonNegativeL1:
+    case ConstraintKind::kRidge:
+      os << ':' << spec.lambda;
+      break;
+    case ConstraintKind::kBox:
+      os << ':' << spec.lo << ':' << spec.hi;
+      break;
+    case ConstraintKind::kL2Ball:
+      os << ':' << spec.hi;
+      break;
+    default:
+      break;
+  }
+  return os.str();
 }
 
 std::unique_ptr<ProxOperator> make_prox(const ConstraintSpec& spec) {

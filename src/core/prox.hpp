@@ -69,6 +69,22 @@ struct ConstraintSpec {
 ConstraintKind parse_constraint_kind(const std::string& s);
 const char* to_string(ConstraintKind k) noexcept;
 
+/// Parse a full CLI constraint spelling — the one shared round-trip every
+/// surface (library, tensor_tool flags, docs) goes through:
+///
+///   none | nonneg | simplex          (no parameters)
+///   l1[:LAMBDA] | nnl1[:LAMBDA] | ridge[:LAMBDA]
+///   box[:LO:HI]                      (defaults 0:1)
+///   l2ball[:RADIUS]                  (default 1)
+///
+/// Omitted parameters keep the ConstraintSpec defaults. Throws
+/// InvalidArgument on unknown kinds, malformed numbers, or parameters a
+/// kind does not take. Round-trips with to_cli_string by value.
+ConstraintSpec parse_constraint_spec(const std::string& s);
+/// Canonical spelling of `spec` (parameters always written, full precision),
+/// parseable by parse_constraint_spec.
+std::string to_cli_string(const ConstraintSpec& spec);
+
 /// Factory. Throws InvalidArgument for invalid parameters (e.g. negative
 /// lambda, inverted box bounds).
 std::unique_ptr<ProxOperator> make_prox(const ConstraintSpec& spec);

@@ -23,6 +23,8 @@ const char* to_string(RecoveryKind k) noexcept {
       return "factor_rollback";
     case RecoveryKind::kCheckpointWriteFailure:
       return "checkpoint_write_failure";
+    case RecoveryKind::kRhoRebalance:
+      return "rho_rebalance";
   }
   return "?";
 }
@@ -69,10 +71,11 @@ std::string RecoveryReport::summary() const {
   if (events.empty()) {
     return "none";
   }
-  constexpr std::array<RecoveryKind, 6> kKinds = {
+  constexpr std::array<RecoveryKind, 7> kKinds = {
       RecoveryKind::kCholeskyJitter,     RecoveryKind::kAdmmRestart,
       RecoveryKind::kAdmmAbandoned,      RecoveryKind::kMttkrpRetry,
       RecoveryKind::kFactorRollback,     RecoveryKind::kCheckpointWriteFailure,
+      RecoveryKind::kRhoRebalance,
   };
   std::ostringstream os;
   os << events.size() << (events.size() == 1 ? " recovery (" : " recoveries (");

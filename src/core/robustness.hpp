@@ -82,6 +82,11 @@ enum class RecoveryKind {
   /// A checkpoint write failed; the previous checkpoint file was left
   /// intact and the solve continued.
   kCheckpointWriteFailure,
+  /// Residual-balancing adaptive ρ rescaled the penalty mid-solve
+  /// (attempts = rescales performed, magnitude = final ρ). Reported
+  /// whenever AdaptiveRhoOptions::enabled fires, independent of the
+  /// RobustnessOptions master switch.
+  kRhoRebalance,
 };
 
 const char* to_string(RecoveryKind k) noexcept;

@@ -1,6 +1,7 @@
 #include "core/solver.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <utility>
 
@@ -42,6 +43,7 @@ struct CpdMetrics {
   obs::Counter robust_mttkrp_retries;
   obs::Counter robust_factor_rollbacks;
   obs::Counter robust_checkpoint_write_failures;
+  obs::Counter robust_rho_rebalances;
   obs::Histogram iteration_seconds;
   obs::Histogram admm_inner_iterations;
   obs::Histogram admm_primal_residual;
@@ -65,6 +67,7 @@ struct CpdMetrics {
       out.robust_factor_rollbacks = reg.counter("robust/factor_rollbacks");
       out.robust_checkpoint_write_failures =
           reg.counter("robust/checkpoint_write_failures");
+      out.robust_rho_rebalances = reg.counter("robust/rho_rebalances");
       out.iteration_seconds = reg.histogram("cpd/iteration_seconds");
       out.admm_inner_iterations = reg.histogram("admm/inner_iterations");
       out.admm_primal_residual = reg.histogram("admm/primal_residual");
@@ -82,7 +85,7 @@ CpdSolver::CpdSolver(const CsfSet& csf, CpdConfig config)
       config_(std::move(config)),
       ws_(csf.order()),
       sparse_cache_(csf.order()),
-      rng_(config_.options.seed),
+      rng_(config_.seed),
       mode_mttkrp_seconds_(csf.order(), 0) {
   const std::size_t order = csf_.order();
   AOADMM_CHECK(order >= 2);
@@ -97,9 +100,33 @@ CpdSolver::CpdSolver(const CsfSet& csf, CpdConfig config)
     prox_[m] = make_prox(config_.constraints.for_mode(m));
   }
 
+  loss_ = make_loss(config_.loss);
+  if (!loss_->quadratic()) {
+    // The generalized path assembles per-row systems from mode-rooted
+    // subtrees: validate() already rejects the config-side combinations
+    // (tiled kernel, compressed leaves); the CsfSet itself is checked here.
+    if (csf_.tiled()) {
+      throw InvalidArgument(
+          std::string("loss ") + loss_->name() +
+          " needs untiled mode-rooted trees; rebuild the CsfSet with "
+          "tile_rows = 0");
+    }
+    if (csf_.strategy() != CsfStrategy::kAllMode) {
+      throw InvalidArgument(
+          std::string("loss ") + loss_->name() +
+          " assembles per-row systems from mode-rooted trees; compile the "
+          "tensor with CsfStrategy::kAllMode");
+    }
+    // Domain check (e.g. KL rejects negative data) — one pass, fail early
+    // with the offending value instead of NaN-ing mid-solve.
+    for (const real_t v : csf_.for_mode(0).vals()) {
+      loss_->check_datum(v);
+    }
+  }
+
   // Kernel knob vs. the compilation actually handed in. validate() can only
   // see the config; the CsfSet is ground truth for what kernels can run.
-  const MttkrpKernel kernel = config_.options.mttkrp_kernel;
+  const MttkrpKernel kernel = config_.mttkrp_kernel;
   if (csf_.tiled()) {
     if (kernel != MttkrpKernel::kAuto && kernel != MttkrpKernel::kTiled) {
       throw InvalidArgument(
@@ -107,7 +134,7 @@ CpdSolver::CpdSolver(const CsfSet& csf, CpdConfig config)
           to_string(kernel) + "; use kTiled or kAuto (or build the CsfSet "
           "with tile_rows = 0)");
     }
-    if (config_.options.leaf_format != LeafFormat::kDense) {
+    if (config_.leaf_format != LeafFormat::kDense) {
       throw InvalidArgument(
           "tiled MTTKRP supports only the DENSE leaf format; rebuild the "
           "CsfSet untiled to use compressed leaf factors");
@@ -143,7 +170,7 @@ void CpdSolver::zero_duals() {
   for (std::size_t m = 0; m < order; ++m) {
     // resize zero-fills and reuses capacity, so a warmed session's repeat
     // solves reset the duals without touching the allocator.
-    duals_[m].resize(dims[m], config_.options.rank);
+    duals_[m].resize(dims[m], config_.rank);
   }
 }
 
@@ -151,8 +178,8 @@ CpdResult CpdSolver::solve() {
   AOADMM_PROFILE_SCOPE("cpd/aoadmm");
   {
     AOADMM_PROFILE_SCOPE("cpd/init");
-    rng_ = Rng(config_.options.seed);
-    detail::init_factors_into(csf_, config_.options.rank, rng_, x_norm_sq_,
+    rng_ = Rng(config_.seed);
+    detail::init_factors_into(csf_, config_.rank, rng_, x_norm_sq_,
                               factors_);
   }
   zero_duals();
@@ -169,11 +196,11 @@ CpdResult CpdSolver::solve_warm(const KruskalTensor& model) {
                           " does not match tensor order " +
                           std::to_string(order));
   }
-  if (model.rank() != config_.options.rank) {
+  if (model.rank() != config_.rank) {
     throw InvalidArgument("warm start: model rank " +
                           std::to_string(model.rank()) +
                           " does not match configured rank " +
-                          std::to_string(config_.options.rank));
+                          std::to_string(config_.rank));
   }
   for (std::size_t m = 0; m < order; ++m) {
     if (model.factors()[m].rows() != dims[m]) {
@@ -203,7 +230,7 @@ CpdResult CpdSolver::solve_warm(const KruskalTensor& model) {
   bool duals_usable = duals_.size() == order;
   for (std::size_t m = 0; duals_usable && m < order; ++m) {
     duals_usable = duals_[m].rows() == dims[m] &&
-                   duals_[m].cols() == config_.options.rank;
+                   duals_[m].cols() == config_.rank;
   }
   if (!duals_usable) {
     zero_duals();
@@ -220,11 +247,11 @@ CpdResult CpdSolver::resume(const std::string& checkpoint_path) {
     throw InvalidArgument("resume: checkpoint tensor shape does not match "
                           "this session's tensor");
   }
-  if (ck.rank != config_.options.rank) {
+  if (ck.rank != config_.rank) {
     throw InvalidArgument("resume: checkpoint rank " +
                           std::to_string(ck.rank) +
                           " does not match configured rank " +
-                          std::to_string(config_.options.rank));
+                          std::to_string(config_.rank));
   }
 
   factors_ = std::move(ck.factors);
@@ -244,8 +271,13 @@ CpdResult CpdSolver::resume(const std::string& checkpoint_path) {
 
 CpdResult CpdSolver::run(unsigned start_outer, real_t prev_error,
                          CpdResult result) {
+  if (!loss_->quadratic()) {
+    // prev_error tracked relative error; the generalized loop converges on
+    // the loss objective and re-derives its own baseline.
+    return run_loss(start_outer, std::move(result));
+  }
   const std::size_t order = csf_.order();
-  const CpdOptions& opts = config_.options;
+  const CpdConfig& opts = config_;
   const RobustnessOptions& rb = opts.admm.robustness;
   const CpdMetrics& metrics = CpdMetrics::get();
   metrics.runs.add(1);
@@ -387,6 +419,20 @@ CpdResult CpdSolver::run(unsigned start_outer, real_t prev_error,
             static_cast<double>(ar.primal_residual));
         metrics.admm_dual_residual.observe(
             static_cast<double>(ar.dual_residual));
+
+        // Adaptive-rho interventions are reported whenever the feature is
+        // on, independent of the robustness master switch.
+        if (ar.rho_rebalances > 0) {
+          result.recovery.add({RecoveryKind::kRhoRebalance, outer, m,
+                               ar.rho_rebalances,
+                               static_cast<double>(ar.rho), std::string(),
+                               {}});
+          metrics.robust_rho_rebalances.add(ar.rho_rebalances);
+          AOADMM_LOG_DEBUG << "outer " << outer << " mode " << m
+                           << ": adaptive rho rebalanced "
+                           << ar.rho_rebalances << "x (final rho " << ar.rho
+                           << ")";
+        }
 
         if (rb.enabled) {
           if (ar.cholesky_attempts > 0) {
@@ -560,6 +606,238 @@ CpdResult CpdSolver::run(unsigned start_outer, real_t prev_error,
                                result.times.mttkrp_seconds -
                                result.times.admm_seconds;
   metrics.mttkrp_seconds.add(result.times.mttkrp_seconds);
+  metrics.admm_seconds.add(result.times.admm_seconds);
+
+  result.factors = factors_;
+  result.factor_density.clear();
+  result.factor_density.reserve(order);
+  for (std::size_t m = 0; m < order; ++m) {
+    result.factor_density.push_back(measure_density(factors_[m]).density);
+  }
+  return result;
+}
+
+CpdResult CpdSolver::run_loss(unsigned start_outer, CpdResult result) {
+  AOADMM_PROFILE_SCOPE("cpd/loss");
+  const std::size_t order = csf_.order();
+  const CpdConfig& opts = config_;
+  const CpdMetrics& metrics = CpdMetrics::get();
+  metrics.runs.add(1);
+
+  Timer wall;
+  wall.start();
+  KernelTimers timers;
+
+  // Fresh split state for every entry point: t/u_t warm-start only across
+  // the outer iterations of this run, which keeps repeated solve() calls
+  // on one session deterministic.
+  loss_ws_.reset(csf_);
+
+  // Rows with no observations carry no data signal: pin them at prox(0)
+  // once so they cannot pollute the other modes' row systems.
+  for (std::size_t m = 0; m < order; ++m) {
+    const CsfTensor& tree = csf_.for_mode(m);
+    std::vector<bool> observed(factors_[m].rows(), false);
+    for (const index_t i : tree.fids(0)) {
+      observed[i] = true;
+    }
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+      if (!observed[i]) {
+        auto row = factors_[m].row(i);
+        std::fill(row.begin(), row.end(), real_t{0});
+        prox_[m]->apply(factors_[m], i, i + 1, real_t{1});
+      }
+    }
+  }
+
+  const bool zero_fill =
+      !loss_->masked() && loss_->zero_fill_slope() != real_t{0};
+  const std::size_t f = opts.rank;
+  std::vector<real_t> colsums(zero_fill ? order * f : 0);
+  std::vector<real_t> zero_fill_s(zero_fill ? f : 0);
+
+  double prev_objective = std::numeric_limits<double>::infinity();
+
+  for (unsigned outer = start_outer; outer <= opts.max_outer_iterations;
+       ++outer) {
+    AOADMM_PROFILE_SCOPE("cpd/outer");
+    const double iter_start_seconds = wall.seconds();
+    const double admm_seconds_before = timers.admm.seconds();
+    std::fill(mode_mttkrp_seconds_.begin(), mode_mttkrp_seconds_.end(), 0.0);
+    std::uint64_t iter_inner_iterations = 0;
+    real_t worst_primal = 0;
+    real_t worst_dual = 0;
+    real_t sum_primal = 0;
+    real_t sum_dual = 0;
+
+    if (zero_fill) {
+      const ScopedTimer t(timers.other);
+      for (std::size_t n = 0; n < order; ++n) {
+        real_t* cs = colsums.data() + n * f;
+        std::fill(cs, cs + f, real_t{0});
+        const Matrix& a = factors_[n];
+        for (std::size_t i = 0; i < a.rows(); ++i) {
+          const real_t* row = a.data() + i * f;
+          for (std::size_t col = 0; col < f; ++col) {
+            cs[col] += row[col];
+          }
+        }
+      }
+    }
+
+    for (std::size_t m = 0; m < order; ++m) {
+      AOADMM_PROFILE_SCOPE("cpd/mode");
+      const CsfTensor& tree = csf_.for_mode(m);
+
+      cspan<const real_t> s_span;
+      if (zero_fill) {
+        // s[f] = Π_{n≠m} colsum_n[f]: the model mass a unit of h[f]
+        // contributes across the whole slice, observed or not.
+        for (std::size_t col = 0; col < f; ++col) {
+          zero_fill_s[col] = 1;
+        }
+        for (std::size_t n = 0; n < order; ++n) {
+          if (n == m) {
+            continue;
+          }
+          const real_t* cs = colsums.data() + n * f;
+          for (std::size_t col = 0; col < f; ++col) {
+            zero_fill_s[col] *= cs[col];
+          }
+        }
+        s_span = {zero_fill_s.data(), f};
+      }
+
+      const ScopedTimer t(timers.admm);
+      const LossUpdateResult lr =
+          loss_mode_update(tree, factors_, duals_[m], m, *loss_, *prox_[m],
+                           opts.admm, s_span, loss_ws_.modes[m]);
+      result.total_inner_iterations += lr.iterations;
+      result.total_row_iterations += lr.row_iterations;
+      iter_inner_iterations += lr.iterations;
+      worst_primal = std::max(worst_primal, lr.primal_residual);
+      worst_dual = std::max(worst_dual, lr.dual_residual);
+      sum_primal += lr.primal_residual;
+      sum_dual += lr.dual_residual;
+      metrics.admm_inner_iterations.observe(lr.iterations);
+      metrics.admm_primal_residual.observe(
+          static_cast<double>(lr.primal_residual));
+      metrics.admm_dual_residual.observe(
+          static_cast<double>(lr.dual_residual));
+      if (lr.rho_rebalances > 0) {
+        result.recovery.add({RecoveryKind::kRhoRebalance, outer, m,
+                             lr.rho_rebalances, 0, std::string(), {}});
+        metrics.robust_rho_rebalances.add(lr.rho_rebalances);
+      }
+
+      if (zero_fill) {
+        // Refresh this mode's column sums for the remaining modes.
+        real_t* cs = colsums.data() + m * f;
+        std::fill(cs, cs + f, real_t{0});
+        const Matrix& a = factors_[m];
+        for (std::size_t i = 0; i < a.rows(); ++i) {
+          const real_t* row = a.data() + i * f;
+          for (std::size_t col = 0; col < f; ++col) {
+            cs[col] += row[col];
+          }
+        }
+      }
+    }
+
+    LossObjective lo;
+    {
+      const ScopedTimer t(timers.other);
+      AOADMM_PROFILE_SCOPE("cpd/fit");
+      lo = loss_objective(csf_.for_mode(0), factors_, *loss_, x_norm_sq_);
+    }
+    result.objective_value = lo.objective;
+    result.relative_error = lo.observed_relative_error;
+    result.outer_iterations = outer;
+    result.objective_trace.push_back(lo.objective);
+    if (opts.record_trace) {
+      result.trace.add(outer, wall.seconds(), lo.observed_relative_error);
+    }
+    AOADMM_LOG_DEBUG << "outer " << outer << " objective " << lo.objective
+                     << " observed_relative_error "
+                     << lo.observed_relative_error;
+
+    const double iter_seconds = wall.seconds() - iter_start_seconds;
+    metrics.outer_iterations.add(1);
+    metrics.iteration_seconds.observe(iter_seconds);
+
+    if (opts.on_iteration) {
+      obs::MetricsSnapshot snap;
+      snap.outer_iteration = outer;
+      snap.seconds = wall.seconds();
+      snap.iteration_seconds = iter_seconds;
+      snap.relative_error = lo.observed_relative_error;
+      snap.mode_mttkrp_seconds = mode_mttkrp_seconds_;
+      snap.admm_seconds = timers.admm.seconds() - admm_seconds_before;
+      snap.admm_inner_iterations = iter_inner_iterations;
+      snap.worst_primal_residual = worst_primal;
+      snap.mean_primal_residual = sum_primal / static_cast<real_t>(order);
+      snap.worst_dual_residual = worst_dual;
+      snap.mean_dual_residual = sum_dual / static_cast<real_t>(order);
+      snap.factor_density.reserve(order);
+      for (std::size_t m = 0; m < order; ++m) {
+        snap.factor_density.push_back(measure_density(factors_[m]).density);
+      }
+      opts.on_iteration(snap);
+    }
+
+    // Convergence on the objective: relative decrease below tolerance.
+    // The scale guard makes the test meaningful for objectives far from 1
+    // (KL on counts can sit in the thousands).
+    const double scale = std::max(1.0, std::abs(prev_objective));
+    const bool converged_now =
+        outer > 1 && std::isfinite(prev_objective) &&
+        (prev_objective - lo.objective) < opts.tolerance * scale;
+    prev_objective = lo.objective;
+
+    if (!converged_now && config_.checkpoint_every > 0 &&
+        outer % config_.checkpoint_every == 0) {
+      const ScopedTimer t(timers.other);
+      AOADMM_PROFILE_SCOPE("cpd/checkpoint");
+      CpdCheckpoint ck;
+      const auto& dims = csf_.dims();
+      ck.dims.assign(dims.begin(), dims.end());
+      ck.rank = opts.rank;
+      ck.seed = opts.seed;
+      ck.rng_state = rng_.state();
+      ck.outer_iteration = outer;
+      ck.prev_error = lo.observed_relative_error;
+      ck.total_inner_iterations = result.total_inner_iterations;
+      ck.total_row_iterations = result.total_row_iterations;
+      ck.mttkrp_count = result.mttkrp_count;
+      ck.sparse_mttkrp_count = result.sparse_mttkrp_count;
+      ck.factors = factors_;
+      ck.duals = duals_;
+      ck.trace = result.trace;
+      try {
+        write_checkpoint_file(ck, config_.checkpoint_path);
+        metrics.checkpoints_written.add(1);
+      } catch (const CheckpointError& e) {
+        if (!opts.admm.robustness.enabled) {
+          throw;
+        }
+        result.recovery.add({RecoveryKind::kCheckpointWriteFailure, outer, 0,
+                             0, 0, e.what(), {}});
+        metrics.robust_checkpoint_write_failures.add(1);
+      }
+    }
+
+    if (converged_now) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  wall.stop();
+  result.times.total_seconds = wall.seconds();
+  result.times.admm_seconds = timers.admm.seconds();
+  result.times.mttkrp_seconds = 0;
+  result.times.other_seconds =
+      result.times.total_seconds - result.times.admm_seconds;
   metrics.admm_seconds.add(result.times.admm_seconds);
 
   result.factors = factors_;

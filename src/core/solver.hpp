@@ -12,7 +12,7 @@
 //   CsfSet csf(x);
 //   CpdConfig cfg = CpdConfig().with_rank(50).with_checkpoint("run.ckpt", 10);
 //   CpdSolver solver(csf, cfg);        // validates; throws on config errors
-//   CpdResult r1 = solver.solve();     // cold start from cfg.options.seed
+//   CpdResult r1 = solver.solve();     // cold start from cfg.seed
 //   CpdResult r2 = solver.solve_warm(KruskalTensor(r1.factors));
 //   CpdResult r3 = solver.resume("run.ckpt");  // continue a killed run
 //
@@ -34,6 +34,7 @@
 #include "core/checkpoint.hpp"
 #include "core/config.hpp"
 #include "core/cpd.hpp"
+#include "core/loss_solve.hpp"
 #include "core/workspace.hpp"
 #include "util/rng.hpp"
 
@@ -51,7 +52,7 @@ class CpdSolver {
   /// The full validation report from construction (warnings included).
   const ValidationReport& validation() const noexcept { return validation_; }
 
-  /// Cold solve: re-initialize factors from config.options.seed, zero the
+  /// Cold solve: re-initialize factors from config.seed, zero the
   /// duals, run the AO-ADMM outer loop. Callable any number of times; each
   /// call reproduces the same run on an unchanged session.
   CpdResult solve();
@@ -74,8 +75,14 @@ class CpdSolver {
  private:
   /// The AO-ADMM outer loop (Algorithm 2), shared by all three entry
   /// points. `result` arrives pre-seeded with carried-over counters and
-  /// trace; factors_/duals_ hold the starting iterate.
+  /// trace; factors_/duals_ hold the starting iterate. Dispatches to
+  /// run_loss() when the configured loss is not the quadratic fast path.
   CpdResult run(unsigned start_outer, real_t prev_error, CpdResult result);
+
+  /// Generalized outer loop for non-quadratic / masked losses: per-row
+  /// two-split ADMM (core/loss_solve.hpp) instead of MTTKRP + normal
+  /// equations, converging on the loss objective.
+  CpdResult run_loss(unsigned start_outer, CpdResult result);
 
   void zero_duals();
 
@@ -85,6 +92,8 @@ class CpdSolver {
   real_t x_norm_sq_ = 0;
 
   // Hoisted per-session state, allocated on first use and reused forever.
+  std::unique_ptr<Loss> loss_;
+  LossWorkspace loss_ws_;
   std::vector<std::unique_ptr<ProxOperator>> prox_;
   std::vector<Matrix> factors_;
   std::vector<Matrix> duals_;

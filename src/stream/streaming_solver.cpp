@@ -116,7 +116,7 @@ RefreshReport StreamingSolver::refresh() {
 
   CpdResult result;
   const bool can_warm =
-      has_model_ && model_.rank() == config_.options.rank &&
+      has_model_ && model_.rank() == config_.rank &&
       model_.order() == tensor_.order();
   if (can_warm) {
     report.grown_rows = grow_model();

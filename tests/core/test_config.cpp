@@ -92,9 +92,9 @@ TEST(CpdConfigValidate, CollectsEveryErrorInsteadOfThrowing) {
 
 TEST(CpdConfigValidate, FlagsBadAdmmOptions) {
   CpdConfig cfg;
-  cfg.options.admm.max_iterations = 0;
-  cfg.options.admm.tolerance = 0;
-  cfg.options.admm.relaxation = 2.5;
+  cfg.admm.max_iterations = 0;
+  cfg.admm.tolerance = 0;
+  cfg.admm.relaxation = 2.5;
   const ValidationReport report = cfg.validate(3);
   EXPECT_TRUE(has_issue(report, "admm.max_iterations", kError));
   EXPECT_TRUE(has_issue(report, "admm.tolerance", kError));

@@ -1,0 +1,165 @@
+#include "core/coupled.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "testing/helpers.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace aoadmm {
+namespace {
+
+/// A fully observed low-rank tensor together with a side matrix Y = A W'
+/// built from the SAME mode-0 factor, the setting coupled factorization
+/// exists for.
+struct CoupledFixture {
+  CooTensor x;
+  Matrix y;
+  std::vector<Matrix> truth;
+};
+
+CoupledFixture make_fixture(std::uint64_t seed = 41) {
+  const std::vector<index_t> dims = {12, 10, 8};
+  const rank_t rank = 3;
+  Rng rng(seed);
+  CoupledFixture fx;
+  for (const index_t d : dims) {
+    fx.truth.push_back(Matrix::random_uniform(d, rank, rng, 0.2, 1.0));
+  }
+  CooTensor x(dims);
+  std::vector<index_t> coord(dims.size(), 0);
+  bool done = false;
+  while (!done) {
+    real_t v = 0;
+    for (rank_t c = 0; c < rank; ++c) {
+      v += fx.truth[0](coord[0], c) * fx.truth[1](coord[1], c) *
+           fx.truth[2](coord[2], c);
+    }
+    x.add(coord, v);
+    done = true;
+    for (std::size_t m = 0; m < dims.size(); ++m) {
+      if (++coord[m] < dims[m]) {
+        done = false;
+        break;
+      }
+      coord[m] = 0;
+    }
+  }
+  fx.x = std::move(x);
+  const Matrix w = Matrix::random_uniform(6, rank, rng, 0.2, 1.0);
+  fx.y = matmul(fx.truth[0], transpose(w));
+  return fx;
+}
+
+CpdConfig quick_config() {
+  CpdConfig cfg;
+  cfg.with_rank(3).with_seed(9).with_constraints(
+      ModeConstraints::broadcast({ConstraintKind::kNonNegative}));
+  cfg.max_outer_iterations = 120;
+  cfg.tolerance = 1e-9;
+  return cfg;
+}
+
+TEST(Coupled, JointFactorizationFitsTensorAndMatrix) {
+  const CoupledFixture fx = make_fixture();
+  const CsfSet csf(fx.x);
+  CoupledMatrix cm;
+  cm.y = fx.y;
+  cm.mode = 0;
+  cm.weight = 1.0;
+  const CoupledResult r = coupled_factorize(csf, quick_config(), {cm});
+
+  EXPECT_LT(r.cpd.relative_error, 0.1);
+  ASSERT_EQ(r.matrix_relative_error.size(), 1u);
+  EXPECT_LT(r.matrix_relative_error[0], 0.15);
+  EXPECT_LT(r.combined_relative_error, 0.12);
+  ASSERT_EQ(r.side_factors.size(), 1u);
+  EXPECT_EQ(r.side_factors[0].rows(), fx.y.cols());
+  EXPECT_EQ(r.side_factors[0].cols(), 3u);
+  EXPECT_GT(r.cpd.outer_iterations, 1u);
+  ASSERT_FALSE(r.cpd.trace.empty());
+  // The trace records the combined measure, whose last point matches the
+  // reported value.
+  EXPECT_NEAR(r.cpd.trace.points().back().relative_error,
+              r.combined_relative_error, 1e-9);
+}
+
+TEST(Coupled, SideConstraintHoldsOnTheSideFactor) {
+  const CoupledFixture fx = make_fixture(43);
+  const CsfSet csf(fx.x);
+  CoupledMatrix cm;
+  cm.y = fx.y;
+  cm.mode = 0;
+  cm.weight = 0.5;
+  cm.w_constraint = ConstraintSpec{ConstraintKind::kNonNegative};
+  const CoupledResult r = coupled_factorize(csf, quick_config(), {cm});
+  for (const real_t v : r.side_factors[0].flat()) {
+    EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(Coupled, StrongerWeightPullsTheMatrixFitTighter) {
+  // Corrupt the side matrix slightly so the two objectives disagree; a
+  // larger beta must then buy a better (or equal) matrix fit.
+  CoupledFixture fx = make_fixture(47);
+  Rng rng(3);
+  for (real_t& v : fx.y.flat()) {
+    v += 0.05 * rng.uniform();
+  }
+  const CsfSet csf(fx.x);
+  CoupledMatrix weak;
+  weak.y = fx.y;
+  weak.weight = 0.01;
+  CoupledMatrix strong = weak;
+  strong.weight = 50.0;
+  const CoupledResult rw = coupled_factorize(csf, quick_config(), {weak});
+  const CoupledResult rs = coupled_factorize(csf, quick_config(), {strong});
+  EXPECT_LE(rs.matrix_relative_error[0], rw.matrix_relative_error[0] + 1e-6);
+}
+
+TEST(Coupled, ValidatesCouplingShapeWeightAndLoss) {
+  const CoupledFixture fx = make_fixture(51);
+  const CsfSet csf(fx.x);
+
+  CoupledMatrix bad_mode;
+  bad_mode.y = fx.y;
+  bad_mode.mode = 7;
+  EXPECT_THROW(coupled_factorize(csf, quick_config(), {bad_mode}),
+               InvalidArgument);
+
+  CoupledMatrix bad_rows;
+  bad_rows.y = Matrix(5, 3);  // mode 0 has 12 rows
+  bad_rows.mode = 0;
+  EXPECT_THROW(coupled_factorize(csf, quick_config(), {bad_rows}),
+               InvalidArgument);
+
+  CoupledMatrix bad_weight;
+  bad_weight.y = fx.y;
+  bad_weight.weight = 0.0;
+  EXPECT_THROW(coupled_factorize(csf, quick_config(), {bad_weight}),
+               InvalidArgument);
+
+  CoupledMatrix ok;
+  ok.y = fx.y;
+  CpdConfig kl_cfg = quick_config();
+  kl_cfg.with_loss({LossKind::kKL});
+  EXPECT_THROW(coupled_factorize(csf, kl_cfg, {ok}), InvalidArgument);
+  CpdConfig masked_cfg = quick_config();
+  masked_cfg.with_loss(parse_loss_spec("frobenius:masked"));
+  EXPECT_THROW(coupled_factorize(csf, masked_cfg, {ok}), InvalidArgument);
+}
+
+TEST(Coupled, NoCouplingsDegeneratesToPlainCpd) {
+  const CoupledFixture fx = make_fixture(61);
+  const CsfSet csf(fx.x);
+  const CoupledResult r = coupled_factorize(csf, quick_config(), {});
+  EXPECT_LT(r.cpd.relative_error, 0.1);
+  EXPECT_NEAR(r.combined_relative_error, r.cpd.relative_error, 1e-9);
+  EXPECT_TRUE(r.side_factors.empty());
+}
+
+}  // namespace
+}  // namespace aoadmm

@@ -362,6 +362,78 @@ TEST(ProxEdge, L2BallSanitizesNonFiniteInput) {
   }
 }
 
+TEST(ProxEdge, EveryOperatorSanitizesNonFiniteInputUniformly) {
+  // The sanitization contract is uniform across the whole constraint menu:
+  // any NaN/Inf in the incoming iterate is scrubbed (treated as 0) before
+  // the operator's math runs, so the output is always finite AND feasible.
+  // One sub-test per operator, each checking its own feasible set.
+  const ConstraintSpec specs[] = {
+      {ConstraintKind::kNone},
+      {ConstraintKind::kNonNegative},
+      {ConstraintKind::kL1, 0.3},
+      {ConstraintKind::kNonNegativeL1, 0.3},
+      {ConstraintKind::kRidge, 0.5},
+      {ConstraintKind::kSimplex},
+      {ConstraintKind::kBox, 0, -1.0, 1.0},
+      {ConstraintKind::kL2Ball, 0, 0, 2.0},
+  };
+  for (const ConstraintSpec& spec : specs) {
+    Matrix h = test_input(46);
+    h(0, 0) = std::numeric_limits<real_t>::quiet_NaN();
+    h(3, 2) = std::numeric_limits<real_t>::infinity();
+    h(7, 5) = -std::numeric_limits<real_t>::infinity();
+    h(12, 1) = std::numeric_limits<real_t>::quiet_NaN();
+    make_prox(spec)->apply(h, 0, h.rows(), 1.0);
+    for (const real_t v : h.flat()) {
+      ASSERT_TRUE(std::isfinite(v)) << "operator " << to_string(spec.kind);
+    }
+    switch (spec.kind) {
+      case ConstraintKind::kNonNegative:
+      case ConstraintKind::kNonNegativeL1:
+        for (const real_t v : h.flat()) {
+          EXPECT_GE(v, 0.0) << to_string(spec.kind);
+        }
+        break;
+      case ConstraintKind::kBox:
+        for (const real_t v : h.flat()) {
+          EXPECT_GE(v, spec.lo);
+          EXPECT_LE(v, spec.hi);
+        }
+        break;
+      case ConstraintKind::kSimplex:
+        for (std::size_t i = 0; i < h.rows(); ++i) {
+          real_t sum = 0;
+          for (std::size_t k = 0; k < h.cols(); ++k) {
+            sum += h(i, k);
+          }
+          EXPECT_NEAR(sum, 1.0, 1e-12);
+        }
+        break;
+      case ConstraintKind::kL2Ball:
+        for (std::size_t i = 0; i < h.rows(); ++i) {
+          real_t norm_sq = 0;
+          for (std::size_t k = 0; k < h.cols(); ++k) {
+            norm_sq += h(i, k) * h(i, k);
+          }
+          EXPECT_LE(norm_sq, spec.hi * spec.hi + 1e-9);
+        }
+        break;
+      default:
+        break;
+    }
+    // The scrubbed cells behave exactly as if they held 0: a reference
+    // matrix with zeros in the contaminated slots must prox to the same
+    // result (elementwise operators) or the same feasible point.
+    Matrix ref = test_input(46);
+    ref(0, 0) = 0;
+    ref(3, 2) = 0;
+    ref(7, 5) = 0;
+    ref(12, 1) = 0;
+    make_prox(spec)->apply(ref, 0, ref.rows(), 1.0);
+    EXPECT_LT(max_abs_diff(h, ref), 1e-12) << to_string(spec.kind);
+  }
+}
+
 TEST(ProxEdge, L2BallZeroColumnsAndRowsStayInside) {
   // Zero rows (norm 0) must not divide by zero.
   Matrix h(6, 4);

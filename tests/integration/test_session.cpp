@@ -30,9 +30,9 @@ CooTensor session_tensor(std::uint64_t seed = 13) {
 CpdConfig session_config() {
   CpdConfig cfg;
   cfg.with_rank(5).with_max_outer(18).with_tolerance(1e-12).with_seed(123);
-  cfg.options.admm.max_iterations = 25;
-  cfg.options.admm.tolerance = 1e-2;
-  cfg.options.admm.block_size = 16;
+  cfg.admm.max_iterations = 25;
+  cfg.admm.tolerance = 1e-2;
+  cfg.admm.block_size = 16;
   return cfg;
 }
 
@@ -87,7 +87,7 @@ TEST(Session, ResumeAfterKillReproducesUninterruptedTraceExactly) {
   // newest surviving checkpoint is from iteration 8).
   CpdConfig killed_cfg = session_config();
   killed_cfg.with_checkpoint(path, 4);
-  killed_cfg.options.on_iteration = [](const obs::MetricsSnapshot& s) {
+  killed_cfg.on_iteration = [](const obs::MetricsSnapshot& s) {
     if (s.outer_iteration == 10) {
       throw KillSignal{};
     }
@@ -204,7 +204,7 @@ TEST(Session, SecondSolveMakesNoAlignedAllocationsInOuterLoop) {
 
   CpdConfig cfg = session_config();
   cfg.with_trace(false);
-  cfg.options.on_iteration = [](const obs::MetricsSnapshot& s) {
+  cfg.on_iteration = [](const obs::MetricsSnapshot& s) {
     const AlignedAllocStats stats = aligned_alloc_stats();
     if (s.outer_iteration == 1) {
       track.calls_at_iter1 = stats.calls;
