@@ -9,7 +9,9 @@
 
 #include <array>
 #include <atomic>
+#include <filesystem>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -20,6 +22,7 @@
 #include "stream/model_server.hpp"
 #include "stream/replay.hpp"
 #include "stream/streaming_tensor.hpp"
+#include "stream/wal.hpp"
 #include "tensor/synthetic.hpp"
 #include "util/rng.hpp"
 
@@ -75,6 +78,38 @@ void BM_StreamIngest(benchmark::State& state) {
                           static_cast<std::int64_t>(stream_events().nnz()));
 }
 BENCHMARK(BM_StreamIngest)->Unit(benchmark::kMillisecond);
+
+/// WAL-protected ingest: the same replay with every batch appended to a
+/// write-ahead log segment first. Arg(0) = WalFsync::kNever (the default;
+/// the <10% overhead claim in docs/fault_tolerance.md is against
+/// BM_StreamIngest), Arg(1) = kEveryBatch (the machine-crash-safe mode,
+/// expected to be dominated by fsync latency).
+void BM_StreamIngestWal(benchmark::State& state) {
+  const auto& batches = stream_batches();
+  const std::string prefix =
+      (std::filesystem::temp_directory_path() / "bench_wal" /
+       ("ingest" + std::to_string(state.range(0))))
+          .string();
+  WalOptions wopts;
+  wopts.fsync = state.range(0) == 0 ? WalFsync::kNever : WalFsync::kEveryBatch;
+  for (auto _ : state) {
+    StreamingTensor tensor(std::vector<index_t>(3, 1), StreamingOptions{});
+    WriteAheadLog wal(prefix, wopts);
+    tensor.attach_wal(&wal);
+    offset_t appended = 0;
+    for (const CooTensor& b : batches) {
+      appended += tensor.apply(b);
+    }
+    benchmark::DoNotOptimize(appended);
+    state.PauseTiming();
+    std::filesystem::remove_all(
+        std::filesystem::path(prefix).parent_path());  // fresh log per iter
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream_events().nnz()));
+}
+BENCHMARK(BM_StreamIngestWal)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 /// Structural refresh: each iteration appends one brand-new entry (a fresh
 /// time tick, so the coordinate cannot collide) and times the full CSF

@@ -12,6 +12,12 @@
 //             [--telemetry-port P] [--telemetry-file f.prom]
 //             [--telemetry-period 1.0] [--event-log events.jsonl]
 //             [--serve-seconds S] [--stale-after S] [--slo-p99 S]
+//             [--wal prefix] [--wal-fsync never|batch|N]
+//             [--wal-segment-bytes B] [--wal-checkpoint-every K]
+//             [--quarantine q.jsonl] [--quarantine-max 1024]
+//             [--breaker-threshold 3] [--breaker-cooldown 5]
+//             [--backoff-initial 0.5] [--backoff-max 30]
+//             [--refresh-deadline S]
 //             (also spelled `tensor_tool --stream-replay t.tns [...]`)
 //   cpd       t.tns [--rank 16] [--constraint nonneg] [--lambda 0.1]
 //             [--loss frobenius|kl|huber|l1 spec] [--adaptive-rho]
@@ -95,6 +101,18 @@
 // alive after the replay so external scrapers see a live process;
 // --stale-after and --slo-p99 feed the healthz staleness check and the
 // query-latency SLO breach counter. See docs/observability.md.
+//
+// Fault tolerance (stream-replay): --wal write-ahead-logs every batch
+// before it is applied (recovering any state left at the prefix first, so
+// a kill -9'd run resumes where it died — the printed "state digest"
+// matches the uninterrupted run's); --wal-fsync/--wal-segment-bytes/
+// --wal-checkpoint-every tune durability, rotation, and log truncation.
+// --quarantine diverts poison batches (non-finite values, refresh-failure
+// implication) to a bounded JSONL sidecar. --breaker-threshold/
+// --breaker-cooldown/--backoff-initial/--backoff-max shape the supervised
+// refresh loop's failure ladder, and --refresh-deadline bounds each
+// refresh solve through its cancellation token (a deadline stop still
+// publishes the partially converged model). See docs/fault_tolerance.md.
 //
 // Observability (cpd): --progress prints one line per outer iteration;
 // --metrics-json writes per-iteration snapshots plus the process-wide
@@ -646,6 +664,40 @@ int cmd_stream_replay(const Options& opts, const std::string& input) {
   cfg.telemetry.stale_after_seconds = opts.get_double("stale-after", 0.0);
   cfg.telemetry.slo_query_p99_seconds = opts.get_double("slo-p99", 0.0);
 
+  // Fault-tolerance plane: WAL, quarantine, supervised refresh.
+  cfg.fault.wal_prefix = opts.get_string("wal", "");
+  const std::string fsync = opts.get_string("wal-fsync", "never");
+  if (fsync == "never") {
+    cfg.fault.wal.fsync = WalFsync::kNever;
+  } else if (fsync == "batch") {
+    cfg.fault.wal.fsync = WalFsync::kEveryBatch;
+  } else {
+    cfg.fault.wal.fsync = WalFsync::kEveryN;
+    cfg.fault.wal.fsync_every_n =
+        static_cast<std::uint64_t>(std::strtoull(fsync.c_str(), nullptr, 10));
+    AOADMM_CHECK_MSG(cfg.fault.wal.fsync_every_n > 0,
+                     "--wal-fsync must be never, batch, or a positive count");
+  }
+  if (opts.has("wal-segment-bytes")) {
+    cfg.fault.wal.segment_max_bytes =
+        static_cast<std::uint64_t>(opts.get_int("wal-segment-bytes", 0));
+  }
+  cfg.fault.wal.checkpoint_every_batches =
+      static_cast<std::uint64_t>(opts.get_int("wal-checkpoint-every", 0));
+  cfg.fault.quarantine_path = opts.get_string("quarantine", "");
+  cfg.fault.quarantine_max_records =
+      static_cast<std::uint64_t>(opts.get_int("quarantine-max", 1024));
+  cfg.fault.supervisor.breaker_threshold =
+      static_cast<unsigned>(opts.get_int("breaker-threshold", 3));
+  cfg.fault.supervisor.breaker_cooldown_seconds =
+      opts.get_double("breaker-cooldown", 5.0);
+  cfg.fault.supervisor.backoff_initial_seconds =
+      opts.get_double("backoff-initial", 0.5);
+  cfg.fault.supervisor.backoff_max_seconds =
+      opts.get_double("backoff-max", 30.0);
+  cfg.fault.supervisor.refresh_deadline_seconds =
+      opts.get_double("refresh-deadline", 0.0);
+
   CpdOptions cpd_opts;
   cpd_opts.rank = static_cast<rank_t>(opts.get_int("rank", 16));
   cpd_opts.max_outer_iterations =
@@ -689,6 +741,28 @@ int cmd_stream_replay(const Options& opts, const std::string& input) {
               static_cast<unsigned long long>(r.queries));
   std::printf("total  : %.3f s, final nnz %llu\n", r.total_seconds,
               static_cast<unsigned long long>(r.final_nnz));
+  if (!cfg.fault.wal_prefix.empty()) {
+    std::printf("wal: recovered %llu batches (checkpoint %s, %llu skipped%s), "
+                "last seq %llu\n",
+                static_cast<unsigned long long>(r.wal.records_recovered),
+                r.wal.checkpoint_loaded ? "yes" : "no",
+                static_cast<unsigned long long>(r.wal.records_skipped),
+                r.wal.torn_tail ? ", torn tail" : "",
+                static_cast<unsigned long long>(r.wal.last_seq));
+  }
+  std::printf("state digest : %016llx\n",
+              static_cast<unsigned long long>(r.state_digest));
+  if (r.refresh_failures > 0 || r.refresh_skipped > 0 || r.quarantined > 0 ||
+      r.breaker != BreakerState::kClosed) {
+    std::printf("supervisor : %llu refresh failures (first: %s), "
+                "%llu skipped, %llu quarantined, breaker %s\n",
+                static_cast<unsigned long long>(r.refresh_failures),
+                r.first_refresh_error.empty() ? "-"
+                                              : r.first_refresh_error.c_str(),
+                static_cast<unsigned long long>(r.refresh_skipped),
+                static_cast<unsigned long long>(r.quarantined),
+                to_string(r.breaker));
+  }
   if (!cfg.telemetry.event_log.empty()) {
     std::printf("journal: %llu events written to %s\n",
                 static_cast<unsigned long long>(r.journal_events),

@@ -1,0 +1,91 @@
+// Cooperative cancellation for long-running solves.
+//
+// A CancelToken is a tiny shared flag + optional deadline that a supervisor
+// (stream/supervisor.hpp), a signal handler, or another thread arms while a
+// CpdSolver runs. The solver checks the token ONCE PER OUTER ITERATION —
+// never inside the kernels — so a stop request costs one relaxed load per
+// iteration and a stopped solve always returns a consistent iterate: the
+// factors of the last completed outer iteration. The result carries why it
+// stopped in CpdResult::stop_reason.
+//
+// This is what makes a deadline-cancelled streaming refresh cheap instead
+// of wasted: the partially converged model is still published and the next
+// refresh warm-starts from it (AO-ADMM's warm-started inner solves resume
+// near their fixed points).
+//
+// Tokens are shared via std::shared_ptr (CpdConfig::cancel) and reusable:
+// reset() re-arms a token between refreshes so one allocation serves the
+// lifetime of a supervisor.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace aoadmm {
+
+class CancelToken {
+ public:
+  /// Request a stop. Sticky until reset(); safe from any thread / signal
+  /// context (lock-free stores only).
+  void cancel() noexcept {
+    cancelled_.store(true, std::memory_order_release);
+  }
+
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Arm a deadline `seconds` from now (steady clock). seconds <= 0 cancels
+  /// immediately on the next check. Overwrites any previous deadline.
+  void set_deadline_after(double seconds) noexcept {
+    const std::int64_t now = steady_now_ns();
+    const std::int64_t delta =
+        static_cast<std::int64_t>(seconds * 1e9);
+    deadline_ns_.store(now + delta, std::memory_order_release);
+  }
+
+  void clear_deadline() noexcept {
+    deadline_ns_.store(0, std::memory_order_release);
+  }
+
+  bool has_deadline() const noexcept {
+    return deadline_ns_.load(std::memory_order_acquire) != 0;
+  }
+
+  bool deadline_expired() const noexcept {
+    const std::int64_t d = deadline_ns_.load(std::memory_order_acquire);
+    return d != 0 && steady_now_ns() >= d;
+  }
+
+  /// True when the solver should stop (explicit cancel or expired
+  /// deadline). This is the per-outer-iteration check.
+  bool should_stop() const noexcept {
+    return cancelled() || deadline_expired();
+  }
+
+  /// Disarm everything so the token can serve the next solve.
+  void reset() noexcept {
+    cancelled_.store(false, std::memory_order_release);
+    deadline_ns_.store(0, std::memory_order_release);
+  }
+
+ private:
+  static std::int64_t steady_now_ns() noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{0};  // 0 = no deadline
+};
+
+using CancelTokenPtr = std::shared_ptr<CancelToken>;
+
+inline CancelTokenPtr make_cancel_token() {
+  return std::make_shared<CancelToken>();
+}
+
+}  // namespace aoadmm

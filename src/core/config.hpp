@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "core/cpd.hpp"
 #include "core/loss.hpp"
 #include "core/prox.hpp"
@@ -126,6 +127,10 @@ struct CpdConfig {
   /// iterations (atomically: temp file + rename).
   std::string checkpoint_path;
   unsigned checkpoint_every = 0;
+  /// Cooperative stop request (core/cancel.hpp). When set, the outer loop
+  /// checks it once per iteration and stops with StopReason::kCancelled or
+  /// kDeadline, returning the last completed iterate. Null = never checked.
+  CancelTokenPtr cancel;
 
   CpdConfig() = default;
   /// Compatibility shim for the legacy CpdOptions entry points
@@ -211,6 +216,12 @@ struct CpdConfig {
   CpdConfig& with_checkpoint(std::string path, unsigned every) {
     checkpoint_path = std::move(path);
     checkpoint_every = every;
+    return *this;
+  }
+  /// Attach a cooperative cancellation token; pass nullptr to detach. The
+  /// caller arms it (cancel() or set_deadline_after) while a solve runs.
+  CpdConfig& with_cancel(CancelTokenPtr token) {
+    cancel = std::move(token);
     return *this;
   }
 

@@ -15,6 +15,20 @@ const char* to_string(AdmmVariant v) noexcept {
   return "?";
 }
 
+const char* to_string(StopReason r) noexcept {
+  switch (r) {
+    case StopReason::kConverged:
+      return "converged";
+    case StopReason::kMaxIterations:
+      return "max_iterations";
+    case StopReason::kCancelled:
+      return "cancelled";
+    case StopReason::kDeadline:
+      return "deadline";
+  }
+  return "?";
+}
+
 CpdResult cpd_aoadmm(const CsfSet& csf, const CpdOptions& opts,
                      cspan<const ConstraintSpec> constraints) {
   CpdConfig config(opts);

@@ -39,6 +39,18 @@ enum class AdmmVariant {
 
 const char* to_string(AdmmVariant v) noexcept;
 
+/// Why the outer loop stopped. kCancelled/kDeadline come from a cooperative
+/// CancelToken (core/cancel.hpp) checked once per outer iteration; the
+/// returned factors are the iterate of the last completed iteration.
+enum class StopReason {
+  kConverged,      // tolerance reached
+  kMaxIterations,  // iteration cap hit without converging
+  kCancelled,      // CancelToken::cancel() observed
+  kDeadline,       // CancelToken deadline expired
+};
+
+const char* to_string(StopReason r) noexcept;
+
 struct CpdOptions {
   rank_t rank = 16;
   unsigned max_outer_iterations = 200;
@@ -107,6 +119,8 @@ struct CpdResult {
   std::vector<double> objective_trace;
   unsigned outer_iterations = 0;
   bool converged = false;
+  /// Why the loop stopped (kConverged iff `converged`).
+  StopReason stop_reason = StopReason::kMaxIterations;
   ConvergenceTrace trace;
   KernelBreakdown times;
   /// Sum over all factor updates of the ADMM iterations they ran.

@@ -298,6 +298,15 @@ CpdResult CpdSolver::run(unsigned start_outer, real_t prev_error,
   for (unsigned outer = start_outer; outer <= opts.max_outer_iterations;
        ++outer) {
     AOADMM_PROFILE_SCOPE("cpd/outer");
+    // Cooperative stop: one check per outer iteration, before any work, so
+    // the factors are always the last completed iterate.
+    if (opts.cancel && opts.cancel->should_stop()) {
+      result.stop_reason = opts.cancel->cancelled() ? StopReason::kCancelled
+                                                    : StopReason::kDeadline;
+      AOADMM_LOG_WARN << "outer " << outer << ": stopping ("
+                      << to_string(result.stop_reason) << ")";
+      break;
+    }
     const double iter_start_seconds = wall.seconds();
     const obs::ParallelTotals parallel_before = obs::parallel_totals();
     const obs::ParallelTotals mttkrp_before = obs::mttkrp_totals();
@@ -594,6 +603,7 @@ CpdResult CpdSolver::run(unsigned start_outer, real_t prev_error,
 
     if (converged_now) {
       result.converged = true;
+      result.stop_reason = StopReason::kConverged;
       break;
     }
   }
@@ -661,6 +671,13 @@ CpdResult CpdSolver::run_loss(unsigned start_outer, CpdResult result) {
   for (unsigned outer = start_outer; outer <= opts.max_outer_iterations;
        ++outer) {
     AOADMM_PROFILE_SCOPE("cpd/outer");
+    if (opts.cancel && opts.cancel->should_stop()) {
+      result.stop_reason = opts.cancel->cancelled() ? StopReason::kCancelled
+                                                    : StopReason::kDeadline;
+      AOADMM_LOG_WARN << "outer " << outer << ": stopping ("
+                      << to_string(result.stop_reason) << ")";
+      break;
+    }
     const double iter_start_seconds = wall.seconds();
     const double admm_seconds_before = timers.admm.seconds();
     std::fill(mode_mttkrp_seconds_.begin(), mode_mttkrp_seconds_.end(), 0.0);
@@ -828,6 +845,7 @@ CpdResult CpdSolver::run_loss(unsigned start_outer, CpdResult result) {
 
     if (converged_now) {
       result.converged = true;
+      result.stop_reason = StopReason::kConverged;
       break;
     }
   }

@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "obs/json_util.hpp"
+#include "obs/metrics.hpp"
+#include "testing/fault_injection.hpp"
 #include "util/error.hpp"
 
 namespace aoadmm::obs {
@@ -38,6 +40,20 @@ const char* to_string(EventKind k) noexcept {
       return "recovery";
     case EventKind::kCheckpointWritten:
       return "checkpoint_written";
+    case EventKind::kRefreshFailed:
+      return "refresh_failed";
+    case EventKind::kBreakerTripped:
+      return "breaker_tripped";
+    case EventKind::kBreakerReset:
+      return "breaker_reset";
+    case EventKind::kBatchQuarantined:
+      return "batch_quarantined";
+    case EventKind::kWalRecovered:
+      return "wal_recovered";
+    case EventKind::kWalCheckpoint:
+      return "wal_checkpoint";
+    case EventKind::kWalWriteFailed:
+      return "wal_write_failed";
   }
   return "?";
 }
@@ -97,7 +113,20 @@ struct EventJournal::Impl {
   std::uint64_t bytes = 0;
   std::uint64_t events = 0;
   std::uint64_t rotations = 0;
+  std::uint64_t write_failures = 0;
 };
+
+namespace {
+
+/// Registered lazily so merely linking the journal does not touch the
+/// registry; bumped on every dropped line.
+Counter journal_failure_counter() {
+  static const Counter c =
+      MetricsRegistry::global().counter("telemetry/journal_write_failures");
+  return c;
+}
+
+}  // namespace
 
 EventJournal::EventJournal(std::string path)
     : EventJournal(std::move(path), Options{}) {}
@@ -127,6 +156,11 @@ std::uint64_t EventJournal::events_written() const noexcept {
 std::uint64_t EventJournal::rotations() const noexcept {
   const std::lock_guard<std::mutex> lock(impl_->mutex);
   return impl_->rotations;
+}
+
+std::uint64_t EventJournal::write_failures() const noexcept {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->write_failures;
 }
 
 void EventJournal::rotate_locked() {
@@ -171,14 +205,32 @@ void EventJournal::emit(EventKind kind, const TraceContext& ctx,
   line += "}\n";
 
   const std::lock_guard<std::mutex> lock(impl_->mutex);
-  if (!impl_->out) {
-    return;  // a previous rotation failed; drop rather than throw mid-solve
+  // Telemetry must degrade, never wedge: any failure below — an injected
+  // fault, a disk-full stream error, a failed rotation reopen — counts the
+  // drop and clears the stream state so a recovered disk resumes. Nothing
+  // here throws into the solver.
+  const auto drop = [this] {
+    ++impl_->write_failures;
+    journal_failure_counter().add(1);
+    impl_->out.clear();  // let the next emit try again
+  };
+  if (testing::maybe_fail_telemetry_write()) {
+    drop();
+    return;
   }
   if (impl_->bytes > 0 && impl_->bytes + line.size() > opts_.max_bytes) {
     rotate_locked();
   }
+  if (!impl_->out) {
+    drop();
+    return;
+  }
   impl_->out << line;
   impl_->out.flush();
+  if (!impl_->out) {
+    drop();
+    return;
+  }
   impl_->bytes += line.size();
   ++impl_->events;
 }

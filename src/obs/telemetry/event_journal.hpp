@@ -39,6 +39,14 @@ enum class EventKind {
   kSnapshotPublished,
   kRecovery,
   kCheckpointWritten,
+  // Fault-tolerance lifecycle (stream/wal.hpp, stream/supervisor.hpp).
+  kRefreshFailed,
+  kBreakerTripped,
+  kBreakerReset,
+  kBatchQuarantined,
+  kWalRecovered,
+  kWalCheckpoint,
+  kWalWriteFailed,
 };
 
 const char* to_string(EventKind k) noexcept;
@@ -82,6 +90,12 @@ class EventJournal {
   const std::string& path() const noexcept { return path_; }
   std::uint64_t events_written() const noexcept;
   std::uint64_t rotations() const noexcept;
+  /// Lines dropped because the sink could not take them (disk full,
+  /// rotation reopen failure, injected kTelemetryWrite fault). A non-zero
+  /// count means telemetry degraded; the pipeline itself never stops — the
+  /// stream error state is cleared after every failed append so a recovered
+  /// disk resumes journaling. Mirrored into telemetry/journal_write_failures.
+  std::uint64_t write_failures() const noexcept;
 
   /// Process-global sink. install_global does NOT take ownership; pass
   /// nullptr to detach. The installer must keep the journal alive until

@@ -15,6 +15,7 @@
 #include "obs/json_util.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry/window_quantiles.hpp"
+#include "testing/fault_injection.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -34,6 +35,7 @@ namespace {
 struct TelemetryMetrics {
   Counter scrapes;
   Counter slo_breaches;
+  Counter file_write_failures;
 
   static const TelemetryMetrics& get() {
     static const TelemetryMetrics m = [] {
@@ -41,6 +43,7 @@ struct TelemetryMetrics {
       TelemetryMetrics out;
       out.scrapes = reg.counter("telemetry/scrapes");
       out.slo_breaches = reg.counter("telemetry/slo_query_p99_breaches");
+      out.file_write_failures = reg.counter("telemetry/file_write_failures");
       return out;
     }();
     return m;
@@ -180,11 +183,38 @@ bool write_healthz(std::ostream& out, const ExpositionOptions& opts) {
   const bool has_model = epoch > 0;
   const bool stale = opts.stale_after_seconds > 0 &&
                      (!has_model || !(staleness <= opts.stale_after_seconds));
+
+  // Degraded is distinct from stale: the pipeline is still serving its last
+  // good snapshot but something upstream needs attention (supervisor
+  // breaker open, WAL replay in progress, quarantined batches pending).
+  // Stale answers 503 — the model is too old to trust; degraded answers 200
+  // — by design the last good model keeps serving while the supervisor
+  // backs off. The signals arrive as gauges because this layer reads only
+  // the registry and cannot depend on stream/.
+  const std::pair<const char*, const char*> degraded_signals[] = {
+      {"breaker_open", "robust/stream_breaker_open"},
+      {"wal_replaying", "stream/wal_replaying"},
+      {"quarantine_pending", "stream/quarantine_pending"}};
+  std::string degraded_reasons;
+  for (const auto& [reason, gauge] : degraded_signals) {
+    if (snapshot_gauge(snap, gauge) > 0) {
+      if (!degraded_reasons.empty()) {
+        degraded_reasons += ", ";
+      }
+      degraded_reasons += '"';
+      degraded_reasons += reason;
+      degraded_reasons += '"';
+    }
+  }
+  const bool degraded = !degraded_reasons.empty();
   const bool healthy = !stale;
 
   out << "{\"status\": \""
-      << (healthy ? (has_model ? "ok" : "no_model") : "degraded")
-      << "\", \"model_staleness_seconds\": ";
+      << (!healthy ? "stale"
+                   : (degraded ? "degraded"
+                               : (has_model ? "ok" : "no_model")))
+      << "\", \"degraded_reasons\": [" << degraded_reasons
+      << "], \"model_staleness_seconds\": ";
   json_number(out, has_model ? staleness
                              : std::numeric_limits<double>::infinity());
   out << ", \"snapshot_epoch\": " << static_cast<std::uint64_t>(epoch);
@@ -205,7 +235,11 @@ bool write_healthz(std::ostream& out, const ExpositionOptions& opts) {
       {"admm_abandoned", "robust/admm_abandoned"},
       {"mttkrp_retries", "robust/mttkrp_retries"},
       {"factor_rollbacks", "robust/factor_rollbacks"},
-      {"checkpoint_write_failures", "robust/checkpoint_write_failures"}};
+      {"checkpoint_write_failures", "robust/checkpoint_write_failures"},
+      {"stream_refresh_failures", "robust/stream_refresh_failures"},
+      {"stream_breaker_trips", "robust/stream_breaker_trips"},
+      {"stream_quarantined_batches", "robust/stream_quarantined_batches"},
+      {"stream_wal_write_failures", "robust/stream_wal_write_failures"}};
   out << ", \"recoveries\": {";
   double total_recoveries = 0;
   for (const auto& [key, counter] : recovery_counters) {
@@ -439,18 +473,43 @@ const std::string& TelemetryFileWriter::path() const noexcept {
 
 void TelemetryFileWriter::write_now() {
   pre_render(impl_->opts);
+  // Every failure mode — unwritable tmp, short write (disk full), failed
+  // rename, injected kTelemetryWrite fault — degrades to a counted skip.
+  // The previous generation of the file stays intact and the writer thread
+  // keeps its cadence; telemetry must never wedge the pipeline it observes.
   const auto atomically = [](const std::string& path,
                              const std::string& content) {
+    const auto fail = [&path](const char* why) {
+      TelemetryMetrics::get().file_write_failures.add(1);
+      AOADMM_LOG_WARN << "telemetry: " << why << " for " << path
+                      << " (keeping previous file)";
+    };
     const std::string tmp = path + ".tmp";
+    if (testing::maybe_fail_telemetry_write()) {
+      std::remove(tmp.c_str());
+      fail("injected write failure");
+      return;
+    }
     {
       std::ofstream out(tmp, std::ios::out | std::ios::trunc);
       if (!out) {
-        AOADMM_LOG_WARN << "telemetry: cannot write " << tmp;
+        fail("cannot open tmp file");
         return;
       }
       out << content;
+      out.flush();
+      if (!out) {
+        out.close();
+        std::remove(tmp.c_str());
+        fail("short write");
+        return;
+      }
     }
-    std::rename(tmp.c_str(), path.c_str());
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      fail("rename failed");
+      return;
+    }
   };
   std::ostringstream prom;
   write_prometheus(prom);

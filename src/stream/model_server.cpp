@@ -122,6 +122,17 @@ const KruskalSnapshot& ModelServer::Reader::acquire() {
   return *cached_;
 }
 
+const KruskalSnapshot* ModelServer::Reader::try_acquire() {
+  const std::uint64_t e = server_->epoch_.load(std::memory_order_acquire);
+  if (cached_ != nullptr && e == cached_epoch_) {
+    return cached_.get();
+  }
+  if (e == 0) {
+    return nullptr;  // nothing published yet
+  }
+  return &acquire();
+}
+
 real_t ModelServer::Reader::predict(cspan<index_t> coord) {
   const ServeMetrics& metrics = ServeMetrics::get();
   const std::int64_t t0 = steady_now_ns();

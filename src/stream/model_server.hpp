@@ -90,6 +90,11 @@ class ModelServer {
     /// iff the epoch moved since the last call. Requires a published model.
     const KruskalSnapshot& acquire();
 
+    /// Like acquire() but returns nullptr before the first publish instead
+    /// of failing the contract check — the degraded-mode query path, where
+    /// the supervisor may still be crash-looping toward its first model.
+    const KruskalSnapshot* try_acquire();
+
     /// Single-entry reconstruction Σ_f λ_f ∏_m A_m(coord_m, f) against the
     /// current snapshot. `coord` must have order() entries in range.
     real_t predict(cspan<index_t> coord);

@@ -10,6 +10,7 @@
 #include "obs/telemetry/event_journal.hpp"
 #include "obs/telemetry/exposition.hpp"
 #include "stream/model_server.hpp"
+#include "testing/fault_injection.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -67,7 +68,7 @@ ReplayResult replay_stream(const CooTensor& events, const ReplayConfig& cfg) {
   if (sopts.time_mode == StreamingOptions::kLastMode) {
     sopts.time_mode = events.order() - 1;
   }
-  const std::vector<CooTensor> batches =
+  std::vector<CooTensor> batches =
       make_replay_batches(events, sopts.time_mode, cfg.batches);
 
   // The journal outlives everything below that can emit into it.
@@ -84,6 +85,22 @@ ReplayResult replay_stream(const CooTensor& events, const ReplayConfig& cfg) {
   StreamingSolver solver(tensor, cfg.cpd, &server);
 
   ReplayResult result;
+
+  // Fault-tolerance plane. WAL recovery runs BEFORE attach so replayed
+  // applies are not re-logged; a killed previous run resumes from here.
+  std::unique_ptr<WriteAheadLog> wal;
+  if (!cfg.fault.wal_prefix.empty()) {
+    wal = std::make_unique<WriteAheadLog>(cfg.fault.wal_prefix, cfg.fault.wal);
+    result.wal = wal->recover_into(tensor);
+    tensor.attach_wal(wal.get());
+  }
+  std::unique_ptr<BatchQuarantine> quarantine;
+  if (!cfg.fault.quarantine_path.empty()) {
+    quarantine = std::make_unique<BatchQuarantine>(
+        cfg.fault.quarantine_path, cfg.fault.quarantine_max_records);
+  }
+  RefreshSupervisor supervisor(solver, cfg.fault.supervisor,
+                               quarantine.get());
 
   // Exposition plane. Declared after `server` so it stops scraping before
   // the server dies; pre_scrape copies the live staleness into a gauge the
@@ -117,6 +134,11 @@ ReplayResult replay_stream(const CooTensor& events, const ReplayConfig& cfg) {
   std::vector<index_t> coord(events.order());
   const auto run_queries = [&](std::size_t count) {
     ModelServer::Reader reader = server.reader();
+    // Degraded-safe: while the supervisor crash-loops toward its first
+    // model there is nothing to query, and that must not be a crash.
+    if (reader.try_acquire() == nullptr) {
+      return;
+    }
     for (std::size_t q = 0; q < count; ++q) {
       for (std::size_t m = 0; m < events.order(); ++m) {
         coord[m] = static_cast<index_t>(rng.uniform_index(tensor.dims()[m]));
@@ -125,12 +147,39 @@ ReplayResult replay_stream(const CooTensor& events, const ReplayConfig& cfg) {
       ++result.queries;
     }
   };
-  for (const CooTensor& batch : batches) {
+  std::string why;
+  for (CooTensor& batch : batches) {
+    // kIngestCorrupt bites here — the point where a buggy producer would.
+    testing::maybe_corrupt_ingest(batch);
+    if (!validate_batch(batch, tensor.order(), &why)) {
+      ++result.quarantined;
+      if (quarantine != nullptr) {
+        quarantine->quarantine(batch, "validation failed: " + why);
+      }
+      continue;  // the poison batch never reaches the tensor or the WAL
+    }
     tensor.apply(batch);
     if (tensor.nnz() == 0) {
       continue;  // everything in this batch was already behind the window
     }
-    result.refreshes.push_back(solver.refresh());
+    const RefreshSupervisor::Attempt attempt = supervisor.try_refresh(&batch);
+    switch (attempt.outcome) {
+      case RefreshSupervisor::Attempt::Outcome::kRefreshed:
+        result.refreshes.push_back(attempt.report);
+        break;
+      case RefreshSupervisor::Attempt::Outcome::kFailed:
+        ++result.refresh_failures;
+        if (result.first_refresh_error.empty()) {
+          result.first_refresh_error = attempt.error;
+        }
+        break;
+      case RefreshSupervisor::Attempt::Outcome::kSkippedBackoff:
+      case RefreshSupervisor::Attempt::Outcome::kSkippedBreaker:
+        ++result.refresh_skipped;
+        break;
+    }
+    // Serve regardless of the attempt's fate: the last good snapshot stays
+    // queryable while the refresh loop is down — degraded, not dead.
     run_queries(cfg.queries_per_refresh);
   }
 
@@ -160,6 +209,9 @@ ReplayResult replay_stream(const CooTensor& events, const ReplayConfig& cfg) {
   result.final_dims = tensor.dims();
   result.final_nnz = tensor.nnz();
   result.final_epoch = server.epoch();
+  result.quarantined += supervisor.stats().quarantined;
+  result.breaker = supervisor.breaker();
+  result.state_digest = tensor.state_digest();
   timer.stop();
   result.total_seconds = timer.seconds();
   return result;

@@ -12,6 +12,8 @@
 #include "core/config.hpp"
 #include "stream/streaming_solver.hpp"
 #include "stream/streaming_tensor.hpp"
+#include "stream/supervisor.hpp"
+#include "stream/wal.hpp"
 #include "tensor/coo.hpp"
 
 namespace aoadmm {
@@ -56,6 +58,27 @@ struct ReplayTelemetry {
   std::function<void(std::uint16_t)> on_ready;
 };
 
+/// Fault-tolerance wiring for a replay run. Everything is off by default;
+/// refreshes are still supervised (exceptions land in ReplayResult instead
+/// of escaping mid-replay) but with no WAL, no quarantine, and the default
+/// breaker/backoff ladder that a fault-free run never touches.
+struct ReplayFaultTolerance {
+  /// Non-empty: write-ahead-log path prefix. Existing state at the prefix
+  /// is recovered into the tensor BEFORE ingest starts, then every applied
+  /// batch is logged first — kill -9 mid-run and rerun to resume.
+  std::string wal_prefix;
+  WalOptions wal;
+
+  /// Non-empty: batches failing validation (or implicated in refresh
+  /// failures) divert to this bounded JSONL sidecar instead of wedging the
+  /// pipeline.
+  std::string quarantine_path;
+  std::uint64_t quarantine_max_records = 1024;
+
+  /// Breaker/backoff/deadline knobs for the supervised refresh loop.
+  SupervisorOptions supervisor;
+};
+
 struct ReplayConfig {
   /// Batching and windowing.
   std::size_t batches = 8;
@@ -63,6 +86,9 @@ struct ReplayConfig {
 
   /// Solve configuration for every refresh.
   CpdConfig cpd;
+
+  /// Fault-tolerance plane (WAL, quarantine, supervised refresh).
+  ReplayFaultTolerance fault;
 
   /// Random single-entry queries issued against the live server after each
   /// refresh (coordinates drawn uniformly within the current mode lengths).
@@ -85,6 +111,23 @@ struct ReplayResult {
   std::uint16_t telemetry_port = 0;
   /// Journal lines written (0 when no event log was requested).
   std::uint64_t journal_events = 0;
+
+  /// Fault-tolerance outcomes. Contained per-batch refresh failures land
+  /// here (count + first message) instead of escaping as exceptions.
+  std::uint64_t refresh_failures = 0;
+  /// Refreshes skipped by the supervisor (backoff window or open breaker).
+  std::uint64_t refresh_skipped = 0;
+  std::string first_refresh_error;
+  /// Batches diverted to the quarantine (validation + implication).
+  std::uint64_t quarantined = 0;
+  /// Breaker state when the run ended.
+  BreakerState breaker = BreakerState::kClosed;
+  /// What WAL recovery found at startup (all-zero when no WAL configured).
+  WalRecoveryReport wal;
+  /// Order-independent digest of the final live tensor state — equal
+  /// digests mean bitwise-equal CSF compilations (the crash-recovery
+  /// contract the chaos CI job asserts).
+  std::uint64_t state_digest = 0;
 };
 
 /// Run the full ingest -> refresh -> publish -> query lifecycle over

@@ -1,8 +1,11 @@
 #include "stream/streaming_solver.hpp"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "core/solver.hpp"
+#include "testing/fault_injection.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry/event_journal.hpp"
 #include "obs/telemetry/window_quantiles.hpp"
@@ -101,6 +104,20 @@ RefreshReport StreamingSolver::refresh() {
                          .num("nnz",
                               static_cast<std::uint64_t>(tensor_.nnz())));
 
+  // Injected failure modes for the supervisor tests: a refresh that throws
+  // (contained by RefreshSupervisor::try_refresh) and a refresh that hangs
+  // until its deadline token fires (capped at ~200ms so an unsupervised
+  // test cannot wedge).
+  if (testing::maybe_throw_refresh()) {
+    throw NumericalError("injected refresh failure (kRefreshThrow)");
+  }
+  if (testing::maybe_hang_refresh()) {
+    const CancelTokenPtr& cancel = config_.cancel;
+    for (int i = 0; i < 40 && !(cancel && cancel->should_stop()); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+
   // Compile (amortized) first; the compile share is whatever the tensor
   // spent inside this call — zero when the cached compilation was reused.
   const StreamingStats& st = tensor_.stats();
@@ -132,6 +149,7 @@ RefreshReport StreamingSolver::refresh() {
   report.outer_iterations = result.outer_iterations;
   report.relative_error = result.relative_error;
   report.converged = result.converged;
+  report.stop_reason = result.stop_reason;
 
   if (server_ != nullptr) {
     report.epoch = server_->publish(model_, report.trace);
@@ -161,6 +179,7 @@ RefreshReport StreamingSolver::refresh() {
           .num("refresh", report.refresh)
           .boolean("warm", report.warm)
           .boolean("converged", report.converged)
+          .str("stop_reason", to_string(report.stop_reason))
           .num("outer_iterations",
                static_cast<std::uint64_t>(report.outer_iterations))
           .num("relative_error",

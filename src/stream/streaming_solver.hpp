@@ -39,6 +39,10 @@ struct RefreshReport {
   unsigned outer_iterations = 0;
   real_t relative_error = 1;
   bool converged = false;
+  /// Why the outer loop stopped. kCancelled/kDeadline refreshes still
+  /// publish: the warm start makes a partially converged model strictly
+  /// better than the stale one, and the next refresh resumes from it.
+  StopReason stop_reason = StopReason::kMaxIterations;
   double compile_seconds = 0;  // CSF compile share (0 when cached)
   double solve_seconds = 0;
   std::uint64_t epoch = 0;     // published epoch; 0 when no server attached
@@ -58,6 +62,12 @@ class StreamingSolver {
   /// Re-factorize the tensor's current contents and publish. Requires
   /// tensor.nnz() > 0.
   RefreshReport refresh();
+
+  /// Install (or clear, with nullptr) the cancellation token handed to
+  /// every subsequent refresh solve. The supervisor uses this to impose
+  /// per-refresh deadlines; the token is checked once per outer iteration.
+  void set_cancel(CancelTokenPtr token) { config_.cancel = std::move(token); }
+  const CpdConfig& config() const noexcept { return config_; }
 
   bool has_model() const noexcept { return has_model_; }
   /// The latest refreshed model (valid once has_model()).

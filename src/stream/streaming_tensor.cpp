@@ -8,7 +8,9 @@
 #include "obs/telemetry/event_journal.hpp"
 #include "obs/telemetry/trace_context.hpp"
 #include "obs/telemetry/window_quantiles.hpp"
+#include "stream/wal.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 #include "util/timer.hpp"
 
 namespace aoadmm {
@@ -98,20 +100,8 @@ bool StreamingTensor::dead(offset_t n) const {
          coo_.index(opts_.time_mode, n) < evict_cutoff_;
 }
 
-offset_t StreamingTensor::apply(const CooTensor& batch) {
-  AOADMM_CHECK_MSG(batch.order() == order(),
-                   "batch order does not match the streaming tensor");
-  const IngestMetrics& metrics = IngestMetrics::get();
-  Timer timer;
-  timer.start();
-
-  const std::size_t tm = opts_.time_mode;
-
-  // Advance the watermark over the whole batch first so eviction and
-  // late-arrival drops see one consistent cutoff for the batch.
-  for (offset_t n = 0; n < batch.nnz(); ++n) {
-    watermark_ = std::max(watermark_, batch.index(tm, n));
-  }
+void StreamingTensor::advance_watermark(index_t w) {
+  watermark_ = std::max(watermark_, w);
   if (opts_.window > 0 && watermark_ >= opts_.window) {
     const index_t cutoff = watermark_ - opts_.window + 1;
     if (cutoff > evict_cutoff_) {
@@ -127,9 +117,61 @@ offset_t StreamingTensor::apply(const CooTensor& batch) {
         dead_ += newly_dead;
         structural_dirty_ = true;
         stats_.evicted += newly_dead;
-        metrics.evictions.add(static_cast<double>(newly_dead));
+        IngestMetrics::get().evictions.add(static_cast<double>(newly_dead));
       }
     }
+  }
+}
+
+std::uint64_t StreamingTensor::state_digest() const {
+  // Per-entry FNV-1a hashes combined by wrapping addition: commutative, so
+  // storage order (which recovery legitimately permutes) cannot matter.
+  std::uint64_t digest = 0;
+  for (offset_t n = 0; n < coo_.nnz(); ++n) {
+    if (dead(n)) {
+      continue;
+    }
+    std::uint64_t h = 1469598103934665603ULL;
+    const auto fold = [&h](const void* data, std::size_t len) {
+      const auto* p = static_cast<const unsigned char*>(data);
+      for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ULL;
+      }
+    };
+    for (std::size_t m = 0; m < order(); ++m) {
+      const index_t idx = coo_.index(m, n);
+      fold(&idx, sizeof(idx));
+    }
+    const real_t v = coo_.value(n);
+    fold(&v, sizeof(v));
+    digest += h;
+  }
+  return digest;
+}
+
+offset_t StreamingTensor::apply(const CooTensor& batch) {
+  AOADMM_CHECK_MSG(batch.order() == order(),
+                   "batch order does not match the streaming tensor");
+  // Durability before mutation: the record must be on the log before any
+  // state changes, or a crash mid-apply replays nothing.
+  if (wal_ != nullptr) {
+    wal_->append(batch);
+  }
+  const IngestMetrics& metrics = IngestMetrics::get();
+  Timer timer;
+  timer.start();
+
+  const std::size_t tm = opts_.time_mode;
+
+  // Advance the watermark over the whole batch first so eviction and
+  // late-arrival drops see one consistent cutoff for the batch.
+  index_t batch_max = 0;
+  for (offset_t n = 0; n < batch.nnz(); ++n) {
+    batch_max = std::max(batch_max, batch.index(tm, n));
+  }
+  if (batch.nnz() > 0) {
+    advance_watermark(batch_max);
   }
 
   offset_t appended = 0;
@@ -220,6 +262,20 @@ offset_t StreamingTensor::apply(const CooTensor& batch) {
                          .num("watermark",
                               static_cast<std::uint64_t>(watermark_))
                          .num("live_nnz", static_cast<std::uint64_t>(nnz())));
+
+  // A due WAL checkpoint rides on the ingest thread: compact so the
+  // snapshot holds exactly the live entries, then truncate the log. A
+  // failed checkpoint degrades (the log just stays longer) — it must not
+  // take ingest down with it.
+  if (wal_ != nullptr && wal_->checkpoint_due()) {
+    try {
+      compact();
+      wal_->write_checkpoint(coo_, watermark_);
+    } catch (const Error& e) {
+      AOADMM_LOG_WARN << "wal: checkpoint failed, log keeps growing: "
+                      << e.what();
+    }
+  }
   return appended;
 }
 

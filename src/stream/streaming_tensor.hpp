@@ -40,6 +40,8 @@
 
 namespace aoadmm {
 
+class WriteAheadLog;
+
 struct StreamingOptions {
   /// Mode carrying event time, used for watermarking and window eviction.
   /// kLastMode (the default) resolves to order-1 at construction.
@@ -105,8 +107,29 @@ class StreamingTensor {
   /// Apply one batch of events (a COO tensor of the same order; its dims
   /// are ignored — growth follows the indices actually present). Entries
   /// behind the current window are dropped on arrival. Returns the number
-  /// of entries that were appends (vs overwrites).
+  /// of entries that were appends (vs overwrites). With a WAL attached the
+  /// batch is logged before any state changes, and a due WAL checkpoint is
+  /// written (compacting first) after the batch lands.
   offset_t apply(const CooTensor& batch);
+
+  /// Attach a write-ahead log (not owned; pass nullptr to detach). Every
+  /// subsequent apply() is logged before it mutates the tensor. When the
+  /// WAL has on-disk state, drain it with WriteAheadLog::recover_into()
+  /// BEFORE attaching — replayed applies must not be re-logged.
+  void attach_wal(WriteAheadLog* wal) noexcept { wal_ = wal; }
+  WriteAheadLog* wal() const noexcept { return wal_; }
+
+  /// Raise the watermark to at least `w` and run window eviction against
+  /// the new cutoff (no-op when w is behind the current watermark). apply()
+  /// does this implicitly from batch contents; WAL recovery calls it
+  /// directly to restore a watermark that outran the surviving entries.
+  void advance_watermark(index_t w);
+
+  /// Order-independent FNV-1a digest of the live (coordinate, value)
+  /// multiset. Two tensors holding the same live entries digest equal no
+  /// matter what ingest/recovery order produced them — the cheap bitwise
+  /// state-equality probe the crash-recovery tests and the CLI use.
+  std::uint64_t state_digest() const;
 
   /// The current tensor as COO with evicted entries compacted away. Forces
   /// the deferred eviction sweep.
@@ -137,6 +160,7 @@ class StreamingTensor {
   StreamingOptions opts_;
   CooTensor coo_;
   CoordMap coord_map_;
+  WriteAheadLog* wal_ = nullptr;
   std::uint64_t last_batch_id_ = 0;
   index_t watermark_ = 0;
   index_t evict_cutoff_ = 0;  // time indices < cutoff are dead

@@ -1,0 +1,328 @@
+#include "stream/supervisor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "obs/json_util.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry/event_journal.hpp"
+#include "obs/telemetry/trace_context.hpp"
+#include "tensor/coo.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace aoadmm {
+namespace {
+
+double steady_now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Supervisor/quarantine registry handles, registered once per process.
+struct RobustStreamMetrics {
+  obs::Counter refresh_failures;
+  obs::Counter breaker_trips;
+  obs::Counter backoff_skips;
+  obs::Counter breaker_skips;
+  obs::Counter deadline_hits;
+  obs::Counter quarantined;
+  obs::Gauge breaker_open;
+  obs::Gauge quarantine_pending;
+
+  static const RobustStreamMetrics& get() {
+    static const RobustStreamMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::global();
+      RobustStreamMetrics out;
+      out.refresh_failures = reg.counter("robust/stream_refresh_failures");
+      out.breaker_trips = reg.counter("robust/stream_breaker_trips");
+      out.backoff_skips = reg.counter("robust/stream_backoff_skips");
+      out.breaker_skips = reg.counter("robust/stream_breaker_skips");
+      out.deadline_hits = reg.counter("robust/stream_refresh_deadline_hits");
+      out.quarantined = reg.counter("robust/stream_quarantined_batches");
+      out.breaker_open = reg.gauge("robust/stream_breaker_open");
+      out.quarantine_pending = reg.gauge("stream/quarantine_pending");
+      return out;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+bool validate_batch(const CooTensor& batch, std::size_t expected_order,
+                    std::string* why) {
+  if (batch.order() != expected_order) {
+    if (why != nullptr) {
+      *why = "order " + std::to_string(batch.order()) +
+             " does not match the streaming tensor (expected " +
+             std::to_string(expected_order) + ")";
+    }
+    return false;
+  }
+  for (offset_t n = 0; n < batch.nnz(); ++n) {
+    if (!std::isfinite(batch.value(n))) {
+      if (why != nullptr) {
+        *why = "non-finite value at entry " + std::to_string(n);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+struct BatchQuarantine::Impl {
+  std::ofstream out;
+};
+
+BatchQuarantine::BatchQuarantine(std::string path, std::uint64_t max_records)
+    : path_(std::move(path)), max_records_(max_records), impl_(new Impl()) {
+  impl_->out.open(path_, std::ios::out | std::ios::app);
+  AOADMM_CHECK_MSG(static_cast<bool>(impl_->out),
+                   "quarantine: cannot open " + path_);
+}
+
+BatchQuarantine::~BatchQuarantine() { delete impl_; }
+
+bool BatchQuarantine::quarantine(const CooTensor& batch,
+                                 const std::string& reason) {
+  const RobustStreamMetrics& metrics = RobustStreamMetrics::get();
+  const obs::TraceContext ctx = obs::current_trace();
+  metrics.quarantined.add(1);
+  obs::journal_event(obs::EventKind::kBatchQuarantined, ctx,
+                     obs::EventJournal::Fields{}
+                         .str("reason", reason)
+                         .num("nnz",
+                              static_cast<std::uint64_t>(batch.nnz()))
+                         .boolean("stored", records_ < max_records_));
+  if (records_ >= max_records_) {
+    ++dropped_;
+    AOADMM_LOG_WARN << "quarantine full (" << max_records_
+                    << " records): dropping poison batch (" << reason << ")";
+    return false;
+  }
+
+  // One self-contained JSONL record: trace linkage, the reason, and the
+  // full batch so an operator can replay it after fixing the producer.
+  std::string line;
+  line.reserve(128 + batch.nnz() * 24);
+  line += "{\"solve_id\": ";
+  line += std::to_string(ctx.solve_id);
+  line += ", \"batch_id\": ";
+  line += std::to_string(ctx.batch_id);
+  line += ", \"reason\": \"";
+  line += obs::detail::json_escape(reason);
+  line += "\", \"order\": ";
+  line += std::to_string(batch.order());
+  line += ", \"nnz\": ";
+  line += std::to_string(batch.nnz());
+  line += ", \"indices\": [";
+  for (std::size_t m = 0; m < batch.order(); ++m) {
+    line += m > 0 ? ", [" : "[";
+    for (offset_t n = 0; n < batch.nnz(); ++n) {
+      if (n > 0) {
+        line += ", ";
+      }
+      line += std::to_string(batch.index(m, n));
+    }
+    line += "]";
+  }
+  line += "], \"values\": [";
+  char buf[64];
+  for (offset_t n = 0; n < batch.nnz(); ++n) {
+    if (n > 0) {
+      line += ", ";
+    }
+    std::snprintf(buf, sizeof(buf), "%.17g", batch.value(n));
+    // JSON has no inf/nan literals; poison batches often carry them.
+    if (std::isfinite(batch.value(n))) {
+      line += buf;
+    } else {
+      line += "\"";
+      line += buf;
+      line += "\"";
+    }
+  }
+  line += "]}\n";
+
+  impl_->out << line;
+  impl_->out.flush();
+  if (!impl_->out) {
+    // Telemetry-degradation semantics: a quarantine that cannot write
+    // must not wedge ingest. The batch is still counted and journaled.
+    impl_->out.clear();
+    ++dropped_;
+    AOADMM_LOG_WARN << "quarantine: write to " << path_ << " failed";
+    return false;
+  }
+  ++records_;
+  metrics.quarantine_pending.set(static_cast<double>(records_));
+  return true;
+}
+
+const char* to_string(BreakerState s) noexcept {
+  switch (s) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "?";
+}
+
+RefreshSupervisor::RefreshSupervisor(StreamingSolver& solver,
+                                     SupervisorOptions opts,
+                                     BatchQuarantine* quarantine)
+    : solver_(solver), opts_(opts), quarantine_(quarantine),
+      jitter_(opts.jitter_seed) {
+  AOADMM_CHECK_MSG(opts_.breaker_threshold > 0,
+                   "breaker_threshold must be positive");
+  AOADMM_CHECK_MSG(opts_.backoff_multiplier >= 1,
+                   "backoff_multiplier must be >= 1");
+  AOADMM_CHECK_MSG(opts_.backoff_jitter >= 0 && opts_.backoff_jitter < 1,
+                   "backoff_jitter must lie in [0, 1)");
+  if (opts_.refresh_deadline_seconds > 0) {
+    deadline_token_ = make_cancel_token();
+    solver_.set_cancel(deadline_token_);
+  }
+}
+
+void RefreshSupervisor::trip_breaker(double now) {
+  breaker_ = BreakerState::kOpen;
+  open_until_ = now + opts_.breaker_cooldown_seconds;
+  ++stats_.breaker_trips;
+  const RobustStreamMetrics& metrics = RobustStreamMetrics::get();
+  metrics.breaker_trips.add(1);
+  metrics.breaker_open.set(1);
+  AOADMM_LOG_WARN << "supervisor: breaker OPEN after "
+                  << consecutive_failures_
+                  << " consecutive refresh failures; serving last good "
+                  << "snapshot for " << opts_.breaker_cooldown_seconds << "s";
+  obs::journal_event(obs::EventKind::kBreakerTripped, obs::current_trace(),
+                     obs::EventJournal::Fields{}
+                         .num("consecutive_failures",
+                              static_cast<std::uint64_t>(
+                                  consecutive_failures_))
+                         .num("cooldown_seconds",
+                              opts_.breaker_cooldown_seconds));
+}
+
+void RefreshSupervisor::note_success() {
+  if (breaker_ != BreakerState::kClosed) {
+    RobustStreamMetrics::get().breaker_open.set(0);
+    AOADMM_LOG_INFO << "supervisor: breaker CLOSED (refresh recovered)";
+    obs::journal_event(obs::EventKind::kBreakerReset, obs::current_trace(),
+                       obs::EventJournal::Fields{});
+  }
+  breaker_ = BreakerState::kClosed;
+  consecutive_failures_ = 0;
+  next_allowed_ = 0;
+  open_until_ = 0;
+}
+
+RefreshSupervisor::Attempt RefreshSupervisor::try_refresh(
+    const CooTensor* suspect) {
+  return try_refresh_at(steady_now_seconds(), suspect);
+}
+
+RefreshSupervisor::Attempt RefreshSupervisor::try_refresh_at(
+    double now, const CooTensor* suspect) {
+  const RobustStreamMetrics& metrics = RobustStreamMetrics::get();
+  Attempt attempt;
+  ++stats_.attempts;
+
+  if (breaker_ == BreakerState::kOpen) {
+    if (now < open_until_) {
+      ++stats_.breaker_skips;
+      metrics.breaker_skips.add(1);
+      attempt.outcome = Attempt::Outcome::kSkippedBreaker;
+      attempt.breaker = breaker_;
+      attempt.next_allowed_seconds = open_until_;
+      return attempt;
+    }
+    breaker_ = BreakerState::kHalfOpen;  // cooldown over: one trial flows
+  }
+  if (breaker_ == BreakerState::kClosed && now < next_allowed_) {
+    ++stats_.backoff_skips;
+    metrics.backoff_skips.add(1);
+    attempt.outcome = Attempt::Outcome::kSkippedBackoff;
+    attempt.breaker = breaker_;
+    attempt.next_allowed_seconds = next_allowed_;
+    return attempt;
+  }
+
+  if (deadline_token_ != nullptr) {
+    deadline_token_->reset();
+    deadline_token_->set_deadline_after(opts_.refresh_deadline_seconds);
+  }
+
+  try {
+    attempt.report = solver_.refresh();
+  } catch (const std::exception& e) {
+    attempt.outcome = Attempt::Outcome::kFailed;
+    attempt.error = e.what();
+    ++stats_.failures;
+    ++consecutive_failures_;
+    metrics.refresh_failures.add(1);
+    AOADMM_LOG_WARN << "supervisor: refresh failed ("
+                    << consecutive_failures_ << "/"
+                    << opts_.breaker_threshold << "): " << e.what();
+    obs::journal_event(obs::EventKind::kRefreshFailed, obs::current_trace(),
+                       obs::EventJournal::Fields{}
+                           .str("error", attempt.error)
+                           .num("consecutive_failures",
+                                static_cast<std::uint64_t>(
+                                    consecutive_failures_)));
+    if (quarantine_ != nullptr && suspect != nullptr) {
+      quarantine_->quarantine(*suspect,
+                              "implicated in refresh failure: " +
+                                  attempt.error);
+      ++stats_.quarantined;
+    }
+    if (breaker_ == BreakerState::kHalfOpen ||
+        consecutive_failures_ >= opts_.breaker_threshold) {
+      trip_breaker(now);
+      attempt.next_allowed_seconds = open_until_;
+    } else {
+      // Bounded exponential backoff with deterministic jitter: delay =
+      // initial · multiplier^(failures-1), capped, scaled by a factor in
+      // [1-jitter, 1+jitter].
+      double delay = opts_.backoff_initial_seconds *
+                     std::pow(opts_.backoff_multiplier,
+                              static_cast<double>(consecutive_failures_ - 1));
+      delay = std::min(delay, opts_.backoff_max_seconds);
+      if (opts_.backoff_jitter > 0) {
+        delay *= jitter_.uniform(1 - opts_.backoff_jitter,
+                                 1 + opts_.backoff_jitter);
+      }
+      next_allowed_ = now + delay;
+      attempt.next_allowed_seconds = next_allowed_;
+    }
+    attempt.breaker = breaker_;
+    return attempt;
+  }
+
+  ++stats_.refreshed;
+  if (attempt.report.stop_reason == StopReason::kDeadline ||
+      attempt.report.stop_reason == StopReason::kCancelled) {
+    // The deadline cut the solve short but the partially converged model
+    // still published — progress, not failure. Counted so operators can
+    // see a persistently over-budget refresh loop.
+    ++stats_.deadline_hits;
+    metrics.deadline_hits.add(1);
+  }
+  note_success();
+  attempt.outcome = Attempt::Outcome::kRefreshed;
+  attempt.breaker = breaker_;
+  attempt.next_allowed_seconds = now;
+  return attempt;
+}
+
+}  // namespace aoadmm

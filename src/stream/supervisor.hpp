@@ -1,0 +1,181 @@
+// Failure-containment layer of the streaming subsystem: keeps a crashing
+// or hanging refresh loop from taking serving down with it.
+//
+// Three cooperating pieces:
+//
+//  * validate_batch — the ingest-side gate. A batch that is malformed
+//    (wrong order, non-finite values) never reaches the tensor; the replay
+//    driver diverts it to the quarantine instead.
+//
+//  * BatchQuarantine — a bounded JSONL sidecar of poison batches. Each
+//    line carries the trace ids, the rejection reason, and the full batch
+//    contents, so an operator can inspect and re-ingest after fixing the
+//    producer. Bounded: past max_records further batches are counted as
+//    dropped but not written (a poison flood must not fill the disk).
+//
+//  * RefreshSupervisor — wraps StreamingSolver::refresh() with exception
+//    containment, bounded exponential backoff with deterministic seeded
+//    jitter, a circuit breaker, and an optional per-refresh deadline
+//    imposed through the solver's CancelToken. While the breaker is open
+//    the attached ModelServer simply keeps serving the last published
+//    snapshot — degraded, not down — and /healthz reports "degraded"
+//    through the robust/stream_breaker_open gauge.
+//
+// Failure ladder: a refresh that throws counts one consecutive failure and
+// schedules the next attempt after an exponentially growing backoff; at
+// breaker_threshold consecutive failures the breaker opens and every
+// attempt is skipped outright until the cooldown elapses; the first
+// attempt after cooldown runs half-open — success closes the breaker and
+// resets the ladder, failure re-opens it. A refresh stopped by its
+// deadline is NOT a failure: the partially converged model still published
+// (warm starts make it strictly newer information), so it resets the
+// ladder like any success.
+//
+// Time is passed in explicitly (try_refresh_at) so tests drive the ladder
+// deterministically; try_refresh() is the steady-clock convenience.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/cancel.hpp"
+#include "stream/streaming_solver.hpp"
+#include "util/rng.hpp"
+
+namespace aoadmm {
+
+class CooTensor;
+
+/// Ingest-side validation: order must match the tensor, every value must
+/// be finite. Returns false and fills `why` (when non-null) on rejection.
+bool validate_batch(const CooTensor& batch, std::size_t expected_order,
+                    std::string* why = nullptr);
+
+/// Bounded JSONL sidecar for poison batches. Not thread-safe (owned by the
+/// ingest thread, like everything on this path).
+class BatchQuarantine {
+ public:
+  /// Opens `path` for appending. Throws IoError-style InvalidArgument via
+  /// AOADMM_CHECK when the file cannot be opened.
+  BatchQuarantine(std::string path, std::uint64_t max_records);
+  ~BatchQuarantine();
+  BatchQuarantine(const BatchQuarantine&) = delete;
+  BatchQuarantine& operator=(const BatchQuarantine&) = delete;
+
+  /// Divert one batch. Returns true when the record was written, false
+  /// when the sidecar is full (the drop is still counted) or the write
+  /// failed (telemetry-degradation semantics: never throws).
+  bool quarantine(const CooTensor& batch, const std::string& reason);
+
+  const std::string& path() const noexcept { return path_; }
+  std::uint64_t records() const noexcept { return records_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  std::string path_;
+  std::uint64_t max_records_;
+  std::uint64_t records_ = 0;
+  std::uint64_t dropped_ = 0;
+  struct Impl;
+  Impl* impl_;
+};
+
+enum class BreakerState {
+  kClosed,    // refreshes flow (subject to backoff)
+  kOpen,      // every attempt skipped until the cooldown elapses
+  kHalfOpen,  // one trial attempt in flight after cooldown
+};
+
+const char* to_string(BreakerState s) noexcept;
+
+struct SupervisorOptions {
+  /// Consecutive failures that trip the breaker.
+  unsigned breaker_threshold = 3;
+  /// Seconds the breaker stays open before a half-open trial.
+  double breaker_cooldown_seconds = 5.0;
+  /// Backoff after the first failure; doubles (times multiplier) per
+  /// consecutive failure, capped at backoff_max_seconds.
+  double backoff_initial_seconds = 0.5;
+  double backoff_max_seconds = 30.0;
+  double backoff_multiplier = 2.0;
+  /// Each delay is scaled by a factor uniform in [1-jitter, 1+jitter],
+  /// drawn from a deterministic seeded stream.
+  double backoff_jitter = 0.2;
+  std::uint64_t jitter_seed = 42;
+  /// Per-refresh deadline imposed through the solver's CancelToken
+  /// (checked once per outer iteration). 0 = none.
+  double refresh_deadline_seconds = 0;
+};
+
+/// Cumulative supervisor counters (also mirrored into the obs registry).
+struct SupervisorStats {
+  std::uint64_t attempts = 0;
+  std::uint64_t refreshed = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t backoff_skips = 0;
+  std::uint64_t breaker_skips = 0;
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t deadline_hits = 0;
+  std::uint64_t quarantined = 0;
+};
+
+class RefreshSupervisor {
+ public:
+  /// What one try_refresh attempt did.
+  struct Attempt {
+    enum class Outcome {
+      kRefreshed,      // refresh ran and published (deadline stops included)
+      kSkippedBackoff, // inside the post-failure backoff window
+      kSkippedBreaker, // breaker open
+      kFailed,         // refresh threw; contained here
+    };
+    Outcome outcome = Outcome::kRefreshed;
+    /// Valid when outcome == kRefreshed.
+    RefreshReport report;
+    /// The contained exception's message when outcome == kFailed.
+    std::string error;
+    BreakerState breaker = BreakerState::kClosed;
+    /// Earliest time (seconds, caller clock) the next attempt may run.
+    double next_allowed_seconds = 0;
+  };
+
+  /// `quarantine` (may be null) receives batches implicated in refresh
+  /// failures. Both references must outlive the supervisor.
+  RefreshSupervisor(StreamingSolver& solver, SupervisorOptions opts,
+                    BatchQuarantine* quarantine = nullptr);
+
+  /// Attempt a supervised refresh at steady-clock now. `suspect` (may be
+  /// null) is the most recently applied batch; on a contained failure it
+  /// is diverted to the quarantine as the implicated batch.
+  Attempt try_refresh(const CooTensor* suspect = nullptr);
+
+  /// Deterministic-time entry: identical logic with the caller supplying
+  /// the clock (monotone non-decreasing across calls).
+  Attempt try_refresh_at(double now_seconds,
+                         const CooTensor* suspect = nullptr);
+
+  BreakerState breaker() const noexcept { return breaker_; }
+  unsigned consecutive_failures() const noexcept {
+    return consecutive_failures_;
+  }
+  const SupervisorStats& stats() const noexcept { return stats_; }
+  const SupervisorOptions& options() const noexcept { return opts_; }
+
+ private:
+  void trip_breaker(double now);
+  void note_success();
+
+  StreamingSolver& solver_;
+  SupervisorOptions opts_;
+  BatchQuarantine* quarantine_;
+  CancelTokenPtr deadline_token_;
+  Rng jitter_;
+  BreakerState breaker_ = BreakerState::kClosed;
+  unsigned consecutive_failures_ = 0;
+  double next_allowed_ = 0;  // backoff gate (caller clock)
+  double open_until_ = 0;    // breaker cooldown gate (caller clock)
+  SupervisorStats stats_;
+};
+
+}  // namespace aoadmm

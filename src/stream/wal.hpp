@@ -1,0 +1,173 @@
+// Write-ahead log for streaming ingest: every batch is appended to an
+// on-disk segment BEFORE StreamingTensor::apply() folds it in, so a crash
+// (kill -9 included) between ingest and the next refresh loses nothing —
+// restart replays the log and reaches the same tensor state.
+//
+// On-disk layout, all little-endian raw POD (the same convention as
+// core/checkpoint.cpp), rooted at a caller-chosen path prefix:
+//
+//   <prefix>.seg<N>   append-only segments, N monotonically increasing
+//   <prefix>.ckpt     compaction checkpoint sidecar (atomic tmp+rename)
+//
+// Segment = header {magic "AOWALSG0", u32 version, u32 sizeof(real_t)}
+// followed by length-prefixed records:
+//
+//   u64 payload_len | payload | u64 fnv1a(payload)
+//   payload = u64 seq, u32 order, u64 nnz,
+//             per-mode u32 index arrays, real_t values
+//
+// Torn tails are expected, not errors: a crash mid-append leaves a short or
+// checksum-failing final record, and recovery stops the scan there and
+// reports it in WalRecoveryReport. After recovery new appends go to a
+// fresh segment (max N + 1) — recovered segments are never re-opened for
+// writing, so a torn tail never needs in-place truncation.
+//
+// Checkpoint = {magic "AOWALCK0", u32 version, u32 sizeof(real_t),
+// u64 covered_seq, u64 watermark, u32 order, u32 dims[], u64 nnz, index
+// arrays, values, u64 checksum}. It snapshots the *compacted* live tensor,
+// so once written every segment record with seq <= covered_seq is
+// redundant and write_checkpoint() deletes all segments — the log stays
+// bounded by the checkpoint cadence, not the stream length.
+//
+// Failure policy: by default append() degrades — a failed write (disk
+// full, injected kWalWrite fault) counts robust/stream_wal_write_failures,
+// journals kWalWriteFailed, and returns false while ingest continues
+// unprotected. WalOptions::strict upgrades append failures to WalError for
+// deployments that prefer to stop ingest over losing replayability.
+// Corrupt *checkpoints* always throw WalError: unlike a torn segment tail,
+// a bad checkpoint means silently recovering to a wrong state.
+//
+// Fsync policy: kNever (default) survives process death — the page cache
+// belongs to the kernel, so kill -9 loses nothing — and keeps the append
+// overhead in the noise. kEveryBatch/kEveryN additionally survive machine
+// crashes at the documented throughput cost.
+//
+// Not thread-safe: the WAL belongs to the single ingest thread, like the
+// StreamingTensor it protects.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace aoadmm {
+
+class CooTensor;
+class StreamingTensor;
+
+enum class WalFsync {
+  /// Never fsync: safe against process crashes, not machine crashes.
+  kNever,
+  /// fsync after every appended batch.
+  kEveryBatch,
+  /// fsync after every WalOptions::fsync_every_n batches.
+  kEveryN,
+};
+
+const char* to_string(WalFsync f) noexcept;
+
+struct WalOptions {
+  WalFsync fsync = WalFsync::kNever;
+  /// Batch period for WalFsync::kEveryN.
+  std::uint64_t fsync_every_n = 64;
+  /// Rotate to a new segment once the active one exceeds this many bytes.
+  std::uint64_t segment_max_bytes = 64ull << 20;
+  /// After this many appended batches checkpoint_due() turns true (the
+  /// owner writes the checkpoint — the WAL cannot, it does not hold the
+  /// compacted tensor). 0 = caller-driven checkpoints only.
+  std::uint64_t checkpoint_every_batches = 0;
+  /// Throw WalError on append failure instead of degrading.
+  bool strict = false;
+};
+
+/// What recovery found and did. `detail` is empty for a clean recovery.
+struct WalRecoveryReport {
+  bool checkpoint_loaded = false;
+  /// Scan stopped early at a short or checksum-failing record (expected
+  /// after a crash mid-append).
+  bool torn_tail = false;
+  std::uint64_t segments_scanned = 0;
+  /// Records replayed into the tensor.
+  std::uint64_t records_recovered = 0;
+  /// Records skipped because the checkpoint already covers their seq.
+  std::uint64_t records_skipped = 0;
+  std::uint64_t checkpoint_nnz = 0;
+  std::uint64_t covered_seq = 0;
+  /// Highest record seq seen (appends continue from here).
+  std::uint64_t last_seq = 0;
+  std::string detail;
+};
+
+class WriteAheadLog {
+ public:
+  /// Binds to `prefix` and scans for existing segments/checkpoint,
+  /// creating the prefix directory when missing (throws WalError when it
+  /// cannot be created). A WAL with on-disk state should be drained via
+  /// recover_into() before the first append; appends always open a fresh
+  /// segment either way.
+  WriteAheadLog(std::string prefix, WalOptions opts);
+  ~WriteAheadLog();
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  const std::string& prefix() const noexcept { return prefix_; }
+  const WalOptions& options() const noexcept { return opts_; }
+
+  /// Append one batch record. Returns false (after counting and
+  /// journaling) when the write fails and options().strict is off.
+  bool append(const CooTensor& batch);
+
+  /// True once checkpoint_every_batches appends have accumulated since the
+  /// last checkpoint (always false when the cadence is 0).
+  bool checkpoint_due() const noexcept;
+
+  /// Atomically write the checkpoint sidecar covering everything appended
+  /// so far, then delete all segments. `compacted` must be the live tensor
+  /// contents (StreamingTensor::coo()) and `watermark` its watermark —
+  /// recovery restores both exactly. Throws WalError on write failure
+  /// (the previous checkpoint, if any, is left intact).
+  void write_checkpoint(const CooTensor& compacted, index_t watermark);
+
+  /// Replay checkpoint + segments into `tensor`, in order, skipping
+  /// records the checkpoint covers. Call BEFORE StreamingTensor::attach_wal
+  /// so replayed applies are not re-logged. Sets the stream/wal_replaying
+  /// gauge for the duration and journals kWalRecovered. Throws WalError on
+  /// a corrupt checkpoint; torn segment tails are reported, not thrown.
+  WalRecoveryReport recover_into(StreamingTensor& tensor);
+
+  /// Seq of the most recently appended (or recovered) record.
+  std::uint64_t last_seq() const noexcept { return seq_; }
+  std::uint64_t append_failures() const noexcept { return append_failures_; }
+  std::uint64_t batches_since_checkpoint() const noexcept {
+    return batches_since_checkpoint_;
+  }
+  std::uint64_t checkpoints_written() const noexcept { return checkpoints_; }
+
+  /// Segment files currently on disk, ascending by segment number.
+  std::vector<std::string> segment_files() const;
+  std::string checkpoint_file() const { return prefix_ + ".ckpt"; }
+
+ private:
+  std::string segment_path(std::uint64_t n) const;
+  bool open_segment_locked();
+  void close_segment() noexcept;
+  bool append_failed(const char* why);
+
+  std::string prefix_;
+  WalOptions opts_;
+  std::string scratch_;  // reused record-payload buffer (append hot path)
+  std::FILE* out_ = nullptr;
+  std::uint64_t open_segment_ = 0;   // number of the segment out_ writes
+  std::uint64_t next_segment_ = 1;   // next segment number to open
+  std::uint64_t segment_bytes_ = 0;  // bytes written to the open segment
+  std::uint64_t seq_ = 0;
+  std::uint64_t unsynced_ = 0;  // batches since the last fsync
+  std::uint64_t batches_since_checkpoint_ = 0;
+  std::uint64_t append_failures_ = 0;
+  std::uint64_t checkpoints_ = 0;
+};
+
+}  // namespace aoadmm

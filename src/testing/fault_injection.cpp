@@ -10,6 +10,7 @@
 #include <mutex>
 #include <string>
 
+#include "tensor/coo.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -125,6 +126,11 @@ bool arm_faults_from_env() {
       {"AOADMM_FAULT_GRAM_NONPD", FaultSite::kGramNonPd},
       {"AOADMM_FAULT_MTTKRP_NAN", FaultSite::kMttkrpNaN},
       {"AOADMM_FAULT_CHECKPOINT_WRITE", FaultSite::kCheckpointWrite},
+      {"AOADMM_FAULT_WAL_WRITE", FaultSite::kWalWrite},
+      {"AOADMM_FAULT_INGEST_CORRUPT", FaultSite::kIngestCorrupt},
+      {"AOADMM_FAULT_REFRESH_THROW", FaultSite::kRefreshThrow},
+      {"AOADMM_FAULT_REFRESH_HANG", FaultSite::kRefreshHang},
+      {"AOADMM_FAULT_TELEMETRY_WRITE", FaultSite::kTelemetryWrite},
   };
   for (const auto& v : vars) {
     const char* text = std::getenv(v.var);
@@ -190,6 +196,55 @@ bool maybe_fail_checkpoint_write() {
   FaultState& s = state();
   std::lock_guard<std::mutex> lock(s.mu);
   return roll(s, FaultSite::kCheckpointWrite);
+}
+
+bool maybe_fail_wal_write() {
+  if (!armed_flag().load(std::memory_order_acquire)) {
+    return false;
+  }
+  FaultState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return roll(s, FaultSite::kWalWrite);
+}
+
+bool maybe_corrupt_ingest(CooTensor& batch) {
+  if (!armed_flag().load(std::memory_order_acquire)) {
+    return false;
+  }
+  FaultState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!roll(s, FaultSite::kIngestCorrupt) || batch.nnz() == 0) {
+    return false;
+  }
+  batch.value(0) = std::numeric_limits<real_t>::quiet_NaN();
+  return true;
+}
+
+bool maybe_throw_refresh() {
+  if (!armed_flag().load(std::memory_order_acquire)) {
+    return false;
+  }
+  FaultState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return roll(s, FaultSite::kRefreshThrow);
+}
+
+bool maybe_hang_refresh() {
+  if (!armed_flag().load(std::memory_order_acquire)) {
+    return false;
+  }
+  FaultState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return roll(s, FaultSite::kRefreshHang);
+}
+
+bool maybe_fail_telemetry_write() {
+  if (!armed_flag().load(std::memory_order_acquire)) {
+    return false;
+  }
+  FaultState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return roll(s, FaultSite::kTelemetryWrite);
 }
 
 }  // namespace aoadmm::testing

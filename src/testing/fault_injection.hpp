@@ -9,26 +9,41 @@
 //   AOADMM_FAULT_GRAM_NONPD=0.5:1        # rate[:max_fires]
 //   AOADMM_FAULT_MTTKRP_NAN=0.25:2
 //   AOADMM_FAULT_CHECKPOINT_WRITE=1.0:1
+//   AOADMM_FAULT_WAL_WRITE=1.0:1         # streaming WAL append failure
+//   AOADMM_FAULT_INGEST_CORRUPT=0.5:1    # poison a batch value with NaN
+//   AOADMM_FAULT_REFRESH_THROW=1.0:3     # refresh() throws NumericalError
+//   AOADMM_FAULT_REFRESH_HANG=1.0:1      # refresh() stalls until deadline
+//   AOADMM_FAULT_TELEMETRY_WRITE=1.0:2   # journal/file-writer write failure
 //
 // Each hook sits at a *serial* driver point (once per mode per outer
-// iteration, or per checkpoint write), so a fixed seed yields the same
-// firing sequence on every run regardless of thread count. When nothing is
-// armed — the default — every hook is a single relaxed atomic load.
+// iteration, or per checkpoint write / WAL append / batch ingest /
+// refresh), so a fixed seed yields the same firing sequence on every run
+// regardless of thread count. When nothing is armed — the default — every
+// hook is a single relaxed atomic load.
 #pragma once
 
 #include <cstdint>
 
 #include "la/matrix.hpp"
 
+namespace aoadmm {
+class CooTensor;
+}
+
 namespace aoadmm::testing {
 
 /// Where a fault can be injected.
 enum class FaultSite {
-  kGramNonPd = 0,       ///< make a Gram product indefinite (g(0,0) < 0)
-  kMttkrpNaN = 1,       ///< poison an MTTKRP output with NaNs
-  kCheckpointWrite = 2  ///< force a checkpoint write failure (short write)
+  kGramNonPd = 0,        ///< make a Gram product indefinite (g(0,0) < 0)
+  kMttkrpNaN = 1,        ///< poison an MTTKRP output with NaNs
+  kCheckpointWrite = 2,  ///< force a checkpoint write failure (short write)
+  kWalWrite = 3,         ///< force a streaming WAL append to fail
+  kIngestCorrupt = 4,    ///< poison an ingest batch with a NaN value
+  kRefreshThrow = 5,     ///< make StreamingSolver::refresh throw
+  kRefreshHang = 6,      ///< stall a refresh until its deadline (or a cap)
+  kTelemetryWrite = 7    ///< fail an event-journal / telemetry-file write
 };
-inline constexpr std::size_t kFaultSiteCount = 3;
+inline constexpr std::size_t kFaultSiteCount = 8;
 
 /// Per-site firing policy: each visit fires with probability `rate`
 /// (deterministically, from the shared seeded RNG), at most `max_fires`
@@ -105,5 +120,29 @@ bool maybe_inject_nan(Matrix& k);
 /// turns this into a stream error mid-payload (a short write). Returns true
 /// when the fault fired.
 bool maybe_fail_checkpoint_write();
+
+/// Maybe report that the current WAL append must fail; the log turns this
+/// into a write error before any bytes land. Returns true when fired.
+bool maybe_fail_wal_write();
+
+/// Maybe poison `batch` with a quiet NaN in its first value — the shape of
+/// corruption ingest validation must quarantine. No-op on an empty batch.
+/// Returns true when the fault fired.
+bool maybe_corrupt_ingest(CooTensor& batch);
+
+/// Maybe report that the current refresh must fail; the streaming solver
+/// turns this into a NumericalError before the solve starts. Returns true
+/// when the fault fired.
+bool maybe_throw_refresh();
+
+/// Maybe report that the current refresh must hang; the streaming solver
+/// stalls (checking its CancelToken) until the deadline fires or a safety
+/// cap elapses. Returns true when the fault fired.
+bool maybe_hang_refresh();
+
+/// Maybe report that the current telemetry write (event-journal line or
+/// telemetry-file rewrite) must fail; the sink counts it and keeps running.
+/// Returns true when the fault fired.
+bool maybe_fail_telemetry_write();
 
 }  // namespace aoadmm::testing

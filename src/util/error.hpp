@@ -40,6 +40,15 @@ class CheckpointError : public Error {
   explicit CheckpointError(const std::string& what) : Error(what) {}
 };
 
+/// Raised when the streaming write-ahead log cannot complete an operation
+/// that must not be silently degraded (opening a log, reading a corrupt
+/// recovery checkpoint, strict-mode append failure). Torn tails from a
+/// crash are NOT errors — recovery reports them in WalRecovery instead.
+class WalError : public Error {
+ public:
+  explicit WalError(const std::string& what) : Error(what) {}
+};
+
 /// Raised when a growth path would overflow an index or count type (e.g. a
 /// streaming append pushing a mode length past the index_t range). The
 /// operation that would have overflowed leaves the container unchanged.

@@ -1,0 +1,126 @@
+// Cooperative cancellation: CancelToken semantics and the solver contract —
+// the outer loop checks the token once per iteration, stops with the right
+// StopReason, and always returns the consistent last-completed iterate.
+#include "core/cancel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "core/solver.hpp"
+#include "testing/helpers.hpp"
+
+namespace aoadmm {
+namespace {
+
+TEST(CancelToken, CancelIsStickyUntilReset) {
+  CancelToken token;
+  EXPECT_FALSE(token.should_stop());
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.should_stop());
+  token.cancel();  // idempotent
+  EXPECT_TRUE(token.should_stop());
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.should_stop());
+}
+
+TEST(CancelToken, DeadlineExpiresAndClears) {
+  CancelToken token;
+  EXPECT_FALSE(token.has_deadline());
+  token.set_deadline_after(3600.0);
+  EXPECT_TRUE(token.has_deadline());
+  EXPECT_FALSE(token.should_stop());
+
+  token.set_deadline_after(0.005);  // overwrites the hour-long one
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(token.deadline_expired());
+  EXPECT_TRUE(token.should_stop());
+  EXPECT_FALSE(token.cancelled());  // deadline != explicit cancel
+
+  token.clear_deadline();
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_FALSE(token.should_stop());
+}
+
+TEST(CancelToken, NonPositiveDeadlineStopsImmediately) {
+  CancelToken token;
+  token.set_deadline_after(0);
+  EXPECT_TRUE(token.should_stop());
+  token.reset();
+  token.set_deadline_after(-5.0);
+  EXPECT_TRUE(token.should_stop());
+}
+
+CpdConfig cancel_config() {
+  CpdConfig cfg;
+  cfg.with_rank(3).with_max_outer(100).with_tolerance(1e-8).with_seed(11);
+  return cfg;
+}
+
+TEST(CancelSolve, PreCancelledTokenStopsAfterOneIteration) {
+  const CooTensor x = testing::dense_lowrank_tensor({10, 9, 8}, 3, 0.02);
+  const CsfSet csf(x);
+  CancelTokenPtr token = make_cancel_token();
+  token->cancel();
+  CpdSolver solver(csf, cancel_config().with_cancel(token));
+  const CpdResult r = solver.solve();
+  EXPECT_EQ(r.stop_reason, StopReason::kCancelled);
+  // The check runs at the top of the outer loop, before any work: a
+  // pre-cancelled solve completes zero iterations but still returns a
+  // consistent result (the initialization).
+  EXPECT_EQ(r.outer_iterations, 0u);
+  EXPECT_EQ(r.factors.size(), 3u);
+  EXPECT_TRUE(std::isfinite(r.relative_error));
+}
+
+TEST(CancelSolve, ExpiredDeadlineStopsWithDeadlineReason) {
+  const CooTensor x = testing::dense_lowrank_tensor({10, 9, 8}, 3, 0.02);
+  const CsfSet csf(x);
+  CancelTokenPtr token = make_cancel_token();
+  token->set_deadline_after(0);  // expired before the solve starts
+  CpdSolver solver(csf, cancel_config().with_cancel(token));
+  const CpdResult r = solver.solve();
+  EXPECT_EQ(r.stop_reason, StopReason::kDeadline);
+  EXPECT_EQ(r.outer_iterations, 0u);
+}
+
+TEST(CancelSolve, UnarmedTokenDoesNotDisturbConvergence) {
+  const CooTensor x = testing::dense_lowrank_tensor({10, 9, 8}, 3, 0.02);
+  const CsfSet csf(x);
+  CpdConfig cfg = cancel_config();
+  cfg.with_tolerance(1e-3);
+  CpdSolver solver(csf, cfg.with_cancel(make_cancel_token()));
+  const CpdResult r = solver.solve();
+  EXPECT_EQ(r.stop_reason, StopReason::kConverged);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(CancelSolve, IterationCapReportsMaxIterations) {
+  const CooTensor x = testing::dense_lowrank_tensor({10, 9, 8}, 3, 0.02);
+  const CsfSet csf(x);
+  CpdConfig cfg = cancel_config();
+  cfg.with_max_outer(2);
+  CpdSolver solver(csf, cfg);
+  const CpdResult r = solver.solve();
+  EXPECT_EQ(r.stop_reason, StopReason::kMaxIterations);
+  EXPECT_EQ(r.outer_iterations, 2u);
+}
+
+TEST(CancelSolve, TokenIsReusableAcrossSolves) {
+  const CooTensor x = testing::dense_lowrank_tensor({10, 9, 8}, 3, 0.02);
+  const CsfSet csf(x);
+  CancelTokenPtr token = make_cancel_token();
+  token->cancel();
+  CpdSolver solver(csf, cancel_config().with_cancel(token));
+  EXPECT_EQ(solver.solve().stop_reason, StopReason::kCancelled);
+  // reset() re-arms the same allocation for the next solve.
+  token->reset();
+  EXPECT_NE(solver.solve().stop_reason, StopReason::kCancelled);
+}
+
+}  // namespace
+}  // namespace aoadmm

@@ -20,6 +20,7 @@
 #include "obs/telemetry/exposition.hpp"
 #include "obs/telemetry/trace_context.hpp"
 #include "obs/telemetry/window_quantiles.hpp"
+#include "testing/fault_injection.hpp"
 #include "testing/json_check.hpp"
 
 #if !defined(_WIN32)
@@ -223,11 +224,11 @@ TEST(TelemetryHealthz, StalenessGateFlipsHealth) {
   EXPECT_TRUE(write_healthz(fresh, opts));
   EXPECT_NE(fresh.str().find("\"status\": \"ok\""), std::string::npos);
 
-  // Stale model: degraded.
+  // Stale model: unhealthy, distinct from the (still-200) degraded state.
   reg.gauge("stream/staleness_seconds").set(100.0);
   std::ostringstream stale;
   EXPECT_FALSE(write_healthz(stale, opts));
-  EXPECT_NE(stale.str().find("\"status\": \"degraded\""), std::string::npos);
+  EXPECT_NE(stale.str().find("\"status\": \"stale\""), std::string::npos);
   EXPECT_TRUE(testing::is_valid_json(stale.str()));
 
   // No model at all while a staleness bound is set: also unhealthy.
@@ -240,6 +241,43 @@ TEST(TelemetryHealthz, StalenessGateFlipsHealth) {
   std::ostringstream lax;
   EXPECT_TRUE(write_healthz(lax, opts));
   EXPECT_NE(lax.str().find("\"status\": \"no_model\""), std::string::npos);
+  reg.gauge("stream/staleness_seconds").set(0);
+}
+
+TEST(TelemetryHealthz, DegradedSignalsReportDegradedButStayHealthy) {
+  auto& reg = MetricsRegistry::global();
+  ExpositionOptions opts;
+  opts.stale_after_seconds = 10.0;
+  reg.gauge("stream/snapshot_epoch").set(3);
+  reg.gauge("stream/staleness_seconds").set(1.0);
+
+  // Breaker open: the server keeps serving the last snapshot, so healthz
+  // stays 200 — but the status and reasons make the degradation visible.
+  reg.gauge("robust/stream_breaker_open").set(1);
+  std::ostringstream one;
+  EXPECT_TRUE(write_healthz(one, opts));
+  EXPECT_NE(one.str().find("\"status\": \"degraded\""), std::string::npos);
+  EXPECT_NE(one.str().find("\"breaker_open\""), std::string::npos);
+  EXPECT_TRUE(testing::is_valid_json(one.str())) << one.str();
+
+  // Every firing signal is listed.
+  reg.gauge("stream/wal_replaying").set(1);
+  reg.gauge("stream/quarantine_pending").set(2);
+  std::ostringstream all;
+  EXPECT_TRUE(write_healthz(all, opts));
+  for (const char* reason :
+       {"\"breaker_open\"", "\"wal_replaying\"", "\"quarantine_pending\""}) {
+    EXPECT_NE(all.str().find(reason), std::string::npos) << reason;
+  }
+
+  // Signals clear: back to plain ok, no degraded_reasons left.
+  reg.gauge("robust/stream_breaker_open").set(0);
+  reg.gauge("stream/wal_replaying").set(0);
+  reg.gauge("stream/quarantine_pending").set(0);
+  std::ostringstream clear;
+  EXPECT_TRUE(write_healthz(clear, opts));
+  EXPECT_NE(clear.str().find("\"status\": \"ok\""), std::string::npos);
+  reg.gauge("stream/snapshot_epoch").set(0);
   reg.gauge("stream/staleness_seconds").set(0);
 }
 
@@ -288,6 +326,32 @@ TEST(TelemetryJournal, EveryLineIsValidJson) {
   EXPECT_NE(lines[0].find("\"batch_id\": 9"), std::string::npos);
   EXPECT_NE(lines[1].find("\"converged\": true"), std::string::npos);
   EXPECT_NE(lines[1].find("\"nan_field\": \"nan\""), std::string::npos);
+}
+
+TEST(TelemetryJournal, SurvivesInjectedWriteFailures) {
+  const std::string path = ::testing::TempDir() + "tt_journal_faults.jsonl";
+  std::remove(path.c_str());
+  testing::disarm_faults();
+  const double counter_before = MetricsRegistry::global().counter_value(
+      "telemetry/journal_write_failures");
+
+  EventJournal journal(path);
+  journal.emit(EventKind::kBatchIngested, {});  // lands
+
+  testing::FaultConfig cfg;
+  cfg.at(testing::FaultSite::kTelemetryWrite) = {1.0, 2};
+  testing::arm_faults(cfg);
+  journal.emit(EventKind::kBatchIngested, {});  // dropped
+  journal.emit(EventKind::kBatchIngested, {});  // dropped
+  journal.emit(EventKind::kBatchIngested, {});  // budget spent: lands
+  testing::disarm_faults();
+
+  EXPECT_EQ(journal.write_failures(), 2u);
+  EXPECT_EQ(journal.events_written(), 2u);
+  EXPECT_EQ(read_lines(path).size(), 2u);
+  EXPECT_DOUBLE_EQ(MetricsRegistry::global().counter_value(
+                       "telemetry/journal_write_failures"),
+                   counter_before + 2);
 }
 
 TEST(TelemetryJournal, SequenceNumbersAreMonotone) {
@@ -480,7 +544,7 @@ TEST(TelemetryServer, HealthzReturns503WhenStale) {
   server.start();
   const std::string health = http_get(server.port(), "/healthz");
   EXPECT_NE(health.find("HTTP/1.1 503"), std::string::npos);
-  EXPECT_NE(health.find("\"status\": \"degraded\""), std::string::npos);
+  EXPECT_NE(health.find("\"status\": \"stale\""), std::string::npos);
   server.stop();
   reg.gauge("stream/snapshot_epoch").set(0);
   reg.gauge("stream/staleness_seconds").set(0);
@@ -514,6 +578,39 @@ TEST(TelemetryFileWriterTest, WritesBothFilesOnStop) {
   std::stringstream hjson;
   hjson << health.rdbuf();
   EXPECT_TRUE(testing::is_valid_json(hjson.str()));
+}
+
+TEST(TelemetryFileWriterTest, WriteFailuresAreCountedNotThrown) {
+  testing::disarm_faults();
+  auto& reg = MetricsRegistry::global();
+
+  // Unwritable destination: the tmp file cannot even open.
+  const double before_bad = reg.counter_value("telemetry/file_write_failures");
+  {
+    TelemetryFileWriter writer(
+        ::testing::TempDir() + "no_such_dir_tt/tele.prom", 60.0);
+    writer.write_now();  // must degrade, not throw
+  }
+  EXPECT_GE(reg.counter_value("telemetry/file_write_failures"),
+            before_bad + 1);
+
+  // Injected fault on a good path: the write is skipped and counted, and
+  // the next (unfaulted) write lands the file.
+  const std::string path = ::testing::TempDir() + "tt_tele_fault.prom";
+  std::remove(path.c_str());
+  const double before_fault =
+      reg.counter_value("telemetry/file_write_failures");
+  TelemetryFileWriter writer(path, 60.0);
+  testing::FaultConfig cfg;
+  cfg.at(testing::FaultSite::kTelemetryWrite) = {1.0, 1};
+  testing::arm_faults(cfg);
+  writer.write_now();
+  testing::disarm_faults();
+  EXPECT_FALSE(std::ifstream(path).good());  // skipped, nothing half-written
+  EXPECT_GE(reg.counter_value("telemetry/file_write_failures"),
+            before_fault + 1);
+  writer.write_now();
+  EXPECT_TRUE(std::ifstream(path).good());
 }
 
 // ---------------------------------------------------------------------------

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -63,6 +64,20 @@ TEST(StreamServer, ReaderBeforeFirstPublishThrows) {
   ModelServer::Reader reader = server.reader();
   const index_t coord[3] = {0, 0, 0};
   EXPECT_THROW(reader.predict({coord, 3}), InvalidArgument);
+}
+
+TEST(StreamServer, TryAcquireIsNullBeforeFirstPublishThenFollows) {
+  ModelServer server;
+  ModelServer::Reader reader = server.reader();
+  // The degraded-safe query path: no model yet is "nothing to serve", not
+  // an exception (the throwing acquire() stays for callers who know a model
+  // exists).
+  EXPECT_EQ(reader.try_acquire(), nullptr);
+  server.publish(tagged_model({4, 4, 4}, 2, 1.0));
+  const KruskalSnapshot* snap = reader.try_acquire();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->epoch, 1u);
+  EXPECT_EQ(snap->rank(), 2u);
 }
 
 TEST(StreamServer, TopKMatchesBruteForce) {
@@ -181,6 +196,87 @@ TEST(StreamServer, ConcurrentReadersSeeConsistentSnapshotsUnderSwaps) {
   }
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(server.epoch(), static_cast<std::uint64_t>(kPublishes));
+}
+
+// The crash-loop variant of the stress above: the publisher mimics a
+// supervised refresh loop that keeps failing — bursts of contained
+// exceptions with no publish — and only occasionally lands a new model.
+// Readers run through try_acquire() the whole time, starting BEFORE the
+// first publish, and must only ever see null (nothing published yet) or an
+// internally consistent snapshot; never a torn one. TSan-covered via the
+// Stream CI regex.
+TEST(StreamServer, ReadersNeverSeeTornSnapshotsDuringCrashLoopRepublish) {
+  const std::vector<index_t> dims{16, 12, 8};
+  constexpr rank_t kRank = 3;
+  constexpr int kReaders = 4;
+  constexpr int kCycles = 120;
+  constexpr int kReadsPerReader = 4000;
+
+  ModelServer server;
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+
+  std::thread publisher([&] {
+    std::uint64_t epoch = 0;
+    for (int cycle = 1; cycle <= kCycles; ++cycle) {
+      // Crash burst: the refresh "throws" a few times, containment catches,
+      // nothing is published — readers must keep serving the last epoch.
+      for (int crash = 0; crash < cycle % 4; ++crash) {
+        try {
+          throw std::runtime_error("injected refresh failure");
+        } catch (const std::runtime_error&) {
+          std::this_thread::yield();
+        }
+      }
+      ++epoch;
+      server.publish(tagged_model(dims, kRank, static_cast<real_t>(epoch)));
+      std::this_thread::yield();
+    }
+    stop.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      ModelServer::Reader reader = server.reader();
+      for (int i = 0; i < kReadsPerReader; ++i) {
+        const KruskalSnapshot* snap = reader.try_acquire();
+        if (snap == nullptr) {
+          continue;  // pre-first-publish: degraded, not a crash
+        }
+        bool consistent =
+            snap->rank() == kRank && snap->order() == dims.size();
+        const real_t tag =
+            consistent ? snap->model.factors()[0](0, 0) : real_t{0};
+        consistent =
+            consistent && static_cast<double>(snap->epoch) == tag;
+        for (const Matrix& f : snap->model.factors()) {
+          if (!consistent) {
+            break;
+          }
+          for (const real_t v : f.flat()) {
+            if (v != tag) {
+              consistent = false;
+              break;
+            }
+          }
+        }
+        if (!consistent) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (stop.load(std::memory_order_acquire) && i > kReadsPerReader / 2) {
+          break;
+        }
+      }
+    });
+  }
+
+  publisher.join();
+  for (std::thread& t : readers) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.epoch(), static_cast<std::uint64_t>(kCycles));
 }
 
 }  // namespace

@@ -3,10 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <map>
+#include <string>
 #include <tuple>
 #include <vector>
 
+#include "testing/fault_injection.hpp"
 #include "testing/helpers.hpp"
 #include "util/error.hpp"
 
@@ -88,6 +92,96 @@ TEST(StreamReplay, RunsFullLifecycle) {
   EXPECT_EQ(r.queries, r.refreshes.size() * cfg.queries_per_refresh);
   EXPECT_EQ(r.ingest.appended, events.nnz());
   EXPECT_GT(r.total_seconds, 0.0);
+}
+
+// Fault-tolerant replay: contained refresh failures, WAL-backed recovery,
+// and poison-batch quarantine, all driven through ReplayConfig::fault.
+class StreamReplayFaults : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testing::disarm_faults();
+    dir_ = std::filesystem::path(::testing::TempDir()) /
+           ("replay_" + std::string(::testing::UnitTest::GetInstance()
+                                        ->current_test_info()
+                                        ->name()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    testing::disarm_faults();
+    std::filesystem::remove_all(dir_);
+  }
+
+  ReplayConfig base_config() const {
+    ReplayConfig cfg;
+    cfg.batches = 4;
+    cfg.queries_per_refresh = 4;
+    cfg.cpd.with_rank(2).with_max_outer(15).with_tolerance(1e-3).with_seed(5);
+    return cfg;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(StreamReplayFaults, RefreshFailuresAreContainedAndCounted) {
+  const CooTensor events = testing::dense_lowrank_tensor({8, 7, 6}, 2, 0.05);
+  ReplayConfig cfg = base_config();
+  // No backoff: every batch attempts a refresh, so the two injected
+  // failures are consumed back-to-back and the stream then recovers.
+  cfg.fault.supervisor.backoff_initial_seconds = 0;
+
+  testing::FaultConfig faults;
+  faults.at(testing::FaultSite::kRefreshThrow) = {1.0, 2};
+  testing::arm_faults(faults);
+
+  const ReplayResult r = replay_stream(events, cfg);  // must not throw
+  EXPECT_EQ(r.refresh_failures, 2u);
+  EXPECT_NE(r.first_refresh_error.find("kRefreshThrow"), std::string::npos);
+  EXPECT_GE(r.refreshes.size(), 1u);  // later batches refreshed fine
+  EXPECT_GE(r.final_epoch, 1u);
+  EXPECT_EQ(r.breaker, BreakerState::kClosed);
+  EXPECT_EQ(r.final_nnz, events.nnz());  // ingest never stopped
+}
+
+TEST_F(StreamReplayFaults, WalRecoversAcrossRuns) {
+  const CooTensor events = testing::dense_lowrank_tensor({8, 7, 6}, 2, 0.05);
+  ReplayConfig cfg = base_config();
+  cfg.fault.wal_prefix = (dir_ / "wal" / "run").string();
+
+  const ReplayResult first = replay_stream(events, cfg);
+  EXPECT_EQ(first.wal.records_recovered, 0u);  // nothing to recover yet
+  ASSERT_NE(first.state_digest, 0u);
+
+  // Second run over the same WAL: recovery replays the first run's batches
+  // before the events stream again, and overwrite semantics land the tensor
+  // on the exact same state.
+  const ReplayResult second = replay_stream(events, cfg);
+  // One WAL record per batch the first run applied (tick-atomic batching
+  // may merge the requested 4 into fewer).
+  EXPECT_EQ(second.wal.records_recovered, first.ingest.batches);
+  EXPECT_GT(second.wal.records_recovered, 0u);
+  EXPECT_FALSE(second.wal.torn_tail);
+  EXPECT_EQ(second.state_digest, first.state_digest);
+  EXPECT_EQ(second.final_dims, first.final_dims);
+  EXPECT_EQ(second.final_nnz, first.final_nnz);
+}
+
+TEST_F(StreamReplayFaults, CorruptBatchIsQuarantinedNotIngested) {
+  const CooTensor events = testing::dense_lowrank_tensor({8, 7, 6}, 2, 0.05);
+  ReplayConfig cfg = base_config();
+  cfg.fault.quarantine_path = (dir_ / "quarantine.jsonl").string();
+
+  testing::FaultConfig faults;
+  faults.at(testing::FaultSite::kIngestCorrupt) = {1.0, 1};
+  testing::arm_faults(faults);
+
+  const ReplayResult r = replay_stream(events, cfg);
+  EXPECT_EQ(r.quarantined, 1u);
+  EXPECT_LT(r.final_nnz, events.nnz());  // the poison batch never landed
+  std::ifstream sidecar(cfg.fault.quarantine_path);
+  std::string line;
+  ASSERT_TRUE(std::getline(sidecar, line));
+  EXPECT_NE(line.find("validation failed"), std::string::npos);
 }
 
 TEST(StreamReplay, WindowedReplayEvicts) {
