@@ -8,6 +8,7 @@
 
 #include "obs/metrics.hpp"
 #include "parallel/runtime.hpp"
+#include "util/error.hpp"
 
 namespace aoadmm::bench {
 namespace {
@@ -124,6 +125,35 @@ CpdOptions default_cpd_options() {
   opts.admm.block_size = 50;  // paper §IV.B
   opts.seed = 4242;
   return opts;
+}
+
+SyntheticSpec zipf_workload(std::size_t order, real_t alpha) {
+  SyntheticSpec spec;
+  switch (order) {
+    case 3:
+      // Strong mode-length skew + low density: the resolve_auto_kernel
+      // regime that routes order-3 ONEMODE sets to kAlto (fiber splitting
+      // degenerates; the linearized stream stays evenly partitionable).
+      spec.dims = {30000, 400, 300};
+      spec.nnz = 400000;
+      break;
+    case 4:
+      spec.dims = {800, 700, 600, 500};
+      spec.nnz = 300000;
+      break;
+    case 5:
+      spec.dims = {220, 190, 160, 140, 120};
+      spec.nnz = 250000;
+      break;
+    default:
+      throw InvalidArgument("zipf_workload: order must be 3, 4 or 5");
+  }
+  spec.nnz = static_cast<offset_t>(static_cast<real_t>(spec.nnz) *
+                                   bench_scale());
+  spec.zipf_alpha = {alpha};
+  spec.true_rank = 8;
+  spec.seed = 20260809 + static_cast<std::uint64_t>(order);
+  return spec;
 }
 
 TablePrinter::TablePrinter(std::vector<std::string> headers,

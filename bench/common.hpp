@@ -52,6 +52,14 @@ class DatasetCache {
 /// iteration caps scaled for the container).
 CpdOptions default_cpd_options();
 
+/// Power-law MTTKRP workload for the kernel head-to-head suite
+/// (bench_mttkrp_kernels): `order` in {3, 4, 5} with per-mode Zipf
+/// exponent `alpha` (default 1.3 — strong popularity skew, the regime
+/// where linearized/cached kernels separate from the plain tree walk).
+/// Non-zero counts scale with bench_scale(); deterministic per
+/// (order, alpha). Dims stay within the 64-bit ALTO code budget.
+SyntheticSpec zipf_workload(std::size_t order, real_t alpha = 1.3);
+
 /// Fixed-width table printing.
 class TablePrinter {
  public:

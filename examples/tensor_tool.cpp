@@ -25,7 +25,7 @@
 //             [--couple y.mat] [--couple-mode 0] [--couple-weight 1.0]
 //             [--couple-constraint none]
 //             [--variant blocked|base] [--format dense|csr|csr-h]
-//             [--mttkrp-kernel auto|allmode|onetree|tiled]
+//             [--mttkrp-kernel auto|allmode|onetree|tiled|dimtree|alto]
 //             [--mttkrp-schedule auto|dynamic|weighted|owner]
 //             [--tile-rows N]
 //             [--max-outer 50] [--tol 1e-5] [--block 50] [--trace out.csv]
@@ -62,7 +62,9 @@
 // MTTKRP (cpd): --mttkrp-kernel picks the driver (auto follows the CSF
 // compilation; onetree compiles a single tree and serves the other modes
 // through the scatter kernels, 1/order the memory; tiled blocks the leaf
-// mode in --tile-rows chunks for cache residency). --mttkrp-schedule picks
+// mode in --tile-rows chunks for cache residency; dimtree caches partial
+// contractions across the mode sweep on one tree; alto runs the
+// bit-interleaved linearized kernel). --mttkrp-schedule picks
 // the scatter/scheduling policy (auto; weighted = nnz-weighted static
 // chunks + privatized reduction; owner = owner-computes partitioning;
 // dynamic = the legacy atomic baseline, for ablations).
@@ -301,9 +303,14 @@ int cmd_cpd(const Options& opts) {
     kernel = MttkrpKernel::kOneTree;
   } else if (kernel_str == "tiled") {
     kernel = MttkrpKernel::kTiled;
+  } else if (kernel_str == "dimtree") {
+    kernel = MttkrpKernel::kDimTree;
+  } else if (kernel_str == "alto") {
+    kernel = MttkrpKernel::kAlto;
   } else {
-    AOADMM_CHECK_MSG(kernel_str == "auto",
-                     "--mttkrp-kernel must be auto|allmode|onetree|tiled");
+    AOADMM_CHECK_MSG(
+        kernel_str == "auto",
+        "--mttkrp-kernel must be auto|allmode|onetree|tiled|dimtree|alto");
   }
 
   const std::string sched_str = opts.get_string("mttkrp-schedule", "auto");
@@ -321,7 +328,11 @@ int cmd_cpd(const Options& opts) {
 
   const auto tile_rows =
       static_cast<index_t>(opts.get_int("tile-rows", 0));
-  const CsfStrategy strategy = kernel == MttkrpKernel::kOneTree
+  // The single-tree kernels (onetree, and the cached dimtree/alto engines
+  // built on top of it) need the one-mode compilation.
+  const CsfStrategy strategy = (kernel == MttkrpKernel::kOneTree ||
+                                kernel == MttkrpKernel::kDimTree ||
+                                kernel == MttkrpKernel::kAlto)
                                    ? CsfStrategy::kOneMode
                                    : CsfStrategy::kAllMode;
   // --tile-rows implies the tiled kernel unless the user forced another one

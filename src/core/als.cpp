@@ -9,6 +9,7 @@
 #include "obs/parallel_stats.hpp"
 #include "obs/profile.hpp"
 #include "sparse/density.hpp"
+#include "tensor/alto.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -45,6 +46,30 @@ CpdResult cpd_als(const CsfSet& csf, const CpdOptions& opts, real_t ridge) {
   AOADMM_CHECK_MSG(!csf.tiled(),
                    "cpd_als expects an untiled CsfSet (tiling is a CpdSolver "
                    "feature); build the set with tile_rows = 0");
+
+  const MttkrpKernel requested = opts.mttkrp_kernel;
+  if ((requested == MttkrpKernel::kDimTree ||
+       requested == MttkrpKernel::kAlto) &&
+      csf.strategy() != CsfStrategy::kOneMode) {
+    throw InvalidArgument(
+        std::string("mttkrp_kernel=") + to_string(requested) +
+        " caches intermediates over a single shared tree; rebuild the "
+        "CsfSet with CsfStrategy::kOneMode");
+  }
+  if (requested == MttkrpKernel::kDimTree && order < 3) {
+    throw InvalidArgument("mttkrp_kernel=dimtree needs order >= 3");
+  }
+  if (requested == MttkrpKernel::kAlto && !alto_linearizable(csf.dims())) {
+    throw InvalidArgument(
+        "mttkrp_kernel=alto: mode index bits exceed the 64-bit linearized "
+        "code; use onetree or dimtree for this tensor");
+  }
+  // ALS always reads dense leaf factors, so kAuto resolution sees
+  // dense_leaf = true.
+  const MttkrpKernel kernel =
+      resolve_auto_kernel(requested, csf.strategy(), /*tiled=*/false,
+                          /*dense_leaf=*/true, order, csf.dims(), csf.nnz(),
+                          opts.rank);
 
   const AlsMetrics& metrics = AlsMetrics::get();
   metrics.runs.add(1);
@@ -97,7 +122,7 @@ CpdResult cpd_als(const CsfSet& csf, const CpdOptions& opts, real_t ridge) {
         ++result.mttkrp_count;
         metrics.mttkrp_calls.add(1);
         mttkrp_dispatch(csf.for_mode(m), result.factors, m, ws.mttkrp_out,
-                        opts.mttkrp_schedule);
+                        opts.mttkrp_schedule, kernel, &ws.dimtree);
         mode_mttkrp_seconds[m] = mttkrp_timer.seconds() - before;
       }
       {
@@ -127,6 +152,7 @@ CpdResult cpd_als(const CsfSet& csf, const CpdOptions& opts, real_t ridge) {
       {
         AOADMM_PROFILE_SCOPE("cpd/gram");
         gram(result.factors[m], ws.grams[m]);
+        ws.dimtree.invalidate_mode(m);
       }
     }
 
@@ -136,7 +162,8 @@ CpdResult cpd_als(const CsfSet& csf, const CpdOptions& opts, real_t ridge) {
       // mttkrp_out was overwritten by the solve; recompute the final-mode
       // MTTKRP for an exact fit. (ALS is a baseline; simplicity wins.)
       mttkrp_dispatch(csf.for_mode(order - 1), result.factors, order - 1,
-                      ws.mttkrp_out, opts.mttkrp_schedule);
+                      ws.mttkrp_out, opts.mttkrp_schedule, kernel,
+                      &ws.dimtree);
       err = detail::fit_relative_error(x_norm_sq, ws.mttkrp_out,
                                        result.factors[order - 1], ws.grams);
     }

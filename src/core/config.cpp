@@ -294,6 +294,16 @@ ValidationReport CpdConfig::validate(std::size_t order) const {
             "across buckets, so per-row systems cannot be assembled); unset "
             "mttkrp_kernel=tiled and mttkrp_tile_rows");
   }
+  if (generalized_loss && (mttkrp_kernel == MttkrpKernel::kDimTree ||
+                           mttkrp_kernel == MttkrpKernel::kAlto)) {
+    add(Severity::kError, "loss",
+        std::string("loss ") + to_cli_string(loss) +
+            " takes the generalized per-row split solve, which needs "
+            "mode-rooted trees (CsfStrategy::kAllMode); the " +
+            to_string(mttkrp_kernel) +
+            " kernel caches intermediates over a single shared tree and "
+            "cannot serve it — use mttkrp_kernel=auto or allmode");
+  }
   if (loss.kind == LossKind::kKL) {
     for (std::size_t i = 0; i < constraints.size(); ++i) {
       const ConstraintKind k = constraints.specs()[i].kind;
@@ -364,12 +374,31 @@ ValidationReport CpdConfig::validate(std::size_t order) const {
         "no cache benefit); set mttkrp_tile_rows to the intended tile "
         "height");
   }
+  // The cached-intermediate kernels read the raw factors every refresh, so
+  // a compressed leaf mirror can never be consulted: reject rather than
+  // silently ignore the leaf_format request.
+  if ((mttkrp_kernel == MttkrpKernel::kDimTree ||
+       mttkrp_kernel == MttkrpKernel::kAlto) &&
+      leaf_format != LeafFormat::kDense) {
+    add(Severity::kError, "mttkrp_kernel",
+        std::string("the ") + to_string(mttkrp_kernel) +
+            " MTTKRP kernel supports only the DENSE leaf format, but "
+            "leaf_format is " +
+            to_string(leaf_format));
+  }
   if (mttkrp_kernel == MttkrpKernel::kOneTree &&
       mttkrp_schedule == MttkrpSchedule::kDynamic) {
     add(Severity::kWarning, "mttkrp_schedule",
         "mttkrp_schedule=dynamic puts the one-tree kernel back on the "
         "per-element atomic scatter path (the ablation baseline); use "
         "auto/weighted/owner for the atomic-free kernels");
+  }
+  if (mttkrp_kernel == MttkrpKernel::kAlto &&
+      mttkrp_schedule == MttkrpSchedule::kDynamic) {
+    add(Severity::kWarning, "mttkrp_schedule",
+        "mttkrp_schedule=dynamic runs the ALTO kernel through the atomic "
+        "scatter path; use auto/weighted/owner for the deterministic "
+        "privatized or owner-computes variants");
   }
 
   if (checkpoint_every > 0 && checkpoint_path.empty()) {

@@ -1,6 +1,7 @@
 #include "core/loss_solve.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstddef>
 #include <vector>
@@ -280,12 +281,16 @@ LossUpdateResult loss_mode_update(const CsfTensor& tree,
   {
     RowScratch scratch(f, order);
     LossUpdateResult local;
+    using clock = std::chrono::steady_clock;
 #if defined(AOADMM_HAVE_OPENMP)
 #pragma omp for schedule(dynamic, 8) nowait
 #endif
     for (std::ptrdiff_t r = 0; r < nroots; ++r) {
       const auto rr = static_cast<std::size_t>(r);
+      const clock::time_point a0 = clock::now();
       assemble_row(tree, factors, rr, zero_fill_s, scratch);
+      local.assemble_seconds +=
+          std::chrono::duration<double>(clock::now() - a0).count();
       const RowOutcome row = solve_row(h, u_h, root_fids[rr], loss, prox,
                                        opts, slope, state, scratch);
       local.iterations = std::max<std::uint64_t>(local.iterations,
@@ -306,6 +311,10 @@ LossUpdateResult loss_mode_update(const CsfTensor& tree,
       result.dual_residual =
           std::max(result.dual_residual, local.dual_residual);
       result.rho_rebalances += local.rho_rebalances;
+      // Max over threads: the assembly phases overlap, so the busiest
+      // thread's total is the wall-clock share assembly is responsible for.
+      result.assemble_seconds =
+          std::max(result.assemble_seconds, local.assemble_seconds);
     }
   }
   return result;

@@ -66,6 +66,10 @@ struct LossUpdateResult {
   real_t dual_residual = 0;
   /// Adaptive-rho rescales summed over rows (0 unless opts.adaptive fired).
   unsigned rho_rebalances = 0;
+  /// Wall-clock seconds spent assembling the per-row Khatri-Rao systems —
+  /// the generalized path's MTTKRP analogue (max over threads, so it is
+  /// comparable to the quadratic path's per-mode kernel time).
+  double assemble_seconds = 0;
 };
 
 /// One generalized mode update: for every root row of `tree` (which must

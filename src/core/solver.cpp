@@ -12,6 +12,7 @@
 #include "obs/telemetry/event_journal.hpp"
 #include "obs/telemetry/trace_context.hpp"
 #include "sparse/density.hpp"
+#include "tensor/alto.hpp"
 #include "testing/fault_injection.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -158,7 +159,28 @@ CpdSolver::CpdSolver(const CsfSet& csf, CpdConfig config)
           "rebuild it with CsfStrategy::kOneMode to exercise the non-root "
           "kernels");
     }
+    if ((kernel == MttkrpKernel::kDimTree || kernel == MttkrpKernel::kAlto) &&
+        csf_.strategy() != CsfStrategy::kOneMode) {
+      throw InvalidArgument(
+          std::string("mttkrp_kernel=") + to_string(kernel) +
+          " caches intermediates over a single shared tree; rebuild the "
+          "CsfSet with CsfStrategy::kOneMode");
+    }
+    if (kernel == MttkrpKernel::kDimTree && order < 3) {
+      throw InvalidArgument(
+          "mttkrp_kernel=dimtree needs order >= 3 (an order-2 tree has no "
+          "partial contractions to cache)");
+    }
+    if (kernel == MttkrpKernel::kAlto && !alto_linearizable(csf_.dims())) {
+      throw InvalidArgument(
+          "mttkrp_kernel=alto: mode index bits exceed the 64-bit linearized "
+          "code; use onetree or dimtree for this tensor");
+    }
   }
+  resolved_kernel_ = resolve_auto_kernel(
+      config_.mttkrp_kernel, csf_.strategy(), csf_.tiled(),
+      config_.leaf_format == LeafFormat::kDense, order, csf_.dims(),
+      csf_.nnz(), config_.rank);
 
   x_norm_sq_ = csf_.norm_sq();
 }
@@ -286,6 +308,10 @@ CpdResult CpdSolver::run(unsigned start_outer, real_t prev_error,
   wall.start();
   KernelTimers timers;
 
+  // Every entry point hands in fresh or restored factors; any cached
+  // dimension-tree partials belong to the previous iterate.
+  ws_.dimtree.invalidate_all();
+
   {
     const ScopedTimer t(timers.other);
     AOADMM_PROFILE_SCOPE("cpd/gram");
@@ -311,6 +337,7 @@ CpdResult CpdSolver::run(unsigned start_outer, real_t prev_error,
     const obs::ParallelTotals parallel_before = obs::parallel_totals();
     const obs::ParallelTotals mttkrp_before = obs::mttkrp_totals();
     const double admm_seconds_before = timers.admm.seconds();
+    const detail::DimTreeStats dimtree_before = ws_.dimtree.stats();
     std::fill(mode_mttkrp_seconds_.begin(), mode_mttkrp_seconds_.end(), 0.0);
     std::uint64_t iter_inner_iterations = 0;
     real_t worst_primal = 0;
@@ -373,7 +400,8 @@ CpdResult CpdSolver::run(unsigned start_outer, real_t prev_error,
                          opts.mttkrp_schedule);
           } else {
             mttkrp_dispatch(*tree, factors_, m, ws_.mttkrp_out,
-                            opts.mttkrp_schedule);
+                            opts.mttkrp_schedule, resolved_kernel_,
+                            &ws_.dimtree);
           }
         }
         testing::maybe_inject_nan(ws_.mttkrp_out);
@@ -385,6 +413,9 @@ CpdResult CpdSolver::run(unsigned start_outer, real_t prev_error,
         while (attempts < rb.max_recoveries &&
                !all_finite(ws_.mttkrp_out)) {
           ++attempts;
+          // A cached partial could carry the corruption; recompute from the
+          // factors, not from the tree's intermediates.
+          ws_.dimtree.invalidate_all();
           used_sparse = compute_mttkrp();
         }
         result.recovery.add({RecoveryKind::kMttkrpRetry, outer, m, attempts,
@@ -501,6 +532,9 @@ CpdResult CpdSolver::run(unsigned start_outer, real_t prev_error,
         AOADMM_PROFILE_SCOPE("cpd/gram");
         gram(factors_[m], ws_.grams[m]);
         sparse_cache_.invalidate(m);
+        // Drop exactly the dimension-tree partials that read this factor;
+        // the rest stay warm for the remaining modes of the sweep.
+        ws_.dimtree.invalidate_mode(m);
       }
     }
 
@@ -552,6 +586,13 @@ CpdResult CpdSolver::run(unsigned start_outer, real_t prev_error,
       }
       snap.mttkrp_count = result.mttkrp_count;
       snap.sparse_mttkrp_count = result.sparse_mttkrp_count;
+      {
+        const detail::DimTreeStats dt = ws_.dimtree.stats();
+        snap.dimtree_levels_computed =
+            dt.levels_computed - dimtree_before.levels_computed;
+        snap.dimtree_levels_reused =
+            dt.levels_reused - dimtree_before.levels_reused;
+      }
       opts.on_iteration(snap);
     }
 
@@ -667,6 +708,9 @@ CpdResult CpdSolver::run_loss(unsigned start_outer, CpdResult result) {
   std::vector<real_t> zero_fill_s(zero_fill ? f : 0);
 
   double prev_objective = std::numeric_limits<double>::infinity();
+  // Row-system assembly is the generalized path's MTTKRP: report it under
+  // the same headings instead of leaving the kernel breakdown at zero.
+  double assemble_total_seconds = 0;
 
   for (unsigned outer = start_outer; outer <= opts.max_outer_iterations;
        ++outer) {
@@ -729,6 +773,8 @@ CpdResult CpdSolver::run_loss(unsigned start_outer, CpdResult result) {
       const LossUpdateResult lr =
           loss_mode_update(tree, factors_, duals_[m], m, *loss_, *prox_[m],
                            opts.admm, s_span, loss_ws_.modes[m]);
+      mode_mttkrp_seconds_[m] = lr.assemble_seconds;
+      assemble_total_seconds += lr.assemble_seconds;
       result.total_inner_iterations += lr.iterations;
       result.total_row_iterations += lr.row_iterations;
       iter_inner_iterations += lr.iterations;
@@ -789,7 +835,12 @@ CpdResult CpdSolver::run_loss(unsigned start_outer, CpdResult result) {
       snap.iteration_seconds = iter_seconds;
       snap.relative_error = lo.observed_relative_error;
       snap.mode_mttkrp_seconds = mode_mttkrp_seconds_;
-      snap.admm_seconds = timers.admm.seconds() - admm_seconds_before;
+      double assemble_iter = 0;
+      for (const double s : mode_mttkrp_seconds_) {
+        assemble_iter += s;
+      }
+      snap.admm_seconds =
+          timers.admm.seconds() - admm_seconds_before - assemble_iter;
       snap.admm_inner_iterations = iter_inner_iterations;
       snap.worst_primal_residual = worst_primal;
       snap.mean_primal_residual = sum_primal / static_cast<real_t>(order);
@@ -852,10 +903,13 @@ CpdResult CpdSolver::run_loss(unsigned start_outer, CpdResult result) {
 
   wall.stop();
   result.times.total_seconds = wall.seconds();
-  result.times.admm_seconds = timers.admm.seconds();
-  result.times.mttkrp_seconds = 0;
-  result.times.other_seconds =
-      result.times.total_seconds - result.times.admm_seconds;
+  result.times.mttkrp_seconds = assemble_total_seconds;
+  result.times.admm_seconds =
+      std::max(0.0, timers.admm.seconds() - assemble_total_seconds);
+  result.times.other_seconds = result.times.total_seconds -
+                               result.times.mttkrp_seconds -
+                               result.times.admm_seconds;
+  metrics.mttkrp_seconds.add(result.times.mttkrp_seconds);
   metrics.admm_seconds.add(result.times.admm_seconds);
 
   result.factors = factors_;

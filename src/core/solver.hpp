@@ -101,6 +101,9 @@ class CpdSolver {
   SparseFactorCache sparse_cache_;
   Rng rng_;
   std::vector<double> mode_mttkrp_seconds_;
+  /// Concrete kernel after kAuto resolution (resolve_auto_kernel), fixed at
+  /// construction for the session's lifetime.
+  MttkrpKernel resolved_kernel_ = MttkrpKernel::kAuto;
 };
 
 }  // namespace aoadmm

@@ -9,6 +9,7 @@
 
 #include "core/admm.hpp"
 #include "la/matrix.hpp"
+#include "mttkrp/dimtree.hpp"
 #include "mttkrp/mttkrp.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/density.hpp"
@@ -67,6 +68,10 @@ struct CpdWorkspace {
   Matrix gram_prod;   // ⊛ of the other modes' Grams
   Matrix fit_acc;     // ⊛ of ALL Grams, for the fit evaluation
   std::vector<Matrix> grams;  // per-mode AᵀA, kept current
+  /// Cached partial contractions for the kDimTree kernel (grow-only; empty
+  /// until that kernel runs). Lives in the workspace so steady-state solver
+  /// iterations stay zero-alloc.
+  detail::DimTreeEngine dimtree;
 
   explicit CpdWorkspace(std::size_t order) : grams(order) {}
 };

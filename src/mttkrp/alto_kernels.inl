@@ -1,0 +1,314 @@
+// Templated ALTO MTTKRP kernel bodies, shared between the portable
+// translation unit (mttkrp/alto.cpp) and the BMI2-specialized one
+// (mttkrp/alto_bmi2.cpp, compiled with -mbmi2 on x86-64 so the pext
+// decode inlines into every walk, including the OpenMP regions). All
+// definitions are in an anonymous namespace: each TU instantiates its own
+// copies under its own instruction-set flags, so there is no ODR overlap.
+#include <algorithm>
+
+#include "mttkrp/alto.hpp"
+#include "mttkrp/microkernels.hpp"
+#include "mttkrp/mttkrp_impl.hpp"
+#include "mttkrp/thread_scratch.hpp"
+#include "obs/parallel_stats.hpp"
+#include "parallel/runtime.hpp"
+
+namespace aoadmm {
+namespace {
+
+using detail::atomic_add_row;
+using detail::BufferTable;
+
+/// Portable decode: the per-mode shift/mask run loop.
+struct RunDecode {
+  const AltoTensor& alto;
+  index_t operator()(std::uint64_t code, std::size_t m) const noexcept {
+    return alto.decode_mode(code, m);
+  }
+};
+
+/// Walk the non-zeros [lo, hi), delivering each target-mode row's summed
+/// contribution through scatter(row_id, acc). Because the stream is sorted
+/// by the interleaved code, runs of non-zeros sharing the target row are
+/// common (whenever the target owns the low interleaved bits); the
+/// accumulate-and-flush keeps those in a register-resident buffer instead
+/// of re-touching the output row per non-zero.
+template <int R, typename Decode, typename Scatter>
+void alto_walk(const AltoTensor& alto, cspan<const Matrix> factors,
+               std::size_t target, std::size_t f, std::size_t lo,
+               std::size_t hi, real_t* __restrict contrib,
+               real_t* __restrict acc, const Decode& decode,
+               const Scatter& scatter) {
+  using Ops = detail::RowOps<R>;
+  const std::size_t order = alto.order();
+  const std::uint64_t* __restrict codes = alto.codes().data();
+  const real_t* __restrict vals = alto.vals().data();
+  if (lo >= hi) {
+    return;
+  }
+
+  // Order-3 fast path: both non-target rows are known up front, so the
+  // contribution is one fused pass instead of a scale + Hadamard pair.
+  const bool fused3 = order == 3;
+  std::size_t ma = 0;
+  std::size_t mb = 0;
+  const real_t* fa = nullptr;
+  const real_t* fb = nullptr;
+  if (fused3) {
+    ma = target == 0 ? 1 : 0;
+    mb = target == 2 ? 1 : 2;
+    fa = factors[ma].data();
+    fb = factors[mb].data();
+  }
+  const auto compute = [&](std::size_t i, std::uint64_t code,
+                           real_t* __restrict dst) {
+    if (fused3) {
+      Ops::scale_mul(dst, vals[i],
+                     fa + static_cast<std::size_t>(decode(code, ma)) * f,
+                     fb + static_cast<std::size_t>(decode(code, mb)) * f, f);
+      return;
+    }
+    bool first = true;
+    for (std::size_t m = 0; m < order; ++m) {
+      if (m == target) {
+        continue;
+      }
+      const real_t* __restrict arow =
+          factors[m].data() +
+          static_cast<std::size_t>(decode(code, m)) * f;
+      if (first) {
+        Ops::scale(dst, vals[i], arow, f);
+        first = false;
+      } else {
+        Ops::mul_inplace(dst, arow, f);
+      }
+    }
+  };
+
+  // Peek one code ahead: a target row visited by a single non-zero is
+  // scattered straight from `contrib` (no accumulator copy); only genuine
+  // same-row runs touch `acc`. Summation order is unchanged.
+  index_t row = decode(codes[lo], target);
+  bool pending = false;
+  for (std::size_t i = lo; i < hi; ++i) {
+    const std::uint64_t code = codes[i];
+    const bool last = i + 1 == hi;
+    const index_t next = last ? row : decode(codes[i + 1], target);
+    if (pending) {
+      compute(i, code, contrib);
+      Ops::add(acc, contrib, f);
+      if (last || next != row) {
+        scatter(row, acc);
+        pending = false;
+      }
+    } else if (!last && next == row) {
+      compute(i, code, acc);
+      pending = true;
+    } else {
+      compute(i, code, contrib);
+      scatter(row, contrib);
+    }
+    row = next;
+  }
+}
+
+template <int R, typename Decode>
+void alto_serial(const AltoTensor& alto, cspan<const Matrix> factors,
+                 std::size_t target, std::size_t f, Matrix& out,
+                 const Decode& decode) {
+  using Ops = detail::RowOps<R>;
+  obs::BusyTimes busy(1, obs::RegionDomain::kMttkrp);
+  real_t* const base = detail::mttkrp_thread_scratch(2 * f);
+  const double t0 = detail::mttkrp_now();
+  alto_walk<R>(alto, factors, target, f, 0,
+               static_cast<std::size_t>(alto.nnz()), base, base + f, decode,
+               [&](index_t row, const real_t* __restrict src) {
+                 Ops::add(out.data() + static_cast<std::size_t>(row) * f, src,
+                          f);
+               });
+  busy.add(0, detail::mttkrp_now() - t0);
+}
+
+/// Legacy per-element-atomic scatter behind the explicit kDynamic policy.
+template <int R, typename Decode>
+void alto_atomic(const AltoTensor& alto, cspan<const Matrix> factors,
+                 std::size_t target, std::size_t f, Matrix& out, int planned,
+                 const Decode& decode) {
+  const auto& bounds =
+      alto.nnz_partition(static_cast<std::size_t>(planned));
+  const std::size_t parts = bounds.size() - 1;
+  obs::BusyTimes busy(planned, obs::RegionDomain::kMttkrp);
+
+#if defined(AOADMM_HAVE_OPENMP)
+#pragma omp parallel
+#endif
+  {
+    const int tid = thread_id();
+    const auto team = static_cast<std::size_t>(std::max(team_size(), 1));
+    real_t* const base = detail::mttkrp_thread_scratch(2 * f);
+    const double t0 = detail::mttkrp_now();
+    const auto scatter = [&](index_t row, const real_t* __restrict src) {
+      atomic_add_row(out.data() + static_cast<std::size_t>(row) * f, src, f);
+    };
+    for (std::size_t c = static_cast<std::size_t>(tid); c < parts;
+         c += team) {
+      alto_walk<R>(alto, factors, target, f, bounds[c], bounds[c + 1], base,
+                   base + f, decode, scatter);
+    }
+    busy.add(tid, detail::mttkrp_now() - t0);
+  }
+}
+
+/// Privatized reduction: per-thread dense output copies folded row-wise.
+template <int R, typename Decode>
+void alto_privatized(const AltoTensor& alto, cspan<const Matrix> factors,
+                     std::size_t target, std::size_t f, Matrix& out,
+                     int planned, const Decode& decode) {
+  using Ops = detail::RowOps<R>;
+  const auto& bounds =
+      alto.nnz_partition(static_cast<std::size_t>(planned));
+  const std::size_t parts = bounds.size() - 1;
+  const auto out_rows = static_cast<std::ptrdiff_t>(out.rows());
+  const std::size_t copy_elems = out.rows() * f;
+
+  BufferTable table(planned);
+  real_t** const bufs = table.data();
+  obs::BusyTimes busy(planned, obs::RegionDomain::kMttkrp);
+
+#if defined(AOADMM_HAVE_OPENMP)
+#pragma omp parallel
+#endif
+  {
+    const int tid = thread_id();
+    const auto team = static_cast<std::size_t>(std::max(team_size(), 1));
+    real_t* const base = detail::mttkrp_thread_scratch(2 * f + copy_elems);
+    const double t0 = detail::mttkrp_now();
+    if (tid < planned) {
+      real_t* const local = base + 2 * f;
+      std::fill(local, local + copy_elems, real_t{0});
+      bufs[tid] = local;
+      const auto scatter = [&](index_t row, const real_t* __restrict src) {
+        Ops::add(local + static_cast<std::size_t>(row) * f, src, f);
+      };
+      for (std::size_t c = static_cast<std::size_t>(tid); c < parts;
+           c += team) {
+        alto_walk<R>(alto, factors, target, f, bounds[c], bounds[c + 1],
+                     base, base + f, decode, scatter);
+      }
+    }
+    busy.add(tid, detail::mttkrp_now() - t0);
+
+#if defined(AOADMM_HAVE_OPENMP)
+#pragma omp barrier
+#endif
+
+    const double t1 = detail::mttkrp_now();
+#if defined(AOADMM_HAVE_OPENMP)
+#pragma omp for schedule(static) nowait
+#endif
+    for (std::ptrdiff_t row = 0; row < out_rows; ++row) {
+      real_t* __restrict dst = out.data() + static_cast<std::size_t>(row) * f;
+      for (int p = 0; p < planned; ++p) {
+        if (bufs[p] != nullptr) {
+          Ops::add(dst, bufs[p] + static_cast<std::size_t>(row) * f, f);
+        }
+      }
+    }
+    busy.add(tid, detail::mttkrp_now() - t1);
+  }
+}
+
+/// Owner-computes: rows private to one nnz chunk are written directly,
+/// chunk-boundary rows go through compact slot buffers plus a fixup pass.
+template <int R, typename Decode>
+void alto_owner(const AltoTensor& alto, cspan<const Matrix> factors,
+                std::size_t target, std::size_t f, Matrix& out, int planned,
+                const Decode& decode) {
+  using Ops = detail::RowOps<R>;
+  const MttkrpOwnerPlan& plan =
+      alto.owner_plan(target, static_cast<std::size_t>(planned));
+  const std::size_t parts = plan.parts;
+  const auto nshared = static_cast<std::ptrdiff_t>(plan.shared_rows.size());
+  const std::size_t slot_elems = static_cast<std::size_t>(nshared) * f;
+  const std::int32_t* __restrict row_slot = plan.row_slot.data();
+
+  BufferTable table(planned);
+  real_t** const bufs = table.data();
+  obs::BusyTimes busy(planned, obs::RegionDomain::kMttkrp);
+
+#if defined(AOADMM_HAVE_OPENMP)
+#pragma omp parallel
+#endif
+  {
+    const int tid = thread_id();
+    const auto team = static_cast<std::size_t>(std::max(team_size(), 1));
+    real_t* const base = detail::mttkrp_thread_scratch(2 * f + slot_elems);
+    const double t0 = detail::mttkrp_now();
+    if (tid < planned) {
+      real_t* const slot_buf = base + 2 * f;
+      std::fill(slot_buf, slot_buf + slot_elems, real_t{0});
+      bufs[tid] = slot_buf;
+      const auto scatter = [&](index_t row, const real_t* __restrict src) {
+        const std::int32_t slot = row_slot[row];
+        if (slot < 0) {
+          Ops::add(out.data() + static_cast<std::size_t>(row) * f, src, f);
+        } else {
+          Ops::add(slot_buf + static_cast<std::size_t>(slot) * f, src, f);
+        }
+      };
+      for (std::size_t c = static_cast<std::size_t>(tid); c < parts;
+           c += team) {
+        alto_walk<R>(alto, factors, target, f, plan.root_bounds[c],
+                     plan.root_bounds[c + 1], base, base + f, decode,
+                     scatter);
+      }
+    }
+    busy.add(tid, detail::mttkrp_now() - t0);
+
+#if defined(AOADMM_HAVE_OPENMP)
+#pragma omp barrier
+#endif
+
+    const double t1 = detail::mttkrp_now();
+#if defined(AOADMM_HAVE_OPENMP)
+#pragma omp for schedule(static) nowait
+#endif
+    for (std::ptrdiff_t s = 0; s < nshared; ++s) {
+      real_t* __restrict dst =
+          out.data() +
+          static_cast<std::size_t>(
+              plan.shared_rows[static_cast<std::size_t>(s)]) *
+              f;
+      for (int p = 0; p < planned; ++p) {
+        if (bufs[p] != nullptr) {
+          Ops::add(dst, bufs[p] + static_cast<std::size_t>(s) * f, f);
+        }
+      }
+    }
+    busy.add(tid, detail::mttkrp_now() - t1);
+  }
+}
+
+/// Schedule switch + rank dispatch shared by both decode flavors. `sched`
+/// must already be resolved (never kAuto) and `planned` >= 1.
+template <typename Decode>
+void run_alto_kernels(const AltoTensor& alto, cspan<const Matrix> factors,
+                      std::size_t target, std::size_t f, Matrix& out,
+                      MttkrpSchedule sched, int planned,
+                      const Decode& decode) {
+  detail::rank_dispatch(f, [&](auto rc) {
+    constexpr int R = decltype(rc)::value;
+    if (planned <= 1) {
+      alto_serial<R>(alto, factors, target, f, out, decode);
+    } else if (sched == MttkrpSchedule::kDynamic) {
+      alto_atomic<R>(alto, factors, target, f, out, planned, decode);
+    } else if (sched == MttkrpSchedule::kOwner) {
+      alto_owner<R>(alto, factors, target, f, out, planned, decode);
+    } else {
+      alto_privatized<R>(alto, factors, target, f, out, planned, decode);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace aoadmm

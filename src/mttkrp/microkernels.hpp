@@ -92,6 +92,18 @@ struct RowOps {
     }
   }
 
+  /// dst[:] = (v * a[:]) * b[:] — the fused order-3 contribution (same
+  /// association as scale-then-mul_inplace, one pass instead of two).
+  static void scale_mul(real_t* __restrict dst, real_t v,
+                        const real_t* __restrict a,
+                        const real_t* __restrict b, std::size_t f) noexcept {
+    const std::size_t n = len(f);
+    AOADMM_SIMD
+    for (std::size_t k = 0; k < n; ++k) {
+      dst[k] = (v * a[k]) * b[k];
+    }
+  }
+
   /// dst[:] += a[:] * b[:]
   static void mul_add(real_t* __restrict dst, const real_t* __restrict a,
                       const real_t* __restrict b, std::size_t f) noexcept {

@@ -65,12 +65,22 @@ const char* to_string(MttkrpSchedule s) noexcept;
 ///  * kOneTree — a single tree; non-root modes go through
 ///    mttkrp_csf_nonroot (needs a ONEMODE CsfSet).
 ///  * kTiled   — leaf-tiled root kernel per mode (needs a tiled CsfSet).
-///  * kAuto    — follow whatever the CsfSet was built as. The default.
+///  * kDimTree — dimension-tree engine over a single tree: per-level
+///    partial contractions are cached across the cyclic mode sweep and
+///    invalidated per factor update (needs an untiled ONEMODE CsfSet of
+///    order >= 3; see mttkrp/dimtree.hpp).
+///  * kAlto    — bit-interleaved linearized kernel: one mode-agnostic
+///    sorted non-zero stream serves every target mode (needs an untiled
+///    ONEMODE CsfSet with alto_linearizable dims; see mttkrp/alto.hpp).
+///  * kAuto    — data-driven choice from the compilation strategy, order,
+///    density and mode-length skew (resolve_auto_kernel). The default.
 enum class MttkrpKernel {
   kAuto,
   kAllMode,
   kOneTree,
   kTiled,
+  kDimTree,
+  kAlto,
 };
 
 const char* to_string(MttkrpKernel k) noexcept;
@@ -93,7 +103,31 @@ MttkrpSchedule resolve_nonroot_schedule(MttkrpSchedule s, index_t out_rows,
 /// collapse to kWeighted; kDynamic stays dynamic. Never returns kAuto.
 MttkrpSchedule resolve_root_schedule(MttkrpSchedule s) noexcept;
 
+class DimTreeEngine;  // mttkrp/dimtree.hpp
+
 }  // namespace detail
+
+/// Ranks at or above this stay on kOneTree when kAuto would otherwise pick
+/// kDimTree: the engine's per-level caches are O(nnz x rank) and past this
+/// point their memory traffic outweighs the saved flops (measured on the
+/// committed bench_mttkrp_kernels head-to-heads).
+inline constexpr rank_t kDimTreeMaxRank = 64;
+
+/// Data-driven kAuto kernel resolution (the selection heuristic behind the
+/// CPD drivers; logged at AOADMM_LOG_LEVEL=debug). A non-kAuto `requested`
+/// is returned unchanged. Otherwise: tiled sets take kTiled, ALLMODE sets
+/// the per-mode root kernel, and ONEMODE sets pick between kOneTree,
+/// kDimTree (order >= 4 and rank < kDimTreeMaxRank — the deeper the tree,
+/// the more the cached partials amortize, while high ranks blow the cache
+/// budget) and kAlto (order 3 with strong mode-length skew and low
+/// density, where even nnz splitting beats fiber splitting). `dense_leaf`
+/// must be false when a CSR/hybrid leaf mirror is in play — the cached-
+/// partial kernels require all-dense factors. `rank` 0 means unknown
+/// (treated as small).
+MttkrpKernel resolve_auto_kernel(MttkrpKernel requested, CsfStrategy strategy,
+                                 bool tiled, bool dense_leaf,
+                                 std::size_t order, cspan<index_t> dims,
+                                 offset_t nnz, rank_t rank = 0);
 
 /// Heuristic structure selection from a factor's measured pattern
 /// (paper §VI, "automatically select the best data structure"):
@@ -149,6 +183,17 @@ void mttkrp_csf_nonroot(const CsfTensor& csf, cspan<const Matrix> factors,
 void mttkrp_dispatch(const CsfTensor& csf, cspan<const Matrix> factors,
                      std::size_t target_mode, Matrix& out,
                      MttkrpSchedule schedule = MttkrpSchedule::kAuto);
+
+/// Kernel-aware dispatch used by the solver loops. kDimTree routes through
+/// `dimtree` (required non-null then; the engine owns the cached partials),
+/// kAlto through the tree's lazily built linearized index
+/// (CsfTensor::alto_index()), everything else through the tree-shape
+/// dispatch above. kTiled cannot be dispatched from a single tree and
+/// throws.
+void mttkrp_dispatch(const CsfTensor& csf, cspan<const Matrix> factors,
+                     std::size_t target_mode, Matrix& out,
+                     MttkrpSchedule schedule, MttkrpKernel kernel,
+                     detail::DimTreeEngine* dimtree = nullptr);
 
 /// Serial reference implementation straight from the definition.
 void mttkrp_coo(const CooTensor& coo, cspan<const Matrix> factors,

@@ -49,6 +49,10 @@ const char* to_string(MttkrpKernel k) noexcept {
       return "onetree";
     case MttkrpKernel::kTiled:
       return "tiled";
+    case MttkrpKernel::kDimTree:
+      return "dimtree";
+    case MttkrpKernel::kAlto:
+      return "alto";
   }
   return "?";
 }

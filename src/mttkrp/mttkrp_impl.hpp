@@ -4,7 +4,9 @@
 // (see microkernels.hpp). Internal header.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
+#include <memory>
 #include <vector>
 
 #include "la/matrix.hpp"
@@ -25,6 +27,45 @@ inline double mttkrp_now() noexcept {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+/// Element-wise atomic scatter of one rank-length row (the legacy kDynamic
+/// reduction, shared by the CSF non-root and ALTO kernels).
+inline void atomic_add_row(real_t* __restrict dst,
+                           const real_t* __restrict src, std::size_t f) {
+  for (std::size_t k = 0; k < f; ++k) {
+#if defined(AOADMM_HAVE_OPENMP)
+#pragma omp atomic
+#endif
+    dst[k] += src[k];
+  }
+}
+
+/// Pointer table shared across a team: per-thread private-accumulator base
+/// addresses, registered inside the region and read by the reduction pass.
+/// Inline storage for the common case so steady-state calls allocate
+/// nothing (same pattern as obs::BusyTimes). Shared by the privatized /
+/// owner-computes scatter paths of the CSF non-root, dimension-tree and
+/// ALTO kernels.
+class BufferTable {
+ public:
+  explicit BufferTable(int n) : n_(n) {
+    if (n_ > kInline) {
+      heap_.reset(new real_t*[static_cast<std::size_t>(n_)]());
+      bufs_ = heap_.get();
+    } else {
+      std::fill(inline_bufs_, inline_bufs_ + kInline, nullptr);
+    }
+  }
+  real_t** data() noexcept { return bufs_; }
+  int size() const noexcept { return n_; }
+
+ private:
+  static constexpr int kInline = 64;
+  real_t* inline_bufs_[kInline];
+  std::unique_ptr<real_t*[]> heap_;
+  real_t** bufs_ = inline_bufs_;
+  int n_ = 0;
+};
 
 /// In-region driver for the loop over root nodes. With `bounds` (parts+1
 /// nnz-weighted boundaries from CsfTensor::root_partition), each thread

@@ -46,40 +46,8 @@
 namespace aoadmm {
 namespace {
 
-inline void atomic_add_row(real_t* __restrict dst,
-                           const real_t* __restrict src, std::size_t f) {
-  for (std::size_t k = 0; k < f; ++k) {
-#if defined(AOADMM_HAVE_OPENMP)
-#pragma omp atomic
-#endif
-    dst[k] += src[k];
-  }
-}
-
-/// Pointer table shared across a team: per-thread private-accumulator base
-/// addresses, registered inside the region and read by the reduction pass.
-/// Inline storage for the common case so steady-state calls allocate
-/// nothing (same pattern as obs::BusyTimes).
-class BufferTable {
- public:
-  explicit BufferTable(int n) : n_(n) {
-    if (n_ > kInline) {
-      heap_.reset(new real_t*[static_cast<std::size_t>(n_)]());
-      bufs_ = heap_.get();
-    } else {
-      std::fill(inline_bufs_, inline_bufs_ + kInline, nullptr);
-    }
-  }
-  real_t** data() noexcept { return bufs_; }
-  int size() const noexcept { return n_; }
-
- private:
-  static constexpr int kInline = 64;
-  real_t* inline_bufs_[kInline];
-  std::unique_ptr<real_t*[]> heap_;
-  real_t** bufs_ = inline_bufs_;
-  int n_ = 0;
-};
+using detail::atomic_add_row;
+using detail::BufferTable;
 
 /// Depth-first walk of the root subtrees [lo, hi), delivering each target-
 /// level contribution row through scatter(row_id, contrib). down_buf/up_buf/

@@ -52,6 +52,11 @@ struct MetricsSnapshot {
   std::uint64_t mttkrp_count = 0;
   std::uint64_t sparse_mttkrp_count = 0;
 
+  /// Dimension-tree kernel reuse, this iteration: partial-contraction
+  /// levels recomputed vs. served from cache. Zero unless kDimTree ran.
+  std::uint64_t dimtree_levels_computed = 0;
+  std::uint64_t dimtree_levels_reused = 0;
+
   /// Single-line JSON object (suitable for JSON-lines progress streams).
   void write_json(std::ostream& out) const;
 };

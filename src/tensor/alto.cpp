@@ -1,0 +1,218 @@
+#include "tensor/alto.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <numeric>
+
+#include "parallel/partition.hpp"
+#include "util/error.hpp"
+
+namespace aoadmm {
+
+namespace {
+
+std::uint32_t bits_for_dim(index_t dim) noexcept {
+  // A mode of length 1 contributes no bits (its coordinate is always 0).
+  return dim <= 1 ? 0u
+                  : static_cast<std::uint32_t>(
+                        std::bit_width(static_cast<std::uint64_t>(dim) - 1));
+}
+
+}  // namespace
+
+bool alto_linearizable(cspan<index_t> dims) noexcept {
+  std::uint32_t total = 0;
+  for (index_t d : dims) {
+    total += bits_for_dim(d);
+  }
+  return total <= 64;
+}
+
+AltoTensor AltoTensor::build(const CsfTensor& csf) {
+  const std::size_t order = csf.order();
+  AOADMM_CHECK_MSG(order >= 1, "ALTO requires a non-empty tensor");
+  AltoTensor t;
+  t.dims_ = csf.dims();
+  AOADMM_CHECK_MSG(alto_linearizable(t.dims_),
+                   "mode lengths exceed 64 interleaved bits");
+
+  t.mode_bits_.resize(order);
+  for (std::size_t m = 0; m < order; ++m) {
+    t.mode_bits_[m] = bits_for_dim(t.dims_[m]);
+  }
+
+  // Round-robin LSB-first bit interleaving: cycle over the modes, assigning
+  // the next unassigned coordinate bit of each mode that still has bits
+  // left to the next code position. Short modes exhaust early and drop out
+  // of the rotation (ALTO's adaptive encoding).
+  t.runs_.assign(order, {});
+  {
+    std::vector<std::uint32_t> assigned(order, 0);
+    std::uint32_t pos = 0;
+    bool any = true;
+    while (any) {
+      any = false;
+      for (std::size_t m = 0; m < order; ++m) {
+        if (assigned[m] >= t.mode_bits_[m]) {
+          continue;
+        }
+        any = true;
+        const std::uint32_t src = pos++;
+        const std::uint32_t dst = assigned[m]++;
+        auto& runs = t.runs_[m];
+        // Extend the previous run when both positions are contiguous.
+        if (!runs.empty()) {
+          AltoRun& last = runs.back();
+          const std::uint32_t len =
+              static_cast<std::uint32_t>(std::popcount(last.mask));
+          if (last.src_shift + len == src && last.dst_shift + len == dst) {
+            last.mask = (last.mask << 1) | 1u;
+            continue;
+          }
+        }
+        runs.push_back(AltoRun{src, dst, 1u});
+      }
+    }
+    t.total_bits_ = pos;
+  }
+  t.mode_masks_.assign(order, 0);
+  for (std::size_t m = 0; m < order; ++m) {
+    for (const AltoRun& r : t.runs_[m]) {
+      t.mode_masks_[m] |= r.mask << r.src_shift;
+    }
+  }
+
+  // Recover per-non-zero coordinates from the CSF root-to-leaf paths,
+  // encode, and sort by code. The leaf order of the tree is immaterial —
+  // the linearized order replaces it.
+  const offset_t nnz = csf.nnz();
+  std::vector<std::pair<std::uint64_t, real_t>> enc(nnz);
+  {
+    std::vector<index_t> coords(order, 0);
+    cspan<real_t> vals = csf.vals();
+    offset_t out = 0;
+    const std::size_t leaf = order - 1;
+    // Unrolled control: descend writing coords, emit at leaves.
+    struct Frame {
+      offset_t cur;
+      offset_t end;
+    };
+    std::vector<Frame> stack(order);
+    stack[0] = Frame{0, static_cast<offset_t>(csf.num_nodes(0))};
+    std::size_t level = 0;
+    while (true) {
+      Frame& f = stack[level];
+      if (f.cur == f.end) {
+        if (level == 0) {
+          break;
+        }
+        --level;
+        ++stack[level].cur;
+        continue;
+      }
+      coords[csf.level_mode(level)] = csf.fids(level)[f.cur];
+      if (level == leaf) {
+        enc[out] = {t.encode(coords), vals[f.cur]};
+        ++out;
+        ++f.cur;
+        continue;
+      }
+      stack[level + 1] = Frame{csf.fptr(level)[f.cur], csf.fptr(level)[f.cur + 1]};
+      ++level;
+    }
+    AOADMM_CHECK(out == nnz);
+  }
+  std::sort(enc.begin(), enc.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  t.codes_.resize(nnz);
+  t.vals_.resize(nnz);
+  for (offset_t i = 0; i < nnz; ++i) {
+    t.codes_[i] = enc[i].first;
+    t.vals_[i] = enc[i].second;
+  }
+  return t;
+}
+
+std::uint64_t AltoTensor::encode(cspan<index_t> coords) const {
+  AOADMM_CHECK(coords.size() == order());
+  std::uint64_t code = 0;
+  for (std::size_t m = 0; m < order(); ++m) {
+    const std::uint64_t c = coords[m];
+    for (const AltoRun& r : runs_[m]) {
+      code |= ((c >> r.dst_shift) & r.mask) << r.src_shift;
+    }
+  }
+  return code;
+}
+
+const std::vector<std::size_t>& AltoTensor::nnz_partition(
+    std::size_t parts) const {
+  std::lock_guard<std::mutex> lock(plans_->mu);
+  auto it = plans_->nnz_partitions.find(parts);
+  if (it == plans_->nnz_partitions.end()) {
+    it = plans_->nnz_partitions
+             .emplace(parts, even_partition(static_cast<std::size_t>(nnz()),
+                                            parts))
+             .first;
+  }
+  return it->second;
+}
+
+const MttkrpOwnerPlan& AltoTensor::owner_plan(std::size_t mode,
+                                              std::size_t parts) const {
+  AOADMM_CHECK(mode < order());
+  AOADMM_CHECK(parts >= 1);
+  std::lock_guard<std::mutex> lock(plans_->mu);
+  const auto key = std::make_pair(mode, parts);
+  auto it = plans_->owner_plans.find(key);
+  if (it != plans_->owner_plans.end()) {
+    return it->second;
+  }
+
+  MttkrpOwnerPlan plan;
+  plan.level = mode;  // repurposed: target *mode* for the flat nnz stream
+  plan.parts = parts;
+  const std::vector<std::size_t> bounds =
+      even_partition(static_cast<std::size_t>(nnz()), parts);
+  plan.root_bounds = bounds;
+  plan.node_bounds.assign(bounds.begin(), bounds.end());
+
+  // A target row is "shared" when non-zeros from more than one chunk land
+  // on it; those rows go through slot buffers + fixup, everything else is
+  // written directly by its single owner.
+  const index_t rows = dims_[mode];
+  std::vector<std::int32_t> owner(rows, -1);
+  std::vector<bool> shared(rows, false);
+  for (std::size_t c = 0; c < parts; ++c) {
+    for (std::size_t i = bounds[c]; i < bounds[c + 1]; ++i) {
+      const index_t r = decode_mode(codes_[i], mode);
+      if (owner[r] < 0) {
+        owner[r] = static_cast<std::int32_t>(c);
+      } else if (owner[r] != static_cast<std::int32_t>(c)) {
+        shared[r] = true;
+      }
+    }
+  }
+  plan.row_slot.assign(rows, -1);
+  for (index_t r = 0; r < rows; ++r) {
+    if (shared[r]) {
+      plan.row_slot[r] = static_cast<std::int32_t>(plan.shared_rows.size());
+      plan.shared_rows.push_back(r);
+    }
+  }
+  it = plans_->owner_plans.emplace(key, std::move(plan)).first;
+  return it->second;
+}
+
+std::size_t AltoTensor::storage_bytes() const noexcept {
+  std::size_t bytes = codes_.size() * sizeof(std::uint64_t) +
+                      vals_.size() * sizeof(real_t);
+  for (const auto& runs : runs_) {
+    bytes += runs.size() * sizeof(AltoRun);
+  }
+  return bytes;
+}
+
+}  // namespace aoadmm

@@ -1,0 +1,121 @@
+// ALTO-style adaptive linearized tensor format (Laukemann et al., ICS'21).
+// Instead of one CSF tree per mode, every non-zero is stored once as a
+// single bit-interleaved linearized index: the bits of all mode coordinates
+// are round-robin interleaved (LSB first) into one 64-bit code. The format
+// is mode-agnostic — the same array serves MTTKRP for every target mode —
+// which cuts format memory roughly order() x versus ALLMODE CSF, and the
+// flat non-zero stream partitions perfectly evenly, which load-balances
+// power-law tensors whose root slices defeat fiber splitting.
+//
+// The library builds an AltoTensor lazily from a compiled CsfTensor (see
+// CsfTensor::alto_index()) so the kAlto MTTKRP kernel slots behind the same
+// CsfSet handle the solvers already hold.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "tensor/csf.hpp"
+#include "util/types.hpp"
+
+namespace aoadmm {
+
+/// One contiguous group of interleaved bits of a mode: the mode coordinate
+/// bits [dst_shift, dst_shift + popcount(mask)) live at code bits
+/// [src_shift, src_shift + popcount(mask)). Decoding a mode is a handful of
+/// shift/and/or ops — no per-bit loop.
+struct AltoRun {
+  std::uint32_t src_shift = 0;  // position of the group in the code
+  std::uint32_t dst_shift = 0;  // position of the group in the coordinate
+  std::uint64_t mask = 0;       // popcount(mask) contiguous low bits
+};
+
+/// True when the mode lengths fit a single 64-bit linearized code, i.e.
+/// sum over modes of bit_width(dim - 1) <= 64. Tensors beyond that cannot
+/// use the kAlto kernel.
+bool alto_linearizable(cspan<index_t> dims) noexcept;
+
+class AltoTensor {
+ public:
+  /// Linearize the non-zeros of a compiled CSF tree. Coordinates are
+  /// recovered from the root-to-leaf paths, encoded, and sorted by code.
+  /// Requires alto_linearizable(csf.dims()).
+  static AltoTensor build(const CsfTensor& csf);
+
+  std::size_t order() const noexcept { return dims_.size(); }
+  offset_t nnz() const noexcept { return vals_.size(); }
+  const std::vector<index_t>& dims() const noexcept { return dims_; }
+
+  /// Sorted linearized codes, one per non-zero, aligned with vals().
+  cspan<std::uint64_t> codes() const noexcept { return codes_; }
+  cspan<real_t> vals() const noexcept { return vals_; }
+
+  /// Total interleaved bits (<= 64) and per-mode bit counts.
+  std::uint32_t total_bits() const noexcept { return total_bits_; }
+  std::uint32_t mode_bits(std::size_t mode) const { return mode_bits_.at(mode); }
+
+  /// Decode runs for one mode (hot-loop accessor; no bounds check).
+  cspan<AltoRun> mode_runs(std::size_t mode) const noexcept {
+    return runs_[mode];
+  }
+
+  /// Per-mode union of code-position bits — the BMI2 `pext` mask. The
+  /// interleave is LSB-first in both the code and the coordinate, so
+  /// extracting the masked bits and packing them low yields the mode
+  /// coordinate in one instruction where the CPU has BMI2 (the kernel
+  /// falls back to the run loop elsewhere).
+  cspan<std::uint64_t> mode_masks() const noexcept { return mode_masks_; }
+
+  /// Coordinate of `mode` encoded in `code`.
+  index_t decode_mode(std::uint64_t code, std::size_t mode) const noexcept {
+    std::uint64_t v = 0;
+    for (const AltoRun& r : runs_[mode]) {
+      v |= ((code >> r.src_shift) & r.mask) << r.dst_shift;
+    }
+    return static_cast<index_t>(v);
+  }
+
+  /// Linearized code of a full coordinate tuple (build/debug path).
+  std::uint64_t encode(cspan<index_t> coords) const;
+
+  /// Even non-zero partition into `parts` chunks (parts+1 boundaries).
+  /// Cached per `parts` so steady-state kernel calls stay allocation-free;
+  /// the reference is valid for the tensor's lifetime. Thread-safe.
+  const std::vector<std::size_t>& nnz_partition(std::size_t parts) const;
+
+  /// Owner-computes plan for `mode` under the `parts`-way even non-zero
+  /// partition: reuses MttkrpOwnerPlan (root_bounds == node_bounds == the
+  /// nnz boundaries; `level` stores the target mode). Rows of the target
+  /// mode touched by >= 2 chunks get compact slot ids accumulated in
+  /// per-thread slot buffers and reduced by a fixup pass, exactly like the
+  /// CSF owner-computes kernel. Cached per (mode, parts); thread-safe.
+  const MttkrpOwnerPlan& owner_plan(std::size_t mode, std::size_t parts) const;
+
+  /// Bytes of the linearized representation (codes + values + run tables).
+  std::size_t storage_bytes() const noexcept;
+
+ private:
+  std::vector<index_t> dims_;
+  std::vector<std::uint32_t> mode_bits_;
+  std::uint32_t total_bits_ = 0;
+  std::vector<std::vector<AltoRun>> runs_;  // per original mode
+  std::vector<std::uint64_t> mode_masks_;   // per original mode
+  std::vector<std::uint64_t> codes_;        // sorted ascending
+  std::vector<real_t> vals_;
+
+  /// Lazily built scheduling plans (same sharing rules as CsfTensor's
+  /// PlanCache: they depend only on the immutable codes array).
+  struct PlanCache {
+    std::mutex mu;
+    std::map<std::size_t, std::vector<std::size_t>> nnz_partitions;
+    std::map<std::pair<std::size_t, std::size_t>, MttkrpOwnerPlan> owner_plans;
+  };
+  std::shared_ptr<PlanCache> plans_ = std::make_shared<PlanCache>();
+};
+
+}  // namespace aoadmm

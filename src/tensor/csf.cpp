@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "parallel/partition.hpp"
+#include "tensor/alto.hpp"
 #include "util/error.hpp"
 
 namespace aoadmm {
@@ -227,6 +228,20 @@ const MttkrpOwnerPlan& CsfTensor::owner_plan(std::size_t level,
   return plans_->owner_plans.emplace(key, std::move(plan)).first->second;
 }
 
+const AltoTensor& CsfTensor::alto_index() const {
+  std::lock_guard<std::mutex> lock(plans_->mu);
+  if (!plans_->alto) {
+    plans_->alto =
+        std::make_shared<const AltoTensor>(AltoTensor::build(*this));
+  }
+  return *plans_->alto;
+}
+
+void CsfTensor::drop_alto_index() const {
+  std::lock_guard<std::mutex> lock(plans_->mu);
+  plans_->alto.reset();
+}
+
 std::size_t CsfTensor::storage_bytes() const noexcept {
   std::size_t bytes = vals_.size() * sizeof(real_t);
   for (const auto& f : fids_) {
@@ -314,6 +329,8 @@ void CsfSet::patch_values(const CooTensor& coo, cspan<offset_t> dirty) {
         tree.patch_value(leaf_of[n], coo.value(n));
       }
     }
+    // A lazily built ALTO index copied the old values; rebuild on demand.
+    tree.drop_alto_index();
   }
   norm_sq_ = coo.norm_sq();
 }

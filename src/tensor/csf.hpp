@@ -22,6 +22,8 @@
 
 namespace aoadmm {
 
+class AltoTensor;  // tensor/alto.hpp
+
 /// Precomputed plan for the owner-computes non-root MTTKRP (one entry per
 /// (target level, thread count), cached on the CsfTensor). Chunk c owns the
 /// contiguous root range [root_bounds[c], root_bounds[c+1]) and, through the
@@ -109,6 +111,18 @@ class CsfTensor {
   const MttkrpOwnerPlan& owner_plan(std::size_t level,
                                     std::size_t parts) const;
 
+  /// ALTO linearized index over this tree's non-zeros, built lazily on
+  /// first use and cached alongside the scheduling plans (shared between
+  /// copies; valid for the tensor's lifetime). Requires
+  /// alto_linearizable(dims()). Thread-safe.
+  const AltoTensor& alto_index() const;
+
+  /// Drop a lazily built ALTO index. Value-only patching changes the leaf
+  /// values the index copied, so CsfSet::patch_values calls this; the next
+  /// alto_index() rebuilds from the patched leaves. Must not race with a
+  /// kernel still reading the index.
+  void drop_alto_index() const;
+
   /// Total bytes of the compressed structure (for reporting).
   std::size_t storage_bytes() const noexcept;
 
@@ -121,6 +135,11 @@ class CsfTensor {
     std::map<std::size_t, std::vector<std::size_t>> root_partitions;
     std::map<std::pair<std::size_t, std::size_t>, MttkrpOwnerPlan>
         owner_plans;
+    /// Lazily built ALTO linearized index (kAlto kernel). Like the plans,
+    /// it depends only on the immutable non-zero structure — value-only
+    /// patching (patch_values) invalidates it, which CsfSet handles by
+    /// rebuilding the affected trees' caches.
+    std::shared_ptr<const AltoTensor> alto;
   };
 
   std::vector<std::size_t> mode_perm_;

@@ -226,6 +226,8 @@ TEST(MttkrpSchedule, ScheduleAndKernelNames) {
   EXPECT_STREQ(to_string(MttkrpKernel::kAllMode), "allmode");
   EXPECT_STREQ(to_string(MttkrpKernel::kOneTree), "onetree");
   EXPECT_STREQ(to_string(MttkrpKernel::kTiled), "tiled");
+  EXPECT_STREQ(to_string(MttkrpKernel::kDimTree), "dimtree");
+  EXPECT_STREQ(to_string(MttkrpKernel::kAlto), "alto");
 }
 
 TEST(MttkrpSchedule, TiledSetSolvesLikeUntiled) {
