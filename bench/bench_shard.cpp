@@ -1,0 +1,113 @@
+// Strong scaling of the sharded AO-ADMM driver (dist/sharded_solver.hpp)
+// on a committed Zipf workload, plus the out-of-core streaming overhead on
+// the same grid.
+//
+// Each worker runs its tile's MTTKRP single-threaded (set_num_threads(1)),
+// so the shard count is the only parallelism dial: BM_ShardSolve/{1,2,4,8}
+// is a clean worker-scaling curve on a machine with that many hardware
+// threads (the workload is sized for 8). The tensor is large enough that
+// the distributed MTTKRP dominates the coordinator's serial ADMM — the
+// scaling these numbers gate is the exchange + reduction machinery, not
+// Amdahl noise. CI asserts 4-shard >= 2x over 1-shard on >=4-core runners
+// (see .github/workflows/ci.yml bench-regression).
+//
+// BM_ShardSolveOutOfCore runs the 4-shard grid with tiles spilled and a
+// residency budget of about one tile, so every sweep step pays the mmap
+// decode: its gap to BM_ShardSolve/4 is the out-of-core tax.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "common.hpp"
+
+#include "dist/sharded_solver.hpp"
+#include "parallel/runtime.hpp"
+#include "tensor/synthetic.hpp"
+
+namespace aoadmm {
+namespace {
+
+/// 8M non-zeros at scale 1.0 (2M at the default container scale 0.25),
+/// Zipf-skewed, mode 0 long so a {S,1,1} grid cuts balanced row blocks.
+const CooTensor& shard_tensor() {
+  static const CooTensor x = [] {
+    bench::install_metrics_sidecar();
+    SyntheticSpec spec;
+    spec.dims = {4000, 2000, 1500};
+    spec.nnz = static_cast<offset_t>(static_cast<real_t>(8000000) *
+                                     bench::bench_scale());
+    spec.zipf_alpha = {1.1};
+    spec.true_rank = 8;
+    spec.seed = 20260809;
+    return make_synthetic(spec);
+  }();
+  return x;
+}
+
+CpdConfig shard_config() {
+  CpdConfig cfg;
+  cfg.with_rank(bench::bench_rank())
+      .with_max_outer(3)
+      .with_tolerance(0)  // fixed iteration count: time 3 full sweeps
+      .with_seed(77);
+  ConstraintSpec nonneg;
+  nonneg.kind = ConstraintKind::kNonNegative;
+  cfg.with_constraints(ModeConstraints::broadcast(nonneg));
+  return cfg;
+}
+
+void BM_ShardSolve(benchmark::State& state) {
+  set_num_threads(1);
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  CpdConfig cfg = shard_config();
+  ShardOptions so;
+  so.grid = {shards, 1, 1};
+  cfg.with_shards(so);
+  ShardedCpdSolver solver(shard_tensor(), cfg);
+  for (auto _ : state) {
+    const CpdResult r = solver.solve();
+    benchmark::DoNotOptimize(r.relative_error);
+  }
+  state.counters["shards"] = static_cast<double>(shards);
+}
+BENCHMARK(BM_ShardSolve)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ShardSolveOutOfCore(benchmark::State& state) {
+  set_num_threads(1);
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const std::string spill =
+      (std::filesystem::temp_directory_path() / "aoadmm_bench_shard_spill")
+          .string();
+  std::filesystem::remove_all(spill);
+  CpdConfig cfg = shard_config();
+  ShardOptions so;
+  so.grid = {shards, 1, 1};
+  so.spill_dir = spill;
+  // About one decoded tile: every sweep step streams its tile back in.
+  so.max_resident_bytes =
+      static_cast<std::size_t>(shard_tensor().nnz()) * sizeof(real_t) * 2 /
+      shards;
+  cfg.with_shards(so);
+  ShardedCpdSolver solver(shard_tensor(), cfg);
+  for (auto _ : state) {
+    const CpdResult r = solver.solve();
+    benchmark::DoNotOptimize(r.relative_error);
+  }
+  const TileResidency::Stats rs = solver.residency_stats();
+  state.counters["tile_loads"] = static_cast<double>(rs.loads);
+  state.counters["tile_evictions"] = static_cast<double>(rs.evictions);
+  std::filesystem::remove_all(spill);
+}
+BENCHMARK(BM_ShardSolveOutOfCore)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace aoadmm

@@ -36,6 +36,8 @@
 //             [--robust] [--max-recoveries 3]
 //             [--progress] [--metrics-json m.json] [--chrome-trace t.json]
 //             [--event-log events.jsonl]
+//             [--shards AxBxC] [--spill-dir DIR] [--max-resident-mb N]
+//             [--wide-indices]
 //
 // Losses (cpd): --loss takes a spec KIND[:PARAM][:masked] parsed by
 // parse_loss_spec — e.g. `kl` (Poisson count data), `huber:0.5` (robust,
@@ -68,6 +70,19 @@
 // the scatter/scheduling policy (auto; weighted = nnz-weighted static
 // chunks + privatized reduction; owner = owner-computes partitioning;
 // dynamic = the legacy atomic baseline, for ablations).
+//
+// Sharding (cpd): --shards=AxBxC splits the tensor into a medium-grained
+// N-D grid of CSF tiles (one extent per mode) solved by per-shard workers
+// whose MTTKRP partials are reduced in fixed shard order — repeated runs
+// are bitwise identical, and a 1x1x1 grid reproduces the unsharded
+// onetree solve bitwise (docs/sharding.md). --spill-dir serializes the
+// tiles there and mmap-streams them back per sweep step instead of
+// keeping them resident (out-of-core mode; with no --shards it spills a
+// single-cell grid); --max-resident-mb bounds the decoded-tile cache with
+// LRU eviction. --wide-indices accepts .tns coordinates past the 32-bit
+// ceiling by compacting oversized modes to dense row ids (see TnsOptions
+// in tensor/io.hpp). Shard/exchange/residency counters land under dist/*
+// in --metrics-json's registry section.
 //
 // Robustness (cpd): --robust enables the numerical guard rails (guarded
 // Cholesky, ADMM divergence recovery, NaN/Inf sentinels — see
@@ -126,6 +141,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -136,6 +152,7 @@
 #include "core/loss.hpp"
 #include "core/solver.hpp"
 #include "core/wcpd.hpp"
+#include "dist/sharded_solver.hpp"
 #include "la/matrix_io.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
@@ -158,9 +175,13 @@ bool has_suffix(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-CooTensor load_any(const std::string& path) {
-  return has_suffix(path, ".bin") ? read_binary_file(path)
-                                  : read_tns_file(path);
+CooTensor load_any(const std::string& path, bool wide_indices = false) {
+  if (has_suffix(path, ".bin")) {
+    return read_binary_file(path);
+  }
+  TnsOptions topts;
+  topts.wide_indices = wide_indices;
+  return read_tns_file(path, topts);
 }
 
 void save_any(const CooTensor& x, const std::string& path) {
@@ -186,6 +207,26 @@ std::vector<index_t> parse_dims(const std::string& s) {
   }
   AOADMM_CHECK_MSG(dims.size() >= 2, "--dims needs at least 2 modes");
   return dims;
+}
+
+/// "--shards 2x2x1" -> {2, 2, 1}. Semantic validation (one extent per
+/// mode, every extent >= 1) is CpdConfig::validate's job so problems are
+/// reported like any other flag, with severity and exit code 2.
+std::vector<std::size_t> parse_grid(const std::string& s) {
+  std::vector<std::size_t> grid;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t x = s.find('x', pos);
+    const std::string tok = s.substr(pos, x - pos);
+    AOADMM_CHECK_MSG(!tok.empty(), "bad --shards: " + s);
+    grid.push_back(static_cast<std::size_t>(std::stoul(tok)));
+    if (x == std::string::npos) {
+      break;
+    }
+    pos = x + 1;
+  }
+  AOADMM_CHECK_MSG(!grid.empty(), "bad --shards: " + s);
+  return grid;
 }
 
 int cmd_generate(const Options& opts) {
@@ -282,6 +323,9 @@ std::string cli_flag_for(const std::string& field) {
   if (field == "admm.adaptive.rescale") return "--adaptive-rescale";
   if (field.rfind("admm.adaptive", 0) == 0) return "--adaptive-rho";
   if (field == "loss" || field.rfind("loss.", 0) == 0) return "--loss";
+  if (field == "shards.spill_dir") return "--spill-dir";
+  if (field == "shards.max_resident_bytes") return "--max-resident-mb";
+  if (field.rfind("shards", 0) == 0) return "--shards";
   if (field.rfind("constraints", 0) == 0) return "--constraint/--lambda";
   return field;  // no dedicated flag; name the option itself
 }
@@ -293,7 +337,20 @@ int cmd_cpd(const Options& opts) {
   if (threads > 0) {
     set_num_threads(threads);
   }
-  const CooTensor x = load_any(opts.positional()[1]);
+  const CooTensor x = load_any(opts.positional()[1], opts.has("wide-indices"));
+
+  // --shards/--spill-dir/--max-resident-mb route the solve through the
+  // sharded coordinator; the tiles are compiled per shard (possibly
+  // out-of-core), so the whole-tensor CSF compile below is skipped.
+  ShardOptions shard_opts;
+  if (opts.has("shards")) {
+    shard_opts.grid = parse_grid(opts.get_string("shards", ""));
+  }
+  shard_opts.spill_dir = opts.get_string("spill-dir", "");
+  shard_opts.max_resident_bytes =
+      static_cast<std::size_t>(opts.get_int("max-resident-mb", 0)) *
+      (std::size_t{1} << 20);
+  const bool sharded = shard_opts.enabled();
 
   const std::string kernel_str = opts.get_string("mttkrp-kernel", "auto");
   MttkrpKernel kernel = MttkrpKernel::kAuto;
@@ -342,10 +399,19 @@ int cmd_cpd(const Options& opts) {
           ? tile_rows
           : 0;
 
-  std::printf("loaded %llu non-zeros; compiling CSF (%s%s)...\n",
-              static_cast<unsigned long long>(x.nnz()), to_string(strategy),
-              build_tile_rows > 0 ? ", tiled" : "");
-  const CsfSet csf(x, strategy, build_tile_rows);
+  std::optional<CsfSet> csf;
+  if (sharded) {
+    std::printf("loaded %llu non-zeros; sharding %s%s...\n",
+                static_cast<unsigned long long>(x.nnz()),
+                shard_opts.grid.empty() ? "1 cell"
+                                        : grid_to_string(shard_opts.grid).c_str(),
+                shard_opts.out_of_core() ? " (out-of-core)" : "");
+  } else {
+    std::printf("loaded %llu non-zeros; compiling CSF (%s%s)...\n",
+                static_cast<unsigned long long>(x.nnz()), to_string(strategy),
+                build_tile_rows > 0 ? ", tiled" : "");
+    csf.emplace(x, strategy, build_tile_rows);
+  }
 
   CpdOptions cpd_opts;
   cpd_opts.mttkrp_kernel = kernel;
@@ -469,7 +535,10 @@ int cmd_cpd(const Options& opts) {
   // (missing = unknown) via cpd_wopt.
   const std::string objective = opts.get_string("objective", "ls");
   if (objective == "observed") {
-    AOADMM_CHECK_MSG(!csf.tiled(),
+    AOADMM_CHECK_MSG(!sharded,
+                     "--objective observed does not support "
+                     "--shards/--spill-dir");
+    AOADMM_CHECK_MSG(!csf->tiled(),
                      "--objective observed does not support --tile-rows");
     AOADMM_CHECK_MSG(!generalized_loss,
                      "--objective observed is the weighted-Frobenius legacy "
@@ -481,7 +550,7 @@ int cmd_cpd(const Options& opts) {
     wopts.tolerance = cpd_opts.tolerance;
     wopts.seed = cpd_opts.seed;
     wopts.ridge = static_cast<real_t>(opts.get_double("ridge", 1e-6));
-    const WcpdResult r = cpd_wopt(csf, wopts, {&constraint, 1});
+    const WcpdResult r = cpd_wopt(*csf, wopts, {&constraint, 1});
     std::printf("\nobjective       : observed-only\n");
     std::printf("outer iterations: %u (%s)\n", r.outer_iterations,
                 r.converged ? "converged" : "iteration cap");
@@ -509,6 +578,9 @@ int cmd_cpd(const Options& opts) {
   CpdConfig config(cpd_opts);
   config.with_constraints(ModeConstraints::broadcast(constraint));
   config.with_loss(loss);
+  if (sharded) {
+    config.with_shards(shard_opts);
+  }
   if (const auto ck_path = opts.get("checkpoint")) {
     config.with_checkpoint(
         *ck_path, static_cast<unsigned>(opts.get_int("checkpoint-every", 10)));
@@ -516,7 +588,7 @@ int cmd_cpd(const Options& opts) {
 
   // Surface configuration problems as CLI diagnostics, each naming the flag
   // it concerns, before any work starts. Errors abort with exit code 2.
-  const ValidationReport report = config.validate(csf.order());
+  const ValidationReport report = config.validate(x.order());
   for (const ValidationIssue& issue : report.issues) {
     std::fprintf(stderr, "tensor_tool: %s: %s: %s\n",
                  to_string(issue.severity), cli_flag_for(issue.field).c_str(),
@@ -549,6 +621,8 @@ int cmd_cpd(const Options& opts) {
   if (const auto couple_path = opts.get("couple")) {
     AOADMM_CHECK_MSG(!opts.has("resume") && !opts.has("checkpoint"),
                      "--couple does not support checkpoint/resume");
+    AOADMM_CHECK_MSG(!sharded,
+                     "--couple does not support --shards/--spill-dir");
     CoupledMatrix cm;
     cm.y = read_matrix_file(*couple_path);
     cm.mode = static_cast<std::size_t>(opts.get_int("couple-mode", 0));
@@ -559,7 +633,7 @@ int cmd_cpd(const Options& opts) {
                 cm.y.rows(), cm.y.cols(), cm.mode,
                 static_cast<double>(cm.weight));
 
-    const CoupledResult cr = coupled_factorize(csf, config, {cm});
+    const CoupledResult cr = coupled_factorize(*csf, config, {cm});
     const CpdResult& r = cr.cpd;
     std::printf("\nouter iterations: %u (%s)\n", r.outer_iterations,
                 r.converged ? "converged" : "iteration cap");
@@ -588,19 +662,48 @@ int cmd_cpd(const Options& opts) {
     return 0;
   }
 
-  CpdSolver solver(csf, config);
   const auto resume_path = opts.get("resume");
   if (resume_path) {
     std::printf("resuming from %s\n", resume_path->c_str());
   }
-  const CpdResult r =
-      resume_path ? solver.resume(*resume_path) : solver.solve();
+  CpdResult r;
+  ExchangeStats exchange{};
+  TileResidency::Stats residency{};
+  std::size_t shard_count = 1;
+  if (sharded) {
+    ShardedCpdSolver solver(x, config);
+    shard_count = solver.plan().shard_count();
+    std::printf("shard plan: %zu shard(s), %s grid, signature %016llx\n",
+                shard_count, grid_to_string(solver.plan().grid).c_str(),
+                static_cast<unsigned long long>(solver.plan().signature));
+    r = resume_path ? solver.resume(*resume_path) : solver.solve();
+    exchange = solver.exchange_stats();
+    residency = solver.residency_stats();
+  } else {
+    CpdSolver solver(*csf, config);
+    r = resume_path ? solver.resume(*resume_path) : solver.solve();
+  }
 
   std::printf("\nvariant         : %s / %s leaf\n", to_string(cpd_opts.variant),
               to_string(cpd_opts.leaf_format));
   std::printf("mttkrp          : kernel %s / schedule %s%s\n",
               to_string(kernel), to_string(schedule),
-              csf.tiled() ? " / tiled" : "");
+              csf && csf->tiled() ? " / tiled" : "");
+  if (sharded) {
+    std::printf("shards          : %zu  exchange %llu msgs / %.2f MiB%s\n",
+                shard_count,
+                static_cast<unsigned long long>(exchange.messages),
+                static_cast<double>(exchange.bytes) / (1 << 20),
+                shard_opts.out_of_core() ? "  (out-of-core)" : "");
+    if (shard_opts.out_of_core()) {
+      std::printf("tile cache      : %llu loads / %llu hits / %llu "
+                  "evictions, %.2f MiB resident\n",
+                  static_cast<unsigned long long>(residency.loads),
+                  static_cast<unsigned long long>(residency.hits),
+                  static_cast<unsigned long long>(residency.evictions),
+                  static_cast<double>(residency.resident_bytes) / (1 << 20));
+    }
+  }
   if (generalized_loss) {
     std::printf("loss            : %s\n", to_cli_string(config.loss).c_str());
   }

@@ -412,6 +412,63 @@ ValidationReport CpdConfig::validate(std::size_t order) const {
         "will be written");
   }
 
+  // --- Sharded / out-of-core solve (dist/sharded_solver.hpp) ---
+  if (shards.enabled()) {
+    if (order > 0 && !shards.grid.empty() && shards.grid.size() != order) {
+      std::ostringstream os;
+      os << "shard grid has " << shards.grid.size()
+         << " extents for an order-" << order
+         << " tensor; give one extent per mode (e.g. --shards=2x2x1)";
+      add(Severity::kError, "shards.grid", os.str());
+    }
+    for (std::size_t m = 0; m < shards.grid.size(); ++m) {
+      if (shards.grid[m] == 0) {
+        std::ostringstream os;
+        os << "grid extent for mode " << m
+           << " is 0; every extent must be >= 1";
+        add(Severity::kError, "shards.grid", os.str());
+      }
+    }
+    if (shards.shard_count() > 256) {
+      add(Severity::kWarning, "shards.grid",
+          "more than 256 shards: each shard is a worker thread plus a tile; "
+          "per-shard overhead will dominate unless the tensor is enormous");
+    }
+    if (shards.max_resident_bytes > 0 && shards.spill_dir.empty()) {
+      add(Severity::kError, "shards.max_resident_bytes",
+          "a residency budget only applies to out-of-core mode; also set "
+          "spill_dir (CLI: --spill-dir) or drop the budget");
+    }
+    const bool generalized =
+        loss.kind != LossKind::kFrobenius || loss.masked;
+    if (generalized) {
+      add(Severity::kError, "shards",
+          std::string("loss ") + to_cli_string(loss) +
+              " takes the generalized per-row split solve, which the sharded "
+              "coordinator does not run; use the unsharded solver or the "
+              "Frobenius loss");
+    }
+    if (leaf_format != LeafFormat::kDense) {
+      add(Severity::kError, "shards",
+          "sharded solves keep whole factor blocks resident per shard and "
+          "support only leaf_format=dense");
+    }
+    if (mttkrp_kernel != MttkrpKernel::kAuto &&
+        mttkrp_kernel != MttkrpKernel::kOneTree) {
+      add(Severity::kError, "mttkrp_kernel",
+          std::string("sharded solves compile one tree per tile and serve "
+                      "every mode from it (the one-tree kernels); "
+                      "mttkrp_kernel=") +
+              to_string(mttkrp_kernel) + " cannot run per shard — use auto "
+              "or onetree");
+    }
+    if (mttkrp_tile_rows > 0) {
+      add(Severity::kError, "mttkrp_tile_rows",
+          "cache tiling and shard tiles are different decompositions; "
+          "sharded solves do not support mttkrp_tile_rows");
+    }
+  }
+
   if (order > 0 && !constraints.broadcasts() &&
       constraints.size() != order) {
     std::ostringstream os;

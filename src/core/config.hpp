@@ -89,6 +89,31 @@ struct ValidationReport {
   std::string to_string() const;
 };
 
+/// Grid decomposition + out-of-core knobs for the sharded solver
+/// (dist/sharded_solver.hpp). Inert unless enabled(): the single-session
+/// CpdSolver ignores this block entirely.
+struct ShardOptions {
+  /// Cells per mode ("2x2x1" on the CLI). Empty = unsharded. A spill_dir
+  /// with no grid means a 1-per-mode grid (pure out-of-core).
+  std::vector<std::size_t> grid;
+  /// When non-empty, tiles are serialized here and mmap-streamed back on
+  /// demand instead of staying resident (out-of-core mode).
+  std::string spill_dir;
+  /// Decoded-tile residency budget for out-of-core mode; 0 = unbounded
+  /// (tiles still spill, but nothing is evicted).
+  std::size_t max_resident_bytes = 0;
+
+  bool enabled() const noexcept {
+    return !grid.empty() || !spill_dir.empty() || max_resident_bytes > 0;
+  }
+  bool out_of_core() const noexcept { return !spill_dir.empty(); }
+  std::size_t shard_count() const noexcept {
+    std::size_t n = 1;
+    for (const std::size_t g : grid) n *= g;
+    return grid.empty() ? 1 : n;
+  }
+};
+
 /// Full description of a factorization run, built fluently:
 ///
 ///   CpdConfig cfg = CpdConfig()
@@ -131,6 +156,8 @@ struct CpdConfig {
   /// checks it once per iteration and stops with StopReason::kCancelled or
   /// kDeadline, returning the last completed iterate. Null = never checked.
   CancelTokenPtr cancel;
+  /// Grid decomposition + out-of-core spill (dist/sharded_solver.hpp).
+  ShardOptions shards;
 
   CpdConfig() = default;
   /// Compatibility shim for the legacy CpdOptions entry points
@@ -222,6 +249,11 @@ struct CpdConfig {
   /// caller arms it (cancel() or set_deadline_after) while a solve runs.
   CpdConfig& with_cancel(CancelTokenPtr token) {
     cancel = std::move(token);
+    return *this;
+  }
+  /// Grid decomposition and out-of-core spill for ShardedCpdSolver.
+  CpdConfig& with_shards(ShardOptions s) {
+    shards = std::move(s);
     return *this;
   }
 

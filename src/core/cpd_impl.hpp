@@ -71,10 +71,9 @@ inline real_t fit_relative_error(real_t x_norm_sq, const Matrix& k,
 /// Reuses the matrices' existing storage when shapes already match, so a
 /// session's repeated cold solves reallocate nothing. Draw order matches
 /// the historical Matrix::random_uniform path exactly.
-inline void init_factors_into(const CsfSet& csf, rank_t rank, Rng& rng,
+inline void init_factors_into(cspan<index_t> dims, rank_t rank, Rng& rng,
                               real_t x_norm_sq,
                               std::vector<Matrix>& factors) {
-  const auto& dims = csf.dims();
   factors.resize(dims.size());
   for (std::size_t m = 0; m < dims.size(); ++m) {
     Matrix& a = factors[m];
@@ -114,6 +113,12 @@ inline void init_factors_into(const CsfSet& csf, rank_t rank, Rng& rng,
       }
     }
   }
+}
+
+inline void init_factors_into(const CsfSet& csf, rank_t rank, Rng& rng,
+                              real_t x_norm_sq,
+                              std::vector<Matrix>& factors) {
+  init_factors_into(csf.dims(), rank, rng, x_norm_sq, factors);
 }
 
 inline std::vector<Matrix> init_factors(const CsfSet& csf, rank_t rank,

@@ -1,0 +1,41 @@
+// The per-mode ADMM update with its full guard-rail envelope, extracted
+// from the CpdSolver outer loop so the sharded coordinator
+// (dist/sharded_solver.hpp) runs the identical update — same variant
+// dispatch, same recovery bookkeeping, same metrics — on the globally
+// assembled MTTKRP. Both drivers therefore produce the same iterate given
+// the same (K, G) inputs, which is what makes the 1x1x1-grid sharded solve
+// bitwise-equal to the unsharded one.
+#pragma once
+
+#include <cstdint>
+
+#include "core/admm.hpp"
+#include "core/config.hpp"
+#include "core/cpd.hpp"
+#include "core/prox.hpp"
+
+namespace aoadmm {
+namespace detail {
+
+/// Per-call aggregates the outer loop folds into its iteration snapshot.
+struct ModeUpdateStats {
+  unsigned inner_iterations = 0;
+  real_t primal_residual = 0;
+  real_t dual_residual = 0;
+};
+
+/// Run the configured ADMM variant on one mode's assembled system
+/// (factor/dual updated in place), record every robustness intervention
+/// into `result` and the metrics registry, and perform the non-finite
+/// factor rollback (restores `scratch.h_entry`, zeroes the duals). Throws
+/// NumericalError when the factor is contaminated beyond recovery.
+ModeUpdateStats admm_mode_update(AdmmVariant variant, Matrix& factor,
+                                 Matrix& dual, const Matrix& mttkrp,
+                                 const Matrix& gram_prod,
+                                 const ProxOperator& prox,
+                                 const AdmmOptions& opts, AdmmScratch& scratch,
+                                 unsigned outer, std::size_t mode,
+                                 CpdResult& result);
+
+}  // namespace detail
+}  // namespace aoadmm

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/cpd_impl.hpp"
+#include "core/mode_update.hpp"
 #include "obs/metrics.hpp"
 #include "obs/parallel_stats.hpp"
 #include "obs/profile.hpp"
@@ -440,91 +441,14 @@ CpdResult CpdSolver::run(unsigned start_outer, real_t prev_error,
 
       {
         const ScopedTimer t(timers.admm);
-        const AdmmResult ar =
-            opts.variant == AdmmVariant::kBlocked
-                ? admm_update_blocked(factors_[m], duals_[m], ws_.mttkrp_out,
-                                      ws_.gram_prod, *prox_[m], opts.admm,
-                                      ws_.admm)
-                : admm_update(factors_[m], duals_[m], ws_.mttkrp_out,
-                              ws_.gram_prod, *prox_[m], opts.admm, ws_.admm);
-        result.total_inner_iterations += ar.iterations;
-        result.total_row_iterations += ar.row_iterations;
-        iter_inner_iterations += ar.iterations;
-        worst_primal = std::max(worst_primal, ar.primal_residual);
-        worst_dual = std::max(worst_dual, ar.dual_residual);
-        sum_primal += ar.primal_residual;
-        sum_dual += ar.dual_residual;
-        metrics.admm_inner_iterations.observe(ar.iterations);
-        metrics.admm_primal_residual.observe(
-            static_cast<double>(ar.primal_residual));
-        metrics.admm_dual_residual.observe(
-            static_cast<double>(ar.dual_residual));
-
-        // Adaptive-rho interventions are reported whenever the feature is
-        // on, independent of the robustness master switch.
-        if (ar.rho_rebalances > 0) {
-          result.recovery.add({RecoveryKind::kRhoRebalance, outer, m,
-                               ar.rho_rebalances,
-                               static_cast<double>(ar.rho), std::string(),
-                               {}});
-          metrics.robust_rho_rebalances.add(ar.rho_rebalances);
-          AOADMM_LOG_DEBUG << "outer " << outer << " mode " << m
-                           << ": adaptive rho rebalanced "
-                           << ar.rho_rebalances << "x (final rho " << ar.rho
-                           << ")";
-        }
-
-        if (rb.enabled) {
-          if (ar.cholesky_attempts > 0) {
-            result.recovery.add({RecoveryKind::kCholeskyJitter, outer, m,
-                                 ar.cholesky_attempts,
-                                 static_cast<double>(ar.cholesky_jitter),
-                                 std::string(), {}});
-            metrics.robust_cholesky_jitter.add(1);
-            AOADMM_LOG_WARN << "outer " << outer << " mode " << m
-                            << ": Cholesky needed a diagonal ridge of "
-                            << ar.cholesky_jitter << " ("
-                            << ar.cholesky_attempts << " jitter attempts)";
-          }
-          if (ar.restarts > 0) {
-            result.recovery.add({RecoveryKind::kAdmmRestart, outer, m,
-                                 ar.restarts, static_cast<double>(ar.rho),
-                                 std::string(), {}});
-            metrics.robust_admm_restarts.add(ar.restarts);
-            AOADMM_LOG_WARN << "outer " << outer << " mode " << m
-                            << ": divergent inner solve restarted "
-                            << ar.restarts << "x (final rho " << ar.rho
-                            << ")";
-          }
-          if (ar.abandoned) {
-            result.recovery.add({RecoveryKind::kAdmmAbandoned, outer, m,
-                                 ar.restarts, static_cast<double>(ar.rho),
-                                 std::string(), {}});
-            metrics.robust_admm_abandoned.add(1);
-            AOADMM_LOG_WARN << "outer " << outer << " mode " << m
-                            << ": inner solve abandoned after "
-                            << ar.restarts
-                            << " restarts; keeping previous iterate";
-          }
-          // Factor sentinel: a contaminated update would poison the Gram
-          // matrices and, through them, every other mode. Roll back to the
-          // entry iterate the ADMM scratch snapshotted for this mode.
-          if (rb.check_finite && !all_finite(factors_[m])) {
-            if (!all_finite(ws_.admm.h_entry)) {
-              throw NumericalError(
-                  "factor " + std::to_string(m) +
-                  " is non-finite and so is its pre-update iterate; "
-                  "cannot recover");
-            }
-            factors_[m] = ws_.admm.h_entry;
-            duals_[m].zero();
-            result.recovery.add({RecoveryKind::kFactorRollback, outer, m, 1,
-                                 0, std::string(), {}});
-            metrics.robust_factor_rollbacks.add(1);
-            AOADMM_LOG_WARN << "outer " << outer << " mode " << m
-                            << ": non-finite factor update rolled back";
-          }
-        }
+        const detail::ModeUpdateStats ms = detail::admm_mode_update(
+            opts.variant, factors_[m], duals_[m], ws_.mttkrp_out,
+            ws_.gram_prod, *prox_[m], opts.admm, ws_.admm, outer, m, result);
+        iter_inner_iterations += ms.inner_iterations;
+        worst_primal = std::max(worst_primal, ms.primal_residual);
+        worst_dual = std::max(worst_dual, ms.dual_residual);
+        sum_primal += ms.primal_residual;
+        sum_dual += ms.dual_residual;
       }
 
       {

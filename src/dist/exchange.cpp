@@ -1,0 +1,55 @@
+#include "dist/exchange.hpp"
+
+#include <memory>
+
+#include "util/error.hpp"
+
+namespace aoadmm {
+
+std::size_t message_bytes(const Message& m) noexcept {
+  // Header: kind + mode + shard + epoch + rows + cols + busy_seconds.
+  std::size_t bytes = 1 + 5 * sizeof(std::uint64_t) + sizeof(double);
+  bytes += m.payload.size() * sizeof(real_t);
+  bytes += m.error.size();
+  return bytes;
+}
+
+InProcExchange::InProcExchange(std::size_t endpoints) {
+  AOADMM_CHECK_MSG(endpoints > 0, "exchange needs at least one endpoint");
+  inboxes_.reserve(endpoints);
+  for (std::size_t i = 0; i < endpoints; ++i) {
+    inboxes_.push_back(std::make_unique<Inbox>());
+  }
+}
+
+void InProcExchange::send(std::size_t endpoint, Message m) {
+  AOADMM_CHECK_MSG(endpoint < inboxes_.size(), "exchange endpoint out of range");
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.messages += 1;
+    stats_.bytes += message_bytes(m);
+  }
+  Inbox& box = *inboxes_[endpoint];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queue.push_back(std::move(m));
+  }
+  box.cv.notify_one();
+}
+
+Message InProcExchange::recv(std::size_t endpoint) {
+  AOADMM_CHECK_MSG(endpoint < inboxes_.size(), "exchange endpoint out of range");
+  Inbox& box = *inboxes_[endpoint];
+  std::unique_lock<std::mutex> lock(box.mu);
+  box.cv.wait(lock, [&] { return !box.queue.empty(); });
+  Message m = std::move(box.queue.front());
+  box.queue.pop_front();
+  return m;
+}
+
+ExchangeStats InProcExchange::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace aoadmm

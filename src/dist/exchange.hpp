@@ -1,0 +1,91 @@
+// Transport-shaped message layer between the shard coordinator and its
+// workers. The interface is deliberately a dumb endpoint/message queue —
+// send() and recv() of self-describing Message frames — so the in-process
+// implementation here can later be swapped for a shared-memory ring or a
+// socket without touching the solver: nothing above this layer assumes
+// shared address space beyond the payload vectors.
+//
+// Endpoint convention: endpoints 0..shards-1 are the worker inboxes;
+// endpoint `shards` is the coordinator inbox. Workers only ever send to the
+// coordinator; the coordinator sends to workers.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace aoadmm {
+
+enum class MsgKind : std::uint8_t {
+  kTask,     ///< coordinator -> worker: compute an MTTKRP partial for `mode`
+  kPartial,  ///< worker -> coordinator: the local MTTKRP rows (payload)
+  kFactor,   ///< coordinator -> worker: updated factor block for `mode`
+  kStop,     ///< coordinator -> worker: shut down
+};
+
+/// One frame. `payload` is a row-major rows x cols block of reals; which
+/// factor rows it covers is implied by (mode, shard) and the ShardPlan both
+/// sides hold.
+struct Message {
+  MsgKind kind = MsgKind::kStop;
+  std::size_t mode = 0;    ///< target mode of the sweep step
+  std::size_t shard = 0;   ///< sending/receiving shard id
+  std::uint64_t epoch = 0; ///< (outer, mode) sweep counter, for sanity checks
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<real_t> payload;
+  double busy_seconds = 0; ///< worker compute time (imbalance metric)
+  std::string error;       ///< non-empty when the worker failed
+};
+
+/// Wire size of a message (what a byte transport would ship): fixed header
+/// plus payload plus error text. The in-process queue moves pointers, but
+/// accounting wire bytes keeps the metric meaningful across transports.
+std::size_t message_bytes(const Message& m) noexcept;
+
+struct ExchangeStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Exchange {
+ public:
+  virtual ~Exchange() = default;
+
+  /// Deliver `m` to `endpoint`'s inbox. Thread-safe.
+  virtual void send(std::size_t endpoint, Message m) = 0;
+
+  /// Block until `endpoint` has a message and pop it. Thread-safe per
+  /// endpoint (the sharded solver has one consumer per inbox).
+  virtual Message recv(std::size_t endpoint) = 0;
+
+  /// Cumulative traffic over all endpoints.
+  virtual ExchangeStats stats() const = 0;
+};
+
+/// In-process implementation: one mutex+condvar FIFO per endpoint.
+class InProcExchange final : public Exchange {
+ public:
+  explicit InProcExchange(std::size_t endpoints);
+
+  void send(std::size_t endpoint, Message m) override;
+  Message recv(std::size_t endpoint) override;
+  ExchangeStats stats() const override;
+
+ private:
+  struct Inbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+  std::vector<std::unique_ptr<Inbox>> inboxes_;
+  mutable std::mutex stats_mu_;
+  ExchangeStats stats_;
+};
+
+}  // namespace aoadmm

@@ -1,0 +1,81 @@
+// N-D grid decomposition of a sparse tensor into per-shard tiles (the
+// medium-grained layout of Liavas & Sidiropoulos). Each mode is cut into
+// contiguous row blocks at nnz-balanced boundaries; a shard is one cell of
+// the Cartesian grid and owns exactly the non-zeros whose coordinates fall
+// in its block on every mode. A shard's factor working set is therefore the
+// block of rows [row_begin[m], row_end[m]) per mode — the local<->global row
+// map is a plain offset, which keeps boundary exchange a contiguous-row
+// broadcast.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tensor/coo.hpp"
+#include "util/types.hpp"
+
+namespace aoadmm {
+
+/// One cell of the shard grid.
+struct Shard {
+  /// Grid coordinate, one entry per mode (coord[m] < grid[m]).
+  std::vector<std::size_t> coord;
+  /// Half-open global row range this shard intersects on each mode.
+  std::vector<index_t> row_begin;
+  std::vector<index_t> row_end;
+  /// Non-zeros that fall in this cell (empty cells are kept: the
+  /// coordinator still addresses them by id).
+  offset_t nnz = 0;
+
+  index_t rows(std::size_t mode) const {
+    return row_end[mode] - row_begin[mode];
+  }
+};
+
+/// Deterministic decomposition of a tensor's index space into a grid of
+/// shards. Shard ids are the row-major linearization of the grid coordinate
+/// (last mode fastest), which is also the fixed partial-reduction order the
+/// coordinator uses — the plan fully determines the floating-point sum
+/// order, so repeated runs are bitwise identical.
+struct ShardPlan {
+  std::vector<std::size_t> grid;       ///< cells per mode
+  std::vector<index_t> dims;           ///< global mode lengths
+  /// Per mode: grid[m]+1 cut points with cuts[m].front()==0 and
+  /// cuts[m].back()==dims[m], chosen to balance nnz per block
+  /// (weighted_partition over slice_nnz).
+  std::vector<std::vector<index_t>> cuts;
+  offset_t nnz = 0;                    ///< total non-zeros
+  std::vector<Shard> shards;           ///< shard_count() entries, id order
+  /// FNV-1a over grid+dims+cuts+nnz: two plans with equal signatures tile
+  /// identically (used to pair spill directories with their tensor).
+  std::uint64_t signature = 0;
+
+  std::size_t order() const noexcept { return grid.size(); }
+  std::size_t shard_count() const noexcept { return shards.size(); }
+
+  /// Row-major linear shard id of a grid coordinate.
+  std::size_t shard_id(cspan<std::size_t> coord) const;
+
+  /// The grid cell along `mode` that global row `row` falls in.
+  std::size_t cell_of(std::size_t mode, index_t row) const;
+};
+
+/// Build the nnz-balanced plan for `grid` over `coo`. `grid` must have one
+/// entry per mode, each >= 1 and <= the mode length (a mode shorter than
+/// its grid extent cannot produce non-empty cuts). Deterministic: depends
+/// only on the tensor's non-zero structure and the grid.
+ShardPlan make_shard_plan(const CooTensor& coo,
+                          const std::vector<std::size_t>& grid);
+
+/// Extract shard `id`'s tile as a localized COO tensor: coordinates are
+/// shifted by -row_begin[m] and dims are the block extents. Modes with zero
+/// extent (possible when grid[m] > number of occupied rows) are widened to
+/// 1 so the tile stays a valid tensor; it simply holds no non-zeros.
+CooTensor extract_tile(const CooTensor& coo, const ShardPlan& plan,
+                       std::size_t id);
+
+/// "AxBxC" rendering of a grid for logs and error messages.
+std::string grid_to_string(const std::vector<std::size_t>& grid);
+
+}  // namespace aoadmm

@@ -47,7 +47,9 @@ void MetricsSnapshot::write_json(std::ostream& out) const {
   out << "], \"mttkrp_count\": " << mttkrp_count
       << ", \"sparse_mttkrp_count\": " << sparse_mttkrp_count
       << ", \"dimtree_levels_computed\": " << dimtree_levels_computed
-      << ", \"dimtree_levels_reused\": " << dimtree_levels_reused << "}";
+      << ", \"dimtree_levels_reused\": " << dimtree_levels_reused << ", ";
+  num("shard_imbalance", shard_imbalance);
+  out << "\"exchange_bytes\": " << exchange_bytes << "}";
 }
 
 }  // namespace aoadmm::obs

@@ -57,6 +57,12 @@ struct MetricsSnapshot {
   std::uint64_t dimtree_levels_computed = 0;
   std::uint64_t dimtree_levels_reused = 0;
 
+  /// Sharded solves only (dist/sharded_solver.hpp): per-shard busy-time
+  /// imbalance this iteration (1 - mean/max, like thread_imbalance) and
+  /// exchange wire bytes moved this iteration. Zero for unsharded runs.
+  double shard_imbalance = 0;
+  std::uint64_t exchange_bytes = 0;
+
   /// Single-line JSON object (suitable for JSON-lines progress streams).
   void write_json(std::ostream& out) const;
 };

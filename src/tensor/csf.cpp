@@ -1,11 +1,14 @@
 #include "tensor/csf.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstring>
 #include <numeric>
 
 #include "parallel/partition.hpp"
 #include "tensor/alto.hpp"
 #include "util/error.hpp"
+#include "util/overflow.hpp"
 
 namespace aoadmm {
 
@@ -251,6 +254,163 @@ std::size_t CsfTensor::storage_bytes() const noexcept {
     bytes += f.size() * sizeof(offset_t);
   }
   return bytes;
+}
+
+namespace {
+
+constexpr char kCsfMagic[8] = {'A', 'O', 'C', 'S', 'F', '1', 0, 0};
+constexpr std::uint64_t kCsfFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kCsfFnvPrime = 1099511628211ULL;
+
+std::uint64_t csf_fnv1a(const char* data, std::size_t n) {
+  std::uint64_t h = kCsfFnvOffset;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= kCsfFnvPrime;
+  }
+  return h;
+}
+
+void put_bytes(std::vector<char>& out, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  out.insert(out.end(), p, p + n);
+}
+
+void put_u64(std::vector<char>& out, std::uint64_t v) {
+  put_bytes(out, &v, sizeof(v));
+}
+
+/// Bounds-checked reader over a deserialize() blob.
+struct BlobReader {
+  const char* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  void read(void* out, std::size_t n) {
+    if (n > size - pos) {
+      throw ParseError("truncated CSF tile blob");
+    }
+    std::memcpy(out, data + pos, n);
+    pos += n;
+  }
+
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    read(&v, sizeof(v));
+    return v;
+  }
+
+  template <typename T>
+  void array(std::vector<T>& out, std::uint64_t count, const char* what) {
+    // The element count comes from the (checksummed but not yet verified)
+    // header; bound it by the remaining bytes before allocating.
+    const std::size_t bytes =
+        checked_mul<std::size_t>(count, sizeof(T), what);
+    if (bytes > size - pos) {
+      throw ParseError("truncated CSF tile blob");
+    }
+    out.resize(count);
+    read(out.data(), bytes);
+  }
+};
+
+}  // namespace
+
+std::vector<char> CsfTensor::serialize() const {
+  const std::size_t levels = order();
+  std::vector<char> out;
+  // Exact-size reservation keeps the spill write a single allocation even
+  // for multi-GB tiles; every term is overflow-checked.
+  std::size_t bytes = sizeof(kCsfMagic) + 3 * sizeof(std::uint64_t);
+  bytes = checked_add(bytes, 2 * levels * sizeof(std::uint64_t),
+                      "CSF blob header bytes");
+  for (std::size_t l = 0; l < levels; ++l) {
+    bytes = checked_add(
+        bytes,
+        checked_add(checked_mul(fids_[l].size(), sizeof(index_t),
+                                "CSF blob fids bytes"),
+                    sizeof(std::uint64_t), "CSF blob fids bytes"),
+        "CSF blob bytes");
+  }
+  for (std::size_t l = 0; l + 1 < levels; ++l) {
+    bytes = checked_add(
+        bytes,
+        checked_add(checked_mul(fptr_[l].size(), sizeof(offset_t),
+                                "CSF blob fptr bytes"),
+                    sizeof(std::uint64_t), "CSF blob fptr bytes"),
+        "CSF blob bytes");
+  }
+  bytes = checked_add(bytes,
+                      checked_mul(vals_.size(), sizeof(real_t),
+                                  "CSF blob value bytes"),
+                      "CSF blob bytes");
+  out.reserve(bytes);
+
+  put_bytes(out, kCsfMagic, sizeof(kCsfMagic));
+  put_u64(out, levels);
+  put_u64(out, nnz());
+  for (std::size_t l = 0; l < levels; ++l) {
+    put_u64(out, mode_perm_[l]);
+  }
+  for (std::size_t l = 0; l < levels; ++l) {
+    put_u64(out, dims_[l]);
+  }
+  for (std::size_t l = 0; l < levels; ++l) {
+    put_u64(out, fids_[l].size());
+    put_bytes(out, fids_[l].data(), fids_[l].size() * sizeof(index_t));
+  }
+  for (std::size_t l = 0; l + 1 < levels; ++l) {
+    put_u64(out, fptr_[l].size());
+    put_bytes(out, fptr_[l].data(), fptr_[l].size() * sizeof(offset_t));
+  }
+  put_bytes(out, vals_.data(), vals_.size() * sizeof(real_t));
+  put_u64(out, csf_fnv1a(out.data() + sizeof(kCsfMagic),
+                         out.size() - sizeof(kCsfMagic)));
+  return out;
+}
+
+CsfTensor CsfTensor::deserialize(const char* data, std::size_t size) {
+  if (size < sizeof(kCsfMagic) + 3 * sizeof(std::uint64_t) ||
+      std::memcmp(data, kCsfMagic, sizeof(kCsfMagic)) != 0) {
+    throw ParseError("bad magic in CSF tile blob");
+  }
+  // Checksum first: everything after the magic, minus the trailing hash.
+  const std::size_t payload = size - sizeof(kCsfMagic) - sizeof(std::uint64_t);
+  std::uint64_t stored = 0;
+  std::memcpy(&stored, data + size - sizeof(std::uint64_t), sizeof(stored));
+  if (csf_fnv1a(data + sizeof(kCsfMagic), payload) != stored) {
+    throw ParseError("CSF tile blob checksum mismatch");
+  }
+
+  BlobReader in{data, size - sizeof(std::uint64_t), sizeof(kCsfMagic)};
+  const std::uint64_t levels = in.u64();
+  const std::uint64_t nnz = in.u64();
+  if (levels < 2 || levels > 64) {
+    throw ParseError("corrupt CSF tile blob header (order " +
+                     std::to_string(levels) + ")");
+  }
+  CsfTensor out;
+  out.mode_perm_.resize(levels);
+  out.dims_.resize(levels);
+  for (auto& m : out.mode_perm_) {
+    m = static_cast<std::size_t>(in.u64());
+  }
+  for (auto& d : out.dims_) {
+    d = checked_cast<index_t>(in.u64(), "CSF tile mode length");
+  }
+  out.fids_.resize(levels);
+  out.fptr_.resize(levels - 1);
+  for (auto& fids : out.fids_) {
+    in.array(fids, in.u64(), "CSF tile fids bytes");
+  }
+  for (auto& fptr : out.fptr_) {
+    in.array(fptr, in.u64(), "CSF tile fptr bytes");
+  }
+  in.array(out.vals_, nnz, "CSF tile value bytes");
+  if (in.pos != in.size || out.fids_[levels - 1].size() != nnz) {
+    throw ParseError("corrupt CSF tile blob (size mismatch)");
+  }
+  return out;
 }
 
 const char* to_string(CsfStrategy s) noexcept {

@@ -126,6 +126,18 @@ class CsfTensor {
   /// Total bytes of the compressed structure (for reporting).
   std::size_t storage_bytes() const noexcept;
 
+  /// Serialize the compiled tree to a self-contained binary blob: magic +
+  /// shape header + per-level fids/fptr arrays + values + FNV-1a checksum.
+  /// Values are written in memory representation (same-architecture format,
+  /// like checkpoints) — this is the spill format of the out-of-core
+  /// sharded solver (dist/tile_store.hpp), not an archival interchange.
+  std::vector<char> serialize() const;
+
+  /// Rebuild a tree from a serialize() blob (e.g. an mmap'd spill file).
+  /// Throws ParseError on bad magic, truncation, or checksum mismatch. The
+  /// returned tree has a fresh (empty) scheduling-plan cache.
+  static CsfTensor deserialize(const char* data, std::size_t size);
+
  private:
   /// Lazily built scheduling plans, keyed by the partition geometry. Shared
   /// (not copied) between copies of the tensor: plans depend only on the

@@ -43,19 +43,24 @@ void split_fields(const std::string& line,
   }
 }
 
-/// 1-based coordinate: a full-token positive integer that fits index_t.
-index_t parse_index(std::string_view token, std::size_t lineno,
-                    std::size_t mode) {
+/// 1-based coordinate: a full-token positive integer that fits `I` (the
+/// default index_t, or uint64 on the wide-index path).
+template <typename I>
+I parse_index(std::string_view token, std::size_t lineno, std::size_t mode) {
   std::uint64_t value = 0;
   const char* begin = token.data();
   const char* end = begin + token.size();
   const auto [p, ec] = std::from_chars(begin, end, value);
   const std::string where = "index in mode " + std::to_string(mode);
   if (ec == std::errc::result_out_of_range ||
-      (ec == std::errc{} && value > std::numeric_limits<index_t>::max())) {
-    parse_fail(lineno, token,
-               where + " overflows the " +
-                   std::to_string(8 * sizeof(index_t)) + "-bit index type");
+      (ec == std::errc{} && value > std::numeric_limits<I>::max())) {
+    std::string why = where + " overflows the " +
+                      std::to_string(8 * sizeof(I)) + "-bit index type";
+    if (sizeof(I) < sizeof(std::uint64_t)) {
+      why += " (set TnsOptions::wide_indices / --wide-indices to compact "
+             "billion-row modes)";
+    }
+    parse_fail(lineno, token, why);
   }
   if (ec != std::errc{} || p != end) {
     parse_fail(lineno, token, where + " is not a positive integer");
@@ -63,7 +68,7 @@ index_t parse_index(std::string_view token, std::size_t lineno,
   if (value == 0) {
     parse_fail(lineno, token, where + " must be >= 1 (.tns is 1-indexed)");
   }
-  return static_cast<index_t>(value);
+  return static_cast<I>(value);
 }
 
 /// Non-zero value: a full-token finite real. NaN/Inf would silently poison
@@ -83,12 +88,21 @@ real_t parse_value(std::string_view token, std::size_t lineno) {
   return static_cast<real_t>(value);
 }
 
-}  // namespace
+/// Everything read_tns extracts before tensor assembly: parsed 0-based
+/// coordinates (width `I`), values, and the duplicate-fold mask.
+template <typename I>
+struct ParsedTns {
+  std::size_t order = 0;
+  std::vector<std::vector<I>> coords;  // 0-based, per mode
+  std::vector<real_t> values;
+  std::vector<bool> dead;  // entries folded away by DuplicatePolicy::kSum
+};
 
-CooTensor read_tns(std::istream& in, DuplicatePolicy policy) {
+template <typename I>
+ParsedTns<I> parse_tns(std::istream& in, DuplicatePolicy policy) {
   std::string line;
   std::size_t order = 0;
-  std::vector<std::vector<index_t>> coords;  // 0-based, per mode
+  std::vector<std::vector<I>> coords;  // 0-based, per mode
   std::vector<real_t> values;
   std::vector<std::size_t> linenos;  // source line of each non-zero
   std::size_t lineno = 0;
@@ -120,7 +134,7 @@ CooTensor read_tns(std::istream& in, DuplicatePolicy policy) {
                        std::to_string(tokens.size()) + ")");
     }
     for (std::size_t m = 0; m < order; ++m) {
-      coords[m].push_back(parse_index(tokens[m], lineno, m) - 1);
+      coords[m].push_back(parse_index<I>(tokens[m], lineno, m) - 1);
     }
     values.push_back(parse_value(tokens[order], lineno));
     linenos.push_back(lineno);
@@ -185,9 +199,22 @@ CooTensor read_tns(std::istream& in, DuplicatePolicy policy) {
     dead[cur] = true;
   }
 
+  ParsedTns<I> out;
+  out.order = order;
+  out.coords = std::move(coords);
+  out.values = std::move(values);
+  out.dead = std::move(dead);
+  return out;
+}
+
+/// Assemble a CooTensor from parsed entries whose coordinates already fit
+/// index_t.
+CooTensor build_coo(const ParsedTns<index_t>& parsed) {
+  const std::size_t order = parsed.order;
+  const std::size_t n = parsed.values.size();
   std::vector<index_t> dims(order, 0);
   for (std::size_t m = 0; m < order; ++m) {
-    for (const index_t i : coords[m]) {
+    for (const index_t i : parsed.coords[m]) {
       dims[m] = std::max(dims[m], static_cast<index_t>(i + 1));
     }
   }
@@ -196,27 +223,95 @@ CooTensor read_tns(std::istream& in, DuplicatePolicy policy) {
   out.reserve(n);
   std::vector<index_t> c(order);
   for (std::size_t k = 0; k < n; ++k) {
-    if (dead[k]) {
+    if (parsed.dead[k]) {
       continue;
     }
     for (std::size_t m = 0; m < order; ++m) {
-      c[m] = coords[m][k];
+      c[m] = parsed.coords[m][k];
     }
-    out.add(c, values[k]);
+    out.add(c, parsed.values[k]);
   }
   return out;
 }
 
-CooTensor read_tns_file(const std::string& path, DuplicatePolicy policy) {
+/// Wide-index assembly: modes whose largest coordinate exceeds index_t are
+/// compacted — occupied slices renumbered densely in sorted order — which
+/// is exactly what tensor/compact.hpp does post-load for empty slices. A
+/// mode with more distinct occupied slices than index_t can address cannot
+/// be represented and is rejected.
+CooTensor build_coo_wide(const ParsedTns<std::uint64_t>& parsed) {
+  const std::size_t order = parsed.order;
+  const std::size_t n = parsed.values.size();
+  constexpr std::uint64_t kIndexMax = std::numeric_limits<index_t>::max();
+
+  std::vector<std::vector<index_t>> narrow(order);
+  for (std::size_t m = 0; m < order; ++m) {
+    const std::vector<std::uint64_t>& wide = parsed.coords[m];
+    std::uint64_t max_coord = 0;
+    for (const std::uint64_t i : wide) {
+      max_coord = std::max(max_coord, i);
+    }
+    narrow[m].resize(n);
+    if (max_coord <= kIndexMax) {
+      for (std::size_t k = 0; k < n; ++k) {
+        narrow[m][k] = static_cast<index_t>(wide[k]);
+      }
+      continue;
+    }
+    std::vector<std::uint64_t> occupied = wide;
+    std::sort(occupied.begin(), occupied.end());
+    occupied.erase(std::unique(occupied.begin(), occupied.end()),
+                   occupied.end());
+    if (occupied.size() > kIndexMax) {
+      throw ParseError(
+          "mode " + std::to_string(m) + " has " +
+          std::to_string(occupied.size()) +
+          " distinct occupied slices, more than the " +
+          std::to_string(8 * sizeof(index_t)) +
+          "-bit index type can address even after compaction");
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      const auto it =
+          std::lower_bound(occupied.begin(), occupied.end(), wide[k]);
+      narrow[m][k] = static_cast<index_t>(it - occupied.begin());
+    }
+  }
+
+  ParsedTns<index_t> compacted;
+  compacted.order = order;
+  compacted.coords = std::move(narrow);
+  compacted.values = parsed.values;
+  compacted.dead = parsed.dead;
+  return build_coo(compacted);
+}
+
+}  // namespace
+
+CooTensor read_tns(std::istream& in, const TnsOptions& options) {
+  if (options.wide_indices) {
+    return build_coo_wide(parse_tns<std::uint64_t>(in, options.policy));
+  }
+  return build_coo(parse_tns<index_t>(in, options.policy));
+}
+
+CooTensor read_tns(std::istream& in, DuplicatePolicy policy) {
+  return read_tns(in, TnsOptions{policy, false});
+}
+
+CooTensor read_tns_file(const std::string& path, const TnsOptions& options) {
   std::ifstream in(path);
   if (!in) {
     throw InvalidArgument("cannot open tensor file: " + path);
   }
   try {
-    return read_tns(in, policy);
+    return read_tns(in, options);
   } catch (const ParseError& e) {
     throw ParseError(path + ": " + e.what());
   }
+}
+
+CooTensor read_tns_file(const std::string& path, DuplicatePolicy policy) {
+  return read_tns_file(path, TnsOptions{policy, false});
 }
 
 void write_tns(const CooTensor& x, std::ostream& out) {

@@ -23,6 +23,20 @@ enum class DuplicatePolicy {
   kError,
 };
 
+/// Reader options beyond the duplicate policy.
+struct TnsOptions {
+  DuplicatePolicy policy = DuplicatePolicy::kSum;
+  /// Accept coordinates past the 32-bit index_t ceiling (billion-row
+  /// modes). Coordinates are parsed at 64-bit width and any mode whose
+  /// largest index exceeds index_t is compacted: its occupied slices are
+  /// renumbered densely (sorted order preserved), which is harmless for
+  /// factorization — empty slices carry no data — but changes that mode's
+  /// row numbering. A mode with more DISTINCT occupied slices than index_t
+  /// can address is rejected with ParseError. Off by default: the narrow
+  /// path parses straight into index_t with no second pass.
+  bool wide_indices = false;
+};
+
 /// Parse a FROSTT .tns stream. Mode lengths are inferred as the maximum
 /// index seen per mode. Throws ParseError on malformed input: short or
 /// inconsistent-arity lines, non-integer / zero / overflowing indices, and
@@ -30,11 +44,13 @@ enum class DuplicatePolicy {
 /// token.
 CooTensor read_tns(std::istream& in,
                    DuplicatePolicy policy = DuplicatePolicy::kSum);
+CooTensor read_tns(std::istream& in, const TnsOptions& options);
 
 /// Load a .tns file from disk. Throws ParseError (bad content, prefixed
 /// with the path) or InvalidArgument (unreadable path).
 CooTensor read_tns_file(const std::string& path,
                         DuplicatePolicy policy = DuplicatePolicy::kSum);
+CooTensor read_tns_file(const std::string& path, const TnsOptions& options);
 
 /// Write a tensor as .tns (1-indexed).
 void write_tns(const CooTensor& x, std::ostream& out);

@@ -1,0 +1,58 @@
+// Overflow-checked integer arithmetic for index/offset computations.
+//
+// The partitioner and tile-offset paths multiply mode lengths and non-zero
+// counts that are individually fine in 32/64 bits but whose products are
+// not (a 2B-nnz tensor's byte sizes, a grid's shard count x tile bytes).
+// These helpers make every such product/sum explicit: they throw
+// OverflowError naming the computation instead of silently wrapping.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <type_traits>
+
+#include "util/error.hpp"
+
+namespace aoadmm {
+
+/// a + b, or OverflowError("<what> overflows ...").
+template <typename T>
+T checked_add(T a, T b, const char* what = "sum") {
+  static_assert(std::is_unsigned_v<T>, "checked_add is for unsigned counts");
+  T out;
+  if (__builtin_add_overflow(a, b, &out)) {
+    throw OverflowError(std::string(what) + " overflows the " +
+                        std::to_string(8 * sizeof(T)) + "-bit count type (" +
+                        std::to_string(a) + " + " + std::to_string(b) + ")");
+  }
+  return out;
+}
+
+/// a * b, or OverflowError("<what> overflows ...").
+template <typename T>
+T checked_mul(T a, T b, const char* what = "product") {
+  static_assert(std::is_unsigned_v<T>, "checked_mul is for unsigned counts");
+  T out;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    throw OverflowError(std::string(what) + " overflows the " +
+                        std::to_string(8 * sizeof(T)) + "-bit count type (" +
+                        std::to_string(a) + " * " + std::to_string(b) + ")");
+  }
+  return out;
+}
+
+/// Narrowing cast that throws instead of truncating. `From` and `To` must
+/// both be unsigned integer types.
+template <typename To, typename From>
+To checked_cast(From v, const char* what = "value") {
+  static_assert(std::is_unsigned_v<To> && std::is_unsigned_v<From>,
+                "checked_cast is for unsigned counts");
+  if (v > static_cast<From>(std::numeric_limits<To>::max())) {
+    throw OverflowError(std::string(what) + " (" + std::to_string(v) +
+                        ") does not fit the " +
+                        std::to_string(8 * sizeof(To)) + "-bit target type");
+  }
+  return static_cast<To>(v);
+}
+
+}  // namespace aoadmm

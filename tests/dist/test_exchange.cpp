@@ -1,0 +1,103 @@
+#include "dist/exchange.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace aoadmm {
+namespace {
+
+Message partial(std::size_t shard, std::uint64_t epoch, std::size_t rows,
+                std::size_t cols) {
+  Message m;
+  m.kind = MsgKind::kPartial;
+  m.shard = shard;
+  m.epoch = epoch;
+  m.rows = rows;
+  m.cols = cols;
+  m.payload.assign(rows * cols, static_cast<real_t>(shard));
+  return m;
+}
+
+TEST(ShardExchange, DeliversInFifoOrderPerEndpoint) {
+  InProcExchange ex(2);
+  for (std::uint64_t e = 0; e < 5; ++e) {
+    ex.send(1, partial(0, e, 2, 3));
+  }
+  for (std::uint64_t e = 0; e < 5; ++e) {
+    const Message m = ex.recv(1);
+    EXPECT_EQ(m.epoch, e);
+    EXPECT_EQ(m.kind, MsgKind::kPartial);
+    EXPECT_EQ(m.payload.size(), 6u);
+  }
+}
+
+TEST(ShardExchange, EndpointsAreIndependentInboxes) {
+  InProcExchange ex(3);
+  ex.send(0, partial(7, 1, 1, 1));
+  ex.send(2, partial(9, 2, 1, 1));
+  EXPECT_EQ(ex.recv(2).shard, 9u);
+  EXPECT_EQ(ex.recv(0).shard, 7u);
+}
+
+TEST(ShardExchange, RecvBlocksUntilAMessageArrives) {
+  InProcExchange ex(1);
+  std::thread producer([&ex] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ex.send(0, partial(3, 42, 1, 1));
+  });
+  const Message m = ex.recv(0);  // must block, not throw/poll
+  producer.join();
+  EXPECT_EQ(m.epoch, 42u);
+  EXPECT_EQ(m.shard, 3u);
+}
+
+TEST(ShardExchange, ManyProducersOneConsumer) {
+  InProcExchange ex(1);
+  constexpr std::size_t kProducers = 8;
+  constexpr std::size_t kEach = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&ex, p] {
+      for (std::size_t i = 0; i < kEach; ++i) {
+        ex.send(0, partial(p, i, 1, 4));
+      }
+    });
+  }
+  std::vector<std::size_t> seen(kProducers, 0);
+  for (std::size_t i = 0; i < kProducers * kEach; ++i) {
+    const Message m = ex.recv(0);
+    ASSERT_LT(m.shard, kProducers);
+    ++seen[m.shard];
+  }
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(seen[p], kEach);
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+}
+
+TEST(ShardExchange, StatsCountWireBytesForEverySend) {
+  InProcExchange ex(2);
+  const Message m = partial(0, 1, 4, 8);
+  const std::size_t wire = message_bytes(m);
+  EXPECT_GE(wire, m.payload.size() * sizeof(real_t));
+  ex.send(0, partial(0, 1, 4, 8));
+  ex.send(1, partial(1, 1, 4, 8));
+  const ExchangeStats s = ex.stats();
+  EXPECT_EQ(s.messages, 2u);
+  EXPECT_EQ(s.bytes, 2 * wire);
+}
+
+TEST(ShardExchange, MessageBytesIncludesErrorText) {
+  Message ok = partial(0, 1, 0, 0);
+  Message bad = ok;
+  bad.error = "tile decode failed";
+  EXPECT_EQ(message_bytes(bad), message_bytes(ok) + bad.error.size());
+}
+
+}  // namespace
+}  // namespace aoadmm

@@ -1,0 +1,138 @@
+#include "dist/shard_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "testing/helpers.hpp"
+#include "util/error.hpp"
+
+namespace aoadmm {
+namespace {
+
+TEST(ShardPlan, SingleCellGridIsTheWholeTensor) {
+  const CooTensor x = testing::random_coo({12, 9, 7}, 200);
+  const ShardPlan plan = make_shard_plan(x, {1, 1, 1});
+  ASSERT_EQ(plan.shard_count(), 1u);
+  EXPECT_EQ(plan.nnz, x.nnz());
+  const Shard& s = plan.shards[0];
+  EXPECT_EQ(s.nnz, x.nnz());
+  for (std::size_t m = 0; m < 3; ++m) {
+    EXPECT_EQ(s.row_begin[m], 0u);
+    EXPECT_EQ(s.row_end[m], x.dim(m));
+  }
+}
+
+TEST(ShardPlan, CutsCoverEveryModeExactly) {
+  const CooTensor x = testing::random_coo({20, 16, 10}, 600);
+  const ShardPlan plan = make_shard_plan(x, {3, 2, 2});
+  ASSERT_EQ(plan.cuts.size(), 3u);
+  for (std::size_t m = 0; m < 3; ++m) {
+    ASSERT_EQ(plan.cuts[m].size(), plan.grid[m] + 1);
+    EXPECT_EQ(plan.cuts[m].front(), 0u);
+    EXPECT_EQ(plan.cuts[m].back(), x.dim(m));
+    for (std::size_t c = 1; c < plan.cuts[m].size(); ++c) {
+      EXPECT_LE(plan.cuts[m][c - 1], plan.cuts[m][c]);
+    }
+  }
+}
+
+TEST(ShardPlan, ShardNnzSumsToTensorNnzAndTilesPartitionIt) {
+  const CooTensor x = testing::random_coo({20, 16, 10}, 600, 3);
+  const ShardPlan plan = make_shard_plan(x, {2, 2, 2});
+  ASSERT_EQ(plan.shard_count(), 8u);
+  offset_t total = 0;
+  for (std::size_t id = 0; id < plan.shard_count(); ++id) {
+    total += plan.shards[id].nnz;
+    const CooTensor tile = extract_tile(x, plan, id);
+    EXPECT_EQ(tile.nnz(), plan.shards[id].nnz) << "shard " << id;
+    // Localized coordinates stay inside the block extents.
+    for (std::size_t m = 0; m < 3; ++m) {
+      const index_t extent = plan.shards[id].rows(m);
+      EXPECT_EQ(tile.dim(m), extent > 0 ? extent : 1);
+      for (offset_t n = 0; n < tile.nnz(); ++n) {
+        ASSERT_LT(tile.index(m, n), tile.dim(m));
+      }
+    }
+  }
+  EXPECT_EQ(total, x.nnz());
+}
+
+TEST(ShardPlan, ShardIdIsRowMajorAndCellOfInvertsCuts) {
+  const CooTensor x = testing::random_coo({20, 16, 10}, 600);
+  const ShardPlan plan = make_shard_plan(x, {2, 2, 2});
+  const std::size_t coord[3] = {1, 0, 1};
+  EXPECT_EQ(plan.shard_id({coord, 3}), 1 * 4 + 0 * 2 + 1);
+  // Every non-zero maps into the shard whose block contains it.
+  for (offset_t n = 0; n < x.nnz(); ++n) {
+    std::vector<std::size_t> c(3);
+    for (std::size_t m = 0; m < 3; ++m) {
+      c[m] = plan.cell_of(m, x.index(m, n));
+      ASSERT_LT(c[m], plan.grid[m]);
+    }
+    const Shard& s = plan.shards[plan.shard_id(c)];
+    for (std::size_t m = 0; m < 3; ++m) {
+      ASSERT_GE(x.index(m, n), s.row_begin[m]);
+      ASSERT_LT(x.index(m, n), s.row_end[m]);
+    }
+  }
+}
+
+TEST(ShardPlan, IsDeterministicAcrossRebuilds) {
+  const CooTensor x = testing::random_coo({30, 20, 10}, 900, 11);
+  const ShardPlan a = make_shard_plan(x, {2, 3, 1});
+  const ShardPlan b = make_shard_plan(x, {2, 3, 1});
+  EXPECT_EQ(a.signature, b.signature);
+  EXPECT_EQ(a.cuts, b.cuts);
+  ASSERT_EQ(a.shard_count(), b.shard_count());
+  for (std::size_t id = 0; id < a.shard_count(); ++id) {
+    EXPECT_EQ(a.shards[id].nnz, b.shards[id].nnz);
+    EXPECT_EQ(a.shards[id].row_begin, b.shards[id].row_begin);
+    EXPECT_EQ(a.shards[id].row_end, b.shards[id].row_end);
+  }
+}
+
+TEST(ShardPlan, SignatureDistinguishesGridsAndTensors) {
+  const CooTensor x = testing::random_coo({30, 20, 10}, 900, 11);
+  const CooTensor y = testing::random_coo({30, 20, 10}, 900, 12);
+  EXPECT_NE(make_shard_plan(x, {2, 2, 1}).signature,
+            make_shard_plan(x, {2, 1, 2}).signature);
+  EXPECT_NE(make_shard_plan(x, {2, 2, 1}).signature,
+            make_shard_plan(y, {2, 2, 1}).signature);
+}
+
+TEST(ShardPlan, BalancesNnzAcrossBlocks) {
+  // Uniform data: no block on the 4-way mode should hold the lion's share.
+  const CooTensor x = testing::random_coo({64, 8, 8}, 4000, 5);
+  const ShardPlan plan = make_shard_plan(x, {4, 1, 1});
+  for (std::size_t id = 0; id < 4; ++id) {
+    EXPECT_GT(plan.shards[id].nnz, x.nnz() / 8) << "block " << id;
+    EXPECT_LT(plan.shards[id].nnz, x.nnz() / 2) << "block " << id;
+  }
+}
+
+TEST(ShardPlan, RejectsMalformedGrids) {
+  const CooTensor x = testing::random_coo({12, 9, 7}, 100);
+  EXPECT_THROW(make_shard_plan(x, {2, 2}), Error);        // wrong arity
+  EXPECT_THROW(make_shard_plan(x, {2, 0, 1}), Error);     // zero extent
+  EXPECT_THROW(make_shard_plan(x, {2, 2, 100}), Error);   // extent > dim
+}
+
+TEST(ShardPlan, GridToStringRendersCliShape) {
+  EXPECT_EQ(grid_to_string({2, 2, 1}), "2x2x1");
+  EXPECT_EQ(grid_to_string({7}), "7");
+}
+
+TEST(ShardPlan, Order4GridsPartitionToo) {
+  const CooTensor x = testing::random_coo({10, 8, 6, 5}, 500, 9);
+  const ShardPlan plan = make_shard_plan(x, {2, 2, 1, 2});
+  ASSERT_EQ(plan.shard_count(), 8u);
+  offset_t total = 0;
+  for (const Shard& s : plan.shards) {
+    total += s.nnz;
+  }
+  EXPECT_EQ(total, x.nnz());
+}
+
+}  // namespace
+}  // namespace aoadmm

@@ -1,0 +1,162 @@
+#include "dist/tile_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dist/shard_plan.hpp"
+#include "mttkrp/mttkrp.hpp"
+#include "testing/helpers.hpp"
+#include "util/error.hpp"
+
+namespace aoadmm {
+namespace {
+
+std::string fresh_dir(const char* name) {
+  const std::string dir = ::testing::TempDir() + name;
+  // Clear any leftovers from a previous run so signature checks start clean.
+  std::remove((dir + "/PLAN").c_str());
+  for (int i = 0; i < 16; ++i) {
+    std::remove((dir + "/tile_" + std::to_string(i) + ".csf").c_str());
+  }
+  return dir;
+}
+
+CsfTensor sample_tree(std::uint64_t seed = 7) {
+  const CooTensor x = testing::random_coo({10, 8, 6}, 150, seed);
+  return CsfTensor::build_for_mode(x, 0);
+}
+
+void expect_trees_equal(const CsfTensor& a, const CsfTensor& b) {
+  ASSERT_EQ(a.order(), b.order());
+  ASSERT_EQ(a.nnz(), b.nnz());
+  EXPECT_EQ(a.mode_perm(), b.mode_perm());
+  for (std::size_t m = 0; m < a.order(); ++m) {
+    EXPECT_EQ(a.level_dim(m), b.level_dim(m));
+  }
+}
+
+TEST(ShardTileStore, SerializeDeserializeRoundTripsTheTree) {
+  const CsfTensor tree = sample_tree();
+  const std::vector<char> blob = tree.serialize();
+  const CsfTensor back = CsfTensor::deserialize(blob.data(), blob.size());
+  expect_trees_equal(tree, back);
+
+  // The decoded tree must be kernel-equivalent, not just shape-equal:
+  // MTTKRP against the same factors yields bitwise-identical output.
+  const std::vector<Matrix> factors =
+      testing::random_factors({10, 8, 6}, 4, 21);
+  Matrix out_a(10, 4), out_b(10, 4);
+  mttkrp_dispatch(tree, factors, 0, out_a, MttkrpSchedule::kAuto);
+  mttkrp_dispatch(back, factors, 0, out_b, MttkrpSchedule::kAuto);
+  const auto fa = out_a.flat();
+  const auto fb = out_b.flat();
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    ASSERT_EQ(fa[i], fb[i]) << "entry " << i;
+  }
+}
+
+TEST(ShardTileStore, DeserializeRejectsCorruptBlobs) {
+  const CsfTensor tree = sample_tree();
+  std::vector<char> blob = tree.serialize();
+
+  std::vector<char> truncated(blob.begin(), blob.begin() + blob.size() / 2);
+  EXPECT_THROW(CsfTensor::deserialize(truncated.data(), truncated.size()),
+               ParseError);
+
+  std::vector<char> flipped = blob;
+  flipped[flipped.size() / 2] ^= 0x5a;  // checksum must catch a bit flip
+  EXPECT_THROW(CsfTensor::deserialize(flipped.data(), flipped.size()),
+               ParseError);
+
+  std::vector<char> bad_magic = blob;
+  bad_magic[0] = 'X';
+  EXPECT_THROW(CsfTensor::deserialize(bad_magic.data(), bad_magic.size()),
+               ParseError);
+}
+
+TEST(ShardTileStore, WriteLoadRoundTripsThroughTheSpillDir) {
+  const std::string dir = fresh_dir("aoadmm_tile_store_rt");
+  TileStore store(dir, 0xabcdef12u);
+  const CsfTensor tree = sample_tree(9);
+  store.write_tile(0, tree);
+  EXPECT_GT(store.tile_bytes(0), 0u);
+  const CsfTensor back = store.load_tile(0);
+  expect_trees_equal(tree, back);
+}
+
+TEST(ShardTileStore, RejectsSpillDirOfDifferentSignature) {
+  const std::string dir = fresh_dir("aoadmm_tile_store_sig");
+  { TileStore store(dir, 111); }
+  EXPECT_NO_THROW(TileStore(dir, 111));  // same tiling re-opens
+  EXPECT_THROW(TileStore(dir, 222), Error);
+}
+
+TEST(ShardTileStore, ResidencyServesHitsWithoutReloading) {
+  const std::string dir = fresh_dir("aoadmm_tile_store_hits");
+  TileStore store(dir, 1);
+  store.write_tile(0, sample_tree(1));
+  TileResidency cache(store, 1 << 30);
+  const auto a = cache.acquire(0);
+  cache.release(0);
+  const auto b = cache.acquire(0);
+  cache.release(0);
+  EXPECT_EQ(a.get(), b.get());  // same decoded instance
+  const TileResidency::Stats s = cache.stats();
+  EXPECT_EQ(s.loads, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_GT(s.resident_bytes, 0u);
+}
+
+TEST(ShardTileStore, ResidencyEvictsLeastRecentlyUsedOverBudget) {
+  const std::string dir = fresh_dir("aoadmm_tile_store_lru");
+  TileStore store(dir, 2);
+  for (std::size_t id = 0; id < 3; ++id) {
+    store.write_tile(id, sample_tree(id + 1));
+  }
+  // Budget roomy enough for ~one decoded tile only.
+  const std::size_t one_tile = sample_tree(1).storage_bytes();
+  TileResidency cache(store, one_tile + one_tile / 2);
+  for (std::size_t id = 0; id < 3; ++id) {
+    const auto t = cache.acquire(id);
+    cache.release(id);
+  }
+  const TileResidency::Stats s = cache.stats();
+  EXPECT_EQ(s.loads, 3u);
+  EXPECT_GE(s.evictions, 1u);
+  EXPECT_LE(s.resident_bytes, one_tile + one_tile / 2);
+  // Re-acquiring the evicted first tile is a fresh load, not a hit.
+  const std::uint64_t loads_before = s.loads;
+  const auto t0 = cache.acquire(0);
+  cache.release(0);
+  EXPECT_EQ(cache.stats().loads, loads_before + 1);
+}
+
+TEST(ShardTileStore, PinnedTilesSurviveBudgetPressure) {
+  const std::string dir = fresh_dir("aoadmm_tile_store_pin");
+  TileStore store(dir, 3);
+  store.write_tile(0, sample_tree(4));
+  store.write_tile(1, sample_tree(5));
+  TileResidency cache(store, 1);  // everything is over budget
+  const auto pinned = cache.acquire(0);
+  // Acquiring another tile must not evict the pinned one.
+  const auto other = cache.acquire(1);
+  cache.release(1);
+  const auto again = cache.acquire(0);
+  EXPECT_EQ(pinned.get(), again.get());
+  cache.release(0);
+  cache.release(0);
+}
+
+TEST(ShardTileStore, LoadOfMissingTileThrows) {
+  const std::string dir = fresh_dir("aoadmm_tile_store_miss");
+  TileStore store(dir, 4);
+  EXPECT_THROW(store.load_tile(12), Error);
+}
+
+}  // namespace
+}  // namespace aoadmm

@@ -251,5 +251,80 @@ TEST(BinaryIo, RejectsTruncatedFile) {
   EXPECT_THROW(read_binary_file(path), ParseError);
 }
 
+// --- TnsOptions::wide_indices: the opt-in past the 32-bit coordinate
+// ceiling. Oversized modes are compacted to dense row ids; in-range modes
+// keep their numbering.
+
+TEST(TnsIoWide, NarrowPathNamesTheWideEscapeHatch) {
+  expect_parse_error("5000000000 1 1 1.0\n",
+                     {"line 1", "32-bit", "wide_indices", "5000000000"});
+}
+
+TEST(TnsIoWide, CompactsOversizedModeAndKeepsInRangeModes) {
+  std::istringstream in(
+      "5000000000 1 2 1.5\n"
+      "1 2 1 2.5\n"
+      "7000000000 2 2 0.5\n");
+  TnsOptions topts;
+  topts.wide_indices = true;
+  const CooTensor x = read_tns(in, topts);
+  ASSERT_EQ(x.order(), 3u);
+  EXPECT_EQ(x.nnz(), 3u);
+  // Mode 0 held {0, 4999999999, 6999999999}: compacted to 3 dense rows in
+  // sorted order. Modes 1 and 2 are in range and keep max-index dims.
+  EXPECT_EQ(x.dim(0), 3u);
+  EXPECT_EQ(x.dim(1), 2u);
+  EXPECT_EQ(x.dim(2), 2u);
+  CooTensor sorted = x;
+  sorted.sort_mode_major(0);
+  EXPECT_EQ(sorted.index(0, 0), 0u);  // row 1 -> 0
+  EXPECT_EQ(sorted.value(0), 2.5);
+  EXPECT_EQ(sorted.index(0, 1), 1u);  // row 5000000000 -> 1
+  EXPECT_EQ(sorted.value(1), 1.5);
+  EXPECT_EQ(sorted.index(0, 2), 2u);  // row 7000000000 -> 2
+  EXPECT_EQ(sorted.value(2), 0.5);
+}
+
+TEST(TnsIoWide, InRangeFilesParseIdenticallyOnBothPaths) {
+  const std::string text = "1 2 1 1.0\n3 1 2 2.0\n2 2 2 3.0\n";
+  std::istringstream narrow_in(text);
+  const CooTensor narrow = read_tns(narrow_in);
+  std::istringstream wide_in(text);
+  TnsOptions topts;
+  topts.wide_indices = true;
+  const CooTensor wide = read_tns(wide_in, topts);
+  EXPECT_TRUE(tensors_equal(narrow, wide));
+}
+
+TEST(TnsIoWide, DuplicatePolicyStillAppliesOnTheWidePath) {
+  TnsOptions sum;
+  sum.wide_indices = true;
+  std::istringstream in_sum("6000000000 1 1.0\n6000000000 1 2.0\n");
+  const CooTensor x = read_tns(in_sum, sum);
+  EXPECT_EQ(x.nnz(), 1u);
+  EXPECT_EQ(x.value(0), 3.0);
+
+  TnsOptions reject;
+  reject.wide_indices = true;
+  reject.policy = DuplicatePolicy::kError;
+  std::istringstream in_err("6000000000 1 1.0\n6000000000 1 2.0\n");
+  EXPECT_THROW(read_tns(in_err, reject), ParseError);
+}
+
+TEST(TnsIoWide, FileOverloadTakesOptions) {
+  const TempDir dir;
+  const std::string path = dir.file("wide.tns");
+  {
+    std::ofstream out(path);
+    out << "4294967297 1 1.0\n1 2 2.0\n";  // 2^32 + 1 in mode 0
+  }
+  EXPECT_THROW(read_tns_file(path), ParseError);
+  TnsOptions topts;
+  topts.wide_indices = true;
+  const CooTensor x = read_tns_file(path, topts);
+  EXPECT_EQ(x.nnz(), 2u);
+  EXPECT_EQ(x.dim(0), 2u);  // {1, 4294967297} -> 2 compacted rows
+}
+
 }  // namespace
 }  // namespace aoadmm

@@ -1,0 +1,70 @@
+#include "util/overflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace aoadmm {
+namespace {
+
+TEST(Overflow, CheckedAddPassesThroughInRangeSums) {
+  EXPECT_EQ(checked_add<std::uint32_t>(3, 4), 7u);
+  EXPECT_EQ(checked_add<std::uint64_t>(1ull << 62, 1ull << 62),
+            1ull << 63);
+  const std::uint32_t max32 = std::numeric_limits<std::uint32_t>::max();
+  EXPECT_EQ(checked_add<std::uint32_t>(max32 - 1, 1), max32);
+}
+
+TEST(Overflow, CheckedAddThrowsAtTheTypeCeiling) {
+  const std::uint32_t max32 = std::numeric_limits<std::uint32_t>::max();
+  EXPECT_THROW(checked_add<std::uint32_t>(max32, 1), OverflowError);
+  const std::uint64_t max64 = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_THROW(checked_add<std::uint64_t>(max64, max64), OverflowError);
+}
+
+TEST(Overflow, CheckedMulPassesThroughInRangeProducts) {
+  EXPECT_EQ(checked_mul<std::uint64_t>(1ull << 31, 1ull << 31), 1ull << 62);
+  EXPECT_EQ(checked_mul<std::uint32_t>(0, 1u << 31), 0u);
+}
+
+TEST(Overflow, CheckedMulThrowsOn64BitProductOverflow) {
+  // The motivating case: per-mode lengths that each fit index_t but whose
+  // cell-count product wraps 64 bits.
+  EXPECT_THROW(checked_mul<std::uint64_t>(1ull << 33, 1ull << 31),
+               OverflowError);
+}
+
+TEST(Overflow, ErrorMessageNamesComputationAndOperands) {
+  try {
+    checked_mul<std::uint32_t>(1u << 16, 1u << 16, "tile bytes");
+    FAIL() << "expected OverflowError";
+  } catch (const OverflowError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("tile bytes"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("65536"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("32-bit"), std::string::npos) << msg;
+  }
+}
+
+TEST(Overflow, CheckedCastRoundTripsAndRejectsTruncation) {
+  EXPECT_EQ((checked_cast<index_t, std::uint64_t>(123456)), 123456u);
+  const std::uint64_t max32 = std::numeric_limits<index_t>::max();
+  EXPECT_EQ((checked_cast<index_t, std::uint64_t>(max32)), max32);
+  EXPECT_THROW((checked_cast<index_t, std::uint64_t>(max32 + 1)),
+               OverflowError);
+  EXPECT_THROW((checked_cast<std::uint8_t, std::uint64_t>(256)),
+               OverflowError);
+}
+
+TEST(Overflow, WidenedCastsAlwaysPass) {
+  const std::uint32_t max32 = std::numeric_limits<std::uint32_t>::max();
+  EXPECT_EQ((checked_cast<std::uint64_t, std::uint32_t>(max32)),
+            static_cast<std::uint64_t>(max32));
+}
+
+}  // namespace
+}  // namespace aoadmm
